@@ -1,0 +1,104 @@
+// Ablation: where does the failure dictionary's accuracy come from?
+// Compares the hand-built dictionary, a bootstrapped (machine-induced)
+// dictionary trained on half the corpus, and truncated variants — the
+// design-choice study behind Stage III.
+#include "bench/common.h"
+
+#include "nlp/bootstrap.h"
+#include "nlp/classifier.h"
+#include "nlp/evaluation.h"
+#include "util/table.h"
+
+namespace {
+
+using avtk::nlp::labeled_description;
+
+struct split_corpus {
+  std::vector<labeled_description> train;
+  std::vector<labeled_description> test;
+};
+
+const split_corpus& corpus_split() {
+  static const split_corpus s = [] {
+    avtk::dataset::generator_config cfg;
+    cfg.render_documents = false;
+    const auto corpus = avtk::dataset::generate_corpus(cfg);
+    split_corpus out;
+    for (std::size_t i = 0; i < corpus.disengagements.size(); ++i) {
+      const auto& d = corpus.disengagements[i];
+      (i % 2 == 0 ? out.train : out.test).push_back({d.description, d.tag});
+    }
+    return out;
+  }();
+  return s;
+}
+
+// Keeps only the first `per_tag` phrases of each tag.
+avtk::nlp::failure_dictionary truncated_builtin(std::size_t per_tag) {
+  const auto full = avtk::nlp::failure_dictionary::builtin();
+  std::string serialized;
+  for (const auto tag : full.tags()) {
+    std::size_t taken = 0;
+    for (const auto& p : full.phrases(tag)) {
+      if (taken++ >= per_tag) break;
+      std::string stems;
+      for (std::size_t i = 0; i < p.stems.size(); ++i) {
+        if (i > 0) stems += ' ';
+        stems += p.stems[i];
+      }
+      serialized += std::string(avtk::nlp::tag_id(tag)) + "\t" +
+                    avtk::format_number(p.weight, 10) + "\t" + stems + "\n";
+    }
+  }
+  return avtk::nlp::failure_dictionary::deserialize(serialized);
+}
+
+std::string render_sweep() {
+  const auto& s = corpus_split();
+  avtk::text_table t({"Dictionary", "Phrases", "Held-out tag accuracy"});
+  t.set_title("Stage III ablation: dictionary vs held-out accuracy (2,664 events)");
+
+  const auto add = [&](const std::string& name, const avtk::nlp::failure_dictionary& d) {
+    t.add_row({name, std::to_string(d.phrase_count()),
+               avtk::format_percent(avtk::nlp::evaluate_dictionary(d, s.test), 1)});
+  };
+  add("builtin (hand-built)", avtk::nlp::failure_dictionary::builtin());
+  add("builtin, 3 phrases/tag", truncated_builtin(3));
+  add("builtin, 1 phrase/tag", truncated_builtin(1));
+  add("bootstrapped from train half", avtk::nlp::bootstrap_dictionary(s.train));
+  {
+    avtk::nlp::bootstrap_config cfg;
+    cfg.max_ngram = 1;  // unigrams only: is phrase structure load-bearing?
+    add("bootstrapped, unigrams only", avtk::nlp::bootstrap_dictionary(s.train, cfg));
+  }
+  std::string out = t.render();
+
+  // Per-tag precision/recall of the builtin dictionary on held-out data.
+  const avtk::nlp::keyword_voting_classifier cls(avtk::nlp::failure_dictionary::builtin());
+  out += "\n" + avtk::nlp::evaluate_classifier(cls, s.test).render();
+  return out;
+}
+
+void BM_BootstrapDictionary(benchmark::State& state) {
+  const auto& s = corpus_split();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::nlp::bootstrap_dictionary(s.train));
+  }
+}
+BENCHMARK(BM_BootstrapDictionary)->Unit(benchmark::kMillisecond);
+
+void BM_EvaluateDictionary(benchmark::State& state) {
+  const auto& s = corpus_split();
+  const auto dict = avtk::nlp::failure_dictionary::builtin();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::nlp::evaluate_dictionary(dict, s.test));
+  }
+}
+BENCHMARK(BM_EvaluateDictionary)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return avtk::bench::run_experiment("Ablation: failure dictionary", render_sweep(), argc,
+                                     argv);
+}

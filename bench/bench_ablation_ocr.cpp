@@ -1,0 +1,90 @@
+// Ablation: how much does scan quality cost the pipeline? Sweeps the noise
+// model from clean to fax-grade and reports OCR confidence, manual-
+// transcription load, and NLP tag fidelity against the generator's ground
+// truth — quantifying the paper's observation that Tesseract failures
+// forced manual conversion.
+#include "bench/common.h"
+
+#include "util/table.h"
+
+namespace {
+
+struct quality_outcome {
+  double ocr_confidence = 0;
+  std::size_t manual_transcriptions = 0;
+  std::size_t unknown_tags = 0;
+  double tag_accuracy = 0;  // parsed tag == ground-truth tag (index-aligned)
+};
+
+quality_outcome run_at_quality(avtk::ocr::scan_quality quality, bool corrupt) {
+  avtk::dataset::generator_config cfg;
+  cfg.quality = quality;
+  cfg.corrupt_documents = corrupt;
+  const auto corpus = avtk::dataset::generate_corpus(cfg);
+  const auto run = avtk::core::run_pipeline(corpus.documents, corpus.pristine_documents);
+
+  quality_outcome out;
+  out.ocr_confidence = run.stats.ocr_mean_confidence;
+  out.manual_transcriptions = run.stats.manual_transcriptions;
+  out.unknown_tags = run.stats.unknown_tags;
+  const auto& parsed = run.database.disengagements();
+  const auto& truth = corpus.disengagements;
+  std::size_t agree = 0;
+  const std::size_t n = std::min(parsed.size(), truth.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (parsed[i].tag == truth[i].tag) ++agree;
+  }
+  if (n > 0) out.tag_accuracy = static_cast<double>(agree) / static_cast<double>(n);
+  return out;
+}
+
+std::string render_sweep() {
+  avtk::text_table t({"Scan quality", "OCR confidence", "Manual transcriptions",
+                      "Unknown-T tags", "Tag accuracy vs truth"});
+  t.set_title("Pipeline fidelity vs scan quality (5,328 events each)");
+  const struct {
+    const char* name;
+    avtk::ocr::scan_quality q;
+    bool corrupt;
+  } sweep[] = {
+      {"clean (no noise)", avtk::ocr::scan_quality::clean, false},
+      {"good (300 dpi)", avtk::ocr::scan_quality::good, true},
+      {"fair (200 dpi)", avtk::ocr::scan_quality::fair, true},
+      {"poor (fax-grade)", avtk::ocr::scan_quality::poor, true},
+  };
+  for (const auto& step : sweep) {
+    const auto r = run_at_quality(step.q, step.corrupt);
+    t.add_row({step.name, avtk::format_number(r.ocr_confidence, 3),
+               std::to_string(r.manual_transcriptions), std::to_string(r.unknown_tags),
+               avtk::format_percent(r.tag_accuracy, 1)});
+  }
+  return t.render();
+}
+
+void BM_PipelineFairQuality(benchmark::State& state) {
+  avtk::dataset::generator_config cfg;
+  cfg.quality = avtk::ocr::scan_quality::fair;
+  const auto corpus = avtk::dataset::generate_corpus(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        avtk::core::run_pipeline(corpus.documents, corpus.pristine_documents));
+  }
+}
+BENCHMARK(BM_PipelineFairQuality)->Unit(benchmark::kMillisecond);
+
+void BM_PipelinePoorQuality(benchmark::State& state) {
+  avtk::dataset::generator_config cfg;
+  cfg.quality = avtk::ocr::scan_quality::poor;
+  const auto corpus = avtk::dataset::generate_corpus(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        avtk::core::run_pipeline(corpus.documents, corpus.pristine_documents));
+  }
+}
+BENCHMARK(BM_PipelinePoorQuality)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return avtk::bench::run_experiment("Ablation: scan quality", render_sweep(), argc, argv);
+}

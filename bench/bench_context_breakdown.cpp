@@ -1,0 +1,33 @@
+// Threats-to-validity quantified (§VI "not all miles are equivalent"):
+// disengagement shares by road type and weather, and the perception-tag
+// share under adverse conditions.
+#include "bench/common.h"
+
+#include "core/context.h"
+
+namespace {
+
+void BM_BuildRoadMix(benchmark::State& state) {
+  const auto& db = avtk::bench::state().db();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::core::build_road_mix(db));
+  }
+}
+BENCHMARK(BM_BuildRoadMix);
+
+void BM_BuildWeatherEnvironment(benchmark::State& state) {
+  const auto& db = avtk::bench::state().db();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::core::build_weather_environment(db));
+  }
+}
+BENCHMARK(BM_BuildWeatherEnvironment);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& s = avtk::bench::state();
+  return avtk::bench::run_experiment("Context breakdown (SVI threats to validity)",
+                                     avtk::core::render_context_breakdown(s.db()), argc,
+                                     argv);
+}

@@ -1,0 +1,35 @@
+// Fig. 12: accident speed distributions (AV / other vehicle / relative)
+// with exponential fits.
+#include "bench/common.h"
+
+#include "stats/dist/exponential.h"
+#include "stats/histogram.h"
+
+namespace {
+
+void BM_BuildFig12(benchmark::State& state) {
+  const auto& db = avtk::bench::state().db();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::core::build_fig12(db));
+  }
+}
+BENCHMARK(BM_BuildFig12);
+
+std::string render_histograms() {
+  const auto data = avtk::core::build_fig12(avtk::bench::state().db());
+  std::string out;
+  if (!data.relative_speeds.empty()) {
+    out += "Relative-speed histogram (mph):\n";
+    out += avtk::stats::histogram::from_samples(data.relative_speeds, 8).render_ascii(40);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& s = avtk::bench::state();
+  return avtk::bench::run_experiment(
+      "Fig. 12 (accident speeds)",
+      avtk::core::render_fig12(s.db()) + "\n" + render_histograms(), argc, argv);
+}

@@ -1,0 +1,37 @@
+// Fig. 5: cumulative disengagements vs cumulative miles (log-log) with a
+// linear-regression fit per manufacturer.
+#include "bench/common.h"
+
+#include <cmath>
+
+namespace {
+
+void BM_BuildFig5(benchmark::State& state) {
+  const auto& s = avtk::bench::state();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::core::build_fig5(s.db(), s.analyzed()));
+  }
+}
+BENCHMARK(BM_BuildFig5);
+
+void BM_LogLogFit(benchmark::State& state) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 1; i <= 200; ++i) {
+    xs.push_back(i * 100.0);
+    ys.push_back(3.0 * std::pow(i * 100.0, 0.7));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::stats::fit_log_log(xs, ys));
+  }
+}
+BENCHMARK(BM_LogLogFit);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& s = avtk::bench::state();
+  return avtk::bench::run_experiment("Fig. 5 (cumulative disengagements vs miles)",
+                                     avtk::core::render_fig5(s.db(), s.analyzed()), argc,
+                                     argv);
+}

@@ -1,0 +1,21 @@
+// Fig. 6: fault-tag fractions per manufacturer.
+#include "bench/common.h"
+
+namespace {
+
+void BM_BuildTagFractions(benchmark::State& state) {
+  const auto& s = avtk::bench::state();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::core::build_tag_fractions(s.db(), s.analyzed()));
+  }
+}
+BENCHMARK(BM_BuildTagFractions);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& s = avtk::bench::state();
+  return avtk::bench::run_experiment("Fig. 6 (fault-tag fractions)",
+                                     avtk::core::render_fig6(s.db(), s.analyzed()), argc,
+                                     argv);
+}

@@ -1,0 +1,32 @@
+// Fig. 7: time evolution (by calendar year) of per-car DPM distributions.
+#include "bench/common.h"
+
+#include <cmath>
+
+namespace {
+
+void BM_BuildFig7(benchmark::State& state) {
+  const auto& s = avtk::bench::state();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::core::build_fig7(s.db(), s.analyzed()));
+  }
+}
+BENCHMARK(BM_BuildFig7);
+
+void BM_BoxSummary(benchmark::State& state) {
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(std::sin(i) * std::sin(i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::stats::summarize_box(xs));
+  }
+}
+BENCHMARK(BM_BoxSummary);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& s = avtk::bench::state();
+  return avtk::bench::run_experiment("Fig. 7 (DPM by calendar year)",
+                                     avtk::core::render_fig7(s.db(), s.analyzed()), argc,
+                                     argv);
+}

@@ -1,0 +1,35 @@
+// Fig. 8: Pearson correlation between log(DPM) and log(cumulative miles),
+// pooled per vehicle-month (paper: r = -0.87, p = 7e-56).
+#include "bench/common.h"
+
+namespace {
+
+void BM_BuildFig8(benchmark::State& state) {
+  const auto& s = avtk::bench::state();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::core::build_fig8(s.db(), s.analyzed()));
+  }
+}
+BENCHMARK(BM_BuildFig8);
+
+void BM_PearsonWithPValue(benchmark::State& state) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 800; ++i) {
+    xs.push_back(i);
+    ys.push_back(-0.9 * i + (i % 7));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::stats::pearson(xs, ys));
+  }
+}
+BENCHMARK(BM_PearsonWithPValue);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& s = avtk::bench::state();
+  return avtk::bench::run_experiment("Fig. 8 (pooled DPM/miles correlation)",
+                                     avtk::core::render_fig8(s.db(), s.analyzed()), argc,
+                                     argv);
+}

@@ -1,0 +1,22 @@
+// Fig. 9: evolution of monthly DPM with cumulative miles per manufacturer,
+// with log-log regression fits.
+#include "bench/common.h"
+
+namespace {
+
+void BM_BuildFig9(benchmark::State& state) {
+  const auto& s = avtk::bench::state();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::core::build_fig9(s.db(), s.analyzed()));
+  }
+}
+BENCHMARK(BM_BuildFig9);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& s = avtk::bench::state();
+  return avtk::bench::run_experiment("Fig. 9 (DPM vs cumulative miles)",
+                                     avtk::core::render_fig9(s.db(), s.analyzed()), argc,
+                                     argv);
+}

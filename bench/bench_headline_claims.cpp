@@ -1,0 +1,47 @@
+// The paper's headline claims (abstract + §V): every checkable number,
+// paper vs measured, plus the pipeline's operational statistics.
+#include "bench/common.h"
+
+#include "core/narrative.h"
+
+namespace {
+
+void BM_FullPipeline(benchmark::State& state) {
+  const auto& corpus = avtk::bench::state().corpus;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        avtk::core::run_pipeline(corpus.documents, corpus.pristine_documents));
+  }
+}
+BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_FullPipelineParallel4(benchmark::State& state) {
+  const auto& corpus = avtk::bench::state().corpus;
+  avtk::core::pipeline_config cfg;
+  cfg.parallelism = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        avtk::core::run_pipeline(corpus.documents, corpus.pristine_documents, cfg));
+  }
+}
+BENCHMARK(BM_FullPipelineParallel4)->Unit(benchmark::kMillisecond);
+
+void BM_EvaluateHeadlines(benchmark::State& state) {
+  const auto& s = avtk::bench::state();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::core::evaluate_headlines(s.db(), s.analyzed()));
+  }
+}
+BENCHMARK(BM_EvaluateHeadlines)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& s = avtk::bench::state();
+  return avtk::bench::run_experiment(
+      "Headline claims",
+      avtk::core::render_headlines(s.db(), s.analyzed()) + "\n" +
+          avtk::core::render_pipeline_stats(s.pipeline.stats) + "\n" +
+          avtk::core::render_conclusions(s.db(), s.analyzed()),
+      argc, argv);
+}

@@ -1,0 +1,87 @@
+// Component micro-benchmarks: OCR corruption/recovery, per-format parsing,
+// stemming, and distribution sampling — the pipeline's hot paths.
+#include "bench/common.h"
+
+#include "nlp/stemmer.h"
+#include "nlp/tokenizer.h"
+#include "ocr/engine.h"
+#include "ocr/noise.h"
+#include "parse/disengagement_parser.h"
+#include "parse/formats/common.h"
+#include "util/rng.h"
+
+namespace {
+
+const std::string k_line =
+    "1/4/16 -- 1:25 PM -- Leaf 1 (Alfa) -- Software module froze. As a result driver safely "
+    "disengaged and resumed manual control. -- City Street -- Sunny/Dry -- Auto -- 1.10 s";
+
+void BM_CorruptLine(benchmark::State& state) {
+  avtk::rng gen(1);
+  const auto profile = avtk::ocr::noise_profile::for_quality(avtk::ocr::scan_quality::fair);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::ocr::corrupt_line(k_line, profile, gen));
+  }
+}
+BENCHMARK(BM_CorruptLine);
+
+void BM_OcrRecoverLine(benchmark::State& state) {
+  const avtk::ocr::mock_ocr_engine engine(avtk::ocr::lexicon::builtin());
+  avtk::rng gen(2);
+  const auto profile = avtk::ocr::noise_profile::for_quality(avtk::ocr::scan_quality::fair);
+  const auto corrupted = avtk::ocr::corrupt_line(k_line, profile, gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.recognize_line(corrupted));
+  }
+}
+BENCHMARK(BM_OcrRecoverLine);
+
+void BM_ParseNissanLine(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::parse::formats::read_nissan_line(k_line));
+  }
+}
+BENCHMARK(BM_ParseNissanLine);
+
+void BM_ParseWholeWaymoReport(benchmark::State& state) {
+  // Find the largest document in the corpus (Waymo 2017 mileage table).
+  const auto& docs = avtk::bench::state().corpus.pristine_documents;
+  const avtk::ocr::document* biggest = &docs.front();
+  for (const auto& d : docs) {
+    if (d.line_count() > biggest->line_count()) biggest = &d;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::parse::parse_disengagement_report(*biggest));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(biggest->line_count()));
+}
+BENCHMARK(BM_ParseWholeWaymoReport)->Unit(benchmark::kMillisecond);
+
+void BM_StemWord(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::nlp::stem("disengagements"));
+  }
+}
+BENCHMARK(BM_StemWord);
+
+void BM_TokenizeLine(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::nlp::tokenize(k_line));
+  }
+}
+BENCHMARK(BM_TokenizeLine);
+
+void BM_ExpWeibullSample(benchmark::State& state) {
+  avtk::rng gen(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.exponentiated_weibull(1.6, 0.85, 1.3));
+  }
+}
+BENCHMARK(BM_ExpWeibullSample);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return avtk::bench::run_experiment("Pipeline component micro-benchmarks", "", argc, argv);
+}

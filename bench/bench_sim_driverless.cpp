@@ -1,0 +1,60 @@
+// Ablation: remove the safety driver. The paper's conclusion warns that the
+// reliability challenges of Level 4/5 vehicles are "significant and
+// underestimated" — this experiment quantifies the claim inside the STPA
+// simulator by running the identical fleet with and without the human
+// fall-back.
+#include "bench/common.h"
+
+#include "sim/fleet.h"
+#include "util/table.h"
+
+namespace {
+
+avtk::sim::fleet_config base_config() {
+  avtk::sim::fleet_config cfg;
+  cfg.vehicles = 20;
+  cfg.months = 26;
+  cfg.miles_per_vehicle_month = 1500;
+  cfg.seed = 2018;
+  return cfg;
+}
+
+std::string render_comparison() {
+  auto l3 = base_config();
+  auto l45 = base_config();
+  l45.vehicle.driverless = true;
+
+  const auto with_driver = avtk::sim::run_fleet(l3);
+  const auto driverless = avtk::sim::run_fleet(l45);
+
+  avtk::text_table t({"Metric", "L3 (safety driver)", "L4/5 (driverless)"});
+  t.set_title("Same fleet, same faults, with and without the human fall-back");
+  const auto row = [&](const char* name, double a, double b, int digits = 4) {
+    t.add_row({name, avtk::format_number(a, digits), avtk::format_number(b, digits)});
+  };
+  row("total miles", with_driver.total_miles, driverless.total_miles, 6);
+  row("disengagements / handovers", static_cast<double>(with_driver.disengagements),
+      static_cast<double>(driverless.disengagements), 5);
+  row("accidents", static_cast<double>(with_driver.accidents),
+      static_cast<double>(driverless.accidents), 4);
+  row("APM", with_driver.apm(), driverless.apm());
+  const double ratio = with_driver.apm() > 0 ? driverless.apm() / with_driver.apm() : 0.0;
+  t.add_row({"APM ratio (L4/5 vs L3)", "1x", avtk::format_ratio(ratio, 3)});
+  return t.render();
+}
+
+void BM_DriverlessFleet(benchmark::State& state) {
+  auto cfg = base_config();
+  cfg.vehicle.driverless = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::sim::run_fleet(cfg));
+  }
+}
+BENCHMARK(BM_DriverlessFleet)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return avtk::bench::run_experiment("Ablation: removing the safety driver (L4/5)",
+                                     render_comparison(), argc, argv);
+}

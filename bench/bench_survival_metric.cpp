@@ -1,0 +1,44 @@
+// The paper's §V-C2 proposal, implemented: miles-to-disengagement as the
+// cross-transportation reliability metric, with Kaplan-Meier handling of
+// event-free (censored) exposure. Construct-validity check: the MTBF
+// ordering must track Table VII's DPM ordering.
+#include "bench/common.h"
+
+#include "core/exposure.h"
+
+namespace {
+
+void BM_ComputeSpells(benchmark::State& state) {
+  const auto& db = avtk::bench::state().db();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        avtk::core::miles_to_disengagement_spells(db, avtk::dataset::manufacturer::waymo));
+  }
+}
+BENCHMARK(BM_ComputeSpells)->Unit(benchmark::kMillisecond);
+
+void BM_KaplanMeierFit(benchmark::State& state) {
+  const auto spells = avtk::core::miles_to_disengagement_spells(
+      avtk::bench::state().db(), avtk::dataset::manufacturer::waymo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::stats::kaplan_meier(spells));
+  }
+}
+BENCHMARK(BM_KaplanMeierFit);
+
+void BM_AllReliabilityMetrics(benchmark::State& state) {
+  const auto& db = avtk::bench::state().db();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::core::compute_all_reliability_metrics(db));
+  }
+}
+BENCHMARK(BM_AllReliabilityMetrics)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& s = avtk::bench::state();
+  return avtk::bench::run_experiment("SV-C2 proposed metric (miles to disengagement)",
+                                     avtk::core::render_reliability_metrics(s.db()), argc,
+                                     argv);
+}

@@ -1,0 +1,30 @@
+// Table I: fleet size, autonomous miles, disengagements and accidents per
+// manufacturer and DMV release.
+#include "bench/common.h"
+
+namespace {
+
+void BM_BuildTable1(benchmark::State& state) {
+  const auto& db = avtk::bench::state().db();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::core::build_table1(db));
+  }
+}
+BENCHMARK(BM_BuildTable1);
+
+void BM_GenerateCorpusRecordsOnly(benchmark::State& state) {
+  avtk::dataset::generator_config cfg;
+  cfg.render_documents = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::dataset::generate_corpus(cfg));
+  }
+}
+BENCHMARK(BM_GenerateCorpusRecordsOnly)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& s = avtk::bench::state();
+  return avtk::bench::run_experiment("Table I (fleet summary)",
+                                     avtk::core::render_table1(s.db()), argc, argv);
+}

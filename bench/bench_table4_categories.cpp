@@ -1,0 +1,44 @@
+// Table IV: disengagements per manufacturer by root failure category
+// (ML/Design planner vs perception, System, Unknown-C).
+#include "bench/common.h"
+
+#include "nlp/classifier.h"
+
+namespace {
+
+void BM_BuildTable4(benchmark::State& state) {
+  const auto& s = avtk::bench::state();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::core::build_table4(s.db(), s.analyzed()));
+  }
+}
+BENCHMARK(BM_BuildTable4);
+
+void BM_ClassifyOneDescription(benchmark::State& state) {
+  const avtk::nlp::keyword_voting_classifier cls(avtk::nlp::failure_dictionary::builtin());
+  const std::string text =
+      "The AV didn't see the lead vehicle, driver safely disengaged and resumed manual "
+      "control.";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cls.classify(text));
+  }
+}
+BENCHMARK(BM_ClassifyOneDescription);
+
+void BM_LabelWholeCorpus(benchmark::State& state) {
+  const avtk::nlp::keyword_voting_classifier cls(avtk::nlp::failure_dictionary::builtin());
+  for (auto _ : state) {
+    auto db = avtk::bench::state().db();  // copy
+    benchmark::DoNotOptimize(avtk::core::label_disengagements(db, cls));
+  }
+}
+BENCHMARK(BM_LabelWholeCorpus)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& s = avtk::bench::state();
+  return avtk::bench::run_experiment("Table IV (root-cause categories)",
+                                     avtk::core::render_table4(s.db(), s.analyzed()), argc,
+                                     argv);
+}

@@ -1,0 +1,21 @@
+// Table V: disengagement modality (automatic / manual / planned).
+#include "bench/common.h"
+
+namespace {
+
+void BM_BuildTable5(benchmark::State& state) {
+  const auto& s = avtk::bench::state();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::core::build_table5(s.db(), s.analyzed()));
+  }
+}
+BENCHMARK(BM_BuildTable5);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& s = avtk::bench::state();
+  return avtk::bench::run_experiment("Table V (disengagement modality)",
+                                     avtk::core::render_table5(s.db(), s.analyzed()), argc,
+                                     argv);
+}

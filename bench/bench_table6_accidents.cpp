@@ -1,0 +1,21 @@
+// Table VI: accidents reported per manufacturer, fraction of the total,
+// and disengagements per accident (DPA).
+#include "bench/common.h"
+
+namespace {
+
+void BM_BuildTable6(benchmark::State& state) {
+  const auto& db = avtk::bench::state().db();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::core::build_table6(db));
+  }
+}
+BENCHMARK(BM_BuildTable6);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& s = avtk::bench::state();
+  return avtk::bench::run_experiment("Table VI (accidents and DPA)",
+                                     avtk::core::render_table6(s.db()), argc, argv);
+}

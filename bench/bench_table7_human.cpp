@@ -1,0 +1,30 @@
+// Table VII: reliability of AVs compared to human drivers (median DPM,
+// median APM, ratio to the human APM of 2e-6 per mile).
+#include "bench/common.h"
+
+namespace {
+
+void BM_BuildTable7(benchmark::State& state) {
+  const auto& s = avtk::bench::state();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::core::build_table7(s.db(), s.analyzed()));
+  }
+}
+BENCHMARK(BM_BuildTable7);
+
+void BM_ComputeAllMetrics(benchmark::State& state) {
+  const auto& db = avtk::bench::state().db();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::core::compute_all_metrics(db));
+  }
+}
+BENCHMARK(BM_ComputeAllMetrics)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& s = avtk::bench::state();
+  return avtk::bench::run_experiment("Table VII (AVs vs human drivers)",
+                                     avtk::core::render_table7(s.db(), s.analyzed()), argc,
+                                     argv);
+}

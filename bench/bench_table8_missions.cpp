@@ -1,0 +1,21 @@
+// Table VIII: accidents per mission (APMi) compared against commercial
+// aviation and surgical robots.
+#include "bench/common.h"
+
+namespace {
+
+void BM_BuildTable8(benchmark::State& state) {
+  const auto& db = avtk::bench::state().db();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::core::build_table8(db));
+  }
+}
+BENCHMARK(BM_BuildTable8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& s = avtk::bench::state();
+  return avtk::bench::run_experiment("Table VIII (AVs vs aviation & surgical robots)",
+                                     avtk::core::render_table8(s.db()), argc, argv);
+}

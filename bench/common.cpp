@@ -1,0 +1,27 @@
+#include "bench/common.h"
+
+namespace avtk::bench {
+
+const shared_state& state() {
+  static const shared_state s = [] {
+    shared_state out;
+    dataset::generator_config cfg;  // defaults: scan noise on, fair quality
+    out.corpus = dataset::generate_corpus(cfg);
+    out.pipeline = core::run_pipeline(out.corpus.documents, out.corpus.pristine_documents);
+    return out;
+  }();
+  return s;
+}
+
+int run_experiment(const std::string& experiment_id, const std::string& rendered, int argc,
+                   char** argv) {
+  std::cout << "==== " << experiment_id << " ====\n";
+  std::cout << rendered << "\n";
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace avtk::bench

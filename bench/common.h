@@ -1,0 +1,39 @@
+// bench/common.h
+//
+// Shared state for the per-table/per-figure bench binaries: every binary
+// regenerates the corpus, runs the pipeline once, prints its experiment's
+// paper-vs-measured rows, then times the underlying computation with
+// google-benchmark.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+#include "core/analysis.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "dataset/generator.h"
+
+namespace avtk::bench {
+
+struct shared_state {
+  dataset::generated_corpus corpus;
+  core::pipeline_result pipeline;
+
+  const dataset::failure_database& db() const { return pipeline.database; }
+  const std::vector<dataset::manufacturer>& analyzed() const {
+    return pipeline.stats.analyzed;
+  }
+};
+
+/// Lazily builds (and caches) the canonical corpus + pipeline run.
+const shared_state& state();
+
+/// Prints the experiment banner and the rendered reproduction rows, then
+/// hands control to google-benchmark. Returns the process exit code.
+int run_experiment(const std::string& experiment_id, const std::string& rendered,
+                   int argc, char** argv);
+
+}  // namespace avtk::bench

@@ -1,0 +1,74 @@
+// custom_dictionary — extending Stage III for a new log vocabulary.
+// Demonstrates the failure-dictionary workflow of Section IV:
+//   1. classify raw logs with the builtin dictionary,
+//   2. mine the Unknown-T residue for candidate phrases (n-gram ranking),
+//   3. add new phrases and re-classify,
+//   4. serialize the extended dictionary for audit.
+//
+//   ./custom_dictionary
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "nlp/classifier.h"
+#include "nlp/ngram.h"
+#include "nlp/stemmer.h"
+#include "nlp/stopwords.h"
+#include "nlp/tokenizer.h"
+
+int main() {
+  using namespace avtk;
+
+  // Logs from a hypothetical manufacturer whose vocabulary the builtin
+  // dictionary has never seen ("ultrasonic transducer", "v2x beacon").
+  const std::vector<std::string> logs = {
+      "Ultrasonic transducer fault on the front bumper array.",
+      "Driver disengaged after ultrasonic transducer fault repeated.",
+      "V2X beacon loss at the instrumented intersection.",
+      "V2X beacon loss during platooning test.",
+      "Software module froze.",  // the builtin dictionary knows this one
+      "Ultrasonic transducer fault; array remapped.",
+  };
+
+  nlp::keyword_voting_classifier before(nlp::failure_dictionary::builtin());
+  std::puts("Pass 1: builtin dictionary");
+  std::vector<std::vector<std::string>> unknown_corpus;
+  for (const auto& log : logs) {
+    const auto verdict = before.classify(log);
+    std::printf("  [%-21s] %s\n", std::string(nlp::tag_name(verdict.tag)).c_str(),
+                log.c_str());
+    if (verdict.tag == nlp::fault_tag::unknown) {
+      auto words = nlp::remove_stopwords(nlp::tokenize_words(log));
+      unknown_corpus.push_back(nlp::stem_all(words));
+    }
+  }
+
+  // Mine the Unknown-T residue: frequent specific n-grams are dictionary
+  // candidates, exactly the "several passes over the dataset" of the paper.
+  std::puts("\nCandidate phrases mined from the Unknown-T residue:");
+  const auto counts = nlp::ngram_counts(unknown_corpus, 2, 3);
+  for (const auto& candidate : nlp::rank_candidates(counts, 2)) {
+    std::printf("  %zux  \"%s\"\n", candidate.count, candidate.phrase.c_str());
+  }
+
+  // A human (here: us) assigns the mined phrases to tags.
+  auto dict = nlp::failure_dictionary::builtin();
+  dict.add_phrase(nlp::fault_tag::sensor, "ultrasonic transducer fault");
+  dict.add_phrase(nlp::fault_tag::network, "v2x beacon loss");
+
+  nlp::keyword_voting_classifier after(std::move(dict));
+  std::puts("\nPass 2: extended dictionary");
+  for (const auto& log : logs) {
+    const auto verdict = after.classify(log);
+    std::printf("  [%-21s] %s\n", std::string(nlp::tag_name(verdict.tag)).c_str(),
+                log.c_str());
+  }
+
+  // The serialized dictionary is what the paper's authors audited manually.
+  const auto serialized = after.dictionary().serialize();
+  std::printf("\nSerialized dictionary: %zu phrases, %zu bytes (tab-separated, auditable)\n",
+              after.dictionary().phrase_count(), serialized.size());
+  const auto roundtrip = nlp::failure_dictionary::deserialize(serialized);
+  std::printf("Round-trip check: %zu phrases after deserialize\n", roundtrip.phrase_count());
+  return 0;
+}

@@ -1,0 +1,88 @@
+// avtk/core/analysis.h
+//
+// Stage IV: the five research questions of Section V, answered from a
+// failure_database, plus the paper's headline claims in checkable form.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/figures.h"
+#include "core/metrics.h"
+#include "core/tables.h"
+#include "dataset/database.h"
+
+namespace avtk::core {
+
+/// Q1 — stability/maturity: DPM distributions and the disengagements-vs-
+/// miles growth curves.
+struct q1_answer {
+  std::vector<fig4_series> dpm_distributions;          // Fig. 4
+  std::vector<fig5_series> cumulative_curves;          // Fig. 5
+  double median_dpm_spread = 0;  ///< max/min of per-maker median DPM (the "~100x disparity")
+  bool any_maker_at_asymptote = false;  ///< slope of Fig. 5 fit ~ 0 for some maker
+};
+q1_answer answer_q1(const dataset::failure_database& db,
+                    const std::vector<dataset::manufacturer>& makers);
+
+/// Q2 — causes: category/tag breakdowns.
+struct q2_answer {
+  std::vector<table4_row> categories;       // Table IV
+  std::vector<tag_fraction_row> tags;       // Fig. 6
+  std::vector<table5_row> modality;         // Table V
+  double ml_fraction = 0;                   ///< corpus-wide ML/Design share
+  double perception_fraction = 0;
+  double planner_fraction = 0;
+  double system_fraction = 0;
+  double mean_automatic_fraction = 0;       ///< "average of 48% initiated automatically"
+};
+q2_answer answer_q2(const dataset::failure_database& db,
+                    const std::vector<dataset::manufacturer>& makers);
+
+/// Q3 — dynamics: temporal and with-miles DPM trends.
+struct q3_answer {
+  std::vector<fig7_series> yearly;          // Fig. 7
+  fig8_data pooled_correlation;             // Fig. 8
+  std::vector<fig9_series> per_maker;       // Fig. 9
+};
+q3_answer answer_q3(const dataset::failure_database& db,
+                    const std::vector<dataset::manufacturer>& makers);
+
+/// Q4 — driver alertness: reaction-time statistics.
+struct q4_answer {
+  std::vector<fig10_series> distributions;  // Fig. 10
+  std::vector<fig11_fit> fits;              // Fig. 11
+  std::vector<reaction_correlation> vs_miles;
+  double overall_mean_s = 0;
+  std::size_t overall_n = 0;
+};
+q4_answer answer_q4(const dataset::failure_database& db,
+                    const std::vector<dataset::manufacturer>& makers);
+
+/// Q5 — comparison to human drivers and other safety-critical systems.
+struct q5_answer {
+  std::vector<table6_row> accidents;        // Table VI
+  std::vector<table7_row> reliability;      // Table VII
+  std::vector<table8_row> missions;         // Table VIII
+  fig12_data speeds;                        // Fig. 12
+  double worst_vs_human = 0;                ///< the "15-4000x" upper end
+  double best_vs_human = 0;
+};
+q5_answer answer_q5(const dataset::failure_database& db,
+                    const std::vector<dataset::manufacturer>& makers);
+
+/// One checkable headline claim: a paper value vs. the measured value.
+struct headline_claim {
+  std::string name;
+  double paper_value = 0;
+  double measured_value = 0;
+  double tolerance_fraction = 0;  ///< |measured-paper|/|paper| allowed
+  bool within_tolerance() const;
+};
+
+/// All headline claims evaluated against `db`.
+std::vector<headline_claim> evaluate_headlines(const dataset::failure_database& db,
+                                               const std::vector<dataset::manufacturer>& makers);
+
+}  // namespace avtk::core

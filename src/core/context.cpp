@@ -1,0 +1,112 @@
+#include "core/context.h"
+
+#include <algorithm>
+
+#include "util/table.h"
+
+namespace avtk::core {
+
+using dataset::road_type;
+using dataset::weather;
+
+std::vector<road_mix_row> build_road_mix(const dataset::failure_database& db) {
+  std::map<road_type, long long> counts;
+  long long known = 0;
+  for (const auto& d : db.disengagements()) {
+    if (d.road == road_type::unknown) continue;
+    ++counts[d.road];
+    ++known;
+  }
+  std::vector<road_mix_row> out;
+  for (const auto& [road, events] : counts) {
+    out.push_back({road, events,
+                   known > 0 ? static_cast<double>(events) / static_cast<double>(known) : 0});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const road_mix_row& a, const road_mix_row& b) { return a.events > b.events; });
+  return out;
+}
+
+std::vector<weather_mix_row> build_weather_mix(const dataset::failure_database& db) {
+  std::map<weather, long long> counts;
+  long long known = 0;
+  for (const auto& d : db.disengagements()) {
+    if (d.conditions == weather::unknown) continue;
+    ++counts[d.conditions];
+    ++known;
+  }
+  std::vector<weather_mix_row> out;
+  for (const auto& [conditions, events] : counts) {
+    out.push_back({conditions, events,
+                   known > 0 ? static_cast<double>(events) / static_cast<double>(known) : 0});
+  }
+  std::sort(out.begin(), out.end(), [](const weather_mix_row& a, const weather_mix_row& b) {
+    return a.events > b.events;
+  });
+  return out;
+}
+
+std::vector<weather_environment_row> build_weather_environment(
+    const dataset::failure_database& db) {
+  struct cell {
+    long long events = 0;
+    long long perception = 0;
+  };
+  std::map<weather, cell> cells;
+  for (const auto& d : db.disengagements()) {
+    if (d.conditions == weather::unknown) continue;
+    auto& c = cells[d.conditions];
+    ++c.events;
+    if (nlp::ml_subcategory_of(d.tag) == nlp::ml_subcategory::perception_recognition) {
+      ++c.perception;
+    }
+  }
+  std::vector<weather_environment_row> out;
+  for (const auto& [conditions, c] : cells) {
+    weather_environment_row row;
+    row.conditions = conditions;
+    row.events = c.events;
+    row.perception_share =
+        c.events > 0 ? static_cast<double>(c.perception) / static_cast<double>(c.events) : 0;
+    out.push_back(row);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const weather_environment_row& a, const weather_environment_row& b) {
+              return a.events > b.events;
+            });
+  return out;
+}
+
+std::string render_context_breakdown(const dataset::failure_database& db) {
+  std::string out;
+  {
+    text_table t({"Road type", "Events", "Share"});
+    t.set_title(
+        "Disengagements by road type (reporters only; corpus miles: 31.7% city, "
+        "29.3% highway, 14.6% interstate, 9.8% freeway)");
+    for (const auto& row : build_road_mix(db)) {
+      t.add_row({std::string(dataset::road_type_name(row.road)), std::to_string(row.events),
+                 format_percent(row.share, 1)});
+    }
+    out += t.render();
+  }
+  out += "\n";
+  {
+    text_table t({"Weather", "Events", "Share", "Perception-tagged share"});
+    t.set_title("Disengagements by weather (the SVI 'not all miles are equivalent' threat)");
+    const auto env = build_weather_environment(db);
+    for (const auto& row : build_weather_mix(db)) {
+      double perception = 0;
+      for (const auto& e : env) {
+        if (e.conditions == row.conditions) perception = e.perception_share;
+      }
+      t.add_row({std::string(dataset::weather_name(row.conditions)),
+                 std::to_string(row.events), format_percent(row.share, 1),
+                 format_percent(perception, 1)});
+    }
+    out += t.render();
+  }
+  return out;
+}
+
+}  // namespace avtk::core

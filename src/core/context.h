@@ -1,0 +1,46 @@
+// avtk/core/context.h
+//
+// Driving-context breakdowns: the §III-C road-type mix (31.7% city streets,
+// 29.26% highways, ...) and the "not all miles are equivalent" threat the
+// paper raises in §VI — where do disengagements concentrate, by road type
+// and weather, among the manufacturers that report those fields?
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dataset/database.h"
+
+namespace avtk::core {
+
+/// Share of disengagements per road type (over events that report one).
+struct road_mix_row {
+  dataset::road_type road = dataset::road_type::unknown;
+  long long events = 0;
+  double share = 0;  ///< of events with a known road type
+};
+std::vector<road_mix_row> build_road_mix(const dataset::failure_database& db);
+
+/// Share of disengagements per weather condition (over events reporting it).
+struct weather_mix_row {
+  dataset::weather conditions = dataset::weather::unknown;
+  long long events = 0;
+  double share = 0;
+};
+std::vector<weather_mix_row> build_weather_mix(const dataset::failure_database& db);
+
+/// Environment-tagged share by weather: do adverse conditions produce more
+/// environment/perception disengagements? (the §VI "challenging
+/// environments" confounder, quantified).
+struct weather_environment_row {
+  dataset::weather conditions = dataset::weather::unknown;
+  long long events = 0;
+  double perception_share = 0;  ///< perception/environment-tagged fraction
+};
+std::vector<weather_environment_row> build_weather_environment(
+    const dataset::failure_database& db);
+
+std::string render_context_breakdown(const dataset::failure_database& db);
+
+}  // namespace avtk::core

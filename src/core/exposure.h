@@ -1,0 +1,55 @@
+// avtk/core/exposure.h
+//
+// The paper's §V-C2 construct-validity proposal made concrete: a
+// miles-to-disengagement reliability metric computed from the consolidated
+// database, with Kaplan-Meier handling the vehicles that finished the
+// reporting window event-free (right-censored).
+//
+// Month-granular data cannot place events inside a month, so per-vehicle
+// inter-event exposure is approximated by splitting each vehicle-month's
+// miles uniformly across its events (the k events of an m-mile month
+// contribute k spells of m/(k+1) miles, with the residual m/(k+1) carried
+// into the next month's spell).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataset/database.h"
+#include "stats/survival.h"
+
+namespace avtk::core {
+
+/// Inter-disengagement exposure spells for one manufacturer, ready for
+/// survival analysis. Each completed spell ends in an event; every
+/// vehicle's final partial spell is censored.
+std::vector<stats::survival_observation> miles_to_disengagement_spells(
+    const dataset::failure_database& db, dataset::manufacturer maker);
+
+/// The §V-C2 metric for one manufacturer.
+struct reliability_metric {
+  dataset::manufacturer maker = dataset::manufacturer::waymo;
+  std::size_t spells = 0;
+  std::size_t events = 0;
+  std::optional<double> mtbf_miles;            ///< censored exponential MLE
+  std::optional<double> km_median_miles;       ///< Kaplan-Meier median
+  double km_mean_miles_at_horizon = 0;         ///< restricted mean
+  double horizon_miles = 0;
+};
+
+/// Computes the metric; `horizon_miles` defaults to the manufacturer's
+/// largest observed spell.
+reliability_metric compute_reliability_metric(const dataset::failure_database& db,
+                                              dataset::manufacturer maker,
+                                              std::optional<double> horizon_miles = {});
+
+/// The metric for every manufacturer that passes `min_events`.
+std::vector<reliability_metric> compute_all_reliability_metrics(
+    const dataset::failure_database& db, std::size_t min_events = 5);
+
+/// Renders the §V-C2 table (MTBF ordering should match Table VII's DPM
+/// ordering — that consistency is itself a construct-validity check).
+std::string render_reliability_metrics(const dataset::failure_database& db);
+
+}  // namespace avtk::core

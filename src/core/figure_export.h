@@ -1,0 +1,44 @@
+// avtk/core/figure_export.h
+//
+// Plot-ready exports: every figure's data series as whitespace-separated
+// .dat text plus a gnuplot script that reproduces the paper's plot layout
+// (log axes where the paper uses them). Downstream users regenerate the
+// actual graphics with `gnuplot figN.gp`.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dataset/database.h"
+
+namespace avtk::core {
+
+/// One exported file: relative name -> contents.
+using export_bundle = std::map<std::string, std::string>;
+
+/// Exports the data series + gnuplot script for one figure. Figures with
+/// several series produce one .dat per manufacturer.
+export_bundle export_fig4(const dataset::failure_database& db,
+                          const std::vector<dataset::manufacturer>& makers);
+export_bundle export_fig5(const dataset::failure_database& db,
+                          const std::vector<dataset::manufacturer>& makers);
+export_bundle export_fig8(const dataset::failure_database& db,
+                          const std::vector<dataset::manufacturer>& makers);
+export_bundle export_fig9(const dataset::failure_database& db,
+                          const std::vector<dataset::manufacturer>& makers);
+export_bundle export_fig10(const dataset::failure_database& db,
+                           const std::vector<dataset::manufacturer>& makers);
+export_bundle export_fig11(const dataset::failure_database& db,
+                           const std::vector<dataset::manufacturer>& makers);
+export_bundle export_fig12(const dataset::failure_database& db);
+
+/// Everything at once, with per-figure name prefixes ("fig4/", "fig5/", ...).
+export_bundle export_all_figures(const dataset::failure_database& db,
+                                 const std::vector<dataset::manufacturer>& makers);
+
+/// Writes a bundle under `directory` (created if needed); returns the
+/// number of files written.
+std::size_t write_bundle(const export_bundle& bundle, const std::string& directory);
+
+}  // namespace avtk::core

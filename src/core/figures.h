@@ -1,0 +1,118 @@
+// avtk/core/figures.h
+//
+// Data-series builders for every figure in the paper's evaluation
+// (Figs. 4-12). Each returns the numbers a plotting tool would draw; the
+// bench binaries print them as text.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dataset/database.h"
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+#include "stats/dist/exp_weibull.h"
+#include "stats/dist/exponential.h"
+#include "stats/dist/weibull.h"
+#include "stats/regression.h"
+
+namespace avtk::core {
+
+// Fig. 4: per-car DPM box plots across manufacturers.
+struct fig4_series {
+  dataset::manufacturer maker;
+  stats::box_summary box;
+};
+std::vector<fig4_series> build_fig4(const dataset::failure_database& db,
+                                    const std::vector<dataset::manufacturer>& makers);
+
+// Fig. 5: cumulative disengagements vs cumulative miles (log-log) with a
+// linear fit per manufacturer.
+struct fig5_series {
+  dataset::manufacturer maker;
+  std::vector<double> cumulative_miles;           ///< per month, ascending
+  std::vector<double> cumulative_disengagements;  ///< matched
+  std::optional<stats::linear_fit> log_log_fit;   ///< when n >= 2 and positive
+};
+std::vector<fig5_series> build_fig5(const dataset::failure_database& db,
+                                    const std::vector<dataset::manufacturer>& makers);
+
+// Fig. 7: DPM per car aggregated by calendar year.
+struct fig7_series {
+  dataset::manufacturer maker;
+  std::map<int, stats::box_summary> by_year;  ///< year -> box
+};
+std::vector<fig7_series> build_fig7(const dataset::failure_database& db,
+                                    const std::vector<dataset::manufacturer>& makers);
+
+// Fig. 8: pooled log(DPM) vs log(cumulative miles) per vehicle-month, with
+// the Pearson correlation the paper headline-reports (r = -0.87).
+struct fig8_data {
+  std::vector<double> log_cumulative_miles;
+  std::vector<double> log_dpm;
+  stats::correlation_result pearson;
+};
+fig8_data build_fig8(const dataset::failure_database& db,
+                     const std::vector<dataset::manufacturer>& makers);
+
+// Fig. 9: per-manufacturer DPM vs cumulative miles with regression fits.
+struct fig9_series {
+  dataset::manufacturer maker;
+  std::vector<double> cumulative_miles;  ///< month-end cumulative
+  std::vector<double> dpm;               ///< that month's fleet DPM
+  std::optional<stats::linear_fit> log_log_fit;
+};
+std::vector<fig9_series> build_fig9(const dataset::failure_database& db,
+                                    const std::vector<dataset::manufacturer>& makers);
+
+// Fig. 10: reaction-time distribution per manufacturer.
+struct fig10_series {
+  dataset::manufacturer maker;
+  stats::box_summary box;
+  double mean = 0;
+  std::size_t n = 0;
+};
+std::vector<fig10_series> build_fig10(const dataset::failure_database& db,
+                                      const std::vector<dataset::manufacturer>& makers);
+
+// Fig. 11: Weibull-family fits of reaction times for selected makers.
+struct fig11_fit {
+  dataset::manufacturer maker;
+  std::size_t n = 0;
+  stats::weibull_dist weibull;            ///< plain Weibull MLE
+  stats::exp_weibull_dist exp_weibull;    ///< exponentiated-Weibull MLE
+  double ks_p_weibull = 0;                ///< KS goodness of fit
+  double ks_p_exp_weibull = 0;
+  fig11_fit(dataset::manufacturer m, stats::weibull_dist w, stats::exp_weibull_dist ew)
+      : maker(m), weibull(w), exp_weibull(ew) {}
+};
+/// Fits for manufacturers with at least `min_samples` reaction times,
+/// excluding implausible outliers above `outlier_cut_s` from the fit (the
+/// paper excludes Volkswagen's ~4 h record).
+std::vector<fig11_fit> build_fig11(const dataset::failure_database& db,
+                                   const std::vector<dataset::manufacturer>& makers,
+                                   std::size_t min_samples = 30, double outlier_cut_s = 300.0);
+
+// Fig. 12: accident speed distributions with exponential fits.
+struct fig12_data {
+  std::vector<double> av_speeds;
+  std::vector<double> other_speeds;
+  std::vector<double> relative_speeds;
+  std::optional<stats::exponential_dist> av_fit;
+  std::optional<stats::exponential_dist> other_fit;
+  std::optional<stats::exponential_dist> relative_fit;
+  double fraction_relative_below_10mph = 0;
+};
+fig12_data build_fig12(const dataset::failure_database& db);
+
+// §V-A4: reaction time vs cumulative miles correlation per manufacturer.
+struct reaction_correlation {
+  dataset::manufacturer maker;
+  stats::correlation_result result;
+};
+std::vector<reaction_correlation> build_reaction_correlations(
+    const dataset::failure_database& db, const std::vector<dataset::manufacturer>& makers,
+    std::size_t min_samples = 30);
+
+}  // namespace avtk::core

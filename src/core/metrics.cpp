@@ -1,0 +1,92 @@
+#include "core/metrics.h"
+
+#include <map>
+
+#include "dataset/ground_truth.h"
+#include "stats/descriptive.h"
+
+namespace avtk::core {
+
+namespace gt = dataset::ground_truth;
+
+std::vector<double> per_car_dpm(const dataset::failure_database& db,
+                                dataset::manufacturer maker) {
+  std::vector<double> out;
+  for (const auto& vt : db.vehicle_totals()) {
+    if (vt.maker != maker || !(vt.miles > 0)) continue;
+    out.push_back(static_cast<double>(vt.disengagements) / vt.miles);
+  }
+  return out;
+}
+
+std::vector<double> per_car_dpm_in_year(const dataset::failure_database& db,
+                                        dataset::manufacturer maker, int year) {
+  struct totals {
+    double miles = 0;
+    long long events = 0;
+  };
+  std::map<std::string, totals> per_car;
+  for (const auto& vm : db.vehicle_months()) {
+    if (vm.maker != maker || vm.month.year != year) continue;
+    auto& t = per_car[vm.vehicle_id];
+    t.miles += vm.miles;
+    t.events += vm.disengagements;
+  }
+  std::vector<double> out;
+  for (const auto& [vid, t] : per_car) {
+    if (t.miles > 0) out.push_back(static_cast<double>(t.events) / t.miles);
+  }
+  return out;
+}
+
+manufacturer_metrics compute_metrics(const dataset::failure_database& db,
+                                     dataset::manufacturer maker) {
+  manufacturer_metrics m;
+  m.maker = maker;
+  m.total_miles = db.total_miles(maker);
+  m.total_disengagements = db.total_disengagements(maker);
+  m.total_accidents = db.total_accidents(maker);
+  m.overall_dpm = m.total_miles > 0
+                      ? static_cast<double>(m.total_disengagements) / m.total_miles
+                      : 0.0;
+
+  const auto dpms = per_car_dpm(db, maker);
+  if (!dpms.empty()) m.median_dpm = stats::median(dpms);
+
+  if (m.total_accidents > 0 && m.total_disengagements > 0) {
+    m.dpa = static_cast<double>(m.total_disengagements) / static_cast<double>(m.total_accidents);
+    if (m.median_dpm) {
+      m.apm = *m.median_dpm / *m.dpa;
+      m.apmi = *m.apm * gt::k_median_trip_miles;
+      m.vs_human = *m.apm / gt::k_human_apm;
+      m.vs_airline = *m.apmi / gt::k_airline_apm;
+      m.vs_surgical_robot = *m.apmi / gt::k_surgical_robot_apm;
+    }
+  }
+  return m;
+}
+
+std::vector<manufacturer_metrics> compute_all_metrics(const dataset::failure_database& db) {
+  std::vector<manufacturer_metrics> out;
+  for (const auto maker : db.manufacturers_present()) {
+    out.push_back(compute_metrics(db, maker));
+  }
+  return out;
+}
+
+corpus_aggregates compute_aggregates(const dataset::failure_database& db) {
+  corpus_aggregates a;
+  a.total_miles = db.total_miles();
+  a.total_disengagements = db.total_disengagements();
+  a.total_accidents = db.total_accidents();
+  a.miles_per_disengagement =
+      a.total_disengagements > 0 ? a.total_miles / static_cast<double>(a.total_disengagements)
+                                 : 0.0;
+  a.disengagements_per_accident =
+      a.total_accidents > 0
+          ? static_cast<double>(a.total_disengagements) / static_cast<double>(a.total_accidents)
+          : 0.0;
+  return a;
+}
+
+}  // namespace avtk::core

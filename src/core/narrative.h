@@ -1,0 +1,32 @@
+// avtk/core/narrative.h
+//
+// The paper's findings as checkable prose: each §V insight and each of the
+// abstract's four conclusions rendered with the *measured* numbers, plus a
+// verdict on whether the measured data still supports the statement. This
+// is the reproduction's "conclusions section".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataset/database.h"
+
+namespace avtk::core {
+
+/// One reproduced conclusion.
+struct conclusion {
+  std::string id;         ///< "abstract-1", "q3-temporal", ...
+  std::string statement;  ///< the paper's claim, paraphrased
+  std::string evidence;   ///< measured numbers supporting / refuting it
+  bool supported = false; ///< does our corpus support the claim?
+};
+
+/// Evaluates every tracked conclusion against `db`.
+std::vector<conclusion> evaluate_conclusions(const dataset::failure_database& db,
+                                             const std::vector<dataset::manufacturer>& makers);
+
+/// Renders the conclusions as numbered prose.
+std::string render_conclusions(const dataset::failure_database& db,
+                               const std::vector<dataset::manufacturer>& makers);
+
+}  // namespace avtk::core

@@ -1,0 +1,189 @@
+#include "core/pipeline.h"
+
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "ocr/engine.h"
+#include "parse/accident_parser.h"
+#include "parse/disengagement_parser.h"
+#include "parse/report_header.h"
+#include "util/errors.h"
+
+namespace avtk::core {
+
+namespace {
+
+// Everything one document contributes; merged in document order so the
+// pipeline's output is independent of the thread count.
+struct document_result {
+  std::vector<dataset::disengagement_record> events;
+  std::vector<dataset::mileage_record> mileage;
+  std::vector<dataset::accident_record> accidents;
+  std::size_t ocr_lines = 0;
+  double ocr_confidence_sum = 0;
+  std::size_t ocr_manual_review_lines = 0;
+  std::size_t parse_failed_lines = 0;
+  std::size_t manual_transcriptions = 0;
+  bool is_disengagement_report = false;
+  bool is_accident_report = false;
+  bool unidentified = false;
+};
+
+// Rebuilds a document with each line replaced by its OCR-recovered text,
+// preserving the page/line structure the parsers rely on.
+ocr::document recover_document(const ocr::document& doc, const ocr::mock_ocr_engine& engine,
+                               document_result& result) {
+  ocr::document out = doc;
+  for (auto& p : out.pages) {
+    for (auto& line : p.lines) {
+      const auto rec = engine.recognize_line(line);
+      line = rec.text;
+      result.ocr_confidence_sum += rec.confidence;
+      ++result.ocr_lines;
+      if (rec.needs_manual_review) ++result.ocr_manual_review_lines;
+    }
+  }
+  return out;
+}
+
+document_result process_document(const ocr::document& delivered, const ocr::document* fallback,
+                                 const ocr::mock_ocr_engine& engine,
+                                 const pipeline_config& config) {
+  document_result result;
+  const ocr::document recovered =
+      config.run_ocr ? recover_document(delivered, engine, result) : delivered;
+
+  auto id = parse::identify_report(recovered);
+  if (id.kind == parse::report_kind::unknown && fallback != nullptr) {
+    id = parse::identify_report(*fallback);
+  }
+  if (id.kind == parse::report_kind::disengagement) {
+    result.is_disengagement_report = true;
+    auto parsed = parse::parse_disengagement_report(recovered, fallback);
+    result.parse_failed_lines = parsed.failed_lines;
+    result.manual_transcriptions = parsed.manual_transcriptions;
+    result.events = std::move(parsed.events);
+    result.mileage = std::move(parsed.mileage);
+  } else if (id.kind == parse::report_kind::accident) {
+    result.is_accident_report = true;
+    auto parsed = parse::parse_accident_report(recovered, fallback);
+    if (parsed.used_manual_fallback) ++result.manual_transcriptions;
+    result.accidents.push_back(std::move(parsed.record));
+  } else {
+    result.unidentified = true;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::size_t label_disengagements(dataset::failure_database& db,
+                                 const nlp::keyword_voting_classifier& classifier) {
+  std::size_t unknown = 0;
+  // The database exposes records immutably; rebuild with labels applied.
+  dataset::failure_database labeled;
+  for (auto d : db.disengagements()) {
+    const auto verdict = classifier.classify(d.description);
+    d.tag = verdict.tag;
+    d.category = verdict.category;
+    if (d.tag == nlp::fault_tag::unknown) ++unknown;
+    labeled.add_disengagement(std::move(d));
+  }
+  for (const auto& m : db.mileage()) labeled.add_mileage(m);
+  for (const auto& a : db.accidents()) labeled.add_accident(a);
+  db = std::move(labeled);
+  return unknown;
+}
+
+pipeline_result run_pipeline(const std::vector<ocr::document>& documents,
+                             const std::vector<ocr::document>& pristine,
+                             const pipeline_config& config) {
+  if (!pristine.empty() && pristine.size() != documents.size()) {
+    throw logic_error("pristine fallback must parallel documents one-to-one");
+  }
+
+  pipeline_result result;
+  auto& stats = result.stats;
+  stats.documents_in = documents.size();
+
+  const ocr::mock_ocr_engine engine(ocr::lexicon::builtin());
+
+  // Stage II: OCR + parse, one task per document.
+  std::vector<document_result> per_document(documents.size());
+  const auto worker = [&](std::size_t i) {
+    const ocr::document* fallback = pristine.empty() ? nullptr : &pristine[i];
+    per_document[i] = process_document(documents[i], fallback, engine, config);
+  };
+
+  const unsigned parallelism = std::max(1u, config.parallelism);
+  if (parallelism == 1 || documents.size() <= 1) {
+    for (std::size_t i = 0; i < documents.size(); ++i) worker(i);
+  } else {
+    // Fixed-stride work split: no shared mutable state beyond disjoint
+    // per_document slots (CP.2: avoid data races by construction).
+    std::vector<std::thread> threads;
+    const unsigned n = std::min<unsigned>(parallelism,
+                                          static_cast<unsigned>(documents.size()));
+    threads.reserve(n);
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    for (unsigned t = 0; t < n; ++t) {
+      threads.emplace_back([&, t] {
+        try {
+          for (std::size_t i = t; i < documents.size(); i += n) worker(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  // Deterministic merge in document order.
+  std::vector<dataset::disengagement_record> all_events;
+  std::vector<dataset::mileage_record> all_mileage;
+  std::vector<dataset::accident_record> all_accidents;
+  double confidence_sum = 0;
+  for (auto& doc : per_document) {
+    stats.ocr_lines += doc.ocr_lines;
+    confidence_sum += doc.ocr_confidence_sum;
+    stats.ocr_manual_review_lines += doc.ocr_manual_review_lines;
+    stats.parse_failed_lines += doc.parse_failed_lines;
+    stats.manual_transcriptions += doc.manual_transcriptions;
+    if (doc.is_disengagement_report) ++stats.disengagement_reports;
+    if (doc.is_accident_report) ++stats.accident_reports;
+    if (doc.unidentified) ++stats.unidentified_documents;
+    all_events.insert(all_events.end(), std::make_move_iterator(doc.events.begin()),
+                      std::make_move_iterator(doc.events.end()));
+    all_mileage.insert(all_mileage.end(), std::make_move_iterator(doc.mileage.begin()),
+                       std::make_move_iterator(doc.mileage.end()));
+    all_accidents.insert(all_accidents.end(), std::make_move_iterator(doc.accidents.begin()),
+                         std::make_move_iterator(doc.accidents.end()));
+  }
+  stats.ocr_mean_confidence =
+      stats.ocr_lines > 0 ? confidence_sum / static_cast<double>(stats.ocr_lines) : 1.0;
+
+  // Stage II-2: normalization.
+  const auto d_stats = parse::normalize_disengagements(all_events, config.normalizer);
+  parse::normalize_mileage(all_mileage);
+  parse::normalize_accidents(all_accidents);
+  stats.records_normalized_away = d_stats.records_dropped;
+
+  for (auto& e : all_events) result.database.add_disengagement(std::move(e));
+  for (auto& m : all_mileage) result.database.add_mileage(std::move(m));
+  for (auto& a : all_accidents) result.database.add_accident(std::move(a));
+
+  // Stage III: NLP labeling.
+  const nlp::keyword_voting_classifier classifier(config.dictionary);
+  stats.unknown_tags = label_disengagements(result.database, classifier);
+
+  stats.disengagements = result.database.disengagements().size();
+  stats.accidents = result.database.accidents().size();
+  stats.analyzed = parse::analyzed_manufacturers(result.database, config.filter);
+  return result;
+}
+
+}  // namespace avtk::core

@@ -1,0 +1,65 @@
+// avtk/core/pipeline.h
+//
+// The end-to-end pipeline of Fig. 1: Stage I (documents in), Stage II
+// (OCR -> parse -> filter -> normalize), Stage III (NLP labeling), Stage IV
+// (the consolidated failure database handed to the statistical analyses).
+#pragma once
+
+#include <vector>
+
+#include "dataset/database.h"
+#include "nlp/classifier.h"
+#include "ocr/document.h"
+#include "parse/filter.h"
+#include "parse/normalizer.h"
+
+namespace avtk::core {
+
+struct pipeline_config {
+  bool run_ocr = true;  ///< run mock-OCR recovery before parsing
+  /// Worker threads for the per-document OCR + parse stage. 1 = serial.
+  /// Results are merged in document order, so the output is identical for
+  /// any thread count (determinism is tested).
+  unsigned parallelism = 1;
+  parse::normalizer_config normalizer;
+  parse::filter_config filter;
+  nlp::failure_dictionary dictionary = nlp::failure_dictionary::builtin();
+};
+
+/// Everything the pipeline observed along the way — the operational
+/// counters the paper reports in prose (OCR fallbacks, unknown tags, ...).
+struct pipeline_stats {
+  std::size_t documents_in = 0;
+  std::size_t disengagement_reports = 0;
+  std::size_t accident_reports = 0;
+  std::size_t unidentified_documents = 0;
+  std::size_t ocr_lines = 0;
+  std::size_t ocr_manual_review_lines = 0;
+  double ocr_mean_confidence = 1.0;
+  std::size_t parse_failed_lines = 0;
+  std::size_t manual_transcriptions = 0;
+  std::size_t records_normalized_away = 0;
+  std::size_t disengagements = 0;
+  std::size_t accidents = 0;
+  std::size_t unknown_tags = 0;  ///< Stage III could not assign a tag
+  std::vector<dataset::manufacturer> analyzed;  ///< post-filter manufacturers
+};
+
+struct pipeline_result {
+  dataset::failure_database database;
+  pipeline_stats stats;
+};
+
+/// Runs the full pipeline over raw documents. `pristine` (when non-empty)
+/// must parallel `documents` one-to-one and serves as the manual-
+/// transcription fallback.
+pipeline_result run_pipeline(const std::vector<ocr::document>& documents,
+                             const std::vector<ocr::document>& pristine = {},
+                             const pipeline_config& config = {});
+
+/// Stage III only: classifies every disengagement in `db` in place and
+/// returns how many came back Unknown-T.
+std::size_t label_disengagements(dataset::failure_database& db,
+                                 const nlp::keyword_voting_classifier& classifier);
+
+}  // namespace avtk::core

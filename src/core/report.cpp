@@ -1,0 +1,319 @@
+#include "core/report.h"
+
+#include <cmath>
+
+#include "dataset/ground_truth.h"
+#include "util/table.h"
+
+namespace avtk::core {
+
+using dataset::manufacturer;
+namespace gt = dataset::ground_truth;
+
+namespace {
+
+std::string opt_num(std::optional<double> v, int digits = 4) {
+  return v ? format_number(*v, digits) : "-";
+}
+std::string opt_int(std::optional<int> v) { return v ? std::to_string(*v) : "-"; }
+std::string opt_ll(std::optional<long long> v) { return v ? std::to_string(*v) : "-"; }
+
+std::string name(manufacturer m) { return std::string(dataset::manufacturer_short_name(m)); }
+
+}  // namespace
+
+std::string render_table1(const dataset::failure_database& db) {
+  text_table t({"Manufacturer", "Release", "Cars", "Miles", "Miles(paper)", "Diseng.",
+                "Diseng.(paper)", "Accidents", "Acc.(paper)"});
+  t.set_title("Table I: fleet size, autonomous miles, and failure incidents");
+  t.set_alignment({align::left, align::right, align::right, align::right, align::right,
+                   align::right, align::right, align::right, align::right});
+  for (const auto& row : build_table1(db)) {
+    const auto* paper = gt::table1_row_or_null(row.maker, row.report_year);
+    t.add_row({name(row.maker), std::to_string(row.report_year), opt_int(row.cars),
+               opt_num(row.miles, 7), paper ? opt_num(paper->miles, 7) : "-",
+               opt_ll(row.disengagements), paper ? opt_ll(paper->disengagements) : "-",
+               opt_ll(row.accidents), paper ? opt_ll(paper->accidents) : "-"});
+  }
+  return t.render();
+}
+
+std::string render_table4(const dataset::failure_database& db,
+                          const std::vector<manufacturer>& makers) {
+  text_table t({"Manufacturer", "Planner/Ctrl", "paper", "Perception", "paper", "System",
+                "paper", "Unknown-C", "paper"});
+  t.set_title("Table IV: disengagement root-cause categories (% of each maker's events)");
+  const auto rows = build_table4(db, makers);
+  for (const auto& row : rows) {
+    const gt::category_mix* paper = nullptr;
+    for (const auto& mix : gt::table4()) {
+      if (mix.maker == row.maker) paper = &mix;
+    }
+    const auto pct = [](double f) { return format_percent(f, 2); };
+    t.add_row({name(row.maker), pct(row.planner_controller),
+               paper ? pct(paper->planner_controller) : "-", pct(row.perception_recognition),
+               paper ? pct(paper->perception_recognition) : "-", pct(row.system),
+               paper ? pct(paper->system) : "-", pct(row.unknown),
+               paper ? pct(paper->unknown) : "-"});
+  }
+  return t.render();
+}
+
+std::string render_table5(const dataset::failure_database& db,
+                          const std::vector<manufacturer>& makers) {
+  text_table t({"Manufacturer", "Automatic", "paper", "Manual", "paper", "Planned", "paper"});
+  t.set_title("Table V: disengagement modality (% of each maker's events)");
+  for (const auto& row : build_table5(db, makers)) {
+    const gt::modality_mix* paper = nullptr;
+    for (const auto& mix : gt::table5()) {
+      if (mix.maker == row.maker) paper = &mix;
+    }
+    const auto pct = [](double f) { return format_percent(f, 2); };
+    t.add_row({name(row.maker), pct(row.automatic), paper ? pct(paper->automatic) : "-",
+               pct(row.manual), paper ? pct(paper->manual) : "-", pct(row.planned),
+               paper ? pct(paper->planned) : "-"});
+  }
+  return t.render();
+}
+
+std::string render_table6(const dataset::failure_database& db) {
+  text_table t({"Manufacturer", "Accidents", "paper", "Fraction", "paper", "DPA", "paper"});
+  t.set_title("Table VI: accidents reported by manufacturers");
+  for (const auto& row : build_table6(db)) {
+    const gt::accident_row* paper = nullptr;
+    for (const auto& p : gt::table6()) {
+      if (p.maker == row.maker) paper = &p;
+    }
+    t.add_row({name(row.maker), std::to_string(row.accidents),
+               paper ? std::to_string(paper->accidents) : "-",
+               format_percent(row.fraction_of_total, 2),
+               paper ? format_percent(paper->fraction_of_total, 2) : "-", opt_num(row.dpa, 3),
+               paper && paper->dpa ? format_number(*paper->dpa, 3) : "-"});
+  }
+  return t.render();
+}
+
+std::string render_table7(const dataset::failure_database& db,
+                          const std::vector<manufacturer>& makers) {
+  text_table t({"Manufacturer", "Median DPM", "paper", "Median APM", "paper", "vs human",
+                "paper"});
+  t.set_title("Table VII: reliability of AVs compared to human drivers");
+  for (const auto& row : build_table7(db, makers)) {
+    const gt::reliability_row* paper = nullptr;
+    for (const auto& p : gt::table7()) {
+      if (p.maker == row.maker) paper = &p;
+    }
+    t.add_row({name(row.maker), opt_num(row.median_dpm, 3),
+               paper ? format_number(paper->median_dpm, 3) : "-", opt_num(row.median_apm, 3),
+               paper && paper->median_apm ? format_number(*paper->median_apm, 3) : "-",
+               row.vs_human ? format_ratio(*row.vs_human, 4) : "-",
+               paper && paper->relative_to_human ? format_ratio(*paper->relative_to_human, 4)
+                                                 : "-"});
+  }
+  return t.render();
+}
+
+std::string render_table8(const dataset::failure_database& db) {
+  text_table t({"Manufacturer", "APMi", "paper", "vs airline", "paper", "vs surg.robot",
+                "paper"});
+  t.set_title("Table VIII: reliability vs other safety-critical autonomous systems");
+  for (const auto& row : build_table8(db)) {
+    const gt::mission_row* paper = nullptr;
+    for (const auto& p : gt::table8()) {
+      if (p.maker == row.maker) paper = &p;
+    }
+    t.add_row({name(row.maker), format_number(row.apmi, 3),
+               paper ? format_number(paper->apmi, 3) : "-", format_ratio(row.vs_airline, 4),
+               paper ? format_ratio(paper->vs_airline, 4) : "-",
+               format_ratio(row.vs_surgical_robot, 3),
+               paper ? format_ratio(paper->vs_surgical_robot, 3) : "-"});
+  }
+  return t.render();
+}
+
+std::string render_fig4(const dataset::failure_database& db,
+                        const std::vector<manufacturer>& makers) {
+  text_table t({"Manufacturer", "min", "Q1", "median", "Q3", "max", "n(cars)"});
+  t.set_title("Fig. 4: per-car DPM distributions (disengagements / mile)");
+  for (const auto& s : build_fig4(db, makers)) {
+    t.add_row({name(s.maker), format_number(s.box.whisker_low, 3), format_number(s.box.q1, 3),
+               format_number(s.box.median, 3), format_number(s.box.q3, 3),
+               format_number(s.box.whisker_high, 3), std::to_string(s.box.n)});
+  }
+  return t.render();
+}
+
+std::string render_fig5(const dataset::failure_database& db,
+                        const std::vector<manufacturer>& makers) {
+  text_table t({"Manufacturer", "months", "final cum. miles", "final cum. diseng.",
+                "log-log slope", "R^2"});
+  t.set_title("Fig. 5: cumulative disengagements vs cumulative miles (log-log fits)");
+  for (const auto& s : build_fig5(db, makers)) {
+    if (s.cumulative_miles.empty()) continue;
+    t.add_row({name(s.maker), std::to_string(s.cumulative_miles.size()),
+               format_number(s.cumulative_miles.back(), 6),
+               format_number(s.cumulative_disengagements.back(), 5),
+               s.log_log_fit ? format_number(s.log_log_fit->slope, 3) : "-",
+               s.log_log_fit ? format_number(s.log_log_fit->r_squared, 3) : "-"});
+  }
+  return t.render();
+}
+
+std::string render_fig6(const dataset::failure_database& db,
+                        const std::vector<manufacturer>& makers) {
+  std::string out = "Fig. 6: fault-tag fractions per manufacturer\n";
+  for (const auto& row : build_tag_fractions(db, makers)) {
+    out += name(row.maker) + " (n=" + std::to_string(row.total) + "):\n";
+    for (const auto& [tag, fraction] : row.fractions) {
+      if (fraction <= 0) continue;
+      out += "  " + std::string(nlp::tag_name(tag));
+      // Distinguish the two AV Controller tags in text output.
+      if (tag == nlp::fault_tag::av_controller_ml) out += " (ML)";
+      if (tag == nlp::fault_tag::av_controller_system) out += " (Sys)";
+      out += ": " + format_percent(fraction, 1) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string render_fig7(const dataset::failure_database& db,
+                        const std::vector<manufacturer>& makers) {
+  text_table t({"Manufacturer", "Year", "min", "Q1", "median", "Q3", "max", "n"});
+  t.set_title("Fig. 7: per-car DPM by calendar year");
+  for (const auto& s : build_fig7(db, makers)) {
+    for (const auto& [year, box] : s.by_year) {
+      t.add_row({name(s.maker), std::to_string(year), format_number(box.whisker_low, 3),
+                 format_number(box.q1, 3), format_number(box.median, 3),
+                 format_number(box.q3, 3), format_number(box.whisker_high, 3),
+                 std::to_string(box.n)});
+    }
+  }
+  return t.render();
+}
+
+std::string render_fig8(const dataset::failure_database& db,
+                        const std::vector<manufacturer>& makers) {
+  const auto data = build_fig8(db, makers);
+  std::string out = "Fig. 8: log(DPM) vs log(cumulative miles), pooled per vehicle-month\n";
+  out += "  points: " + std::to_string(data.log_dpm.size()) + "\n";
+  out += "  Pearson r: " + format_number(data.pearson.r, 3) +
+         "  (paper: " + format_number(gt::k_fig8_pearson_r, 3) + ")\n";
+  out += "  p-value:   " + format_number(data.pearson.p_value, 3) + "\n";
+  return out;
+}
+
+std::string render_fig9(const dataset::failure_database& db,
+                        const std::vector<manufacturer>& makers) {
+  text_table t({"Manufacturer", "months", "first DPM", "last DPM", "log-log slope", "R^2"});
+  t.set_title("Fig. 9: monthly DPM vs cumulative miles (log-log fits per manufacturer)");
+  for (const auto& s : build_fig9(db, makers)) {
+    if (s.dpm.empty()) continue;
+    t.add_row({name(s.maker), std::to_string(s.dpm.size()), format_number(s.dpm.front(), 3),
+               format_number(s.dpm.back(), 3),
+               s.log_log_fit ? format_number(s.log_log_fit->slope, 3) : "-",
+               s.log_log_fit ? format_number(s.log_log_fit->r_squared, 3) : "-"});
+  }
+  return t.render();
+}
+
+std::string render_fig10(const dataset::failure_database& db,
+                         const std::vector<manufacturer>& makers) {
+  text_table t({"Manufacturer", "min", "Q1", "median", "Q3", "max", "mean", "n"});
+  t.set_title("Fig. 10: driver reaction times (seconds)");
+  for (const auto& s : build_fig10(db, makers)) {
+    t.add_row({name(s.maker), format_number(s.box.whisker_low, 3), format_number(s.box.q1, 3),
+               format_number(s.box.median, 3), format_number(s.box.q3, 3),
+               format_number(s.box.whisker_high, 4), format_number(s.mean, 3),
+               std::to_string(s.n)});
+  }
+  return t.render();
+}
+
+std::string render_fig11(const dataset::failure_database& db,
+                         const std::vector<manufacturer>& makers) {
+  text_table t({"Manufacturer", "n", "Weibull shape", "Weibull scale", "KS p", "ExpW shape",
+                "ExpW scale", "ExpW power", "KS p(ExpW)"});
+  t.set_title("Fig. 11: Weibull-family fits of reaction times");
+  for (const auto& f : build_fig11(db, makers)) {
+    t.add_row({name(f.maker), std::to_string(f.n), format_number(f.weibull.shape(), 3),
+               format_number(f.weibull.scale(), 3), format_number(f.ks_p_weibull, 2),
+               format_number(f.exp_weibull.shape(), 3), format_number(f.exp_weibull.scale(), 3),
+               format_number(f.exp_weibull.power(), 3), format_number(f.ks_p_exp_weibull, 2)});
+  }
+  return t.render();
+}
+
+std::string render_fig12(const dataset::failure_database& db) {
+  const auto data = build_fig12(db);
+  std::string out = "Fig. 12: accident speed distributions (mph)\n";
+  const auto line = [](const char* label, const std::vector<double>& xs,
+                       const std::optional<stats::exponential_dist>& fit) {
+    std::string s = "  ";
+    s += label;
+    s += ": n=" + std::to_string(xs.size());
+    if (fit) s += ", exponential mean=" + format_number(fit->mean(), 3);
+    s += "\n";
+    return s;
+  };
+  out += line("AV speed      ", data.av_speeds, data.av_fit);
+  out += line("Other vehicle ", data.other_speeds, data.other_fit);
+  out += line("Relative speed", data.relative_speeds, data.relative_fit);
+  out += "  relative speed < 10 mph: " + format_percent(data.fraction_relative_below_10mph, 1) +
+         "  (paper: > " + format_percent(gt::k_fig12_low_speed_fraction, 0) + ")\n";
+  return out;
+}
+
+std::string render_headlines(const dataset::failure_database& db,
+                             const std::vector<manufacturer>& makers) {
+  text_table t({"Claim", "Paper", "Measured", "Tolerance", "OK"});
+  t.set_title("Headline claims: paper vs measured");
+  for (const auto& claim : evaluate_headlines(db, makers)) {
+    t.add_row({claim.name, format_number(claim.paper_value, 4),
+               format_number(claim.measured_value, 4),
+               format_percent(claim.tolerance_fraction, 0),
+               claim.within_tolerance() ? "yes" : "NO"});
+  }
+  return t.render();
+}
+
+std::string render_pipeline_stats(const pipeline_stats& stats) {
+  std::string out = "Pipeline statistics\n";
+  out += "  documents in:            " + std::to_string(stats.documents_in) + "\n";
+  out += "  disengagement reports:   " + std::to_string(stats.disengagement_reports) + "\n";
+  out += "  accident reports:        " + std::to_string(stats.accident_reports) + "\n";
+  out += "  unidentified documents:  " + std::to_string(stats.unidentified_documents) + "\n";
+  out += "  OCR lines:               " + std::to_string(stats.ocr_lines) + "\n";
+  out += "  OCR mean confidence:     " + format_number(stats.ocr_mean_confidence, 3) + "\n";
+  out += "  OCR manual-review lines: " + std::to_string(stats.ocr_manual_review_lines) + "\n";
+  out += "  manual transcriptions:   " + std::to_string(stats.manual_transcriptions) + "\n";
+  out += "  unparseable lines:       " + std::to_string(stats.parse_failed_lines) + "\n";
+  out += "  disengagements parsed:   " + std::to_string(stats.disengagements) + "\n";
+  out += "  accidents parsed:        " + std::to_string(stats.accidents) + "\n";
+  out += "  Unknown-T tags:          " + std::to_string(stats.unknown_tags) + "\n";
+  out += "  analyzed manufacturers:  " + std::to_string(stats.analyzed.size()) + "\n";
+  return out;
+}
+
+std::string render_full_report(const dataset::failure_database& db,
+                               const std::vector<manufacturer>& makers) {
+  std::string out;
+  out += render_table1(db) + "\n";
+  out += render_fig4(db, makers) + "\n";
+  out += render_fig5(db, makers) + "\n";
+  out += render_table4(db, makers) + "\n";
+  out += render_fig6(db, makers) + "\n";
+  out += render_table5(db, makers) + "\n";
+  out += render_fig7(db, makers) + "\n";
+  out += render_fig8(db, makers) + "\n";
+  out += render_fig9(db, makers) + "\n";
+  out += render_fig10(db, makers) + "\n";
+  out += render_fig11(db, makers) + "\n";
+  out += render_table6(db) + "\n";
+  out += render_table7(db, makers) + "\n";
+  out += render_fig12(db) + "\n";
+  out += render_table8(db) + "\n";
+  out += render_headlines(db, makers) + "\n";
+  return out;
+}
+
+}  // namespace avtk::core

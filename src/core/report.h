@@ -1,0 +1,53 @@
+// avtk/core/report.h
+//
+// Text rendering of every table and figure, side by side with the paper's
+// published values where they exist. Used by the bench harnesses, the
+// examples, and EXPERIMENTS.md generation.
+#pragma once
+
+#include <string>
+
+#include "core/analysis.h"
+#include "core/pipeline.h"
+#include "dataset/database.h"
+
+namespace avtk::core {
+
+std::string render_table1(const dataset::failure_database& db);
+std::string render_table4(const dataset::failure_database& db,
+                          const std::vector<dataset::manufacturer>& makers);
+std::string render_table5(const dataset::failure_database& db,
+                          const std::vector<dataset::manufacturer>& makers);
+std::string render_table6(const dataset::failure_database& db);
+std::string render_table7(const dataset::failure_database& db,
+                          const std::vector<dataset::manufacturer>& makers);
+std::string render_table8(const dataset::failure_database& db);
+
+std::string render_fig4(const dataset::failure_database& db,
+                        const std::vector<dataset::manufacturer>& makers);
+std::string render_fig5(const dataset::failure_database& db,
+                        const std::vector<dataset::manufacturer>& makers);
+std::string render_fig6(const dataset::failure_database& db,
+                        const std::vector<dataset::manufacturer>& makers);
+std::string render_fig7(const dataset::failure_database& db,
+                        const std::vector<dataset::manufacturer>& makers);
+std::string render_fig8(const dataset::failure_database& db,
+                        const std::vector<dataset::manufacturer>& makers);
+std::string render_fig9(const dataset::failure_database& db,
+                        const std::vector<dataset::manufacturer>& makers);
+std::string render_fig10(const dataset::failure_database& db,
+                         const std::vector<dataset::manufacturer>& makers);
+std::string render_fig11(const dataset::failure_database& db,
+                         const std::vector<dataset::manufacturer>& makers);
+std::string render_fig12(const dataset::failure_database& db);
+
+std::string render_headlines(const dataset::failure_database& db,
+                             const std::vector<dataset::manufacturer>& makers);
+
+std::string render_pipeline_stats(const pipeline_stats& stats);
+
+/// The whole report: every table and figure plus headline checks.
+std::string render_full_report(const dataset::failure_database& db,
+                               const std::vector<dataset::manufacturer>& makers);
+
+}  // namespace avtk::core

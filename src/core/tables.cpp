@@ -1,0 +1,183 @@
+#include "core/tables.h"
+
+#include <algorithm>
+#include <set>
+
+#include "dataset/ground_truth.h"
+
+namespace avtk::core {
+
+using dataset::manufacturer;
+namespace gt = dataset::ground_truth;
+
+std::vector<table1_row> build_table1(const dataset::failure_database& db) {
+  struct cell {
+    std::set<std::string> vehicles;
+    double miles = 0;
+    long long events = 0;
+    long long accidents = 0;
+    bool any = false;
+  };
+  std::map<std::pair<manufacturer, int>, cell> cells;
+
+  for (const auto& m : db.mileage()) {
+    auto& c = cells[{m.maker, m.report_year}];
+    if (!m.vehicle_id.empty()) c.vehicles.insert(m.vehicle_id);
+    c.miles += m.miles;
+    c.any = true;
+  }
+  for (const auto& d : db.disengagements()) {
+    auto& c = cells[{d.maker, d.report_year}];
+    ++c.events;
+    c.any = true;
+  }
+  for (const auto& a : db.accidents()) {
+    auto& c = cells[{a.maker, a.report_year}];
+    ++c.accidents;
+    c.any = true;
+  }
+
+  std::vector<table1_row> out;
+  for (const auto& [key, c] : cells) {
+    table1_row row;
+    row.maker = key.first;
+    row.report_year = key.second;
+    if (!c.vehicles.empty()) row.cars = static_cast<int>(c.vehicles.size());
+    if (c.miles > 0) row.miles = c.miles;
+    if (c.events > 0) row.disengagements = c.events;
+    if (c.accidents > 0) row.accidents = c.accidents;
+    out.push_back(row);
+  }
+  std::sort(out.begin(), out.end(), [](const table1_row& a, const table1_row& b) {
+    if (a.report_year != b.report_year) return a.report_year < b.report_year;
+    return static_cast<int>(a.maker) < static_cast<int>(b.maker);
+  });
+  return out;
+}
+
+std::vector<table4_row> build_table4(const dataset::failure_database& db,
+                                     const std::vector<manufacturer>& makers) {
+  std::vector<table4_row> out;
+  for (const auto maker : makers) {
+    table4_row row;
+    row.maker = maker;
+    for (const auto* d : db.disengagements_of(maker)) {
+      ++row.total;
+      switch (d->category) {
+        case nlp::failure_category::ml_design:
+          if (nlp::ml_subcategory_of(d->tag) == nlp::ml_subcategory::perception_recognition) {
+            row.perception_recognition += 1;
+          } else {
+            row.planner_controller += 1;
+          }
+          break;
+        case nlp::failure_category::system:
+          row.system += 1;
+          break;
+        case nlp::failure_category::unknown:
+          row.unknown += 1;
+          break;
+      }
+    }
+    if (row.total > 0) {
+      const double n = static_cast<double>(row.total);
+      row.planner_controller /= n;
+      row.perception_recognition /= n;
+      row.system /= n;
+      row.unknown /= n;
+    }
+    out.push_back(row);
+  }
+  return out;
+}
+
+std::vector<table5_row> build_table5(const dataset::failure_database& db,
+                                     const std::vector<manufacturer>& makers) {
+  std::vector<table5_row> out;
+  for (const auto maker : makers) {
+    table5_row row;
+    row.maker = maker;
+    for (const auto* d : db.disengagements_of(maker)) {
+      ++row.total;
+      switch (d->mode) {
+        case dataset::modality::automatic: row.automatic += 1; break;
+        case dataset::modality::manual: row.manual += 1; break;
+        case dataset::modality::planned: row.planned += 1; break;
+        case dataset::modality::unknown: break;
+      }
+    }
+    if (row.total > 0) {
+      const double n = static_cast<double>(row.total);
+      row.automatic /= n;
+      row.manual /= n;
+      row.planned /= n;
+    }
+    out.push_back(row);
+  }
+  return out;
+}
+
+std::vector<table6_row> build_table6(const dataset::failure_database& db) {
+  const auto total = db.total_accidents();
+  std::vector<table6_row> out;
+  for (const auto maker : dataset::k_all_manufacturers) {
+    const auto accidents = db.total_accidents(maker);
+    if (accidents == 0) continue;
+    table6_row row;
+    row.maker = maker;
+    row.accidents = accidents;
+    row.fraction_of_total =
+        total > 0 ? static_cast<double>(accidents) / static_cast<double>(total) : 0.0;
+    const auto events = db.total_disengagements(maker);
+    if (events > 0) row.dpa = static_cast<double>(events) / static_cast<double>(accidents);
+    out.push_back(row);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const table6_row& a, const table6_row& b) { return a.accidents > b.accidents; });
+  return out;
+}
+
+std::vector<table7_row> build_table7(const dataset::failure_database& db,
+                                     const std::vector<manufacturer>& makers) {
+  std::vector<table7_row> out;
+  for (const auto maker : makers) {
+    const auto m = compute_metrics(db, maker);
+    table7_row row;
+    row.maker = maker;
+    row.median_dpm = m.median_dpm;
+    row.median_apm = m.apm;
+    row.vs_human = m.vs_human;
+    out.push_back(row);
+  }
+  return out;
+}
+
+std::vector<table8_row> build_table8(const dataset::failure_database& db) {
+  std::vector<table8_row> out;
+  for (const auto maker : dataset::k_all_manufacturers) {
+    const auto m = compute_metrics(db, maker);
+    if (!m.apmi) continue;
+    out.push_back(table8_row{maker, *m.apmi, *m.vs_airline, *m.vs_surgical_robot});
+  }
+  return out;
+}
+
+std::vector<tag_fraction_row> build_tag_fractions(const dataset::failure_database& db,
+                                                  const std::vector<manufacturer>& makers) {
+  std::vector<tag_fraction_row> out;
+  for (const auto maker : makers) {
+    tag_fraction_row row;
+    row.maker = maker;
+    for (const auto* d : db.disengagements_of(maker)) {
+      ++row.total;
+      row.fractions[d->tag] += 1;
+    }
+    if (row.total > 0) {
+      for (auto& [tag, count] : row.fractions) count /= static_cast<double>(row.total);
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace avtk::core

@@ -1,0 +1,92 @@
+// avtk/core/tables.h
+//
+// Builders for each table in the paper's evaluation, computed from a
+// failure_database. Each builder returns plain data; rendering to text
+// lives in core/report.h.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/metrics.h"
+#include "dataset/database.h"
+#include "nlp/ontology.h"
+
+namespace avtk::core {
+
+// ---------------------------------------------------------------- Table I
+struct table1_row {
+  dataset::manufacturer maker;
+  int report_year;
+  std::optional<int> cars;
+  std::optional<double> miles;
+  std::optional<long long> disengagements;
+  std::optional<long long> accidents;
+};
+/// Fleet summary per (manufacturer, release), from the parsed corpus.
+std::vector<table1_row> build_table1(const dataset::failure_database& db);
+
+// --------------------------------------------------------------- Table IV
+struct table4_row {
+  dataset::manufacturer maker;
+  double planner_controller = 0;      ///< fraction of that maker's events
+  double perception_recognition = 0;
+  double system = 0;
+  double unknown = 0;
+  long long total = 0;
+};
+/// Category mix per manufacturer (only manufacturers in `makers`).
+std::vector<table4_row> build_table4(const dataset::failure_database& db,
+                                     const std::vector<dataset::manufacturer>& makers);
+
+// ---------------------------------------------------------------- Table V
+struct table5_row {
+  dataset::manufacturer maker;
+  double automatic = 0;
+  double manual = 0;
+  double planned = 0;
+  long long total = 0;
+};
+std::vector<table5_row> build_table5(const dataset::failure_database& db,
+                                     const std::vector<dataset::manufacturer>& makers);
+
+// --------------------------------------------------------------- Table VI
+struct table6_row {
+  dataset::manufacturer maker;
+  long long accidents = 0;
+  double fraction_of_total = 0;
+  std::optional<double> dpa;
+};
+std::vector<table6_row> build_table6(const dataset::failure_database& db);
+
+// -------------------------------------------------------------- Table VII
+struct table7_row {
+  dataset::manufacturer maker;
+  std::optional<double> median_dpm;
+  std::optional<double> median_apm;
+  std::optional<double> vs_human;
+};
+std::vector<table7_row> build_table7(const dataset::failure_database& db,
+                                     const std::vector<dataset::manufacturer>& makers);
+
+// ------------------------------------------------------------- Table VIII
+struct table8_row {
+  dataset::manufacturer maker;
+  double apmi = 0;
+  double vs_airline = 0;
+  double vs_surgical_robot = 0;
+};
+/// Only manufacturers with computable APM appear.
+std::vector<table8_row> build_table8(const dataset::failure_database& db);
+
+// ------------------------------------------------- Fig. 6 (tag fractions)
+struct tag_fraction_row {
+  dataset::manufacturer maker;
+  std::map<nlp::fault_tag, double> fractions;  ///< sums to 1 per maker
+  long long total = 0;
+};
+std::vector<tag_fraction_row> build_tag_fractions(
+    const dataset::failure_database& db, const std::vector<dataset::manufacturer>& makers);
+
+}  // namespace avtk::core

@@ -1,0 +1,162 @@
+#include "dataset/csv_io.h"
+
+#include <cstdio>
+
+#include "util/csv.h"
+#include "util/errors.h"
+#include "util/strings.h"
+
+namespace avtk::dataset {
+
+namespace {
+
+std::string opt_date(const std::optional<date>& d) { return d ? d->to_string() : ""; }
+std::string opt_month(const std::optional<year_month>& m) { return m ? m->to_string() : ""; }
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::optional<date> parse_opt_date(const std::string& s) {
+  if (str::trim(s).empty()) return std::nullopt;
+  const auto d = dates::parse_date(s);
+  if (!d) throw parse_error("bad date in CSV: " + s);
+  return d;
+}
+
+std::optional<year_month> parse_opt_month(const std::string& s) {
+  if (str::trim(s).empty()) return std::nullopt;
+  const auto m = dates::parse_year_month(s);
+  if (!m) throw parse_error("bad month in CSV: " + s);
+  return m;
+}
+
+std::optional<double> parse_opt_double(const std::string& s) {
+  if (str::trim(s).empty()) return std::nullopt;
+  const auto v = str::parse_double(s);
+  if (!v) throw parse_error("bad number in CSV: " + s);
+  return v;
+}
+
+manufacturer parse_maker(const std::string& s) {
+  const auto m = manufacturer_from_string(s);
+  if (!m) throw parse_error("unknown manufacturer in CSV: " + s);
+  return *m;
+}
+
+}  // namespace
+
+database_csv export_csv(const failure_database& db) {
+  database_csv out;
+
+  {
+    std::vector<csv::row> rows;
+    rows.push_back({"manufacturer", "report_year", "date", "month", "vehicle", "modality",
+                    "road", "weather", "reaction_time_s", "tag", "category", "description"});
+    for (const auto& d : db.disengagements()) {
+      rows.push_back({std::string(manufacturer_id(d.maker)), std::to_string(d.report_year),
+                      opt_date(d.event_date), opt_month(d.event_month), d.vehicle_id,
+                      std::string(modality_name(d.mode)), std::string(road_type_name(d.road)),
+                      std::string(weather_name(d.conditions)),
+                      d.reaction_time_s ? fmt(*d.reaction_time_s) : "",
+                      std::string(nlp::tag_id(d.tag)),
+                      std::string(nlp::category_name(d.category)), d.description});
+    }
+    out.disengagements = csv::format(rows);
+  }
+  {
+    std::vector<csv::row> rows;
+    rows.push_back({"manufacturer", "report_year", "vehicle", "month", "miles"});
+    for (const auto& m : db.mileage()) {
+      rows.push_back({std::string(manufacturer_id(m.maker)), std::to_string(m.report_year),
+                      m.vehicle_id, m.month.to_string(), fmt(m.miles)});
+    }
+    out.mileage = csv::format(rows);
+  }
+  {
+    std::vector<csv::row> rows;
+    rows.push_back({"manufacturer", "report_year", "date", "vehicle", "location",
+                    "av_speed_mph", "other_speed_mph", "autonomous_mode", "rear_end",
+                    "near_intersection", "injuries", "description"});
+    for (const auto& a : db.accidents()) {
+      rows.push_back({std::string(manufacturer_id(a.maker)), std::to_string(a.report_year),
+                      opt_date(a.event_date), a.vehicle_id, a.location,
+                      a.av_speed_mph ? fmt(*a.av_speed_mph) : "",
+                      a.other_speed_mph ? fmt(*a.other_speed_mph) : "",
+                      a.av_in_autonomous_mode ? "yes" : "no", a.rear_end ? "yes" : "no",
+                      a.near_intersection ? "yes" : "no", a.injuries ? "yes" : "no",
+                      a.description});
+    }
+    out.accidents = csv::format(rows);
+  }
+  return out;
+}
+
+failure_database import_csv(const database_csv& csv_in) {
+  failure_database db;
+
+  {
+    const auto t = csv::table::from_text(csv_in.disengagements);
+    for (std::size_t i = 0; i < t.row_count(); ++i) {
+      disengagement_record d;
+      d.maker = parse_maker(t.at(i, "manufacturer"));
+      d.report_year = static_cast<int>(
+          str::parse_int(t.at(i, "report_year")).value_or(0));
+      d.event_date = parse_opt_date(t.at(i, "date"));
+      d.event_month = parse_opt_month(t.at(i, "month"));
+      d.vehicle_id = t.at(i, "vehicle");
+      d.mode = modality_from_string(t.at(i, "modality")).value_or(modality::unknown);
+      d.road = road_type_from_string(t.at(i, "road")).value_or(road_type::unknown);
+      d.conditions = weather_from_string(t.at(i, "weather")).value_or(weather::unknown);
+      d.reaction_time_s = parse_opt_double(t.at(i, "reaction_time_s"));
+      const auto tag = nlp::tag_from_string(t.at(i, "tag"));
+      if (!tag) throw parse_error("unknown tag in CSV: " + t.at(i, "tag"));
+      d.tag = *tag;
+      const auto category = nlp::category_from_string(t.at(i, "category"));
+      if (!category) throw parse_error("unknown category in CSV: " + t.at(i, "category"));
+      d.category = *category;
+      d.description = t.at(i, "description");
+      db.add_disengagement(std::move(d));
+    }
+  }
+  {
+    const auto t = csv::table::from_text(csv_in.mileage);
+    for (std::size_t i = 0; i < t.row_count(); ++i) {
+      mileage_record m;
+      m.maker = parse_maker(t.at(i, "manufacturer"));
+      m.report_year = static_cast<int>(str::parse_int(t.at(i, "report_year")).value_or(0));
+      m.vehicle_id = t.at(i, "vehicle");
+      const auto month = parse_opt_month(t.at(i, "month"));
+      if (!month) throw parse_error("mileage row missing month");
+      m.month = *month;
+      const auto miles = parse_opt_double(t.at(i, "miles"));
+      if (!miles) throw parse_error("mileage row missing miles");
+      m.miles = *miles;
+      db.add_mileage(std::move(m));
+    }
+  }
+  {
+    const auto t = csv::table::from_text(csv_in.accidents);
+    for (std::size_t i = 0; i < t.row_count(); ++i) {
+      accident_record a;
+      a.maker = parse_maker(t.at(i, "manufacturer"));
+      a.report_year = static_cast<int>(str::parse_int(t.at(i, "report_year")).value_or(0));
+      a.event_date = parse_opt_date(t.at(i, "date"));
+      a.vehicle_id = t.at(i, "vehicle");
+      a.location = t.at(i, "location");
+      a.av_speed_mph = parse_opt_double(t.at(i, "av_speed_mph"));
+      a.other_speed_mph = parse_opt_double(t.at(i, "other_speed_mph"));
+      a.av_in_autonomous_mode = str::iequals(t.at(i, "autonomous_mode"), "yes");
+      a.rear_end = str::iequals(t.at(i, "rear_end"), "yes");
+      a.near_intersection = str::iequals(t.at(i, "near_intersection"), "yes");
+      a.injuries = str::iequals(t.at(i, "injuries"), "yes");
+      a.description = t.at(i, "description");
+      db.add_accident(std::move(a));
+    }
+  }
+  return db;
+}
+
+}  // namespace avtk::dataset

@@ -1,0 +1,30 @@
+// avtk/dataset/csv_io.h
+//
+// Serialization of the consolidated failure database to/from CSV — the
+// interchange format downstream users (R, pandas, spreadsheets) actually
+// consume. Three tables: disengagements, mileage, accidents. Round-trip
+// safe: export(import(x)) == x field for field.
+#pragma once
+
+#include <string>
+
+#include "dataset/database.h"
+
+namespace avtk::dataset {
+
+/// The three CSV documents.
+struct database_csv {
+  std::string disengagements;
+  std::string mileage;
+  std::string accidents;
+};
+
+/// Exports the database (headers included, RFC-4180 quoting).
+database_csv export_csv(const failure_database& db);
+
+/// Imports a database previously produced by export_csv. Unknown columns
+/// are tolerated (and ignored); missing required columns throw
+/// avtk::parse_error, as do malformed field values.
+failure_database import_csv(const database_csv& csv);
+
+}  // namespace avtk::dataset

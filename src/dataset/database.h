@@ -1,0 +1,84 @@
+// avtk/dataset/database.h
+//
+// The consolidated AV failure database (step 4 of Fig. 1): normalized
+// disengagements, mileage and accidents merged into one queryable store.
+// All Stage IV analyses read from this type.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dataset/records.h"
+
+namespace avtk::dataset {
+
+/// Monthly aggregate for one (manufacturer, vehicle) pair.
+struct vehicle_month {
+  manufacturer maker = manufacturer::waymo;
+  std::string vehicle_id;
+  year_month month;
+  double miles = 0.0;
+  long long disengagements = 0;
+};
+
+class failure_database {
+ public:
+  failure_database() = default;
+
+  void add_disengagement(disengagement_record rec);
+  void add_mileage(mileage_record rec);
+  void add_accident(accident_record rec);
+
+  const std::vector<disengagement_record>& disengagements() const { return disengagements_; }
+  const std::vector<mileage_record>& mileage() const { return mileage_; }
+  const std::vector<accident_record>& accidents() const { return accidents_; }
+
+  /// Disengagements matching a predicate.
+  std::vector<const disengagement_record*> query_disengagements(
+      const std::function<bool(const disengagement_record&)>& pred) const;
+
+  /// All disengagements / accidents of one manufacturer.
+  std::vector<const disengagement_record*> disengagements_of(manufacturer maker) const;
+  std::vector<const accident_record*> accidents_of(manufacturer maker) const;
+
+  /// Manufacturers present in the disengagement data.
+  std::vector<manufacturer> manufacturers_present() const;
+
+  /// Total autonomous miles (optionally for one manufacturer).
+  double total_miles() const;
+  double total_miles(manufacturer maker) const;
+
+  long long total_disengagements() const;
+  long long total_disengagements(manufacturer maker) const;
+  long long total_accidents() const;
+  long long total_accidents(manufacturer maker) const;
+
+  /// Joins mileage and disengagements into per-(vehicle, month) aggregates.
+  /// Disengagements without a resolvable month or vehicle are attributed
+  /// pro-rata at the manufacturer level (the paper's monthly aggregation
+  /// faces the same redaction problem); specifically, they are assigned to
+  /// the vehicle-months of that manufacturer in proportion to miles.
+  std::vector<vehicle_month> vehicle_months() const;
+
+  /// Per-vehicle total miles and disengagements (for per-car DPM).
+  struct vehicle_total {
+    manufacturer maker;
+    std::string vehicle_id;
+    double miles = 0;
+    long long disengagements = 0;
+    double dpm() const { return miles > 0 ? static_cast<double>(disengagements) / miles : 0.0; }
+  };
+  std::vector<vehicle_total> vehicle_totals() const;
+
+  /// Reaction-time samples (seconds) for one manufacturer / all.
+  std::vector<double> reaction_times(std::optional<manufacturer> maker = std::nullopt) const;
+
+ private:
+  std::vector<disengagement_record> disengagements_;
+  std::vector<mileage_record> mileage_;
+  std::vector<accident_record> accidents_;
+};
+
+}  // namespace avtk::dataset

@@ -1,0 +1,498 @@
+#include "dataset/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "dataset/ground_truth.h"
+#include "dataset/phrase_bank.h"
+#include "dataset/report_writers.h"
+#include "ocr/noise.h"
+#include "util/errors.h"
+
+namespace avtk::dataset {
+
+namespace {
+
+namespace gt = ground_truth;
+
+std::string vehicle_name(manufacturer maker, int index) {
+  char buf[48];
+  switch (maker) {
+    case manufacturer::mercedes_benz:
+      std::snprintf(buf, sizeof(buf), "MB-AV%02d", index + 1);
+      break;
+    case manufacturer::bosch:
+      std::snprintf(buf, sizeof(buf), "BOSCH-%d", index + 1);
+      break;
+    case manufacturer::delphi:
+      std::snprintf(buf, sizeof(buf), "DEL-%02d", index + 1);
+      break;
+    case manufacturer::gm_cruise:
+      std::snprintf(buf, sizeof(buf), "GMC-%03d", index + 1);
+      break;
+    case manufacturer::nissan: {
+      static const char* names[] = {"Alfa", "Bravo", "Charlie", "Delta", "Echo", "Foxtrot"};
+      std::snprintf(buf, sizeof(buf), "Leaf %d (%s)", index + 1,
+                    names[index % 6]);
+      break;
+    }
+    case manufacturer::tesla:
+      std::snprintf(buf, sizeof(buf), "TES-%02d", index + 1);
+      break;
+    case manufacturer::volkswagen:
+      std::snprintf(buf, sizeof(buf), "VW-A%d", index + 1);
+      break;
+    case manufacturer::waymo:
+      std::snprintf(buf, sizeof(buf), "WAYMO-AV%03d", index + 1);
+      break;
+    default:
+      std::snprintf(buf, sizeof(buf), "%s-%02d",
+                    std::string(manufacturer_short_name(maker)).c_str(), index + 1);
+      break;
+  }
+  return buf;
+}
+
+std::vector<year_month> months_between(year_month first, year_month last) {
+  std::vector<year_month> out;
+  for (auto m = first; m <= last; m = m.next()) out.push_back(m);
+  return out;
+}
+
+/// Road-type weights reflecting the dataset's 31.7% city / 29.26% highway /
+/// 14.63% interstate / 9.75% freeway / 14.6% other split (§III-C).
+road_type sample_road_type(rng& gen) {
+  static const std::vector<std::pair<road_type, double>> weights = {
+      {road_type::city_street, 0.317}, {road_type::highway, 0.2926},
+      {road_type::interstate, 0.1463}, {road_type::freeway, 0.0975},
+      {road_type::parking_lot, 0.05},  {road_type::suburban, 0.05},
+      {road_type::rural, 0.046},
+  };
+  std::vector<double> w;
+  for (const auto& [r, weight] : weights) w.push_back(weight);
+  return weights[gen.categorical(w)].first;
+}
+
+weather sample_weather(rng& gen) {
+  static const std::vector<std::pair<weather, double>> weights = {
+      {weather::sunny, 0.55},    {weather::cloudy, 0.15}, {weather::overcast, 0.12},
+      {weather::rainy, 0.10},    {weather::foggy, 0.03},  {weather::clear_night, 0.05},
+  };
+  std::vector<double> w;
+  for (const auto& [r, weight] : weights) w.push_back(weight);
+  return weights[gen.categorical(w)].first;
+}
+
+modality sample_modality(const gt::modality_mix& mix, rng& gen) {
+  const std::vector<double> w = {mix.automatic, mix.manual, mix.planned};
+  switch (gen.categorical(w)) {
+    case 0: return modality::automatic;
+    case 1: return modality::manual;
+    default: return modality::planned;
+  }
+}
+
+cause_group sample_cause_group(const gt::category_mix& mix, rng& gen) {
+  const std::vector<double> w = {mix.perception_recognition, mix.planner_controller, mix.system,
+                                 mix.unknown};
+  switch (gen.categorical(w)) {
+    case 0: return cause_group::perception;
+    case 1: return cause_group::planner_controller;
+    case 2: return cause_group::system;
+    default: return cause_group::unknown;
+  }
+}
+
+/// Apportions `total` miles across cells proportionally to `weights`,
+/// rounding to 0.1 mile; the final cell absorbs the rounding residue so the
+/// result sums to `total` exactly.
+std::vector<double> apportion_miles(double total, const std::vector<double>& weights) {
+  const std::size_t cells = weights.size();
+  double sum = 0;
+  for (double w : weights) sum += w;
+  std::vector<double> out(cells, 0.0);
+  if (!(sum > 0) || cells == 0) return out;
+  double assigned = 0;
+  for (std::size_t i = 0; i < cells; ++i) {
+    out[i] = std::round(total * weights[i] / sum * 10.0) / 10.0;
+    assigned += out[i];
+  }
+  out[cells - 1] += std::round((total - assigned) * 10.0) / 10.0;
+  if (out[cells - 1] < 0) out[cells - 1] = 0;
+  return out;
+}
+
+/// Multinomially distributes `total` events across cells with the given
+/// weights; the counts sum to `total` exactly.
+std::vector<long long> split_events(long long total, const std::vector<double>& weights,
+                                    rng& gen) {
+  std::vector<long long> out(weights.size(), 0);
+  double weight_left = 0;
+  for (double w : weights) weight_left += w;
+  long long remaining = total;
+  for (std::size_t i = 0; i + 1 < weights.size() && remaining > 0; ++i) {
+    if (weight_left <= 0) break;
+    const double p = std::clamp(weights[i] / weight_left, 0.0, 1.0);
+    // Binomial draw via Poisson approximation is biased; draw exactly.
+    long long k = 0;
+    for (long long t = 0; t < remaining; ++t) {
+      if (gen.bernoulli(p)) ++k;
+    }
+    out[i] = k;
+    remaining -= k;
+    weight_left -= weights[i];
+  }
+  if (!weights.empty()) out[weights.size() - 1] += remaining;
+  return out;
+}
+
+date random_day_in(year_month ym, rng& gen) {
+  const int days = date::days_in_month(ym.year, ym.month);
+  return date::make(ym.year, ym.month, static_cast<int>(gen.uniform_int(1, days)));
+}
+
+struct accident_quota {
+  manufacturer maker;
+  int report_year;
+  int count;
+};
+
+// Accident counts per (manufacturer, release), consistent with Tables I & VI.
+const std::vector<accident_quota>& accident_quotas() {
+  static const std::vector<accident_quota> q = {
+      {manufacturer::waymo, 2016, 9},  {manufacturer::waymo, 2017, 16},
+      {manufacturer::delphi, 2016, 1}, {manufacturer::gm_cruise, 2017, 14},
+      {manufacturer::nissan, 2017, 1}, {manufacturer::uber_atc, 2017, 1},
+  };
+  return q;
+}
+
+const std::vector<std::string>& accident_locations() {
+  static const std::vector<std::string> locations = {
+      "Intersection of El Camino Real and Clark Av, Mountain View, CA",
+      "Intersection of South Shoreline Blvd and High School Way, Mountain View, CA",
+      "Intersection of Castro St and California St, Mountain View, CA",
+      "Intersection of Central Expressway and Rengstorff Ave, Mountain View, CA",
+      "Intersection of San Antonio Rd and California St, Palo Alto, CA",
+      "Intersection of 1st St and Taylor St, San Jose, CA",
+      "Intersection of Folsom St and 16th St, San Francisco, CA",
+      "Intersection of Valencia St and Cesar Chavez St, San Francisco, CA",
+      "Intersection of Harrison St and 7th St, San Francisco, CA",
+      "Parking lot near 1600 Amphitheatre Pkwy, Mountain View, CA",
+  };
+  return locations;
+}
+
+std::string accident_narrative(bool rear_end, rng& gen) {
+  static const std::vector<std::string> rear = {
+      "The AV was in autonomous mode and decelerating for a turn when it was struck from "
+      "behind by a conventional vehicle. The driver of the other vehicle could not "
+      "anticipate the AV's stop-and-go movement toward the intersection.",
+      "The AV yielded to a pedestrian in the crosswalk and slowed; the vehicle behind "
+      "did not stop in time and collided with the rear bumper of the AV.",
+      "While creeping forward to gauge cross traffic, the AV stopped again and the "
+      "following vehicle made contact with the rear of the AV at low speed.",
+      "The test driver proactively took control to avoid a reckless road user; braking "
+      "in the constrained scenario led the rear vehicle to collide with the back of the AV.",
+  };
+  static const std::vector<std::string> side = {
+      "A conventional vehicle changing lanes made contact with the side of the AV while "
+      "both vehicles were moving at low speed near the intersection.",
+      "The AV was side-swiped by a vehicle drifting out of the adjacent lane; damage was "
+      "limited to the sensor housing and body panel.",
+      "During a lane change the other vehicle accelerated into the gap and grazed the "
+      "AV's front quarter panel.",
+  };
+  return gen.pick(rear_end ? rear : side);
+}
+
+// The two Section II case studies as fixed records, included verbatim in
+// every generated corpus (both occurred in Waymo prototypes).
+std::vector<accident_record> case_study_accidents() {
+  std::vector<accident_record> out;
+  {
+    accident_record a;  // Case Study I: real-time decisions
+    a.maker = manufacturer::waymo;
+    a.report_year = 2016;
+    a.event_date = date::make(2015, 10, 8);
+    a.location = "Intersection of South Shoreline Blvd and High School Way, Mountain View, CA";
+    a.description =
+        "The AV decided to yield to a pedestrian crossing the street but did not stop. The "
+        "test driver proactively took control as a precaution. A car ahead was also yielding "
+        "and a vehicle to the rear in the adjacent lane was changing lanes; the driver could "
+        "only brake, and the rear vehicle collided with the back of the AV. Logged as "
+        "disengage for a recklessly behaving road user / incorrect behavior prediction.";
+    a.av_speed_mph = 5.0;
+    a.other_speed_mph = 10.0;
+    a.rear_end = true;
+    a.near_intersection = true;
+    out.push_back(std::move(a));
+  }
+  {
+    accident_record a;  // Case Study II: anticipating AV behavior
+    a.maker = manufacturer::waymo;
+    a.report_year = 2017;
+    a.event_date = date::make(2016, 5, 19);
+    a.location = "Intersection of El Camino Real and Clark Av, Mountain View, CA";
+    a.description =
+        "The AV signaled a right turn, decelerated, came to a complete stop, then moved "
+        "toward the intersection so the recognition system could analyze cross traffic. The "
+        "driver of the rear vehicle interpreted the initial movement as the AV continuing and "
+        "collided with the rear of the AV. Logged as disengage for a recklessly behaving "
+        "road user.";
+    a.av_speed_mph = 1.0;
+    a.other_speed_mph = 4.0;
+    a.rear_end = true;
+    a.near_intersection = true;
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+void generate_one_slice(manufacturer maker, int report_year, const generator_config& config,
+                        rng& gen, generated_corpus& corpus) {
+  if (!gt::has_plan_for(maker, report_year)) return;
+  const auto& plan = gt::plan_for(maker, report_year);
+  const auto& row = gt::table1_row(maker, report_year);
+
+  const double total_miles = row.miles.value_or(0.0);
+  const long long total_events = row.disengagements.value_or(0);
+  const int cars = row.cars && *row.cars > 0 ? *row.cars : plan.cars;
+
+  std::vector<mileage_record> slice_mileage;
+  std::vector<disengagement_record> slice_events;
+
+  if (cars > 0 && total_miles > 0) {
+    const auto months = months_between(plan.first_month, plan.last_month);
+    const std::size_t cells = static_cast<std::size_t>(cars) * months.size();
+
+    // Miles per (car, month): per-car lognormal share (fleet skew) times a
+    // gamma(2)-ish per-month factor.
+    std::vector<double> mile_weights(cells);
+    {
+      std::vector<double> car_factor(static_cast<std::size_t>(cars));
+      for (auto& f : car_factor) f = gen.lognormal(0.0, plan.mileage_sigma);
+      for (int c = 0; c < cars; ++c) {
+        for (std::size_t mi = 0; mi < months.size(); ++mi) {
+          mile_weights[static_cast<std::size_t>(c) * months.size() + mi] =
+              car_factor[static_cast<std::size_t>(c)] *
+              (gen.exponential(1.0) + gen.exponential(1.0));
+        }
+      }
+    }
+    const auto miles = apportion_miles(total_miles, mile_weights);
+
+    // Disengagement weights: proportional to miles, scaled by how far into
+    // the fleet's cumulative mileage the month falls (DPM decay).
+    std::vector<double> month_cumulative(months.size(), 0.0);
+    {
+      double cum = 0;
+      for (std::size_t mi = 0; mi < months.size(); ++mi) {
+        for (int c = 0; c < cars; ++c) {
+          cum += miles[static_cast<std::size_t>(c) * months.size() + mi];
+        }
+        month_cumulative[mi] = cum;
+      }
+    }
+    std::vector<double> weights(cells, 0.0);
+    for (int c = 0; c < cars; ++c) {
+      for (std::size_t mi = 0; mi < months.size(); ++mi) {
+        const std::size_t idx = static_cast<std::size_t>(c) * months.size() + mi;
+        const double frac = month_cumulative[mi] / total_miles;  // (0, 1]
+        weights[idx] = std::pow(miles[idx], plan.event_miles_exponent) *
+                       std::pow(std::max(frac, 1e-6), plan.dpm_decay);
+      }
+    }
+    const auto counts = split_events(total_events, weights, gen);
+
+    const auto& cat_mix = gt::generation_mix_for(maker);
+    const auto& mod_mix = gt::generation_modality_for(maker);
+    const bool watchdog_heavy = maker == manufacturer::volkswagen;
+    const bool monthly_granularity = maker == manufacturer::waymo;
+
+    // GM Cruise fielded a new generation of prototypes for the 2017
+    // release; give them distinct identities so per-car metrics do not
+    // merge the two fleets.
+    const int fleet_offset =
+        (maker == manufacturer::gm_cruise && report_year == 2017) ? 50 : 0;
+    for (int c = 0; c < cars; ++c) {
+      const auto vid = vehicle_name(maker, c + fleet_offset);
+      for (std::size_t mi = 0; mi < months.size(); ++mi) {
+        const std::size_t idx = static_cast<std::size_t>(c) * months.size() + mi;
+        if (miles[idx] > 0) {
+          mileage_record m;
+          m.maker = maker;
+          m.report_year = report_year;
+          m.vehicle_id = vid;
+          m.month = months[mi];
+          m.miles = miles[idx];
+          slice_mileage.push_back(std::move(m));
+        }
+        for (long long e = 0; e < counts[idx]; ++e) {
+          disengagement_record d;
+          d.maker = maker;
+          d.report_year = report_year;
+          if (monthly_granularity) {
+            d.event_month = months[mi];
+            // Waymo aggregates by month and does not name vehicles.
+          } else {
+            d.event_date = random_day_in(months[mi], gen);
+            d.vehicle_id = vid;
+          }
+          d.mode = sample_modality(mod_mix, gen);
+          const auto group =
+              plan.vague_descriptions ? cause_group::unknown : sample_cause_group(cat_mix, gen);
+          d.tag = sample_tag(group, gen, watchdog_heavy);
+          d.category = nlp::category_of(d.tag);
+          d.description = d.tag == nlp::fault_tag::unknown
+                              ? sample_vague_description(gen)
+                              : sample_description(d.tag, gen,
+                                                   config.narrative_shell_probability);
+          if (plan.reports_road_weather) {
+            d.road = sample_road_type(gen);
+            d.conditions = sample_weather(gen);
+          }
+          if (plan.reports_reaction_time) {
+            // §V-A4: drivers relax as the system matures — reaction times
+            // stretch with the fleet's cumulative mileage (the paper
+            // measures Pearson r of +0.19 for Waymo, +0.11 for Benz).
+            const double maturity = month_cumulative[mi] / total_miles;  // (0, 1]
+            const double complacency_stretch = 1.0 + 0.45 * maturity;
+            d.reaction_time_s =
+                std::round(gen.exponentiated_weibull(plan.rt_shape, plan.rt_scale,
+                                                     plan.rt_power) *
+                           complacency_stretch * 100.0) /
+                100.0;
+            if (*d.reaction_time_s < 0.01) d.reaction_time_s = 0.01;
+          }
+          slice_events.push_back(std::move(d));
+        }
+      }
+    }
+
+    // The Volkswagen 2016 report contains one implausible ~4 h reaction
+    // time the paper calls out ("we suspect that this is an incorrect
+    // measurement, but cannot confirm").
+    if (maker == manufacturer::volkswagen && report_year == 2016 && !slice_events.empty()) {
+      slice_events.front().reaction_time_s = 13860.0;  // 3 h 51 min
+    }
+  }
+
+  if (config.render_documents) {
+    auto pristine = render_disengagement_report(maker, report_year, slice_mileage, slice_events);
+    pristine.quality = config.quality;
+    auto delivered = pristine;
+    if (config.corrupt_documents) {
+      auto doc_gen = gen.fork();
+      ocr::corrupt_document(delivered, doc_gen);
+    }
+    corpus.pristine_documents.push_back(std::move(pristine));
+    corpus.documents.push_back(std::move(delivered));
+  }
+
+  corpus.mileage.insert(corpus.mileage.end(), slice_mileage.begin(), slice_mileage.end());
+  corpus.disengagements.insert(corpus.disengagements.end(), slice_events.begin(),
+                               slice_events.end());
+}
+
+void generate_accidents(manufacturer maker, int report_year, int count,
+                        const generator_config& config, rng& gen, generated_corpus& corpus) {
+  const auto period = gt::period_for_release(report_year);
+  for (int i = 0; i < count; ++i) {
+    accident_record a;
+    a.maker = maker;
+    a.report_year = report_year;
+    const auto span = period.last.index() - period.first.index();
+    const auto ym = year_month::from_index(period.first.index() + gen.uniform_int(0, span));
+    a.event_date = random_day_in(ym, gen);
+    a.location = gen.pick(accident_locations());
+    a.rear_end = gen.bernoulli(0.72);
+    a.near_intersection = gen.bernoulli(0.88);
+    a.injuries = false;  // the paper: "no serious injuries were reported"
+    a.av_in_autonomous_mode = gen.bernoulli(0.85);
+    // Fig. 12: low-speed exponentials. Speeds are correlated — in the
+    // typical rear-end the other vehicle closes on a slowing AV — so the
+    // relative speed is drawn directly (>80% below 10 mph per the paper)
+    // and the other vehicle's speed derived from it.
+    const double av = std::min(30.0, std::round(gen.exponential(5.0)));
+    const double rel = std::min(35.0, std::round(gen.exponential(5.5)));
+    a.av_speed_mph = av;
+    a.other_speed_mph = std::min(40.0, a.rear_end ? av + rel : std::fabs(av - rel));
+    a.description = accident_narrative(a.rear_end, gen);
+    corpus.accidents.push_back(std::move(a));
+  }
+  (void)config;
+}
+
+void render_accident_documents(const generator_config& config, rng& gen,
+                               generated_corpus& corpus) {
+  if (!config.render_documents) return;
+  for (const auto& a : corpus.accidents) {
+    auto pristine = render_accident_report(a);
+    pristine.quality = config.quality;
+    auto delivered = pristine;
+    if (config.corrupt_documents) {
+      auto doc_gen = gen.fork();
+      ocr::corrupt_document(delivered, doc_gen);
+    }
+    corpus.pristine_documents.push_back(std::move(pristine));
+    corpus.documents.push_back(std::move(delivered));
+  }
+}
+
+}  // namespace
+
+failure_database generated_corpus::to_database() const {
+  failure_database db;
+  for (const auto& d : disengagements) db.add_disengagement(d);
+  for (const auto& m : mileage) db.add_mileage(m);
+  for (const auto& a : accidents) db.add_accident(a);
+  return db;
+}
+
+generated_corpus generate_corpus(const generator_config& config) {
+  rng gen(config.seed);
+  generated_corpus corpus;
+
+  for (const int year : {2016, 2017}) {
+    for (const auto maker : k_all_manufacturers) {
+      auto slice_gen = gen.fork();
+      generate_one_slice(maker, year, config, slice_gen, corpus);
+    }
+  }
+
+  // Accidents: the two fixed case studies count toward Waymo's quotas.
+  auto cs = case_study_accidents();
+  corpus.accidents.insert(corpus.accidents.end(), cs.begin(), cs.end());
+  for (const auto& quota : accident_quotas()) {
+    int count = quota.count;
+    for (const auto& fixed : cs) {
+      if (fixed.maker == quota.maker && fixed.report_year == quota.report_year) --count;
+    }
+    auto acc_gen = gen.fork();
+    generate_accidents(quota.maker, quota.report_year, count, config, acc_gen, corpus);
+  }
+  auto doc_gen = gen.fork();
+  render_accident_documents(config, doc_gen, corpus);
+
+  return corpus;
+}
+
+generated_corpus generate_slice(manufacturer maker, int report_year,
+                                const generator_config& config) {
+  rng gen(config.seed);
+  generated_corpus corpus;
+  auto slice_gen = gen.fork();
+  generate_one_slice(maker, report_year, config, slice_gen, corpus);
+  for (const auto& quota : accident_quotas()) {
+    if (quota.maker != maker || quota.report_year != report_year) continue;
+    auto acc_gen = gen.fork();
+    generate_accidents(maker, report_year, quota.count, config, acc_gen, corpus);
+  }
+  auto doc_gen = gen.fork();
+  render_accident_documents(config, doc_gen, corpus);
+  return corpus;
+}
+
+}  // namespace avtk::dataset

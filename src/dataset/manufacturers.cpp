@@ -1,0 +1,73 @@
+#include "dataset/manufacturers.h"
+
+#include "util/errors.h"
+#include "util/strings.h"
+
+namespace avtk::dataset {
+
+std::string_view manufacturer_name(manufacturer m) {
+  switch (m) {
+    case manufacturer::mercedes_benz: return "Mercedes-Benz";
+    case manufacturer::bosch: return "Bosch";
+    case manufacturer::delphi: return "Delphi";
+    case manufacturer::gm_cruise: return "GM Cruise";
+    case manufacturer::nissan: return "Nissan";
+    case manufacturer::tesla: return "Tesla";
+    case manufacturer::volkswagen: return "Volkswagen";
+    case manufacturer::waymo: return "Waymo";
+    case manufacturer::uber_atc: return "Uber ATC";
+    case manufacturer::honda: return "Honda";
+    case manufacturer::ford: return "Ford";
+    case manufacturer::bmw: return "BMW";
+  }
+  throw logic_error("unreachable manufacturer");
+}
+
+std::string_view manufacturer_short_name(manufacturer m) {
+  switch (m) {
+    case manufacturer::mercedes_benz: return "Benz";
+    case manufacturer::gm_cruise: return "GMCruise";
+    case manufacturer::uber_atc: return "Uber";
+    default: return manufacturer_name(m);
+  }
+}
+
+std::string_view manufacturer_id(manufacturer m) {
+  switch (m) {
+    case manufacturer::mercedes_benz: return "mercedes_benz";
+    case manufacturer::bosch: return "bosch";
+    case manufacturer::delphi: return "delphi";
+    case manufacturer::gm_cruise: return "gm_cruise";
+    case manufacturer::nissan: return "nissan";
+    case manufacturer::tesla: return "tesla";
+    case manufacturer::volkswagen: return "volkswagen";
+    case manufacturer::waymo: return "waymo";
+    case manufacturer::uber_atc: return "uber_atc";
+    case manufacturer::honda: return "honda";
+    case manufacturer::ford: return "ford";
+    case manufacturer::bmw: return "bmw";
+  }
+  throw logic_error("unreachable manufacturer");
+}
+
+std::optional<manufacturer> manufacturer_from_string(std::string_view s) {
+  const auto t = str::trim(s);
+  for (const auto m : k_all_manufacturers) {
+    if (str::iequals(t, manufacturer_name(m)) || str::iequals(t, manufacturer_short_name(m)) ||
+        str::iequals(t, manufacturer_id(m))) {
+      return m;
+    }
+  }
+  if (str::iequals(t, "Google") || str::iequals(t, "Waymo (Google)")) return manufacturer::waymo;
+  if (str::iequals(t, "GMCruise") || str::iequals(t, "GM") || str::iequals(t, "Cruise")) {
+    return manufacturer::gm_cruise;
+  }
+  if (str::iequals(t, "Mercedes") || str::iequals(t, "Mercedes Benz")) {
+    return manufacturer::mercedes_benz;
+  }
+  if (str::iequals(t, "Uber")) return manufacturer::uber_atc;
+  if (str::iequals(t, "VW")) return manufacturer::volkswagen;
+  return std::nullopt;
+}
+
+}  // namespace avtk::dataset

@@ -1,0 +1,56 @@
+// avtk/dataset/manufacturers.h
+//
+// The twelve manufacturers present in the CA DMV 2016/2017 releases, with
+// the naming used throughout the paper's tables.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+namespace avtk::dataset {
+
+enum class manufacturer {
+  mercedes_benz,
+  bosch,
+  delphi,
+  gm_cruise,
+  nissan,
+  tesla,
+  volkswagen,
+  waymo,
+  uber_atc,
+  honda,
+  ford,
+  bmw,
+};
+
+inline constexpr std::array<manufacturer, 12> k_all_manufacturers = {
+    manufacturer::mercedes_benz, manufacturer::bosch,  manufacturer::delphi,
+    manufacturer::gm_cruise,     manufacturer::nissan, manufacturer::tesla,
+    manufacturer::volkswagen,    manufacturer::waymo,  manufacturer::uber_atc,
+    manufacturer::honda,         manufacturer::ford,   manufacturer::bmw,
+};
+
+/// The eight manufacturers with enough disengagements for statistical
+/// analysis (the paper drops Uber, BMW, Ford and Honda).
+inline constexpr std::array<manufacturer, 8> k_analyzed_manufacturers = {
+    manufacturer::mercedes_benz, manufacturer::volkswagen, manufacturer::waymo,
+    manufacturer::delphi,        manufacturer::nissan,     manufacturer::bosch,
+    manufacturer::gm_cruise,     manufacturer::tesla,
+};
+
+/// Paper-style display name ("Mercedes-Benz", "GM Cruise", "Waymo").
+std::string_view manufacturer_name(manufacturer m);
+
+/// Short name as used in figure axes ("Benz", "GMCruise").
+std::string_view manufacturer_short_name(manufacturer m);
+
+/// Stable machine identifier ("mercedes_benz").
+std::string_view manufacturer_id(manufacturer m);
+
+/// Parses any of the above spellings (plus "Google" for Waymo),
+/// case-insensitively.
+std::optional<manufacturer> manufacturer_from_string(std::string_view s);
+
+}  // namespace avtk::dataset

@@ -1,0 +1,223 @@
+#include "dataset/phrase_bank.h"
+
+#include "util/errors.h"
+
+namespace avtk::dataset {
+
+namespace {
+
+using nlp::fault_tag;
+
+const std::vector<std::string>& shells() {
+  static const std::vector<std::string> texts = {
+      "Driver safely disengaged and resumed manual control.",
+      "Test driver took immediate manual control of the vehicle.",
+      "Safety driver disengaged autonomous mode as a precaution.",
+      "Driver assumed manual control without incident.",
+  };
+  return texts;
+}
+
+}  // namespace
+
+const std::vector<std::string>& descriptions_for(nlp::fault_tag tag) {
+  static const std::vector<std::string> empty;
+
+  static const std::vector<std::string> environment = {
+      "Disengage for a recklessly behaving road user.",
+      "Undetected construction zone forced a takeover.",
+      "Emergency vehicle approaching with siren; disengage required.",
+      "Heavy rain degraded visibility of the roadway.",
+      "Sun glare on the roadway during late afternoon operation.",
+      "Road debris in the travel lane.",
+      "Erratic pedestrian stepped off the curb unexpectedly.",
+      "Jaywalking pedestrian crossed mid-block.",
+      "Cyclist swerved into the vehicle path.",
+      "Lane closure with cones not present on prior maps.",
+      "Accident ahead in adjacent lane created unusual traffic flow.",
+  };
+  static const std::vector<std::string> computer_system = {
+      "Processor overload on the compute platform.",
+      "High CPU load caused delayed perception output.",
+      "Memory exhaustion on the primary compute unit.",
+      "GPU fault detected during inference.",
+      "Compute unit failure; fallback engaged.",
+      "System resource exhaustion led to a degraded state.",
+      "Overheating compute enclosure triggered throttling.",
+      "Hardware fault reported by the platform monitor.",
+  };
+  static const std::vector<std::string> recognition = {
+      "The AV didn't see the lead vehicle.",
+      "Perception system failed to detect the traffic light state.",
+      "Incorrect detection of lane marking on faded pavement.",
+      "Failed to classify an object on the road shoulder.",
+      "Recognition system failed to recognize a stop sign in time.",
+      "Misdetected obstacle in the adjacent lane.",
+      "Missed detection of a merging vehicle.",
+      "False obstacle reported by the perception system.",
+      "Object detection confidence dropped below threshold.",
+      "Failed to detect a pedestrian at the crosswalk in time.",
+  };
+  static const std::vector<std::string> planner = {
+      "Planner failed to anticipate the other driver's behavior.",
+      "Improper motion plan through the intersection.",
+      "Trajectory planning error during the lane change.",
+      "Motion planning produced an infeasible path around the obstruction.",
+      "Unwanted maneuver planned in heavy traffic.",
+      "Path planning selected an uncomfortable maneuver.",
+      "Planning error left insufficient gap to the lead vehicle.",
+  };
+  static const std::vector<std::string> sensor = {
+      "Sensor failed to localize in time.",
+      "Localization failure in the tunnel section.",
+      "LIDAR dropout during operation.",
+      "RADAR malfunction reported by the sensor monitor.",
+      "GPS signal lost under the overpass.",
+      "Camera blackout for several frames.",
+      "Sensor data corruption detected on the primary channel.",
+      "Calibration drift on the forward sensor suite.",
+      "Sensor reading invalid; redundant channel disagreed.",
+  };
+  static const std::vector<std::string> network = {
+      "Data rate too high to be handled by the network.",
+      "Network latency spike between perception and planning modules.",
+      "CAN bus overload dropped actuation messages.",
+      "Communication timeout between compute nodes.",
+      "Network failure on the internal bus.",
+      "Message loss on bus during high traffic.",
+      "Bandwidth exceeded on the sensor data link.",
+  };
+  static const std::vector<std::string> design_bug = {
+      "AV was not designed to handle an unforeseen situation.",
+      "Unexpected scenario outside the operational design domain.",
+      "Design limitation encountered at the unprotected left turn.",
+      "Unhandled corner case in the merge logic.",
+      "Scenario beyond system capability: oncoming vehicle in shared lane.",
+      "Unforeseen situation involving a double-parked truck.",
+  };
+  static const std::vector<std::string> software = {
+      "Software module froze.",
+      "Software crash in the planning process.",
+      "Software hang; module restart required.",
+      "Software bug produced invalid output.",
+      "Process crashed and restarted automatically.",
+      "Application error in the vehicle interface.",
+      "Software fault in the map-matching component.",
+      "Software exception in the perception pipeline.",
+  };
+  static const std::vector<std::string> controller_system = {
+      "AV controller did not respond to commands.",
+      "Controller unresponsive during the lane keep maneuver.",
+      "Steering command ignored by the actuation layer.",
+      "Brake command ignored; driver intervened.",
+      "Throttle command ignored by the drive-by-wire unit.",
+      "Actuation fault on the steering interface.",
+  };
+  static const std::vector<std::string> controller_ml = {
+      "Controller made a wrong decision at the intersection.",
+      "Incorrect decision by the AV controller in merging traffic.",
+      "Poor decision in a complex traffic scenario.",
+      "Wrong action chosen when the light turned yellow.",
+      "Untimely decision while yielding to cross traffic.",
+      "Controller decision error during the unprotected turn.",
+  };
+  static const std::vector<std::string> hang_crash = {
+      "Takeover-Request - watchdog error.",
+      "Watchdog timer expired on the control computer.",
+      "Watchdog timeout triggered a takeover request.",
+      "Watchdog reset of the autonomous driving computer.",
+  };
+  static const std::vector<std::string> behavior_prediction = {
+      "Incorrect behavior prediction for the adjacent vehicle.",
+      "Failed to predict behavior of the merging truck.",
+      "Behavior prediction error for cross traffic.",
+      "Mispredicted vehicle cutting into the lane.",
+      "Incorrect prediction of a vehicle running the red light.",
+  };
+
+  switch (tag) {
+    case fault_tag::environment: return environment;
+    case fault_tag::computer_system: return computer_system;
+    case fault_tag::recognition_system: return recognition;
+    case fault_tag::planner: return planner;
+    case fault_tag::sensor: return sensor;
+    case fault_tag::network: return network;
+    case fault_tag::design_bug: return design_bug;
+    case fault_tag::software: return software;
+    case fault_tag::av_controller_system: return controller_system;
+    case fault_tag::av_controller_ml: return controller_ml;
+    case fault_tag::hang_crash: return hang_crash;
+    case fault_tag::incorrect_behavior_prediction: return behavior_prediction;
+    case fault_tag::unknown: return empty;
+  }
+  throw logic_error("unreachable fault_tag");
+}
+
+const std::vector<std::string>& vague_descriptions() {
+  // Must contain no failure-dictionary keywords: the classifier should
+  // yield Unknown-T on every one of these.
+  static const std::vector<std::string> texts = {
+      "Disengagement reported.",
+      "Event logged during testing.",
+      "Takeover occurred; no further details provided.",
+      "Disengaged during normal operation.",
+      "No additional information available.",
+      "Event recorded per reporting requirement.",
+  };
+  return texts;
+}
+
+std::string sample_description(nlp::fault_tag tag, rng& gen, double shell_probability) {
+  const auto& options = descriptions_for(tag);
+  if (options.empty()) return sample_vague_description(gen);
+  std::string text = gen.pick(options);
+  if (shell_probability > 0 && gen.bernoulli(shell_probability)) {
+    text += ' ';
+    text += gen.pick(shells());
+  }
+  return text;
+}
+
+std::string sample_vague_description(rng& gen) { return gen.pick(vague_descriptions()); }
+
+std::vector<std::pair<nlp::fault_tag, double>> tag_weights(cause_group group,
+                                                           bool watchdog_heavy) {
+  switch (group) {
+    case cause_group::perception:
+      return {{fault_tag::recognition_system, 0.70}, {fault_tag::environment, 0.30}};
+    case cause_group::planner_controller:
+      return {{fault_tag::planner, 0.50},
+              {fault_tag::incorrect_behavior_prediction, 0.28},
+              {fault_tag::design_bug, 0.14},
+              {fault_tag::av_controller_ml, 0.08}};
+    case cause_group::system:
+      if (watchdog_heavy) {
+        // Volkswagen's System share is dominated by watchdog takeovers
+        // (Table II's "Takeover-Request - watchdog error").
+        return {{fault_tag::hang_crash, 0.55},
+                {fault_tag::software, 0.25},
+                {fault_tag::computer_system, 0.12},
+                {fault_tag::sensor, 0.05},
+                {fault_tag::network, 0.03}};
+      }
+      return {{fault_tag::software, 0.42},
+              {fault_tag::computer_system, 0.20},
+              {fault_tag::sensor, 0.18},
+              {fault_tag::hang_crash, 0.07},
+              {fault_tag::network, 0.06},
+              {fault_tag::av_controller_system, 0.07}};
+    case cause_group::unknown:
+      return {{fault_tag::unknown, 1.0}};
+  }
+  throw logic_error("unreachable cause_group");
+}
+
+nlp::fault_tag sample_tag(cause_group group, rng& gen, bool watchdog_heavy) {
+  const auto weights = tag_weights(group, watchdog_heavy);
+  std::vector<double> w;
+  w.reserve(weights.size());
+  for (const auto& [tag, weight] : weights) w.push_back(weight);
+  return weights[gen.categorical(w)].first;
+}
+
+}  // namespace avtk::dataset

@@ -1,0 +1,46 @@
+// avtk/dataset/phrase_bank.h
+//
+// Free-text cause descriptions for each fault tag — the raw material the
+// corpus generator writes into disengagement logs and the NLP classifier
+// must map back to tags. Templates are phrased the way real DMV logs read
+// (Table II of the paper), and every template carries enough keyword signal
+// for the builtin failure dictionary to recover its tag.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nlp/ontology.h"
+#include "util/rng.h"
+
+namespace avtk::dataset {
+
+/// Cause-description templates for `tag`. Non-empty for every tag except
+/// `unknown` (vague texts come from `vague_descriptions()`).
+const std::vector<std::string>& descriptions_for(nlp::fault_tag tag);
+
+/// Deliberately uninformative descriptions (Tesla-style) that the
+/// classifier must map to Unknown-T.
+const std::vector<std::string>& vague_descriptions();
+
+/// Draws one description for `tag`, with the narrative shell ("driver
+/// safely disengaged and resumed manual control") appended with
+/// probability `shell_probability`.
+std::string sample_description(nlp::fault_tag tag, rng& gen, double shell_probability = 0.5);
+
+/// Draws a vague description.
+std::string sample_vague_description(rng& gen);
+
+/// The four cause groups the generator samples from (Table IV's columns).
+enum class cause_group { perception, planner_controller, system, unknown };
+
+/// Within-group tag weights used by the generator: how a group's
+/// disengagements spread over its tags. `watchdog_heavy` selects the
+/// Volkswagen-style System profile dominated by watchdog errors.
+std::vector<std::pair<nlp::fault_tag, double>> tag_weights(cause_group group,
+                                                           bool watchdog_heavy = false);
+
+/// Draws a fault tag for a cause group.
+nlp::fault_tag sample_tag(cause_group group, rng& gen, bool watchdog_heavy = false);
+
+}  // namespace avtk::dataset

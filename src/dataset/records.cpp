@@ -1,0 +1,101 @@
+#include "dataset/records.h"
+
+#include <cmath>
+
+#include "util/errors.h"
+#include "util/strings.h"
+
+namespace avtk::dataset {
+
+std::string_view modality_name(modality m) {
+  switch (m) {
+    case modality::automatic: return "Automatic";
+    case modality::manual: return "Manual";
+    case modality::planned: return "Planned";
+    case modality::unknown: return "Unknown";
+  }
+  throw logic_error("unreachable modality");
+}
+
+std::optional<modality> modality_from_string(std::string_view s) {
+  const auto t = str::trim(s);
+  if (str::iequals(t, "Automatic") || str::iequals(t, "Auto") ||
+      str::icontains(t, "initiated by the av") || str::iequals(t, "ADS")) {
+    return modality::automatic;
+  }
+  if (str::iequals(t, "Manual") || str::iequals(t, "Driver") ||
+      str::icontains(t, "initiated by the driver") || str::iequals(t, "Safe Operation")) {
+    return modality::manual;
+  }
+  if (str::iequals(t, "Planned") || str::icontains(t, "planned test")) return modality::planned;
+  if (str::iequals(t, "Unknown") || t.empty()) return modality::unknown;
+  return std::nullopt;
+}
+
+std::string_view road_type_name(road_type r) {
+  switch (r) {
+    case road_type::city_street: return "City Street";
+    case road_type::highway: return "Highway";
+    case road_type::interstate: return "Interstate";
+    case road_type::freeway: return "Freeway";
+    case road_type::parking_lot: return "Parking Lot";
+    case road_type::suburban: return "Suburban";
+    case road_type::rural: return "Rural";
+    case road_type::urban: return "Urban";
+    case road_type::unknown: return "Unknown";
+  }
+  throw logic_error("unreachable road_type");
+}
+
+std::optional<road_type> road_type_from_string(std::string_view s) {
+  const auto t = str::trim(s);
+  if (t.empty() || str::iequals(t, "Unknown")) return road_type::unknown;
+  if (str::icontains(t, "city") || str::icontains(t, "street")) return road_type::city_street;
+  if (str::icontains(t, "interstate")) return road_type::interstate;
+  if (str::icontains(t, "freeway")) return road_type::freeway;
+  if (str::icontains(t, "highway")) return road_type::highway;
+  if (str::icontains(t, "parking")) return road_type::parking_lot;
+  if (str::icontains(t, "suburban")) return road_type::suburban;
+  if (str::icontains(t, "rural")) return road_type::rural;
+  if (str::icontains(t, "urban")) return road_type::urban;
+  return std::nullopt;
+}
+
+std::string_view weather_name(weather w) {
+  switch (w) {
+    case weather::sunny: return "Sunny";
+    case weather::cloudy: return "Cloudy";
+    case weather::rainy: return "Rainy";
+    case weather::overcast: return "Overcast";
+    case weather::foggy: return "Foggy";
+    case weather::clear_night: return "Clear Night";
+    case weather::unknown: return "Unknown";
+  }
+  throw logic_error("unreachable weather");
+}
+
+std::optional<weather> weather_from_string(std::string_view s) {
+  const auto t = str::trim(s);
+  if (t.empty() || str::iequals(t, "Unknown")) return weather::unknown;
+  if (str::icontains(t, "sun")) return weather::sunny;
+  if (str::icontains(t, "rain") || str::icontains(t, "wet")) return weather::rainy;
+  if (str::icontains(t, "overcast")) return weather::overcast;
+  if (str::icontains(t, "cloud")) return weather::cloudy;
+  if (str::icontains(t, "fog")) return weather::foggy;
+  if (str::icontains(t, "night")) return weather::clear_night;
+  if (str::icontains(t, "dry") || str::icontains(t, "clear")) return weather::sunny;
+  return std::nullopt;
+}
+
+std::optional<year_month> disengagement_record::month_bucket() const {
+  if (event_month) return event_month;
+  if (event_date) return year_month{event_date->year, event_date->month};
+  return std::nullopt;
+}
+
+std::optional<double> accident_record::relative_speed_mph() const {
+  if (!av_speed_mph || !other_speed_mph) return std::nullopt;
+  return std::fabs(*av_speed_mph - *other_speed_mph);
+}
+
+}  // namespace avtk::dataset

@@ -1,0 +1,118 @@
+// avtk/dataset/records.h
+//
+// The normalized record schema every manufacturer-specific report is parsed
+// into (Stage II's output). Fields the DMV does not mandate are optional —
+// reports genuinely omit them, and the analysis code must cope.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataset/manufacturers.h"
+#include "nlp/ontology.h"
+#include "util/dates.h"
+
+namespace avtk::dataset {
+
+/// Who / what initiated the disengagement (Table V's modality).
+enum class modality {
+  automatic,  ///< the ADS handed back control
+  manual,     ///< the safety driver took control
+  planned,    ///< part of a planned test campaign
+  unknown,
+};
+
+std::string_view modality_name(modality m);
+std::optional<modality> modality_from_string(std::string_view s);
+
+/// Road type taxonomy used in the reports (9 distinct types per §III-C).
+enum class road_type {
+  city_street,
+  highway,
+  interstate,
+  freeway,
+  parking_lot,
+  suburban,
+  rural,
+  urban,
+  unknown,
+};
+
+std::string_view road_type_name(road_type r);
+std::optional<road_type> road_type_from_string(std::string_view s);
+
+/// Weather conditions, where reported.
+enum class weather {
+  sunny,
+  cloudy,
+  rainy,
+  overcast,
+  foggy,
+  clear_night,
+  unknown,
+};
+
+std::string_view weather_name(weather w);
+std::optional<weather> weather_from_string(std::string_view s);
+
+/// One disengagement event, normalized.
+struct disengagement_record {
+  manufacturer maker = manufacturer::waymo;
+  int report_year = 0;                       ///< DMV release: 2016 or 2017
+  std::optional<date> event_date;            ///< full date when reported
+  std::optional<year_month> event_month;     ///< month granularity (Waymo style)
+  std::string vehicle_id;                    ///< empty when redacted/absent
+  modality mode = modality::unknown;
+  std::string description;                   ///< free-text cause
+  road_type road = road_type::unknown;
+  weather conditions = weather::unknown;
+  std::optional<double> reaction_time_s;     ///< driver reaction time
+
+  /// Filled by Stage III (NLP labeling).
+  nlp::fault_tag tag = nlp::fault_tag::unknown;
+  nlp::failure_category category = nlp::failure_category::unknown;
+
+  /// Month bucket for aggregation: event_month, else event_date's month.
+  std::optional<year_month> month_bucket() const;
+};
+
+/// Monthly autonomous mileage for one vehicle.
+struct mileage_record {
+  manufacturer maker = manufacturer::waymo;
+  int report_year = 0;
+  std::string vehicle_id;
+  year_month month;
+  double miles = 0.0;
+};
+
+/// One accident (OL-316-style report), normalized.
+struct accident_record {
+  manufacturer maker = manufacturer::waymo;
+  int report_year = 0;
+  std::optional<date> event_date;
+  std::string vehicle_id;                 ///< often redacted -> empty
+  std::string location;
+  std::string description;               ///< narrative text
+  std::optional<double> av_speed_mph;
+  std::optional<double> other_speed_mph;
+  bool av_in_autonomous_mode = true;
+  bool rear_end = false;                  ///< rear-end collision
+  bool near_intersection = false;
+  bool injuries = false;
+
+  /// |av - other| speed when both are known.
+  std::optional<double> relative_speed_mph() const;
+};
+
+/// Per-manufacturer per-release summary (Table I's row material).
+struct fleet_summary {
+  manufacturer maker = manufacturer::waymo;
+  int report_year = 0;
+  std::optional<int> cars;
+  std::optional<double> miles;
+  std::optional<long long> disengagements;
+  std::optional<long long> accidents;
+};
+
+}  // namespace avtk::dataset

@@ -1,0 +1,333 @@
+#include "dataset/report_writers.h"
+
+#include <cstdio>
+
+#include "dataset/ground_truth.h"
+#include "util/csv.h"
+#include "util/errors.h"
+#include "util/strings.h"
+
+namespace avtk::dataset {
+
+namespace {
+
+std::string fmt_miles(double miles) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", miles);
+  return buf;
+}
+
+std::string fmt_mph(double mph) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", mph);
+  return buf;
+}
+
+std::string fmt_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", s);
+  return buf;
+}
+
+std::string fmt_date_us(const date& d) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02u/%02u/%04d", d.month, d.day, d.year);
+  return buf;
+}
+
+std::string fmt_date_us_short(const date& d) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u/%u/%02d", d.month, d.day, d.year % 100);
+  return buf;
+}
+
+std::string fmt_month_dash(const year_month& ym) {
+  // Waymo style: "May-16".
+  return std::string(dates::month_abbrev(ym.month)) + "-" + std::to_string(ym.year % 100);
+}
+
+std::string fmt_month_name(const year_month& ym) {
+  // "Nov 2014".
+  return std::string(dates::month_abbrev(ym.month)) + " " + std::to_string(ym.year);
+}
+
+std::string fmt_time_12h(std::int32_t seconds_of_day) {
+  const int h24 = seconds_of_day / 3600;
+  const int m = (seconds_of_day / 60) % 60;
+  const int h12 = h24 % 12 == 0 ? 12 : h24 % 12;
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%d:%02d %s", h12, m, h24 < 12 ? "AM" : "PM");
+  return buf;
+}
+
+std::string fmt_time_24h(std::int32_t seconds_of_day) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d", seconds_of_day / 3600,
+                (seconds_of_day / 60) % 60, seconds_of_day % 60);
+  return buf;
+}
+
+void push_header(ocr::page& p, manufacturer maker, int report_year) {
+  const auto period = ground_truth::period_for_release(report_year);
+  p.lines.push_back(std::string(manufacturer_name(maker)) +
+                    " Autonomous Vehicle Disengagement Report");
+  p.lines.push_back("DMV Release: " + std::to_string(report_year));
+  p.lines.push_back("Reporting Period: " + period.first.to_pretty_string() + " to " +
+                    period.last.to_pretty_string());
+  p.lines.push_back("");
+}
+
+// The per-record seconds-of-day is synthesized from stable record content
+// so the writers stay pure functions of their inputs.
+std::int32_t synth_time_of_day(const disengagement_record& e) {
+  std::size_t h = std::hash<std::string>{}(e.description + e.vehicle_id);
+  if (e.event_date) h ^= static_cast<std::size_t>(e.event_date->to_days());
+  // Business-hours bias: 07:00..19:59.
+  const int hour = 7 + static_cast<int>(h % 13);
+  const int minute = static_cast<int>((h / 13) % 60);
+  const int sec = static_cast<int>((h / 779) % 60);
+  return hour * 3600 + minute * 60 + sec;
+}
+
+std::string modality_marker_waymo(modality m) {
+  // Waymo logs record driver-initiated precautionary takeovers as "Safe
+  // Operation" and system-initiated ones as "Automatic".
+  switch (m) {
+    case modality::manual: return "Safe Operation";
+    case modality::automatic: return "Automatic";
+    case modality::planned: return "Planned";
+    case modality::unknown: return "Unspecified";
+  }
+  throw logic_error("unreachable modality");
+}
+
+void write_benz(ocr::page& p, const std::vector<mileage_record>& mileage,
+                const std::vector<disengagement_record>& events) {
+  p.lines.push_back("SECTION: MILEAGE");
+  p.lines.push_back("VIN,Month,Autonomous Miles");
+  for (const auto& m : mileage) {
+    p.lines.push_back(csv::format_line({m.vehicle_id, m.month.to_string(), fmt_miles(m.miles)}));
+  }
+  p.lines.push_back("SECTION: DISENGAGEMENTS");
+  p.lines.push_back("Date,VIN,Initiated By,Reaction Time (s),Road Type,Weather,Description");
+  for (const auto& e : events) {
+    p.lines.push_back(csv::format_line(
+        {e.event_date ? fmt_date_us(*e.event_date) : "", e.vehicle_id,
+         e.mode == modality::manual ? "Driver" : "ADS",
+         e.reaction_time_s ? fmt_seconds(*e.reaction_time_s) : "",
+         std::string(road_type_name(e.road)), std::string(weather_name(e.conditions)),
+         e.description}));
+  }
+}
+
+void write_bosch(ocr::page& p, const std::vector<mileage_record>& mileage,
+                 const std::vector<disengagement_record>& events) {
+  p.lines.push_back("SECTION: MILEAGE");
+  p.lines.push_back("Vehicle,Month,Miles");
+  for (const auto& m : mileage) {
+    p.lines.push_back(csv::format_line({m.vehicle_id, m.month.to_string(), fmt_miles(m.miles)}));
+  }
+  p.lines.push_back("SECTION: PLANNED TESTS");
+  p.lines.push_back("Date,Vehicle,Test Type,Cause");
+  for (const auto& e : events) {
+    p.lines.push_back(csv::format_line({e.event_date ? fmt_date_us(*e.event_date) : "",
+                                        e.vehicle_id, "Planned Test", e.description}));
+  }
+}
+
+void write_delphi(ocr::page& p, const std::vector<mileage_record>& mileage,
+                  const std::vector<disengagement_record>& events) {
+  p.lines.push_back("MILEAGE");
+  for (const auto& m : mileage) {
+    p.lines.push_back("Mileage: " + m.vehicle_id + " | " + fmt_month_name(m.month) + " | " +
+                      fmt_miles(m.miles));
+  }
+  p.lines.push_back("DISENGAGEMENTS");
+  for (const auto& e : events) {
+    std::string line = "Date: " + (e.event_date ? fmt_date_us_short(*e.event_date) : "unknown");
+    line += " | Vehicle: " + e.vehicle_id;
+    line += std::string(" | Mode: ") + (e.mode == modality::manual ? "Manual" : "Auto");
+    if (e.reaction_time_s) line += " | Reaction: " + fmt_seconds(*e.reaction_time_s) + " s";
+    line += " | Road: " + std::string(road_type_name(e.road));
+    line += " | Weather: " + std::string(weather_name(e.conditions));
+    line += " | Cause: " + e.description;
+    p.lines.push_back(std::move(line));
+  }
+}
+
+void write_gm_cruise(ocr::page& p, const std::vector<mileage_record>& mileage,
+                     const std::vector<disengagement_record>& events) {
+  p.lines.push_back("SECTION: MONTHLY MILES");
+  p.lines.push_back("Vehicle,Month,Miles");
+  for (const auto& m : mileage) {
+    p.lines.push_back(csv::format_line({m.vehicle_id, m.month.to_string(), fmt_miles(m.miles)}));
+  }
+  p.lines.push_back("SECTION: EVENTS");
+  p.lines.push_back("Date,Vehicle,Type,Description");
+  for (const auto& e : events) {
+    p.lines.push_back(csv::format_line({e.event_date ? e.event_date->to_string() : "",
+                                        e.vehicle_id, "Planned Test", e.description}));
+  }
+}
+
+void write_nissan(ocr::page& p, const std::vector<mileage_record>& mileage,
+                  const std::vector<disengagement_record>& events) {
+  p.lines.push_back("AUTONOMOUS MILES");
+  for (const auto& m : mileage) {
+    p.lines.push_back(m.vehicle_id + " -- " + fmt_month_name(m.month) + " -- " +
+                      fmt_miles(m.miles));
+  }
+  p.lines.push_back("DISENGAGEMENTS");
+  for (const auto& e : events) {
+    std::string line = e.event_date ? fmt_date_us_short(*e.event_date) : "unknown";
+    line += " -- " + fmt_time_12h(synth_time_of_day(e));
+    line += " -- " + e.vehicle_id;
+    line += " -- " + e.description;
+    line += " -- " + std::string(road_type_name(e.road));
+    line += " -- " + std::string(weather_name(e.conditions)) + "/Dry";
+    line += std::string(" -- ") + (e.mode == modality::manual ? "Manual" : "Auto");
+    if (e.reaction_time_s) line += " -- " + fmt_seconds(*e.reaction_time_s) + " s";
+    p.lines.push_back(std::move(line));
+  }
+}
+
+void write_tesla(ocr::page& p, const std::vector<mileage_record>& mileage,
+                 const std::vector<disengagement_record>& events) {
+  p.lines.push_back("SECTION: MILEAGE");
+  p.lines.push_back("Vehicle,Month,Miles");
+  for (const auto& m : mileage) {
+    p.lines.push_back(csv::format_line({m.vehicle_id, m.month.to_string(), fmt_miles(m.miles)}));
+  }
+  p.lines.push_back("SECTION: DISENGAGEMENTS");
+  p.lines.push_back("Date,Vehicle,Mode,Reaction Time (s),Description");
+  for (const auto& e : events) {
+    p.lines.push_back(csv::format_line(
+        {e.event_date ? fmt_date_us(*e.event_date) : "", e.vehicle_id,
+         e.mode == modality::manual ? "Manual" : "Auto",
+         e.reaction_time_s ? fmt_seconds(*e.reaction_time_s) : "", e.description}));
+  }
+}
+
+void write_volkswagen(ocr::page& p, const std::vector<mileage_record>& mileage,
+                      const std::vector<disengagement_record>& events) {
+  p.lines.push_back("AUTONOMOUS MILES");
+  for (const auto& m : mileage) {
+    p.lines.push_back(m.vehicle_id + " -- " + fmt_month_name(m.month) + " -- " +
+                      fmt_miles(m.miles));
+  }
+  p.lines.push_back("TAKEOVER LOG");
+  for (const auto& e : events) {
+    std::string line = e.event_date ? fmt_date_us_short(*e.event_date) : "unknown";
+    line += " -- " + fmt_time_24h(synth_time_of_day(e));
+    line += " -- Takeover-Request";
+    line += " -- " + e.description;
+    if (e.reaction_time_s) line += " -- " + fmt_seconds(*e.reaction_time_s) + " s";
+    p.lines.push_back(std::move(line));
+  }
+}
+
+void write_waymo(ocr::page& p, const std::vector<mileage_record>& mileage,
+                 const std::vector<disengagement_record>& events) {
+  p.lines.push_back("MONTHLY AUTONOMOUS MILES");
+  for (const auto& m : mileage) {
+    p.lines.push_back(m.vehicle_id + " -- " + fmt_month_dash(m.month) + " -- " +
+                      fmt_miles(m.miles));
+  }
+  p.lines.push_back("DISENGAGEMENT SUMMARY");
+  for (const auto& e : events) {
+    std::string line = e.event_month ? fmt_month_dash(*e.event_month) : "unknown";
+    line += " -- " + std::string(road_type_name(e.road));
+    line += " -- " + modality_marker_waymo(e.mode);
+    line += " -- " + e.description;
+    if (e.reaction_time_s) line += " -- " + fmt_seconds(*e.reaction_time_s) + " s";
+    p.lines.push_back(std::move(line));
+  }
+}
+
+void write_simple_csv(ocr::page& p, const std::vector<mileage_record>& mileage,
+                      const std::vector<disengagement_record>& events) {
+  // Ford / BMW: late entrants with a minimal format.
+  p.lines.push_back("SECTION: MILEAGE");
+  p.lines.push_back("Vehicle,Month,Miles");
+  for (const auto& m : mileage) {
+    p.lines.push_back(csv::format_line({m.vehicle_id, m.month.to_string(), fmt_miles(m.miles)}));
+  }
+  p.lines.push_back("SECTION: DISENGAGEMENTS");
+  p.lines.push_back("Date,Vehicle,Mode,Description");
+  for (const auto& e : events) {
+    p.lines.push_back(csv::format_line({e.event_date ? fmt_date_us(*e.event_date) : "",
+                                        e.vehicle_id,
+                                        e.mode == modality::manual ? "Manual" : "Auto",
+                                        e.description}));
+  }
+}
+
+}  // namespace
+
+ocr::document render_disengagement_report(manufacturer maker, int report_year,
+                                          const std::vector<mileage_record>& mileage,
+                                          const std::vector<disengagement_record>& events) {
+  ocr::document doc;
+  doc.title = std::string(manufacturer_name(maker)) + " Disengagement Report " +
+              std::to_string(report_year);
+  doc.manufacturer = manufacturer_name(maker);
+  doc.report_year = report_year;
+
+  ocr::page p;
+  push_header(p, maker, report_year);
+
+  switch (maker) {
+    case manufacturer::mercedes_benz: write_benz(p, mileage, events); break;
+    case manufacturer::bosch: write_bosch(p, mileage, events); break;
+    case manufacturer::delphi: write_delphi(p, mileage, events); break;
+    case manufacturer::gm_cruise: write_gm_cruise(p, mileage, events); break;
+    case manufacturer::nissan: write_nissan(p, mileage, events); break;
+    case manufacturer::tesla: write_tesla(p, mileage, events); break;
+    case manufacturer::volkswagen: write_volkswagen(p, mileage, events); break;
+    case manufacturer::waymo: write_waymo(p, mileage, events); break;
+    case manufacturer::honda:
+      p.lines.push_back("No autonomous testing performed during the reporting period.");
+      break;
+    default: write_simple_csv(p, mileage, events); break;
+  }
+
+  doc.pages.push_back(std::move(p));
+  return doc;
+}
+
+ocr::document render_accident_report(const accident_record& accident) {
+  ocr::document doc;
+  doc.title = std::string(manufacturer_name(accident.maker)) + " Accident Report";
+  doc.manufacturer = manufacturer_name(accident.maker);
+  doc.report_year = accident.report_year;
+
+  ocr::page p;
+  p.lines.push_back("STATE OF CALIFORNIA");
+  p.lines.push_back("REPORT OF TRAFFIC COLLISION INVOLVING AN AUTONOMOUS VEHICLE (OL 316)");
+  p.lines.push_back("Manufacturer: " + std::string(manufacturer_name(accident.maker)));
+  p.lines.push_back("DMV Release: " + std::to_string(accident.report_year));
+  p.lines.push_back("Date of Accident: " +
+                    (accident.event_date ? fmt_date_us(*accident.event_date) : "unknown"));
+  p.lines.push_back("Vehicle: " +
+                    (accident.vehicle_id.empty() ? std::string("[REDACTED]") : accident.vehicle_id));
+  p.lines.push_back("Location: " + accident.location);
+  p.lines.push_back("AV Speed (mph): " + (accident.av_speed_mph
+                                              ? fmt_mph(*accident.av_speed_mph)
+                                              : std::string("unknown")));
+  p.lines.push_back("Other Vehicle Speed (mph): " +
+                    (accident.other_speed_mph ? fmt_mph(*accident.other_speed_mph)
+                                              : std::string("unknown")));
+  p.lines.push_back(std::string("Autonomous Mode: ") +
+                    (accident.av_in_autonomous_mode ? "Yes" : "No"));
+  p.lines.push_back(std::string("Collision Type: ") +
+                    (accident.rear_end ? "Rear-End" : "Side-Swipe"));
+  p.lines.push_back(std::string("Near Intersection: ") +
+                    (accident.near_intersection ? "Yes" : "No"));
+  p.lines.push_back(std::string("Injuries: ") + (accident.injuries ? "Yes" : "No"));
+  p.lines.push_back("Description: " + accident.description);
+
+  doc.pages.push_back(std::move(p));
+  return doc;
+}
+
+}  // namespace avtk::dataset

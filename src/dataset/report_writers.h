@@ -1,0 +1,26 @@
+// avtk/dataset/report_writers.h
+//
+// Renders structured events into the heterogeneous per-manufacturer report
+// formats the pipeline must cope with (the DMV "does not enforce any data
+// format specification", §IV). Each writer produces one disengagement
+// report document per (manufacturer, release); accidents are rendered one
+// OL-316-style document each. The matching readers live in src/parse.
+#pragma once
+
+#include <vector>
+
+#include "dataset/records.h"
+#include "ocr/document.h"
+
+namespace avtk::dataset {
+
+/// Renders one manufacturer/release disengagement report (mileage section +
+/// event section) in that manufacturer's format.
+ocr::document render_disengagement_report(manufacturer maker, int report_year,
+                                          const std::vector<mileage_record>& mileage,
+                                          const std::vector<disengagement_record>& events);
+
+/// Renders one accident as an OL-316-style report document.
+ocr::document render_accident_report(const accident_record& accident);
+
+}  // namespace avtk::dataset

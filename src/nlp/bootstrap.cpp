@@ -1,0 +1,106 @@
+#include "nlp/bootstrap.h"
+
+#include <algorithm>
+#include <map>
+
+#include "nlp/classifier.h"
+#include "nlp/ngram.h"
+#include "nlp/stemmer.h"
+#include "nlp/stopwords.h"
+#include "nlp/tokenizer.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace avtk::nlp {
+
+namespace {
+
+std::vector<std::string> stems_of(const std::string& text) {
+  auto words = tokenize_words(text);
+  words = remove_stopwords(words);
+  return stem_all(words);
+}
+
+struct scored_phrase {
+  std::string phrase;     // space-joined stems
+  std::size_t count = 0;
+  std::size_t length = 0;
+  double precision = 0;
+
+  double score() const {
+    return static_cast<double>(count) * static_cast<double>(length) * precision;
+  }
+};
+
+}  // namespace
+
+failure_dictionary bootstrap_dictionary(const std::vector<labeled_description>& corpus,
+                                        const bootstrap_config& config) {
+  // Per-tag and global n-gram counts over stemmed, stopword-free text.
+  std::map<fault_tag, std::map<std::string, std::size_t>> per_tag;
+  std::map<std::string, std::size_t> global;
+  for (const auto& example : corpus) {
+    const auto stems = stems_of(example.text);
+    for (std::size_t n = config.min_ngram; n <= config.max_ngram; ++n) {
+      for (auto& g : ngrams(stems, n)) {
+        ++global[g];
+        ++per_tag[example.tag][g];
+      }
+    }
+  }
+
+  // Candidate phrases are already stemmed, so the dictionary is assembled
+  // through the serialize format (add_phrase would stem a second time).
+  std::string serialized;
+  for (const auto& [tag, counts] : per_tag) {
+    if (tag == fault_tag::unknown) continue;  // negative evidence only
+
+    std::vector<scored_phrase> candidates;
+    for (const auto& [phrase, count] : counts) {
+      if (count < config.min_count) continue;
+      const double precision =
+          static_cast<double>(count) / static_cast<double>(global.at(phrase));
+      if (precision < config.min_precision) continue;
+      candidates.push_back(
+          {phrase, count, str::split_whitespace(phrase).size(), precision});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const scored_phrase& a, const scored_phrase& b) {
+                if (a.score() != b.score()) return a.score() > b.score();
+                return a.phrase < b.phrase;
+              });
+
+    std::vector<std::string> kept;
+    for (const auto& c : candidates) {
+      if (kept.size() >= config.max_phrases_per_tag) break;
+      // Skip phrases subsumed by an already-kept longer phrase: they would
+      // add votes without adding signal.
+      bool subsumed = false;
+      for (const auto& k : kept) {
+        if (k.size() > c.phrase.size() && str::contains(k, c.phrase)) {
+          subsumed = true;
+          break;
+        }
+      }
+      if (subsumed) continue;
+      kept.push_back(c.phrase);
+      const double weight = static_cast<double>(c.length) * c.precision;
+      serialized += std::string(tag_id(tag)) + "\t" + format_number(weight, 10) + "\t" +
+                    c.phrase + "\n";
+    }
+  }
+  return failure_dictionary::deserialize(serialized);
+}
+
+double evaluate_dictionary(const failure_dictionary& dictionary,
+                           const std::vector<labeled_description>& corpus) {
+  if (corpus.empty()) return 0.0;
+  const keyword_voting_classifier cls(dictionary);
+  std::size_t correct = 0;
+  for (const auto& example : corpus) {
+    if (cls.classify(example.text).tag == example.tag) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(corpus.size());
+}
+
+}  // namespace avtk::nlp

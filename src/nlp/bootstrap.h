@@ -1,0 +1,43 @@
+// avtk/nlp/bootstrap.h
+//
+// Automatic dictionary induction: given a labeled corpus of (description,
+// tag) pairs, mine per-tag n-grams and keep the ones that are both frequent
+// within the tag and discriminative against every other tag — the
+// mechanized version of the paper's manual "several passes over the
+// dataset" dictionary construction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nlp/dictionary.h"
+#include "nlp/ontology.h"
+
+namespace avtk::nlp {
+
+/// One labeled training example.
+struct labeled_description {
+  std::string text;
+  fault_tag tag = fault_tag::unknown;
+};
+
+struct bootstrap_config {
+  std::size_t min_ngram = 1;
+  std::size_t max_ngram = 3;
+  std::size_t min_count = 3;          ///< phrase must appear this often in its tag
+  double min_precision = 0.90;        ///< share of the phrase's occurrences in its tag
+  std::size_t max_phrases_per_tag = 25;
+};
+
+/// Induces a dictionary from labeled examples. Examples tagged `unknown`
+/// contribute only as negative evidence (phrases common in unknown text are
+/// rejected by the precision filter).
+failure_dictionary bootstrap_dictionary(const std::vector<labeled_description>& corpus,
+                                        const bootstrap_config& config = {});
+
+/// Classifier accuracy of `dictionary` against labeled data (fraction of
+/// examples whose predicted tag equals the label).
+double evaluate_dictionary(const failure_dictionary& dictionary,
+                           const std::vector<labeled_description>& corpus);
+
+}  // namespace avtk::nlp

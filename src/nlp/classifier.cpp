@@ -1,0 +1,88 @@
+#include "nlp/classifier.h"
+
+#include <algorithm>
+
+#include "nlp/stemmer.h"
+#include "nlp/stopwords.h"
+#include "nlp/tokenizer.h"
+#include "util/strings.h"
+
+namespace avtk::nlp {
+
+keyword_voting_classifier::keyword_voting_classifier(failure_dictionary dictionary)
+    : dictionary_(std::move(dictionary)) {}
+
+std::size_t count_phrase_matches(const std::vector<std::string>& stems,
+                                 const std::vector<std::string>& phrase) {
+  if (phrase.empty() || phrase.size() > stems.size()) return 0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i + phrase.size() <= stems.size(); ++i) {
+    bool match = true;
+    for (std::size_t j = 0; j < phrase.size(); ++j) {
+      if (stems[i + j] != phrase[j]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) ++count;
+  }
+  return count;
+}
+
+tag_scores keyword_voting_classifier::score_all(std::string_view description) const {
+  auto words = tokenize_words(description);
+  words = remove_stopwords(words);
+  const auto stems = stem_all(words);
+
+  tag_scores scores;
+  for (const auto tag : dictionary_.tags()) {
+    double total = 0;
+    for (const auto& phrase : dictionary_.phrases(tag)) {
+      const auto hits = count_phrase_matches(stems, phrase.stems);
+      total += static_cast<double>(hits) * phrase.weight;
+    }
+    if (total > 0) scores[tag] = total;
+  }
+  return scores;
+}
+
+classification keyword_voting_classifier::classify(std::string_view description) const {
+  classification out;
+  const auto scores = score_all(description);
+  if (scores.empty()) return out;  // Unknown-T / Unknown-C defaults
+
+  // Winner = max score; tie broken by the more specific tag (one with the
+  // heaviest single phrase matched), then by enum order for determinism.
+  fault_tag best = fault_tag::unknown;
+  double best_score = 0;
+  for (const auto& [tag, score] : scores) {
+    if (score > best_score) {
+      best = tag;
+      best_score = score;
+    }
+  }
+  double runner_up = 0;
+  for (const auto& [tag, score] : scores) {
+    if (tag != best) runner_up = std::max(runner_up, score);
+  }
+
+  out.tag = best;
+  out.category = category_of(best);
+  out.score = best_score;
+  out.runner_up = runner_up;
+  out.confidence = best_score > 0 ? (best_score - runner_up) / best_score : 0.0;
+
+  // Record which of the winner's phrases matched, for auditability (the
+  // paper's authors manually verified dictionary assignments).
+  auto words = tokenize_words(description);
+  words = remove_stopwords(words);
+  const auto stems = stem_all(words);
+  for (const auto& phrase : dictionary_.phrases(best)) {
+    if (count_phrase_matches(stems, phrase.stems) > 0) {
+      out.matched_phrases.push_back(str::join(phrase.stems, " "));
+    }
+  }
+  return out;
+}
+
+}  // namespace avtk::nlp

@@ -1,0 +1,53 @@
+// avtk/nlp/classifier.h
+//
+// The keyword-voting classifier of Section IV: a disengagement description
+// is tokenized, stopword-filtered and stemmed; every dictionary phrase that
+// appears contiguously in the stemmed token stream casts a weighted vote
+// for its tag; the highest-scoring tag wins. Descriptions matching no
+// phrase are tagged "Unknown-T" and categorized "Unknown-C".
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nlp/dictionary.h"
+#include "nlp/ontology.h"
+
+namespace avtk::nlp {
+
+/// The classifier's verdict for one description.
+struct classification {
+  fault_tag tag = fault_tag::unknown;
+  failure_category category = failure_category::unknown;
+  double score = 0.0;        ///< winning tag's total vote weight
+  double runner_up = 0.0;    ///< second-best tag's weight (0 when none)
+  double confidence = 0.0;   ///< (score - runner_up) / score; 0 for unknown
+  std::vector<std::string> matched_phrases;  ///< stems of winning matches, joined by ' '
+};
+
+/// Scores for every tag (diagnostics / Fig. 6 style breakdowns).
+using tag_scores = std::map<fault_tag, double>;
+
+class keyword_voting_classifier {
+ public:
+  explicit keyword_voting_classifier(failure_dictionary dictionary);
+
+  /// Classifies one free-text description.
+  classification classify(std::string_view description) const;
+
+  /// Raw per-tag vote totals for a description.
+  tag_scores score_all(std::string_view description) const;
+
+  const failure_dictionary& dictionary() const { return dictionary_; }
+
+ private:
+  failure_dictionary dictionary_;
+};
+
+/// Counts contiguous occurrences of `phrase` in `stems`.
+std::size_t count_phrase_matches(const std::vector<std::string>& stems,
+                                 const std::vector<std::string>& phrase);
+
+}  // namespace avtk::nlp

@@ -1,0 +1,62 @@
+// avtk/nlp/dictionary.h
+//
+// The "Failure Dictionary" of Fig. 1 / Section IV: for each fault tag, a
+// set of keyword phrases extracted from raw disengagement logs. Phrases are
+// stored stemmed so the classifier is robust to inflection. The dictionary
+// can be built in code, extended incrementally (the paper's "several passes
+// over the dataset"), and serialized to a simple text format for audit —
+// mirroring the authors' manual verification step.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nlp/ontology.h"
+
+namespace avtk::nlp {
+
+/// One dictionary entry: a stemmed phrase (1..n tokens) voting for a tag
+/// with a weight (longer, more specific phrases get higher weights).
+struct dictionary_phrase {
+  std::vector<std::string> stems;  ///< stemmed, stopword-free tokens in order
+  double weight = 1.0;
+
+  bool operator==(const dictionary_phrase&) const = default;
+};
+
+/// The failure dictionary: tag -> phrases.
+class failure_dictionary {
+ public:
+  failure_dictionary() = default;
+
+  /// Adds a raw phrase for `tag`; it is tokenized, stopword-filtered and
+  /// stemmed. Empty phrases (all stop words) are rejected with
+  /// avtk::logic_error. Weight defaults to the phrase's stemmed length.
+  void add_phrase(fault_tag tag, std::string_view raw_phrase, double weight = 0.0);
+
+  /// All phrases registered for `tag` (empty vector when none).
+  const std::vector<dictionary_phrase>& phrases(fault_tag tag) const;
+
+  /// Tags that have at least one phrase.
+  std::vector<fault_tag> tags() const;
+
+  std::size_t phrase_count() const;
+
+  /// Serializes to a line-oriented format: `tag_id<TAB>weight<TAB>stems...`.
+  std::string serialize() const;
+
+  /// Parses the `serialize` format; throws avtk::parse_error on bad input.
+  static failure_dictionary deserialize(std::string_view text);
+
+  /// The built-in dictionary distilled from the phrase vocabulary observed
+  /// in the DMV logs (Table II/III examples and the report templates). This
+  /// is the dictionary every pipeline run starts from.
+  static failure_dictionary builtin();
+
+ private:
+  std::map<fault_tag, std::vector<dictionary_phrase>> by_tag_;
+};
+
+}  // namespace avtk::nlp

@@ -1,0 +1,84 @@
+#include "nlp/evaluation.h"
+
+#include "util/table.h"
+
+namespace avtk::nlp {
+
+void confusion_matrix::add(fault_tag truth, fault_tag predicted) {
+  ++cells_[{truth, predicted}];
+  ++truth_totals_[truth];
+  ++predicted_totals_[predicted];
+  ++total_;
+}
+
+long long confusion_matrix::count(fault_tag truth, fault_tag predicted) const {
+  const auto it = cells_.find({truth, predicted});
+  return it == cells_.end() ? 0 : it->second;
+}
+
+double confusion_matrix::accuracy() const {
+  if (total_ == 0) return 0;
+  long long trace = 0;
+  for (const auto tag : k_all_fault_tags) trace += count(tag, tag);
+  return static_cast<double>(trace) / static_cast<double>(total_);
+}
+
+confusion_matrix::tag_metrics confusion_matrix::metrics_for(fault_tag tag) const {
+  tag_metrics m;
+  m.tag = tag;
+  const auto truth_it = truth_totals_.find(tag);
+  m.support = truth_it == truth_totals_.end() ? 0 : truth_it->second;
+  const auto tp = count(tag, tag);
+  const auto predicted_it = predicted_totals_.find(tag);
+  const long long predicted = predicted_it == predicted_totals_.end() ? 0 : predicted_it->second;
+  if (predicted > 0) m.precision = static_cast<double>(tp) / static_cast<double>(predicted);
+  if (m.support > 0) m.recall = static_cast<double>(tp) / static_cast<double>(m.support);
+  if (m.precision + m.recall > 0) {
+    m.f1 = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  return m;
+}
+
+std::vector<confusion_matrix::tag_metrics> confusion_matrix::all_metrics() const {
+  std::vector<tag_metrics> out;
+  for (const auto tag : k_all_fault_tags) {
+    const auto m = metrics_for(tag);
+    if (m.support > 0) out.push_back(m);
+  }
+  return out;
+}
+
+double confusion_matrix::macro_f1() const {
+  const auto metrics = all_metrics();
+  if (metrics.empty()) return 0;
+  double sum = 0;
+  for (const auto& m : metrics) sum += m.f1;
+  return sum / static_cast<double>(metrics.size());
+}
+
+std::string confusion_matrix::render() const {
+  text_table t({"Tag", "Support", "Precision", "Recall", "F1"});
+  t.set_title("Classifier quality per fault tag");
+  for (const auto& m : all_metrics()) {
+    std::string name(tag_name(m.tag));
+    if (m.tag == fault_tag::av_controller_ml) name += " (ML)";
+    if (m.tag == fault_tag::av_controller_system) name += " (Sys)";
+    t.add_row({name, std::to_string(m.support), format_number(m.precision, 3),
+               format_number(m.recall, 3), format_number(m.f1, 3)});
+  }
+  std::string out = t.render();
+  out += "micro accuracy: " + format_percent(accuracy(), 1) +
+         ", macro F1: " + format_number(macro_f1(), 3) + "\n";
+  return out;
+}
+
+confusion_matrix evaluate_classifier(const keyword_voting_classifier& classifier,
+                                     const std::vector<labeled_description>& corpus) {
+  confusion_matrix cm;
+  for (const auto& example : corpus) {
+    cm.add(example.tag, classifier.classify(example.text).tag);
+  }
+  return cm;
+}
+
+}  // namespace avtk::nlp

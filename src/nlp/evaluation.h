@@ -1,0 +1,57 @@
+// avtk/nlp/evaluation.h
+//
+// Classifier quality measurement: confusion matrix over fault tags plus the
+// per-tag precision / recall / F1 summary used to validate Stage III (the
+// paper verified its dictionary manually; we measure it).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nlp/bootstrap.h"
+#include "nlp/classifier.h"
+#include "nlp/ontology.h"
+
+namespace avtk::nlp {
+
+/// Counts of (truth, predicted) pairs.
+class confusion_matrix {
+ public:
+  void add(fault_tag truth, fault_tag predicted);
+
+  long long count(fault_tag truth, fault_tag predicted) const;
+  long long total() const { return total_; }
+
+  /// Micro accuracy: trace / total.
+  double accuracy() const;
+
+  /// Per-tag one-vs-rest metrics. Tags never seen as truth or prediction
+  /// report zeros.
+  struct tag_metrics {
+    fault_tag tag = fault_tag::unknown;
+    long long support = 0;   ///< truth occurrences
+    double precision = 0;
+    double recall = 0;
+    double f1 = 0;
+  };
+  tag_metrics metrics_for(fault_tag tag) const;
+  std::vector<tag_metrics> all_metrics() const;  ///< tags with support > 0
+
+  /// Macro-averaged F1 over tags with support.
+  double macro_f1() const;
+
+  std::string render() const;
+
+ private:
+  std::map<std::pair<fault_tag, fault_tag>, long long> cells_;
+  std::map<fault_tag, long long> truth_totals_;
+  std::map<fault_tag, long long> predicted_totals_;
+  long long total_ = 0;
+};
+
+/// Runs `classifier` over a labeled corpus and returns the confusion matrix.
+confusion_matrix evaluate_classifier(const keyword_voting_classifier& classifier,
+                                     const std::vector<labeled_description>& corpus);
+
+}  // namespace avtk::nlp

@@ -1,0 +1,55 @@
+#include "nlp/ngram.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace avtk::nlp {
+
+std::vector<std::string> ngrams(const std::vector<std::string>& tokens, std::size_t n) {
+  std::vector<std::string> out;
+  if (n == 0 || tokens.size() < n) return out;
+  out.reserve(tokens.size() - n + 1);
+  for (std::size_t i = 0; i + n <= tokens.size(); ++i) {
+    std::string g = tokens[i];
+    for (std::size_t j = 1; j < n; ++j) {
+      g += ' ';
+      g += tokens[i + j];
+    }
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+std::map<std::string, std::size_t> ngram_counts(
+    const std::vector<std::vector<std::string>>& corpus, std::size_t min_n, std::size_t max_n) {
+  std::map<std::string, std::size_t> counts;
+  for (const auto& tokens : corpus) {
+    for (std::size_t n = min_n; n <= max_n; ++n) {
+      for (auto& g : ngrams(tokens, n)) ++counts[std::move(g)];
+    }
+  }
+  return counts;
+}
+
+std::vector<phrase_candidate> rank_candidates(const std::map<std::string, std::size_t>& counts,
+                                              std::size_t min_count) {
+  std::vector<phrase_candidate> out;
+  for (const auto& [phrase, count] : counts) {
+    if (count < min_count) continue;
+    phrase_candidate c;
+    c.phrase = phrase;
+    c.count = count;
+    c.length = str::split_whitespace(phrase).size();
+    out.push_back(std::move(c));
+  }
+  std::sort(out.begin(), out.end(), [](const phrase_candidate& a, const phrase_candidate& b) {
+    const std::size_t sa = a.count * a.length;
+    const std::size_t sb = b.count * b.length;
+    if (sa != sb) return sa > sb;
+    return a.phrase < b.phrase;
+  });
+  return out;
+}
+
+}  // namespace avtk::nlp

@@ -1,0 +1,34 @@
+// avtk/nlp/ngram.h
+//
+// N-gram extraction and frequency counting — used by the dictionary
+// bootstrapper to surface candidate phrases from an unlabeled corpus
+// (the paper's "several passes over the dataset to construct a Failure
+// Dictionary").
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace avtk::nlp {
+
+/// All contiguous n-grams of exactly `n` tokens, joined by single spaces.
+std::vector<std::string> ngrams(const std::vector<std::string>& tokens, std::size_t n);
+
+/// Frequency table of all n-grams with n in [min_n, max_n] across a corpus
+/// of token sequences.
+std::map<std::string, std::size_t> ngram_counts(
+    const std::vector<std::vector<std::string>>& corpus, std::size_t min_n, std::size_t max_n);
+
+/// Candidate phrases: n-grams appearing at least `min_count` times, ranked
+/// by count * n (frequent AND specific first).
+struct phrase_candidate {
+  std::string phrase;
+  std::size_t count = 0;
+  std::size_t length = 0;  ///< tokens in the phrase
+};
+std::vector<phrase_candidate> rank_candidates(
+    const std::map<std::string, std::size_t>& counts, std::size_t min_count);
+
+}  // namespace avtk::nlp

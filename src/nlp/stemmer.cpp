@@ -1,0 +1,223 @@
+#include "nlp/stemmer.h"
+
+#include <array>
+#include <utility>
+
+namespace avtk::nlp {
+
+namespace {
+
+// The Porter algorithm operates on a mutable buffer b[0..k]. Indices are
+// signed: j can legitimately reach -1 (empty stem).
+class porter {
+ public:
+  explicit porter(std::string word)
+      : b_(std::move(word)), k_(static_cast<int>(b_.size()) - 1) {}
+
+  std::string run() {
+    if (b_.size() < 3) return b_;
+    step1ab();
+    step1c();
+    step2();
+    step3();
+    step4();
+    step5();
+    return b_.substr(0, static_cast<std::size_t>(k_ + 1));
+  }
+
+ private:
+  std::string b_;
+  int k_ = -1;  // index of last character of the current stem
+  int j_ = -1;  // general offset set by ends()
+
+  char at(int i) const { return b_[static_cast<std::size_t>(i)]; }
+
+  bool is_consonant(int i) const {
+    switch (at(i)) {
+      case 'a': case 'e': case 'i': case 'o': case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !is_consonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure of the stem b[0..j]: number of VC sequences.
+  int measure() const {
+    int n = 0;
+    int i = 0;
+    while (true) {
+      if (i > j_) return n;
+      if (!is_consonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j_) return n;
+        if (is_consonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j_) return n;
+        if (!is_consonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool vowel_in_stem() const {
+    for (int i = 0; i <= j_; ++i) {
+      if (!is_consonant(i)) return true;
+    }
+    return false;
+  }
+
+  bool double_consonant(int i) const {
+    if (i < 1) return false;
+    if (at(i) != at(i - 1)) return false;
+    return is_consonant(i);
+  }
+
+  // cvc(i) — stem ends consonant-vowel-consonant and the final consonant is
+  // not w, x or y; restores an 'e' in words like cav(e), lov(e).
+  bool cvc(int i) const {
+    if (i < 2 || !is_consonant(i) || is_consonant(i - 1) || !is_consonant(i - 2)) return false;
+    const char c = at(i);
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  bool ends(std::string_view s) {
+    const int len = static_cast<int>(s.size());
+    if (len > k_ + 1) return false;
+    if (b_.compare(static_cast<std::size_t>(k_ + 1 - len), s.size(), s) != 0) return false;
+    j_ = k_ - len;
+    return true;
+  }
+
+  void set_to(std::string_view s) {
+    b_.replace(static_cast<std::size_t>(j_ + 1), static_cast<std::size_t>(k_ - j_), s);
+    k_ = j_ + static_cast<int>(s.size());
+  }
+
+  void replace_if_measure(std::string_view s) {
+    if (measure() > 0) set_to(s);
+  }
+
+  void step1ab() {
+    if (at(k_) == 's') {
+      if (ends("sses")) {
+        k_ -= 2;
+      } else if (ends("ies")) {
+        set_to("i");
+      } else if (k_ >= 1 && at(k_ - 1) != 's') {
+        --k_;
+      }
+    }
+    if (ends("eed")) {
+      if (measure() > 0) --k_;
+    } else if ((ends("ed") || ends("ing")) && vowel_in_stem()) {
+      k_ = j_;
+      if (ends("at")) {
+        set_to("ate");
+      } else if (ends("bl")) {
+        set_to("ble");
+      } else if (ends("iz")) {
+        set_to("ize");
+      } else if (double_consonant(k_)) {
+        const char c = at(k_);
+        if (c != 'l' && c != 's' && c != 'z') --k_;
+      } else if (measure() == 1 && cvc(k_)) {
+        j_ = k_;
+        set_to("e");
+      }
+    }
+  }
+
+  void step1c() {
+    if (k_ >= 0 && ends("y") && vowel_in_stem()) b_[static_cast<std::size_t>(k_)] = 'i';
+  }
+
+  void step2() {
+    if (k_ < 0) return;
+    static constexpr std::array<std::pair<std::string_view, std::string_view>, 20> rules = {{
+        {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+        {"izer", "ize"},    {"abli", "able"},   {"alli", "al"},   {"entli", "ent"},
+        {"eli", "e"},       {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+        {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"}, {"fulness", "ful"},
+        {"ousness", "ous"}, {"aliti", "al"},    {"iviti", "ive"},   {"biliti", "ble"},
+    }};
+    for (const auto& [suffix, repl] : rules) {
+      if (ends(suffix)) {
+        replace_if_measure(repl);
+        return;
+      }
+    }
+  }
+
+  void step3() {
+    if (k_ < 0) return;
+    static constexpr std::array<std::pair<std::string_view, std::string_view>, 7> rules = {{
+        {"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+        {"ical", "ic"},  {"ful", ""},   {"ness", ""},
+    }};
+    for (const auto& [suffix, repl] : rules) {
+      if (ends(suffix)) {
+        replace_if_measure(repl);
+        return;
+      }
+    }
+  }
+
+  void step4() {
+    if (k_ < 0) return;
+    static constexpr std::array<std::string_view, 19> suffixes = {
+        "al",    "ance", "ence", "er",  "ic",  "able", "ible", "ant", "ement", "ment",
+        "ent",   "ou",   "ism",  "ate", "iti", "ous",  "ive",  "ize", "ion"};
+    for (const auto suffix : suffixes) {
+      if (ends(suffix)) {
+        if (suffix == "ion") {
+          // -ion only strips after s or t ("adoption", "decision").
+          if (j_ >= 0 && (at(j_) == 's' || at(j_) == 't') && measure() > 1) k_ = j_;
+          return;
+        }
+        if (measure() > 1) k_ = j_;
+        return;
+      }
+    }
+  }
+
+  void step5() {
+    if (k_ < 0) return;
+    // 5a: drop a final e when the measure allows.
+    j_ = k_;
+    if (at(k_) == 'e') {
+      const int m = measure();
+      if (m > 1 || (m == 1 && !cvc(k_ - 1))) --k_;
+    }
+    if (k_ < 0) return;
+    // 5b: -ll -> -l for m > 1.
+    j_ = k_;
+    if (at(k_) == 'l' && double_consonant(k_) && measure() > 1) --k_;
+  }
+};
+
+}  // namespace
+
+std::string stem(std::string_view word) {
+  if (word.size() < 3) return std::string(word);
+  return porter(std::string(word)).run();
+}
+
+std::vector<std::string> stem_all(const std::vector<std::string>& words) {
+  std::vector<std::string> out;
+  out.reserve(words.size());
+  for (const auto& w : words) out.push_back(stem(w));
+  return out;
+}
+
+}  // namespace avtk::nlp

@@ -1,0 +1,21 @@
+// avtk/nlp/stemmer.h
+//
+// Porter (1980) suffix-stripping stemmer. Stemming makes the failure
+// dictionary robust to inflection ("disengaged", "disengaging",
+// "disengagement" all stem to the same root family).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace avtk::nlp {
+
+/// Stems one lower-case word by the classic five-step Porter algorithm.
+/// Words shorter than three characters are returned unchanged.
+std::string stem(std::string_view word);
+
+/// Stems each word in place order.
+std::vector<std::string> stem_all(const std::vector<std::string>& words);
+
+}  // namespace avtk::nlp

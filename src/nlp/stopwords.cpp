@@ -1,0 +1,61 @@
+#include "nlp/stopwords.h"
+
+#include <unordered_set>
+
+namespace avtk::nlp {
+
+namespace {
+
+const std::unordered_set<std::string>& stopword_set() {
+  static const std::unordered_set<std::string> words = {
+      "a",     "an",    "and",   "are",   "as",    "at",    "be",    "by",     "for",
+      "from",  "had",   "has",   "have",  "he",    "her",   "his",   "i",      "in",
+      "is",    "it",    "its",   "of",    "on",    "or",    "that",  "the",    "their",
+      "there", "these", "they",  "this",  "to",    "was",   "we",    "were",   "which",
+      "while", "will",  "with",  "would", "you",   "your",  "not",   "no",     "but",
+      "if",    "then",  "than",  "so",    "such",  "into",  "out",   "up",     "down",
+      "over",  "under", "again", "once",  "here",  "when",  "where", "why",    "how",
+      "all",   "any",   "both",  "each",  "few",   "more",  "most",  "other",  "some",
+      "own",   "same",  "too",   "very",  "can",   "just",  "also",  "after",  "before",
+      "during", "off",  "did",   "do",    "does",  "been",  "being", "because", "about",
+  };
+  return words;
+}
+
+const std::unordered_set<std::string>& boilerplate_set() {
+  // These tokens appear in the fixed narrative shell of nearly every log
+  // line ("driver safely disengaged and resumed manual control") and in
+  // generic AV vocabulary; they are uninformative for tag voting.
+  static const std::unordered_set<std::string> words = {
+      "driver",    "safely",   "disengage", "disengaged", "disengagement", "resumed",
+      "resume",    "manual",   "manually",  "control",    "took",          "take",
+      "taken",     "takeover", "vehicle",   "car",        "av",            "autonomous",
+      "mode",      "test",     "operator",  "precaution", "precautionary", "immediately",
+      "required",  "request",  "operation", "safe",
+  };
+  return words;
+}
+
+}  // namespace
+
+bool is_stopword(std::string_view word) {
+  return stopword_set().contains(std::string(word));
+}
+
+bool is_log_boilerplate(std::string_view word) {
+  return boilerplate_set().contains(std::string(word));
+}
+
+std::vector<std::string> remove_stopwords(const std::vector<std::string>& words,
+                                          bool drop_boilerplate) {
+  std::vector<std::string> out;
+  out.reserve(words.size());
+  for (const auto& w : words) {
+    if (is_stopword(w)) continue;
+    if (drop_boilerplate && is_log_boilerplate(w)) continue;
+    out.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace avtk::nlp

@@ -1,0 +1,26 @@
+// avtk/nlp/stopwords.h
+//
+// English stop-word filtering tuned for disengagement logs: the generic
+// function words plus log boilerplate ("driver", "safely", "resumed",
+// "manual", "control") that carries no fault signal and would otherwise
+// dominate the keyword votes.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace avtk::nlp {
+
+/// True for generic English stop words ("the", "and", ...).
+bool is_stopword(std::string_view word);
+
+/// True for DMV-log boilerplate that appears in nearly every record and
+/// must not influence tag voting ("disengage", "driver", "took", ...).
+bool is_log_boilerplate(std::string_view word);
+
+/// Removes stop words and boilerplate from a token list.
+std::vector<std::string> remove_stopwords(const std::vector<std::string>& words,
+                                          bool drop_boilerplate = true);
+
+}  // namespace avtk::nlp

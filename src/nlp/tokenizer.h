@@ -1,0 +1,30 @@
+// avtk/nlp/tokenizer.h
+//
+// Word tokenizer for disengagement-log text: lower-cases, splits on
+// non-alphanumerics, keeps intra-word hyphens/slashes split apart
+// ("decision-and-control" -> decision, and, control), and preserves
+// number tokens (useful for reaction-time extraction).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace avtk::nlp {
+
+/// One token with its byte offset into the original text.
+struct token {
+  std::string text;        ///< lower-cased token
+  std::size_t offset = 0;  ///< byte offset of the first character
+  bool is_number = false;  ///< token is all digits / decimal point
+
+  bool operator==(const token&) const = default;
+};
+
+/// Tokenizes `text`; never returns empty tokens.
+std::vector<token> tokenize(std::string_view text);
+
+/// Convenience: just the token strings.
+std::vector<std::string> tokenize_words(std::string_view text);
+
+}  // namespace avtk::nlp

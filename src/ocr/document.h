@@ -1,0 +1,47 @@
+// avtk/ocr/document.h
+//
+// Document model for the scanned-report simulation. The real study began
+// from scanned PDFs; we model a document as pages of text lines plus scan
+// metadata. The "scan" step (noise.h) corrupts the text the way a low-
+// resolution scan corrupts glyphs, and the mock OCR engine (engine.h)
+// recovers it with per-line confidence.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace avtk::ocr {
+
+/// How badly degraded the scan is; drives the noise model's error rates.
+enum class scan_quality {
+  clean,     ///< born-digital PDF: near-zero corruption
+  good,      ///< 300 dpi scan: rare confusions
+  fair,      ///< 200 dpi: occasional confusions, rare drops
+  poor,      ///< fax-grade: frequent confusions, drops, merges
+};
+
+/// One page of a scanned document.
+struct page {
+  std::vector<std::string> lines;
+};
+
+/// A multi-page document flowing through the pipeline.
+struct document {
+  std::string title;              ///< e.g. "Waymo Disengagement Report 2016"
+  std::string manufacturer;       ///< canonical manufacturer name
+  int report_year = 0;            ///< DMV release year (2016 or 2017)
+  scan_quality quality = scan_quality::good;
+  std::vector<page> pages;
+
+  /// Total line count across pages.
+  std::size_t line_count() const;
+
+  /// All lines concatenated with '\n' (page breaks become blank lines).
+  std::string full_text() const;
+
+  /// Builds a single-page document from raw text.
+  static document from_text(std::string text);
+};
+
+}  // namespace avtk::ocr

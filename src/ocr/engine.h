@@ -1,0 +1,60 @@
+// avtk/ocr/engine.h
+//
+// The mock OCR engine (the pipeline's stand-in for Google Tesseract).
+// Recognition in this simulation is text-level: the engine receives the
+// corrupted glyph stream and emits recognized lines plus a per-line
+// confidence estimate derived from how much of the line it could anchor to
+// known vocabulary. Lines below a confidence floor are flagged for the
+// "manual transcription" fallback the paper describes for scans Tesseract
+// could not handle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ocr/document.h"
+#include "ocr/postprocess.h"
+
+namespace avtk::ocr {
+
+/// One recognized line.
+struct recognized_line {
+  std::string text;
+  double confidence = 1.0;       ///< 0..1
+  bool needs_manual_review = false;
+};
+
+/// Whole-document recognition result.
+struct recognition_result {
+  std::vector<recognized_line> lines;
+  double mean_confidence = 1.0;
+  std::size_t manual_review_count = 0;
+
+  /// Recognized text joined by newlines.
+  std::string text() const;
+};
+
+/// Engine configuration.
+struct engine_config {
+  double manual_review_threshold = 0.60;  ///< flag lines below this confidence
+  bool apply_postprocess = true;           ///< run lexicon-based correction
+};
+
+class mock_ocr_engine {
+ public:
+  /// The corrector's lexicon decides what "looks like a word" — pass the
+  /// pipeline's vocabulary (failure-dictionary stems + report keywords).
+  mock_ocr_engine(lexicon vocab, engine_config config = {});
+
+  /// Recognizes a (corrupted) document.
+  recognition_result recognize(const document& doc) const;
+
+  /// Recognizes a single line.
+  recognized_line recognize_line(const std::string& line) const;
+
+ private:
+  lexicon vocab_;
+  engine_config config_;
+};
+
+}  // namespace avtk::ocr

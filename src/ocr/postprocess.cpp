@@ -1,0 +1,250 @@
+#include "ocr/postprocess.h"
+
+#include "nlp/dictionary.h"
+#include "nlp/tokenizer.h"
+#include "util/strings.h"
+
+namespace avtk::ocr {
+
+namespace {
+
+// Glyph repairs valid inside numeric context.
+char to_digit(char c) {
+  switch (c) {
+    case 'O': case 'o': return '0';
+    case 'l': case 'I': return '1';
+    case 'S': case 's': return '5';
+    case 'B': return '8';
+    case 'Z': case 'z': return '2';
+    case 'g': case 'q': return '9';
+    case 'b': return '6';
+    default: return c;
+  }
+}
+
+bool is_word_char(char c) { return avtk::str::is_alpha(c) || c == '\''; }
+
+// Repairs digit-confusable glyphs inside a mostly-numeric token, leaving
+// non-confusable characters (true letters, separators) untouched.
+std::string repair_numeric_token_mixed(std::string_view token) {
+  std::string out;
+  out.reserve(token.size());
+  for (char c : token) {
+    out += avtk::str::is_digit(c) ? c : to_digit(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+lexicon::lexicon(std::vector<std::string> words) {
+  for (auto& w : words) add(w);
+}
+
+void lexicon::add(std::string_view word) {
+  if (word.empty()) return;
+  words_.insert(str::to_lower(word));
+}
+
+bool lexicon::contains(std::string_view word) const {
+  return words_.contains(str::to_lower(word));
+}
+
+std::string lexicon::best_match(std::string_view word) const {
+  const std::string lower = str::to_lower(word);
+  if (words_.contains(lower)) return lower;
+  if (lower.size() < 3) return {};  // too short to snap safely
+  std::string found;
+  for (const auto& candidate : words_) {
+    // Cheap length filter before the O(nm) distance.
+    const auto ls = lower.size();
+    const auto cs = candidate.size();
+    if (cs + 1 < ls || ls + 1 < cs) continue;
+    if (str::edit_distance(lower, candidate) <= 1) {
+      if (!found.empty()) return {};  // ambiguous: refuse to correct
+      found = candidate;
+    }
+  }
+  return found;
+}
+
+lexicon lexicon::builtin() {
+  lexicon v;
+  // Report schema keywords.
+  v.add("ads");  // "Initiated By: ADS" — must not be "corrected" to "as"
+  v.add("vin");
+  for (const char* w :
+       {"date", "time", "vin", "vehicle", "miles", "month", "disengagement", "disengagements",
+        "disengage", "disengaged", "accident", "cause", "description", "location", "weather",
+        "driver", "reaction", "initiated", "automatic", "manual", "planned", "autonomous",
+        "mode", "total", "report", "street", "highway", "freeway", "interstate", "parking",
+        "urban", "suburban", "rural", "sunny", "cloudy", "rainy", "overcast", "dry", "wet",
+        "clear", "fog", "city", "road", "conditions", "safely", "resumed", "control",
+        "takeover", "request", "test", "speed", "mph", "rear", "front", "side", "collision",
+        "intersection", "lane", "turn", "stop", "yield", "pedestrian", "cyclist", "passenger"}) {
+    v.add(w);
+  }
+  // Month names and abbreviations.
+  for (const char* w : {"january", "february", "march", "april", "may", "june", "july",
+                        "august", "september", "october", "november", "december", "jan", "feb",
+                        "mar", "apr", "jun", "jul", "aug", "sep", "sept", "oct", "nov", "dec"}) {
+    v.add(w);
+  }
+  // Manufacturer names as they appear in reports.
+  for (const char* w : {"waymo", "google", "bosch", "delphi", "nissan", "mercedes", "benz",
+                        "tesla", "volkswagen", "cruise", "gm", "uber", "ford", "honda", "bmw",
+                        "leaf", "prototype"}) {
+    v.add(w);
+  }
+  // Failure-dictionary vocabulary: every stem plus the raw words of the
+  // builtin phrases (stems alone miss inflected forms seen in logs).
+  const auto dict = nlp::failure_dictionary::builtin();
+  for (const auto tag : dict.tags()) {
+    for (const auto& phrase : dict.phrases(tag)) {
+      for (const auto& s : phrase.stems) v.add(s);
+    }
+  }
+  // Function words and report prose: these appear in nearly every line, so
+  // they dominate the confidence signal.
+  for (const char* w :
+       {"a",    "an",   "and",  "as",    "at",    "by",    "centered", "did",  "didn",
+        "down", "for",  "from", "her",   "his",   "in",    "into",     "it",   "its",
+        "no",   "not",  "of",   "off",   "on",    "or",    "out",      "that", "the",
+        "then", "this", "to",   "under", "up",    "was",   "were",     "with", "while",
+        "again", "also", "after", "before", "during", "near", "over", "several", "twice",
+        "late", "per",  "result", "immediate", "without", "incident", "assumed"}) {
+    v.add(w);
+  }
+  // Vocabulary of the phrase-bank templates (the free-text cause lines).
+  for (const char* w :
+       {"mileage",    "triggered",   "expired",     "undetected", "construction", "forced",
+        "approaching", "siren",      "degraded",    "visibility", "roadway",      "afternoon",
+        "operation",  "debris",      "travel",      "erratic",    "stepped",      "curb",
+        "unexpectedly", "jaywalking", "crossed",    "swerved",    "cones",        "maps",
+        "adjacent",   "unusual",     "traffic",     "flow",       "platform",     "delayed",
+        "output",     "exhaustion",  "primary",     "unit",       "inference",    "fallback",
+        "engaged",    "resource",    "state",       "overheating", "enclosure",   "throttling",
+        "monitor",    "lead",        "faded",       "pavement",   "shoulder",     "obstacle",
+        "merging",    "confidence",  "threshold",   "crosswalk",  "anticipate",   "improper",
+        "infeasible", "obstruction", "unwanted",    "uncomfortable", "insufficient", "gap",
+        "tunnel",     "section",     "frames",      "corruption", "channel",      "drift",
+        "suite",      "invalid",     "redundant",   "disagreed",  "spike",        "modules",
+        "nodes",      "internal",    "messages",    "loss",       "exceeded",     "link",
+        "unprotected", "logic",      "capability",  "oncoming",   "shared",       "double",
+        "parked",     "truck",       "restart",     "automatically", "interface", "map",
+        "matching",   "component",   "pipeline",    "keep",       "maneuver",     "ignored",
+        "intervened", "drive",       "wire",        "faults",     "complex",      "yellow",
+        "yielding",   "cross",       "turn",        "reset",      "driving",      "running",
+        "red",        "light",       "cutting",     "reported",   "recorded",     "logged",
+        "occurred",   "details",     "provided",    "additional", "information",  "available",
+        "requirement", "normal",     "event",       "heavy",      "bus",          "mid",
+        "block",      "closure",     "prior",       "ahead",      "high",         "load",
+        "caused",     "side",        "plan",        "produced",   "selected",     "path",
+        "chose",      "chosen",      "action",      "wrong",      "poor",         "made",
+        "deceleration", "signal",    "lost",        "overpass",   "blackout",     "reading",
+        "dropped",    "packets",     "handled",     "rate",       "data",         "timeout",
+        "scene",      "situation",   "involving",   "beyond",     "outside",      "domain",
+        "operational", "corner",     "case",        "unhandled",  "encountered",  "user"}) {
+    v.add(w);
+  }
+  for (const char* w :
+       {"software", "module", "froze", "watchdog", "error", "processor", "overload", "lidar",
+        "radar", "gps", "camera", "sensor", "network", "latency", "bandwidth", "planner",
+        "planning", "motion", "trajectory", "perception", "recognition", "detection",
+        "detect", "behavior", "prediction", "predict", "recklessly", "behaving", "user",
+        "construction", "zone", "emergency", "localize", "localization", "calibration",
+        "decision", "controller", "unresponsive", "actuation", "command", "hardware",
+        "memory", "crash", "hang", "bug", "system", "failure", "fault", "malfunction",
+        "unforeseen", "situation", "designed", "limitation", "scenario", "glare", "debris",
+        "incorrect", "untimely", "wrong", "vehicles"}) {
+    v.add(w);
+  }
+  return v;
+}
+
+std::string repair_numeric_token(std::string_view token) {
+  // Count digit-ish characters; only rewrite when the token is mostly
+  // numeric already (avoids clobbering real words).
+  std::size_t digits = 0;
+  std::size_t repairable = 0;
+  std::size_t letters = 0;
+  for (char c : token) {
+    if (str::is_digit(c)) {
+      ++digits;
+    } else if (to_digit(c) != c) {
+      ++repairable;
+    } else if (str::is_alpha(c)) {
+      ++letters;
+    }
+  }
+  if (digits == 0 || repairable == 0 || letters > 0) return std::string(token);
+  if (digits < repairable) return std::string(token);  // more junk than signal
+  std::string out;
+  out.reserve(token.size());
+  for (char c : token) out += str::is_digit(c) ? c : to_digit(c);
+  return out;
+}
+
+std::string correct_line(std::string_view line, const lexicon& vocab) {
+  std::string out;
+  out.reserve(line.size());
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (!is_word_char(c) && !str::is_digit(c)) {
+      out += c;
+      ++i;
+      continue;
+    }
+    // A token is a maximal run of letters/digits/apostrophes. Glyph
+    // confusions put digits inside words ("watchd0g") and letters inside
+    // numbers ("2O16"), so the split must not happen at the letter/digit
+    // boundary.
+    const std::size_t start = i;
+    std::size_t letters = 0;
+    std::size_t digits = 0;
+    while (i < line.size() && (is_word_char(line[i]) || str::is_digit(line[i]))) {
+      if (str::is_digit(line[i])) {
+        ++digits;
+      } else if (str::is_alpha(line[i])) {
+        ++letters;
+      }
+      ++i;
+    }
+    const auto token = line.substr(start, i - start);
+    // Only tokens that contain real digits are numeric candidates: an
+    // all-letter token like "so" must not be misread as "50".
+    if (digits > 0 && digits >= letters) {
+      // Mostly numeric: repair digit-confusable letters in place.
+      out += repair_numeric_token_mixed(token);
+      continue;
+    }
+    const auto fixed = vocab.best_match(token);
+    if (!fixed.empty() && !vocab.contains(token)) {
+      // Preserve the original word's leading capitalization.
+      std::string replacement = fixed;
+      if (str::is_alpha(token[0]) && token[0] >= 'A' && token[0] <= 'Z' &&
+          replacement[0] >= 'a' && replacement[0] <= 'z') {
+        replacement[0] = static_cast<char>(replacement[0] - 'a' + 'A');
+      }
+      out += replacement;
+    } else {
+      out += token;
+    }
+  }
+  return out;
+}
+
+double vocabulary_hit_rate(std::string_view line, const lexicon& vocab) {
+  std::size_t words = 0;
+  std::size_t hits = 0;
+  for (const auto& t : nlp::tokenize(line)) {
+    if (t.is_number) continue;
+    ++words;
+    if (vocab.contains(t.text)) ++hits;
+  }
+  if (words == 0) return 1.0;  // an all-numeric line is fine as-is
+  return static_cast<double>(hits) / static_cast<double>(words);
+}
+
+}  // namespace avtk::ocr

@@ -1,0 +1,50 @@
+// avtk/ocr/postprocess.h
+//
+// Lexicon-based OCR post-correction: repairs glyph confusions inside
+// numeric fields ("1O" -> "10"), and snaps near-miss words to a unique
+// lexicon entry within edit distance 1. This is the step that makes the
+// downstream parsers and the NLP tagger robust to residual scan noise.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace avtk::ocr {
+
+/// The correction vocabulary (lower-cased words).
+class lexicon {
+ public:
+  lexicon() = default;
+  explicit lexicon(std::vector<std::string> words);
+
+  void add(std::string_view word);
+  bool contains(std::string_view word) const;
+  std::size_t size() const { return words_.size(); }
+
+  /// The unique lexicon word within edit distance 1 of `word`, or empty
+  /// when none or ambiguous. Exact members return themselves.
+  std::string best_match(std::string_view word) const;
+
+  /// Default vocabulary: report-schema keywords, month names, manufacturer
+  /// names, and the failure-dictionary vocabulary.
+  static lexicon builtin();
+
+ private:
+  std::unordered_set<std::string> words_;
+};
+
+/// Repairs digit/letter confusions in tokens that are mostly digits
+/// ("2O16" -> "2016", "1l/12" -> "11/12").
+std::string repair_numeric_token(std::string_view token);
+
+/// Corrects one line: numeric repair plus lexicon snapping per word.
+/// Non-word characters (separators, punctuation) are preserved verbatim.
+std::string correct_line(std::string_view line, const lexicon& vocab);
+
+/// Fraction of alphabetic words in `line` found in the lexicon — the
+/// engine's confidence signal.
+double vocabulary_hit_rate(std::string_view line, const lexicon& vocab);
+
+}  // namespace avtk::ocr

@@ -1,0 +1,26 @@
+// avtk/parse/accident_parser.h
+//
+// Parses OL-316-style accident reports into normalized accident_records.
+// Fields the DMV redacted (vehicle identification) come back empty, exactly
+// as the paper encountered them ("some of the accident reports were
+// partially redacted ... we cannot compute the APM per vehicle directly").
+#pragma once
+
+#include "dataset/records.h"
+#include "ocr/document.h"
+
+namespace avtk::parse {
+
+struct accident_parse_result {
+  dataset::accident_record record;
+  std::size_t unparsed_fields = 0;   ///< recognized labels whose value failed to parse
+  bool used_manual_fallback = false;
+};
+
+/// Parses one accident document; `manual_fallback` as in the disengagement
+/// parser. Throws avtk::parse_error when the document is not an accident
+/// report or the manufacturer cannot be identified.
+accident_parse_result parse_accident_report(const ocr::document& doc,
+                                            const ocr::document* manual_fallback = nullptr);
+
+}  // namespace avtk::parse

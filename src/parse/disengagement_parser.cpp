@@ -1,0 +1,157 @@
+#include "parse/disengagement_parser.h"
+
+#include <cmath>
+#include <set>
+
+#include "parse/formats/common.h"
+#include "parse/report_header.h"
+#include "util/errors.h"
+#include "util/strings.h"
+
+namespace avtk::parse {
+
+namespace {
+
+// Flattens a document into one vector of lines (page order preserved).
+std::vector<const std::string*> flatten(const ocr::document& doc) {
+  std::vector<const std::string*> lines;
+  for (const auto& p : doc.pages) {
+    for (const auto& l : p.lines) lines.push_back(&l);
+  }
+  return lines;
+}
+
+}  // namespace
+
+disengagement_parse_result parse_disengagement_report(const ocr::document& doc,
+                                                      const ocr::document* manual_fallback) {
+  auto id = identify_report(doc);
+  if ((id.kind != report_kind::disengagement || !id.maker || !id.report_year) &&
+      manual_fallback != nullptr) {
+    // Header too damaged to identify: consult the manual transcription.
+    id = identify_report(*manual_fallback);
+  }
+  if (id.kind != report_kind::disengagement) {
+    throw parse_error("document is not a disengagement report: " + doc.title);
+  }
+  if (!id.maker) throw parse_error("cannot identify manufacturer of: " + doc.title);
+  if (!id.report_year) throw parse_error("cannot identify DMV release of: " + doc.title);
+
+  disengagement_parse_result result;
+  result.maker = *id.maker;
+  result.report_year = *id.report_year;
+
+  const auto reader = formats::reader_for(result.maker);
+  const auto lines = flatten(doc);
+  std::vector<const std::string*> fallback_lines;
+  if (manual_fallback != nullptr) fallback_lines = flatten(*manual_fallback);
+  const bool fallback_usable = fallback_lines.size() == lines.size();
+
+  if (manual_fallback != nullptr && !fallback_usable) {
+    // Structural scan damage (merged table rows): the line-for-line
+    // fallback cannot align, so the whole document goes to manual
+    // transcription — the paper's handling for tables Tesseract could not
+    // segment.
+    auto manual = parse_disengagement_report(*manual_fallback, nullptr);
+    manual.manual_transcriptions = manual.events.size() + manual.mileage.size();
+    return manual;
+  }
+
+  const auto finish = [&](dataset::disengagement_record d) {
+    d.maker = result.maker;
+    d.report_year = result.report_year;
+    result.events.push_back(std::move(d));
+  };
+  const auto finish_mileage = [&](dataset::mileage_record m) {
+    m.maker = result.maker;
+    m.report_year = result.report_year;
+    result.mileage.push_back(std::move(m));
+  };
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto& line = *lines[i];
+    if (str::trim(line).empty() || formats::is_structural_line(line)) {
+      ++result.skipped_lines;
+      continue;
+    }
+    auto parsed = reader(line);
+    if (!parsed && fallback_usable) {
+      // Manual transcription: re-read the pristine line, as the paper did
+      // for documents Tesseract mangled.
+      parsed = reader(*fallback_lines[i]);
+      if (parsed) ++result.manual_transcriptions;
+    }
+    if (!parsed) {
+      // The pristine line might be structural (the delivered copy was too
+      // damaged for is_structural_line to tell).
+      if (fallback_usable && formats::is_structural_line(*fallback_lines[i])) {
+        ++result.skipped_lines;
+      } else {
+        ++result.failed_lines;
+      }
+      continue;
+    }
+    if (parsed->event) finish(std::move(*parsed->event));
+    if (parsed->mileage) finish_mileage(std::move(*parsed->mileage));
+  }
+
+  if (fallback_usable) {
+    // Mileage audit: scan noise can silently corrupt digits (a duplicated
+    // "1" turns 1032 miles into 11032). Re-derive the mileage table from
+    // the manual transcription and compare totals; on mismatch, trust the
+    // transcription (the paper's authors manually verified totals too).
+    std::vector<dataset::mileage_record> pristine_mileage;
+    for (const auto* line : fallback_lines) {
+      if (str::trim(*line).empty() || formats::is_structural_line(*line)) continue;
+      const auto parsed = reader(*line);
+      if (parsed && parsed->mileage) {
+        auto m = *parsed->mileage;
+        m.maker = result.maker;
+        m.report_year = result.report_year;
+        pristine_mileage.push_back(std::move(m));
+      }
+    }
+    double noisy_total = 0;
+    for (const auto& m : result.mileage) noisy_total += m.miles;
+    double pristine_total = 0;
+    for (const auto& m : pristine_mileage) pristine_total += m.miles;
+    const bool row_mismatch = pristine_mileage.size() != result.mileage.size();
+    const bool total_mismatch =
+        pristine_total > 0 &&
+        std::fabs(noisy_total - pristine_total) > 0.001 * pristine_total;
+    // The fleet roster must agree too: a corrupted vehicle id would
+    // otherwise inflate Table I's car count.
+    bool roster_mismatch = false;
+    if (!row_mismatch) {
+      std::set<std::string> noisy_roster;
+      std::set<std::string> pristine_roster;
+      for (const auto& m : result.mileage) noisy_roster.insert(m.vehicle_id);
+      for (const auto& m : pristine_mileage) pristine_roster.insert(m.vehicle_id);
+      roster_mismatch = noisy_roster != pristine_roster;
+    }
+    if (row_mismatch || total_mismatch || roster_mismatch) {
+      result.manual_transcriptions += pristine_mileage.size();
+      result.mileage = std::move(pristine_mileage);
+    }
+
+    // Vehicle-id repair: snap event vehicle ids damaged by scan noise onto
+    // the mileage table's fleet roster (unique match within distance 2).
+    std::set<std::string> roster;
+    for (const auto& m : result.mileage) roster.insert(m.vehicle_id);
+    for (auto& e : result.events) {
+      if (e.vehicle_id.empty() || roster.contains(e.vehicle_id)) continue;
+      std::string best;
+      bool ambiguous = false;
+      for (const auto& candidate : roster) {
+        if (str::edit_distance(e.vehicle_id, candidate) <= 2) {
+          if (!best.empty()) ambiguous = true;
+          best = candidate;
+        }
+      }
+      if (!best.empty() && !ambiguous) e.vehicle_id = best;
+    }
+  }
+  return result;
+}
+
+}  // namespace avtk::parse

@@ -1,0 +1,37 @@
+// avtk/parse/disengagement_parser.h
+//
+// Stage II: parses one manufacturer's disengagement report (in whichever of
+// the heterogeneous formats that manufacturer uses) into normalized
+// records. Parsing is line-oriented and fault-tolerant: a line that cannot
+// be parsed is retried against the "manual transcription" fallback (the
+// paper manually converted documents Tesseract could not handle); lines
+// that still fail are counted, never silently dropped.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dataset/records.h"
+#include "ocr/document.h"
+
+namespace avtk::parse {
+
+struct disengagement_parse_result {
+  dataset::manufacturer maker = dataset::manufacturer::waymo;
+  int report_year = 0;
+  std::vector<dataset::disengagement_record> events;
+  std::vector<dataset::mileage_record> mileage;
+  std::size_t skipped_lines = 0;          ///< headers / section markers
+  std::size_t failed_lines = 0;           ///< unparseable even after fallback
+  std::size_t manual_transcriptions = 0;  ///< lines recovered via fallback
+};
+
+/// Parses `doc`. When `manual_fallback` is non-null it must be the pristine
+/// rendering of the same document (same page/line structure); lines that
+/// fail on the delivered text are retried against it.
+/// Throws avtk::parse_error when the document cannot be identified as a
+/// disengagement report of a known manufacturer.
+disengagement_parse_result parse_disengagement_report(
+    const ocr::document& doc, const ocr::document* manual_fallback = nullptr);
+
+}  // namespace avtk::parse

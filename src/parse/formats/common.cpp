@@ -1,0 +1,111 @@
+#include "parse/formats/common.h"
+
+#include "nlp/tokenizer.h"
+#include "util/errors.h"
+#include "util/strings.h"
+
+namespace avtk::parse::formats {
+
+using dataset::manufacturer;
+
+line_reader reader_for(manufacturer maker) {
+  switch (maker) {
+    case manufacturer::mercedes_benz: return &read_benz_line;
+    case manufacturer::bosch: return &read_bosch_line;
+    case manufacturer::delphi: return &read_delphi_line;
+    case manufacturer::gm_cruise: return &read_gm_cruise_line;
+    case manufacturer::nissan: return &read_nissan_line;
+    case manufacturer::tesla: return &read_tesla_line;
+    case manufacturer::volkswagen: return &read_volkswagen_line;
+    case manufacturer::waymo: return &read_waymo_line;
+    default: return &read_simple_csv_line;
+  }
+}
+
+bool fuzzy_contains_word(std::string_view line, std::string_view word) {
+  const std::string target = str::to_lower(word);
+  for (const auto& t : nlp::tokenize(line)) {
+    if (t.text == target) return true;
+    if (t.text.size() + 1 >= target.size() && target.size() + 1 >= t.text.size() &&
+        str::edit_distance(t.text, target) <= 1) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool is_structural_line(std::string_view line) {
+  const auto trimmed = str::trim(line);
+  if (trimmed.empty()) return true;
+  // Section markers and column headers across all formats.
+  for (const char* word :
+       {"section", "mileage", "disengagements", "disengagement", "takeover", "events",
+        "autonomous", "monthly", "summary", "miles", "reporting", "release", "planned"}) {
+    if (fuzzy_contains_word(trimmed, word)) {
+      // A data line also contains digits somewhere (dates, miles); a pure
+      // marker/header does not — except CSV headers like "Reaction Time (s)"
+      // which contain no digits either.
+      bool has_digit = false;
+      for (char c : trimmed) {
+        if (str::is_digit(c)) {
+          has_digit = true;
+          break;
+        }
+      }
+      if (!has_digit) return true;
+    }
+  }
+  // Header block lines ("DMV Release: 2016", "Reporting Period: ...") carry
+  // digits but START with these labels — data lines never do.
+  {
+    const auto words = str::split_whitespace(trimmed);
+    if (!words.empty()) {
+      const auto first_word = str::to_lower(words[0]);
+      for (const char* label : {"dmv", "reporting"}) {
+        if (first_word == label || (first_word.size() + 1 >= std::string_view(label).size() &&
+                                    std::string_view(label).size() + 1 >= first_word.size() &&
+                                    str::edit_distance(first_word, label) <= 1)) {
+          return true;
+        }
+      }
+    }
+  }
+  // CSV column-header rows: start with "Date"/"Vehicle"/"VIN".
+  const std::string first{str::trim(str::split(trimmed, ',').front())};
+  for (const char* label : {"date", "vehicle", "vin", "month"}) {
+    if (str::iequals(first, label)) return true;
+  }
+  return false;
+}
+
+std::optional<double> parse_reaction_seconds(std::string_view text) {
+  auto t = str::trim(text);
+  if (t.empty()) return std::nullopt;
+  if (t.size() >= 1 && (t.back() == 's' || t.back() == 'S')) {
+    t = str::trim(t.substr(0, t.size() - 1));
+  }
+  const auto v = str::parse_double(t);
+  if (!v || *v < 0) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_reaction_field(std::string_view text) {
+  auto t = str::trim(text);
+  if (t.empty()) return std::nullopt;
+  // Range "0.5-1.2 s" -> upper bound (the paper: "We assume the reaction
+  // times to be upper bounded where they are listed as ranges").
+  const auto dash = t.find('-');
+  if (dash != std::string_view::npos && dash > 0 && dash + 1 < t.size() &&
+      str::is_digit(t[dash - 1]) && (str::is_digit(t[dash + 1]) || t[dash + 1] == '.')) {
+    return parse_reaction_seconds(t.substr(dash + 1));
+  }
+  return parse_reaction_seconds(t);
+}
+
+std::optional<double> parse_miles(std::string_view text) {
+  const auto v = str::parse_number_lenient(text);
+  if (!v || *v < 0) return std::nullopt;
+  return v;
+}
+
+}  // namespace avtk::parse::formats

@@ -1,0 +1,88 @@
+// Key-value pipe-separated format: Delphi.
+//   Mileage: DEL-01 | Oct 2014 | 1032.5
+//   Date: 1/12/15 | Vehicle: DEL-01 | Mode: Auto | Reaction: 0.90 s |
+//   Road: Highway | Weather: Sunny | Cause: ...
+#include "parse/formats/common.h"
+
+#include "util/dates.h"
+#include "util/strings.h"
+
+namespace avtk::parse::formats {
+
+using dataset::disengagement_record;
+using dataset::mileage_record;
+
+namespace {
+
+// Splits "Key: value" and lower-cases the key.
+std::optional<std::pair<std::string, std::string>> split_kv(std::string_view part) {
+  const auto colon = part.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  auto key = str::to_lower(str::trim(part.substr(0, colon)));
+  auto value = std::string(str::trim(part.substr(colon + 1)));
+  if (key.empty()) return std::nullopt;
+  return std::make_pair(std::move(key), std::move(value));
+}
+
+bool key_is(const std::string& key, std::string_view target) {
+  if (key == target) return true;
+  // OCR tolerance on the short keys.
+  return key.size() + 1 >= target.size() && target.size() + 1 >= key.size() &&
+         str::edit_distance(key, target) <= 1;
+}
+
+}  // namespace
+
+std::optional<parsed_line> read_delphi_line(std::string_view line) {
+  const auto parts = str::split(line, '|');
+  if (parts.empty()) return std::nullopt;
+
+  // Mileage line: "Mileage: <vehicle> | <month> | <miles>".
+  {
+    const auto kv = split_kv(parts[0]);
+    if (kv && key_is(kv->first, "mileage") && parts.size() == 3) {
+      const auto month = dates::parse_year_month(parts[1]);
+      const auto miles = parse_miles(parts[2]);
+      if (!month || !miles || kv->second.empty()) return std::nullopt;
+      mileage_record m;
+      m.vehicle_id = kv->second;
+      m.month = *month;
+      m.miles = *miles;
+      return parsed_line{std::nullopt, std::move(m)};
+    }
+  }
+
+  // Event line: every part is "Key: value".
+  disengagement_record d;
+  bool saw_date = false;
+  bool saw_cause = false;
+  for (const auto& part : parts) {
+    const auto kv = split_kv(part);
+    if (!kv) return std::nullopt;
+    const auto& [key, value] = *kv;
+    if (key_is(key, "date")) {
+      const auto date = dates::parse_date(value);
+      if (!date) return std::nullopt;
+      d.event_date = *date;
+      saw_date = true;
+    } else if (key_is(key, "vehicle")) {
+      d.vehicle_id = value;
+    } else if (key_is(key, "mode")) {
+      d.mode = dataset::modality_from_string(value).value_or(dataset::modality::unknown);
+    } else if (key_is(key, "reaction")) {
+      d.reaction_time_s = parse_reaction_field(value);
+    } else if (key_is(key, "road")) {
+      d.road = dataset::road_type_from_string(value).value_or(dataset::road_type::unknown);
+    } else if (key_is(key, "weather")) {
+      d.conditions = dataset::weather_from_string(value).value_or(dataset::weather::unknown);
+    } else if (key_is(key, "cause")) {
+      d.description = value;
+      saw_cause = true;
+    }
+    // Unknown keys are tolerated: formats drift across releases.
+  }
+  if (!saw_date || !saw_cause || d.description.empty()) return std::nullopt;
+  return parsed_line{std::move(d), std::nullopt};
+}
+
+}  // namespace avtk::parse::formats

@@ -1,0 +1,32 @@
+// avtk/parse/report_header.h
+//
+// Identifies a report document: which manufacturer produced it, which DMV
+// release it belongs to, and whether it is a disengagement report or an
+// OL-316 accident report.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "dataset/manufacturers.h"
+#include "ocr/document.h"
+
+namespace avtk::parse {
+
+enum class report_kind { disengagement, accident, unknown };
+
+struct report_identity {
+  report_kind kind = report_kind::unknown;
+  std::optional<dataset::manufacturer> maker;
+  std::optional<int> report_year;
+};
+
+/// Inspects the first lines of a document. Robust to residual OCR noise:
+/// manufacturer names are matched with edit-distance tolerance.
+report_identity identify_report(const ocr::document& doc);
+
+/// Fuzzy manufacturer lookup: exact spellings first, then edit distance <= 1
+/// against the known names. Returns nullopt when nothing is close.
+std::optional<dataset::manufacturer> fuzzy_manufacturer(std::string_view text);
+
+}  // namespace avtk::parse

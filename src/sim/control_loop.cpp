@@ -1,0 +1,97 @@
+#include "sim/control_loop.h"
+
+#include <algorithm>
+
+namespace avtk::sim {
+
+control_loop::control_loop(config cfg, std::uint64_t seed) : cfg_(cfg), gen_(seed) {}
+
+loop_response control_loop::process_hazard(fault_kind fault, double complexity) {
+  loop_response out;
+  out.failing_fault = fault;
+  const auto failing_component = component_of(fault);
+
+  // Latency inflation: platform faults slow every stage.
+  double slowdown = 1.0;
+  if (fault == fault_kind::compute_overload) slowdown = 3.0;
+  if (fault == fault_kind::network_overload) slowdown = 2.0;
+
+  const struct {
+    nlp::stpa_component component;
+    double latency;
+    const char* name;
+  } chain[] = {
+      {nlp::stpa_component::sensors, cfg_.sensor_latency_s, "sensors"},
+      {nlp::stpa_component::recognition, cfg_.recognition_latency_s, "recognition"},
+      {nlp::stpa_component::planner_controller, cfg_.planning_latency_s, "planner/controller"},
+      {nlp::stpa_component::follower_actuators, cfg_.actuation_latency_s, "follower/actuators"},
+  };
+
+  bool upstream_failed = false;
+  double latency = 0.0;
+  for (const auto& stage : chain) {
+    stage_outcome so;
+    so.component = stage.component;
+    so.latency_s = stage.latency * slowdown * (1.0 + 0.5 * complexity);
+    latency += so.latency_s;
+
+    const bool is_fault_origin =
+        stage.component == failing_component ||
+        // Network faults surface between stages; attribute to the planner
+        // stage where commands go missing.
+        (fault == fault_kind::network_overload &&
+         stage.component == nlp::stpa_component::planner_controller);
+
+    if (is_fault_origin) {
+      so.handled = false;
+      so.note = std::string("fault origin: ") + std::string(fault_kind_name(fault));
+      upstream_failed = true;
+    } else if (upstream_failed) {
+      // Fault propagation (CL-1): garbage in from the failed stage. The
+      // stage occasionally catches it via sanity checks.
+      const bool caught = gen_.bernoulli(0.35 * (1.0 - complexity));
+      so.handled = caught;
+      so.note = caught ? "downstream sanity check flagged upstream fault"
+                       : "propagated upstream fault";
+    } else {
+      so.handled = true;
+      so.note = "nominal";
+    }
+    out.stages.push_back(std::move(so));
+  }
+
+  // Self-detection: watchdogs and cross-checks surface most platform
+  // faults; silent ML misbehavior is harder to self-detect.
+  double detect_p = cfg_.self_detection_p;
+  switch (fault) {
+    case fault_kind::watchdog_timeout:
+    case fault_kind::software_crash:
+    case fault_kind::actuation_timeout:
+      detect_p = 0.95;
+      break;
+    case fault_kind::missed_detection:
+    case fault_kind::wrong_prediction:
+    case fault_kind::bad_decision:
+      detect_p = 0.35;
+      break;
+    default:
+      break;
+  }
+  out.ads_detected = gen_.bernoulli(detect_p);
+
+  // Autonomous recovery: easier in simple contexts, impossible for hard
+  // platform crashes.
+  double recover_p = cfg_.autonomous_recovery_p * (1.0 - 0.7 * complexity);
+  if (fault == fault_kind::software_crash || fault == fault_kind::watchdog_timeout) {
+    recover_p = 0.0;
+  }
+  out.ads_handled = gen_.bernoulli(std::clamp(recover_p, 0.0, 1.0));
+
+  // Detection latency: the chain latency plus a recognition penalty when
+  // the failure is a silent ML one.
+  out.detection_latency_s = latency;
+  if (!out.ads_detected) out.detection_latency_s += gen_.uniform(0.3, 1.5) * (1.0 + complexity);
+  return out;
+}
+
+}  // namespace avtk::sim

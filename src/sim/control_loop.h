@@ -1,0 +1,67 @@
+// avtk/sim/control_loop.h
+//
+// The ADS processing chain of Fig. 3: sensors -> recognition -> planner &
+// controller -> follower -> actuators (control loops CL-1..3). The model
+// tracks end-to-end latency and whether each stage handled the hazard,
+// so a fault's propagation path is explicit in the trace.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/faults.h"
+#include "util/rng.h"
+
+namespace avtk::sim {
+
+/// One stage's outcome while processing a hazard.
+struct stage_outcome {
+  nlp::stpa_component component = nlp::stpa_component::sensors;
+  bool handled = true;       ///< stage produced correct output
+  double latency_s = 0.0;    ///< processing latency contributed
+  std::string note;          ///< human-readable trace line
+};
+
+/// The chain's verdict on one hazard.
+struct loop_response {
+  std::vector<stage_outcome> stages;
+  bool ads_detected = false;     ///< the ADS recognized its own failure
+  bool ads_handled = false;      ///< the ADS resolved the hazard autonomously
+  double detection_latency_s = 0.0;  ///< time until failure surfaced
+  std::optional<fault_kind> failing_fault;
+};
+
+/// The ADS processing chain with nominal per-stage latencies; faults both
+/// break a stage and inflate latency (compute/network overloads slow every
+/// stage downstream of them).
+class control_loop {
+ public:
+  struct config {
+    double sensor_latency_s = 0.02;
+    double recognition_latency_s = 0.08;
+    double planning_latency_s = 0.10;
+    double actuation_latency_s = 0.05;
+    /// Probability the ADS self-detects a component fault and hands over
+    /// (an "automatic" disengagement) rather than silently misbehaving.
+    double self_detection_p = 0.55;
+    /// Probability the ADS absorbs the hazard entirely (no disengagement);
+    /// rises with maturity in the fleet model.
+    double autonomous_recovery_p = 0.30;
+  };
+
+  control_loop(config cfg, std::uint64_t seed);
+
+  /// Processes one hazard caused by `fault` in a context of the given
+  /// complexity in [0, 1]. Complexity lowers recovery odds and raises
+  /// detection latency (dense intersections give the chain less margin).
+  loop_response process_hazard(fault_kind fault, double complexity);
+
+  const config& parameters() const { return cfg_; }
+
+ private:
+  config cfg_;
+  rng gen_;
+};
+
+}  // namespace avtk::sim

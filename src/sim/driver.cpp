@@ -1,0 +1,21 @@
+#include "sim/driver.h"
+
+#include <cmath>
+
+namespace avtk::sim {
+
+safety_driver::safety_driver(config cfg, std::uint64_t seed) : cfg_(cfg), gen_(seed) {}
+
+double safety_driver::reaction_stretch(double cum_miles) const {
+  if (cum_miles <= 1.0) return 1.0;
+  return 1.0 + cfg_.complacency * std::log10(cum_miles);
+}
+
+double safety_driver::sample_reaction_time(double cum_miles) {
+  const double base = gen_.exponentiated_weibull(cfg_.rt_shape, cfg_.rt_scale, cfg_.rt_power);
+  return base * reaction_stretch(cum_miles);
+}
+
+bool safety_driver::takes_over_proactively() { return gen_.bernoulli(cfg_.proactive_share); }
+
+}  // namespace avtk::sim

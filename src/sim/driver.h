@@ -1,0 +1,42 @@
+// avtk/sim/driver.h
+//
+// The safety-driver model. Reaction times follow an exponentiated-Weibull
+// law (Fig. 11), and alertness decays as the fleet's reliability improves
+// (the paper's §V-A4 finding: reaction time correlates positively with
+// cumulative miles — drivers relax as disengagements get rarer).
+#pragma once
+
+#include "util/rng.h"
+
+namespace avtk::sim {
+
+class safety_driver {
+ public:
+  struct config {
+    double rt_shape = 1.5;      ///< exponentiated-Weibull shape
+    double rt_scale = 0.65;     ///< scale (seconds)
+    double rt_power = 1.0;      ///< exponentiation power
+    double complacency = 0.15;  ///< how strongly alertness decays with miles
+    double proactive_share = 0.5;  ///< probability the driver preempts the ADS
+  };
+
+  safety_driver(config cfg, std::uint64_t seed);
+
+  /// Samples one reaction time (seconds) given the fleet's cumulative
+  /// miles; complacency stretches the distribution multiplicatively as
+  /// log10(cum_miles) grows.
+  double sample_reaction_time(double cum_miles);
+
+  /// True when the driver proactively takes over before the ADS requests it
+  /// (a "manual" disengagement in Table V's taxonomy).
+  bool takes_over_proactively();
+
+  /// Alertness multiplier in [1, ...): 1 at 0 miles, grows with miles.
+  double reaction_stretch(double cum_miles) const;
+
+ private:
+  config cfg_;
+  rng gen_;
+};
+
+}  // namespace avtk::sim

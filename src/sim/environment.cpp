@@ -1,0 +1,77 @@
+#include "sim/environment.h"
+
+#include <algorithm>
+
+namespace avtk::sim {
+
+using dataset::road_type;
+using dataset::weather;
+
+double driving_context::complexity() const {
+  double c = 0.0;
+  switch (road) {
+    case road_type::city_street: c = 0.55; break;
+    case road_type::urban: c = 0.55; break;
+    case road_type::suburban: c = 0.40; break;
+    case road_type::parking_lot: c = 0.35; break;
+    case road_type::rural: c = 0.30; break;
+    case road_type::highway: c = 0.25; break;
+    case road_type::freeway: c = 0.22; break;
+    case road_type::interstate: c = 0.20; break;
+    case road_type::unknown: c = 0.35; break;
+  }
+  if (near_intersection) c += 0.25;
+  c += 0.20 * traffic_density;
+  if (conditions == weather::rainy || conditions == weather::foggy) c += 0.10;
+  return std::clamp(c, 0.0, 1.0);
+}
+
+environment_model::environment_model(std::uint64_t seed) : gen_(seed) {}
+
+driving_context environment_model::sample_context() {
+  driving_context ctx;
+
+  static const std::vector<std::pair<road_type, double>> roads = {
+      {road_type::city_street, 0.317}, {road_type::highway, 0.2926},
+      {road_type::interstate, 0.1463}, {road_type::freeway, 0.0975},
+      {road_type::parking_lot, 0.05},  {road_type::suburban, 0.05},
+      {road_type::rural, 0.046},
+  };
+  std::vector<double> w;
+  for (const auto& [r, weight] : roads) w.push_back(weight);
+  ctx.road = roads[gen_.categorical(w)].first;
+
+  static const std::vector<std::pair<weather, double>> skies = {
+      {weather::sunny, 0.55}, {weather::cloudy, 0.15}, {weather::overcast, 0.12},
+      {weather::rainy, 0.10}, {weather::foggy, 0.03},  {weather::clear_night, 0.05},
+  };
+  std::vector<double> sw;
+  for (const auto& [s, weight] : skies) sw.push_back(weight);
+  ctx.conditions = skies[gen_.categorical(sw)].first;
+
+  // Intersections dominate on city streets, are rare on limited-access roads.
+  double intersection_p = 0.0;
+  switch (ctx.road) {
+    case road_type::city_street:
+    case road_type::urban: intersection_p = 0.55; break;
+    case road_type::suburban: intersection_p = 0.40; break;
+    case road_type::rural: intersection_p = 0.20; break;
+    case road_type::parking_lot: intersection_p = 0.15; break;
+    default: intersection_p = 0.02; break;
+  }
+  ctx.near_intersection = gen_.bernoulli(intersection_p);
+  ctx.traffic_density = gen_.uniform(0.0, 1.0);
+
+  switch (ctx.road) {
+    case road_type::city_street:
+    case road_type::urban: ctx.speed_mph = gen_.uniform(5.0, 35.0); break;
+    case road_type::suburban: ctx.speed_mph = gen_.uniform(15.0, 40.0); break;
+    case road_type::parking_lot: ctx.speed_mph = gen_.uniform(2.0, 10.0); break;
+    case road_type::rural: ctx.speed_mph = gen_.uniform(25.0, 55.0); break;
+    default: ctx.speed_mph = gen_.uniform(45.0, 70.0); break;
+  }
+  if (ctx.near_intersection) ctx.speed_mph = std::min(ctx.speed_mph, 25.0);
+  return ctx;
+}
+
+}  // namespace avtk::sim

@@ -1,0 +1,39 @@
+// avtk/sim/environment.h
+//
+// The traffic environment the simulated fleet drives through: road types
+// with the dataset's observed mix, weather, and per-road-type scenario
+// complexity (intersections are where the paper's accidents concentrate).
+#pragma once
+
+#include "dataset/records.h"
+#include "util/rng.h"
+
+namespace avtk::sim {
+
+/// One driving context drawn for a hazard event.
+struct driving_context {
+  dataset::road_type road = dataset::road_type::city_street;
+  dataset::weather conditions = dataset::weather::sunny;
+  bool near_intersection = false;
+  double traffic_density = 0.5;   ///< 0 (empty) .. 1 (congested)
+  double speed_mph = 25.0;        ///< typical operating speed in this context
+
+  /// How little time/maneuvering room the context leaves: city
+  /// intersections in dense traffic are the tightest (the §II case
+  /// studies). In [0, 1].
+  double complexity() const;
+};
+
+class environment_model {
+ public:
+  explicit environment_model(std::uint64_t seed);
+
+  /// Draws a context with the corpus road-type mix (§III-C: 31.7% city,
+  /// 29.26% highway, 14.63% interstate, 9.75% freeway, rest other).
+  driving_context sample_context();
+
+ private:
+  rng gen_;
+};
+
+}  // namespace avtk::sim

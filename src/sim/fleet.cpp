@@ -1,0 +1,118 @@
+#include "sim/fleet.h"
+
+#include <cstdio>
+
+#include "util/errors.h"
+
+namespace avtk::sim {
+
+dataset::disengagement_record to_disengagement_record(const hazard_event& ev,
+                                                      dataset::manufacturer maker,
+                                                      const std::string& vehicle_id, date when) {
+  dataset::disengagement_record d;
+  d.maker = maker;
+  d.event_date = when;
+  d.vehicle_id = vehicle_id;
+  d.description = ev.description;
+  d.road = ev.context.road;
+  d.conditions = ev.context.conditions;
+  d.reaction_time_s = ev.reaction_time_s > 0 ? std::optional<double>(ev.reaction_time_s)
+                                             : std::nullopt;
+  switch (ev.outcome) {
+    case hazard_outcome::automatic_disengagement:
+      d.mode = dataset::modality::automatic;
+      break;
+    case hazard_outcome::manual_disengagement:
+    case hazard_outcome::accident:
+      d.mode = dataset::modality::manual;
+      break;
+    default:
+      d.mode = dataset::modality::unknown;
+      break;
+  }
+  // Ground-truth tag from the injected fault; the pipeline's NLP stage can
+  // re-derive it from `description` for validation.
+  d.tag = tag_of(ev.fault);
+  d.category = nlp::category_of(d.tag);
+  return d;
+}
+
+fleet_result run_fleet(const fleet_config& config) {
+  if (config.vehicles <= 0 || config.months <= 0) {
+    throw logic_error("fleet_config requires vehicles > 0 and months > 0");
+  }
+  fleet_result result;
+  rng gen(config.seed);
+  fault_injector injector(config.faults, gen.fork().engine()());
+
+  std::vector<av_vehicle> fleet;
+  fleet.reserve(static_cast<std::size_t>(config.vehicles));
+  for (int v = 0; v < config.vehicles; ++v) {
+    char id[32];
+    std::snprintf(id, sizeof(id), "SIM-AV%03d", v + 1);
+    fleet.emplace_back(id, config.vehicle, gen.fork().engine()());
+  }
+
+  double fleet_cum = 0;
+  auto month = config.first_month;
+  for (int m = 0; m < config.months; ++m, month = month.next()) {
+    for (std::size_t v = 0; v < fleet.size(); ++v) {
+      const double miles =
+          std::max(0.0, gen.normal(config.miles_per_vehicle_month,
+                                   config.miles_per_vehicle_month * 0.25));
+      if (!(miles > 0)) continue;
+
+      dataset::mileage_record mr;
+      mr.maker = config.maker;
+      mr.vehicle_id = fleet[v].id();
+      mr.month = month;
+      mr.miles = miles;
+      result.database.add_mileage(mr);
+
+      const auto events = fleet[v].drive(miles, fleet_cum, injector);
+      fleet_cum += miles;
+      result.total_miles += miles;
+
+      for (const auto& ev : events) {
+        const int day = static_cast<int>(gen.uniform_int(1, date::days_in_month(month.year, month.month)));
+        const auto when = date::make(month.year, month.month, day);
+        switch (ev.outcome) {
+          case hazard_outcome::absorbed:
+            ++result.absorbed;
+            break;
+          case hazard_outcome::automatic_disengagement:
+          case hazard_outcome::manual_disengagement:
+            ++result.disengagements;
+            result.database.add_disengagement(
+                to_disengagement_record(ev, config.maker, fleet[v].id(), when));
+            break;
+          case hazard_outcome::accident: {
+            // An accident implies a (manual) disengagement too — the paper
+            // counts the disengagement and the accident separately.
+            ++result.disengagements;
+            ++result.accidents;
+            result.database.add_disengagement(
+                to_disengagement_record(ev, config.maker, fleet[v].id(), when));
+            dataset::accident_record a;
+            a.maker = config.maker;
+            a.event_date = when;
+            a.vehicle_id = fleet[v].id();
+            a.location = ev.context.near_intersection ? "Simulated intersection"
+                                                      : "Simulated roadway";
+            a.description = "Simulated collision following: " + ev.description;
+            a.av_speed_mph = ev.context.speed_mph;
+            a.other_speed_mph = ev.context.speed_mph + 5.0;
+            a.near_intersection = ev.context.near_intersection;
+            a.rear_end = true;
+            result.database.add_accident(a);
+            break;
+          }
+        }
+        result.events.push_back(ev);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace avtk::sim

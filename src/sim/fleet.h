@@ -1,0 +1,56 @@
+// avtk/sim/fleet.h
+//
+// The fleet simulator: N vehicles driving over a span of months, sharing a
+// fault injector whose rates fall with cumulative fleet miles ("burn-in").
+// Output is both a raw hazard trace and dataset-compatible records, so the
+// simulated fleet can be pushed through the identical Stage II-IV analysis
+// pipeline as the DMV corpus — the avtk equivalent of a manufacturer
+// analyzing its own testing fleet.
+#pragma once
+
+#include <vector>
+
+#include "dataset/database.h"
+#include "sim/vehicle.h"
+#include "util/dates.h"
+
+namespace avtk::sim {
+
+struct fleet_config {
+  int vehicles = 10;
+  year_month first_month{2015, 1};
+  int months = 12;
+  double miles_per_vehicle_month = 800.0;  ///< mean; per-month draw varies
+  av_vehicle::config vehicle;
+  fault_injector::config faults;
+  std::uint64_t seed = 42;
+  dataset::manufacturer maker = dataset::manufacturer::waymo;  ///< label for records
+};
+
+/// Aggregate results of one fleet run.
+struct fleet_result {
+  std::vector<hazard_event> events;           ///< full trace, time-ordered by month
+  dataset::failure_database database;         ///< records for the analysis pipeline
+  double total_miles = 0;
+  long long disengagements = 0;
+  long long accidents = 0;
+  long long absorbed = 0;
+
+  double dpm() const {
+    return total_miles > 0 ? static_cast<double>(disengagements) / total_miles : 0.0;
+  }
+  double apm() const {
+    return total_miles > 0 ? static_cast<double>(accidents) / total_miles : 0.0;
+  }
+};
+
+/// Runs the simulation to completion.
+fleet_result run_fleet(const fleet_config& config);
+
+/// Converts one hazard event into a disengagement record (for events whose
+/// outcome is a disengagement) — shared with run_fleet and the examples.
+dataset::disengagement_record to_disengagement_record(const hazard_event& ev,
+                                                      dataset::manufacturer maker,
+                                                      const std::string& vehicle_id, date when);
+
+}  // namespace avtk::sim

@@ -1,0 +1,94 @@
+#include "sim/scenario.h"
+
+#include <cstdio>
+
+namespace avtk::sim {
+
+namespace {
+
+std::string_view component_label(nlp::stpa_component c) {
+  switch (c) {
+    case nlp::stpa_component::sensors: return "sensors";
+    case nlp::stpa_component::recognition: return "recognition";
+    case nlp::stpa_component::planner_controller: return "planner/controller";
+    case nlp::stpa_component::follower_actuators: return "follower/actuators";
+    case nlp::stpa_component::mechanical: return "mechanical";
+    case nlp::stpa_component::network: return "network";
+    case nlp::stpa_component::driver: return "driver";
+    case nlp::stpa_component::unknown: return "-";
+  }
+  return "-";
+}
+
+}  // namespace
+
+std::string scenario_trace::render() const {
+  std::string out = name + "\n";
+  char buf[32];
+  for (const auto& s : steps) {
+    std::snprintf(buf, sizeof(buf), "  t=%5.2fs ", s.t_s);
+    out += buf;
+    out += "[" + std::string(component_label(s.component)) + "] " + s.actor + ": " + s.action +
+           "\n";
+  }
+  out += "  outcome: " + std::string(hazard_outcome_name(outcome)) +
+         " (root fault: " + std::string(fault_kind_name(root_fault)) + ")\n";
+  std::snprintf(buf, sizeof(buf), "%.2f", action_window_s);
+  out += "  action window: " + std::string(buf) + " s, ";
+  std::snprintf(buf, sizeof(buf), "%.2f", response_time_s);
+  out += "needed: " + std::string(buf) + " s\n";
+  return out;
+}
+
+scenario_trace run_case_study_1() {
+  using c = nlp::stpa_component;
+  scenario_trace t;
+  t.name = "Case Study I: real-time decisions at a pedestrian crossing";
+  t.root_fault = fault_kind::wrong_prediction;
+  t.steps = {
+      {0.00, "pedestrian", "starts crossing the street at the intersection", c::unknown},
+      {0.15, "AV", "camera/LIDAR report the pedestrian", c::sensors},
+      {0.30, "AV", "recognition confirms a crossing pedestrian", c::recognition},
+      {0.45, "AV", "planner decides to yield — but does not command a full stop",
+       c::planner_controller},
+      {0.45, "AV", "behavior prediction under-estimates the pedestrian's pace",
+       c::planner_controller},
+      {1.20, "AV driver", "judges the yield insufficient, proactively takes control",
+       c::driver},
+      {1.40, "lead vehicle", "also yielding to the pedestrian, directly ahead", c::unknown},
+      {1.40, "adjacent vehicle", "changing into the AV's lane from behind", c::unknown},
+      {1.55, "AV driver", "only option is to brake hard", c::driver},
+      {2.10, "rear vehicle", "cannot anticipate the hard stop; collides with AV's rear",
+       c::unknown},
+  };
+  t.outcome = hazard_outcome::accident;
+  // The driver had ~0.9 s between recognizing the bad yield decision and
+  // the point of no return; detection + reaction needed ~1.6 s.
+  t.action_window_s = 0.9;
+  t.response_time_s = 1.6;
+  return t;
+}
+
+scenario_trace run_case_study_2() {
+  using c = nlp::stpa_component;
+  scenario_trace t;
+  t.name = "Case Study II: anticipating AV behavior at a right turn";
+  t.root_fault = fault_kind::reckless_road_user;
+  t.steps = {
+      {0.00, "AV", "signals right turn, decelerates", c::planner_controller},
+      {1.00, "AV", "comes to a complete stop before the intersection", c::follower_actuators},
+      {1.80, "AV", "creeps forward so recognition can see cross traffic", c::recognition},
+      {1.80, "rear driver", "reads the creep as the AV committing to the turn", c::unknown},
+      {2.40, "AV", "stops again — scene analysis not yet confident", c::recognition},
+      {2.40, "rear driver", "has already started moving; brakes late", c::unknown},
+      {2.90, "rear vehicle", "rear-ends the AV at low speed", c::unknown},
+  };
+  t.outcome = hazard_outcome::accident;
+  // The conflict arises in the rear driver's model of the AV; the AV driver
+  // had effectively no window at all.
+  t.action_window_s = 0.5;
+  t.response_time_s = 1.1;
+  return t;
+}
+
+}  // namespace avtk::sim

@@ -1,0 +1,45 @@
+// avtk/sim/scenario.h
+//
+// The paper's two Section II case studies as scripted scenario replays.
+// Each replay walks the STPA control loops step by step and returns a
+// trace explaining how perception/prediction faults cascaded into a
+// rear-end collision — the qualitative story behind Fig. 2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/vehicle.h"
+
+namespace avtk::sim {
+
+/// One step in a scripted scenario trace.
+struct scenario_step {
+  double t_s = 0.0;           ///< scenario clock
+  std::string actor;          ///< "AV", "AV driver", "rear vehicle", ...
+  std::string action;
+  nlp::stpa_component component = nlp::stpa_component::unknown;
+};
+
+struct scenario_trace {
+  std::string name;
+  std::vector<scenario_step> steps;
+  hazard_outcome outcome = hazard_outcome::absorbed;
+  fault_kind root_fault = fault_kind::wrong_prediction;
+  double action_window_s = 0.0;  ///< time the driver actually had
+  double response_time_s = 0.0;  ///< detection + reaction actually needed
+
+  /// Renders the trace as indented text.
+  std::string render() const;
+};
+
+/// Case Study I (§II-A): the AV yields to a pedestrian but does not stop;
+/// the test driver proactively takes over; braking in a boxed-in scenario
+/// ends with a rear collision.
+scenario_trace run_case_study_1();
+
+/// Case Study II (§II-B): the AV's stop-and-creep at a right turn confuses
+/// the driver behind, who rear-ends it.
+scenario_trace run_case_study_2();
+
+}  // namespace avtk::sim

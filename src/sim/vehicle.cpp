@@ -1,0 +1,90 @@
+#include "sim/vehicle.h"
+
+#include <algorithm>
+
+#include "util/errors.h"
+
+namespace avtk::sim {
+
+std::string_view hazard_outcome_name(hazard_outcome o) {
+  switch (o) {
+    case hazard_outcome::absorbed: return "absorbed";
+    case hazard_outcome::automatic_disengagement: return "automatic disengagement";
+    case hazard_outcome::manual_disengagement: return "manual disengagement";
+    case hazard_outcome::accident: return "accident";
+  }
+  throw logic_error("unreachable hazard_outcome");
+}
+
+av_vehicle::av_vehicle(std::string id, config cfg, std::uint64_t seed)
+    : id_(std::move(id)),
+      cfg_(cfg),
+      loop_(cfg.loop, seed ^ 0x1111),
+      driver_(cfg.driver, seed ^ 0x2222),
+      environment_(seed ^ 0x3333),
+      gen_(seed ^ 0x4444) {}
+
+hazard_event av_vehicle::resolve_hazard(fault_kind fault, double fleet_cum_miles) {
+  hazard_event ev;
+  ev.fault = fault;
+  ev.context = environment_.sample_context();
+  ev.fleet_miles_at_event = fleet_cum_miles;
+  ev.response = loop_.process_hazard(fault, ev.context.complexity());
+  ev.description = describe_fault(fault, gen_);
+
+  if (ev.response.ads_handled) {
+    ev.outcome = hazard_outcome::absorbed;
+    return ev;
+  }
+
+  // The driver's end-to-end action window: how long until the hazard
+  // becomes a conflict, minus the time the failure stayed latent.
+  const double window =
+      gen_.exponential(cfg_.mean_action_window_s) * (1.0 - 0.6 * ev.context.complexity());
+  ev.action_window_s = std::max(0.05, window);
+
+  const bool hazardous = gen_.bernoulli(
+      std::clamp(cfg_.hazardous_share * (0.5 + ev.context.complexity()), 0.0, 1.0));
+
+  if (cfg_.driverless) {
+    // No fall-back human: the ADS must catch its own failure within the
+    // window; a hazardous undetected (or late) failure is a collision.
+    ev.reaction_time_s = 0.0;
+    if (hazardous &&
+        (!ev.response.ads_detected || ev.response.detection_latency_s > ev.action_window_s)) {
+      ev.outcome = hazard_outcome::accident;
+    } else {
+      ev.outcome = hazard_outcome::automatic_disengagement;  // minimal-risk stop
+    }
+    return ev;
+  }
+
+  const bool proactive = driver_.takes_over_proactively();
+  ev.reaction_time_s = driver_.sample_reaction_time(fleet_cum_miles);
+  const double response_time = ev.response.detection_latency_s + ev.reaction_time_s;
+
+  if (hazardous && response_time > ev.action_window_s) {
+    ev.outcome = hazard_outcome::accident;
+  } else if (proactive && !ev.response.ads_detected) {
+    // The driver noticed before (or instead of) the ADS: manual takeover.
+    ev.outcome = hazard_outcome::manual_disengagement;
+  } else if (ev.response.ads_detected) {
+    ev.outcome = hazard_outcome::automatic_disengagement;
+  } else {
+    ev.outcome = hazard_outcome::manual_disengagement;
+  }
+  return ev;
+}
+
+std::vector<hazard_event> av_vehicle::drive(double miles, double fleet_cum_miles,
+                                            fault_injector& injector) {
+  std::vector<hazard_event> out;
+  if (!(miles > 0)) return out;
+  odometer_ += miles;
+  for (const auto fault : injector.draw_faults(miles, fleet_cum_miles)) {
+    out.push_back(resolve_hazard(fault, fleet_cum_miles));
+  }
+  return out;
+}
+
+}  // namespace avtk::sim

@@ -1,0 +1,87 @@
+// avtk/sim/vehicle.h
+//
+// One simulated AV: integrates the control loop, the safety driver and the
+// environment into the hazard -> disengagement/accident process the paper
+// measures. The vehicle advances in driving segments (miles); each segment
+// draws faults from the injector, runs them through the control loop, and
+// resolves each into {handled autonomously, automatic disengagement,
+// manual disengagement, accident}.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/control_loop.h"
+#include "sim/driver.h"
+#include "sim/environment.h"
+#include "sim/faults.h"
+
+namespace avtk::sim {
+
+/// How one hazard resolved.
+enum class hazard_outcome {
+  absorbed,                 ///< ADS handled it; nothing reported
+  automatic_disengagement,
+  manual_disengagement,
+  accident,
+};
+
+std::string_view hazard_outcome_name(hazard_outcome o);
+
+/// Trace entry for one hazard.
+struct hazard_event {
+  fault_kind fault = fault_kind::missed_detection;
+  hazard_outcome outcome = hazard_outcome::absorbed;
+  driving_context context;
+  loop_response response;
+  double reaction_time_s = 0.0;   ///< driver reaction (0 when ADS absorbed)
+  double action_window_s = 0.0;   ///< time available before conflict
+  double fleet_miles_at_event = 0.0;
+  std::string description;        ///< manufacturer-style log line
+};
+
+class av_vehicle {
+ public:
+  struct config {
+    control_loop::config loop;
+    safety_driver::config driver;
+    /// Mean seconds of margin before a hazard becomes a collision; scaled
+    /// down by context complexity (intersections leave less time).
+    double mean_action_window_s = 20.0;
+    /// Fraction of hazards that carry collision potential at all (most
+    /// disengagements are benign handovers; the corpus sees one accident
+    /// per ~127 disengagements).
+    double hazardous_share = 0.05;
+    /// Level 4/5 mode: no safety driver. Unhandled hazards cannot become
+    /// manual disengagements — benign ones resolve as automatic handovers
+    /// (remote assistance / minimal-risk stop), hazardous ones the ADS
+    /// fails to detect in time become accidents. The paper's conclusion
+    /// flags exactly this regime as "significant and underestimated".
+    bool driverless = false;
+  };
+
+  av_vehicle(std::string id, config cfg, std::uint64_t seed);
+
+  /// Drives `miles` given the fleet's cumulative miles; returns the hazards
+  /// the segment produced (outcome-resolved). The injector is shared fleet
+  /// state so learning spans vehicles.
+  std::vector<hazard_event> drive(double miles, double fleet_cum_miles,
+                                  fault_injector& injector);
+
+  const std::string& id() const { return id_; }
+  double odometer_miles() const { return odometer_; }
+
+ private:
+  hazard_event resolve_hazard(fault_kind fault, double fleet_cum_miles);
+
+  std::string id_;
+  config cfg_;
+  control_loop loop_;
+  safety_driver driver_;
+  environment_model environment_;
+  rng gen_;
+  double odometer_ = 0.0;
+};
+
+}  // namespace avtk::sim

@@ -1,0 +1,44 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "util/errors.h"
+
+namespace avtk::stats {
+
+std::vector<double> resample(std::span<const double> xs, rng& gen) {
+  if (xs.empty()) throw logic_error("resample on empty sample");
+  std::vector<double> out(xs.size());
+  const auto n = static_cast<std::int64_t>(xs.size());
+  for (auto& v : out) v = xs[static_cast<std::size_t>(gen.uniform_int(0, n - 1))];
+  return out;
+}
+
+bootstrap_interval bootstrap_ci(std::span<const double> xs,
+                                const std::function<double(std::span<const double>)>& statistic,
+                                rng& gen, int replicates, double confidence) {
+  if (xs.empty()) throw logic_error("bootstrap_ci on empty sample");
+  if (replicates < 100) throw logic_error("bootstrap_ci requires replicates >= 100");
+  if (!(confidence > 0) || !(confidence < 1)) {
+    throw logic_error("bootstrap_ci requires confidence in (0,1)");
+  }
+
+  bootstrap_interval out;
+  out.point = statistic(xs);
+
+  std::vector<double> stats;
+  stats.reserve(static_cast<std::size_t>(replicates));
+  for (int i = 0; i < replicates; ++i) {
+    const auto rs = resample(xs, gen);
+    stats.push_back(statistic(rs));
+  }
+  const double alpha = 1.0 - confidence;
+  out.lower = quantile(stats, alpha / 2.0);
+  out.upper = quantile(stats, 1.0 - alpha / 2.0);
+  out.std_error = stats.size() >= 2 ? stddev(stats) : 0.0;
+  return out;
+}
+
+}  // namespace avtk::stats

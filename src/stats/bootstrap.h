@@ -1,0 +1,34 @@
+// avtk/stats/bootstrap.h
+//
+// Nonparametric bootstrap confidence intervals for arbitrary sample
+// statistics — used to put uncertainty bands on the median-DPM and
+// median-APM comparisons where the paper reports point estimates only.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace avtk::stats {
+
+/// A percentile-bootstrap interval for statistic(sample).
+struct bootstrap_interval {
+  double point = 0.0;   ///< statistic on the original sample
+  double lower = 0.0;   ///< percentile bound
+  double upper = 0.0;
+  double std_error = 0.0;  ///< bootstrap standard error
+};
+
+/// Computes a percentile bootstrap CI. `statistic` is evaluated on each of
+/// `replicates` resamples drawn with replacement. Requires a non-empty
+/// sample and replicates >= 100.
+bootstrap_interval bootstrap_ci(std::span<const double> xs,
+                                const std::function<double(std::span<const double>)>& statistic,
+                                rng& gen, int replicates = 1000, double confidence = 0.95);
+
+/// Draws one resample with replacement.
+std::vector<double> resample(std::span<const double> xs, rng& gen);
+
+}  // namespace avtk::stats

@@ -1,0 +1,108 @@
+#include "stats/nonparametric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "stats/correlation.h"
+#include "stats/special.h"
+#include "util/errors.h"
+
+namespace avtk::stats {
+
+namespace {
+
+// Tie correction term: sum over tie groups of (t^3 - t).
+double tie_term(std::span<const double> pooled) {
+  std::map<double, std::size_t> counts;
+  for (const double x : pooled) ++counts[x];
+  double sum = 0;
+  for (const auto& [value, t] : counts) {
+    if (t > 1) {
+      const double td = static_cast<double>(t);
+      sum += td * td * td - td;
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+mann_whitney_result mann_whitney_u(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) throw logic_error("mann_whitney_u requires non-empty samples");
+  const double n1 = static_cast<double>(a.size());
+  const double n2 = static_cast<double>(b.size());
+  if (n1 + n2 < 8) throw logic_error("mann_whitney_u requires n1 + n2 >= 8");
+
+  std::vector<double> pooled(a.begin(), a.end());
+  pooled.insert(pooled.end(), b.begin(), b.end());
+  const auto r = ranks(pooled);
+
+  double rank_sum_a = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) rank_sum_a += r[i];
+
+  mann_whitney_result out;
+  out.u = rank_sum_a - n1 * (n1 + 1.0) / 2.0;
+
+  const double mean_u = n1 * n2 / 2.0;
+  const double n = n1 + n2;
+  const double tie = tie_term(pooled);
+  const double var_u = n1 * n2 / 12.0 * ((n + 1.0) - tie / (n * (n - 1.0)));
+  if (var_u <= 0) {
+    // All values identical: no evidence of difference.
+    out.z = 0;
+    out.p_value = 1.0;
+    out.effect_size = 0;
+    return out;
+  }
+  // Continuity correction.
+  const double diff = out.u - mean_u;
+  const double corrected = diff - (diff > 0 ? 0.5 : diff < 0 ? -0.5 : 0.0);
+  out.z = corrected / std::sqrt(var_u);
+  out.p_value = 2.0 * (1.0 - normal_cdf(std::fabs(out.z)));
+  out.effect_size = 2.0 * out.u / (n1 * n2) - 1.0;  // rank-biserial
+  return out;
+}
+
+kruskal_wallis_result kruskal_wallis(const std::vector<std::vector<double>>& groups) {
+  std::size_t non_empty = 0;
+  std::size_t total = 0;
+  for (const auto& g : groups) {
+    if (!g.empty()) ++non_empty;
+    total += g.size();
+  }
+  if (non_empty < 2) throw logic_error("kruskal_wallis requires >= 2 non-empty groups");
+  if (total < 8) throw logic_error("kruskal_wallis requires >= 8 samples in total");
+
+  std::vector<double> pooled;
+  pooled.reserve(total);
+  for (const auto& g : groups) pooled.insert(pooled.end(), g.begin(), g.end());
+  const auto r = ranks(pooled);
+
+  const double n = static_cast<double>(total);
+  double h = 0;
+  std::size_t offset = 0;
+  for (const auto& g : groups) {
+    if (g.empty()) continue;
+    double rank_sum = 0;
+    for (std::size_t i = 0; i < g.size(); ++i) rank_sum += r[offset + i];
+    offset += g.size();
+    h += rank_sum * rank_sum / static_cast<double>(g.size());
+  }
+  h = 12.0 / (n * (n + 1.0)) * h - 3.0 * (n + 1.0);
+
+  // Tie correction.
+  const double tie = tie_term(pooled);
+  const double correction = 1.0 - tie / (n * n * n - n);
+  if (correction > 0) h /= correction;
+
+  kruskal_wallis_result out;
+  out.h = h;
+  out.groups = non_empty;
+  out.n = total;
+  const double dof = static_cast<double>(non_empty - 1);
+  out.p_value = 1.0 - chi_squared_cdf(h, dof);
+  return out;
+}
+
+}  // namespace avtk::stats

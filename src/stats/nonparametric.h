@@ -1,0 +1,38 @@
+// avtk/stats/nonparametric.h
+//
+// Rank-based two- and k-sample comparisons. The paper compares reaction-
+// time distributions across manufacturers visually (Fig. 10); these tests
+// quantify whether the distributions actually differ.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace avtk::stats {
+
+/// Mann-Whitney U (Wilcoxon rank-sum), two-sided, with the normal
+/// approximation (tie-corrected) — appropriate for the sample sizes here.
+struct mann_whitney_result {
+  double u = 0;            ///< U statistic of the first sample
+  double z = 0;            ///< standardized statistic
+  double p_value = 1.0;    ///< two-sided
+  double effect_size = 0;  ///< rank-biserial correlation in [-1, 1]
+};
+
+/// Requires both samples non-empty and n1 + n2 >= 8 (the approximation's
+/// reasonable floor).
+mann_whitney_result mann_whitney_u(std::span<const double> a, std::span<const double> b);
+
+/// Kruskal-Wallis H test across k >= 2 groups (tie-corrected), chi-square
+/// approximation with k-1 degrees of freedom.
+struct kruskal_wallis_result {
+  double h = 0;
+  double p_value = 1.0;
+  std::size_t groups = 0;
+  std::size_t n = 0;
+};
+
+/// Requires at least two non-empty groups and a total of >= 8 samples.
+kruskal_wallis_result kruskal_wallis(const std::vector<std::vector<double>>& groups);
+
+}  // namespace avtk::stats

@@ -1,0 +1,160 @@
+#include "util/csv.h"
+
+#include "util/errors.h"
+
+namespace avtk::csv {
+
+namespace {
+
+// Incremental CSV scanner shared by parse() and parse_line().
+struct scanner {
+  std::string_view text;
+  std::size_t pos = 0;
+  char sep;
+  bool allow_newlines;
+
+  bool done() const { return pos >= text.size(); }
+
+  // Scans one row starting at `pos`; leaves `pos` after the row terminator.
+  row next_row() {
+    row fields;
+    std::string field;
+    bool in_quotes = false;
+    bool row_ended = false;
+    while (!row_ended) {
+      if (done()) {
+        if (in_quotes) throw parse_error("unterminated quoted CSV field");
+        break;
+      }
+      const char c = text[pos];
+      if (in_quotes) {
+        if (c == '"') {
+          if (pos + 1 < text.size() && text[pos + 1] == '"') {
+            field += '"';
+            pos += 2;
+          } else {
+            in_quotes = false;
+            ++pos;
+          }
+        } else {
+          field += c;
+          ++pos;
+        }
+      } else if (c == '"' && field.empty()) {
+        in_quotes = true;
+        ++pos;
+      } else if (c == sep) {
+        fields.push_back(std::move(field));
+        field.clear();
+        ++pos;
+      } else if (c == '\n' || c == '\r') {
+        if (!allow_newlines) throw parse_error("unexpected newline in CSV line");
+        if (c == '\r' && pos + 1 < text.size() && text[pos + 1] == '\n') ++pos;
+        ++pos;
+        row_ended = true;
+      } else {
+        field += c;
+        ++pos;
+      }
+    }
+    fields.push_back(std::move(field));
+    return fields;
+  }
+};
+
+bool needs_quoting(std::string_view field, char sep) {
+  for (char c : field) {
+    if (c == sep || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<row> parse(std::string_view text, char sep) {
+  std::vector<row> rows;
+  scanner s{text, 0, sep, /*allow_newlines=*/true};
+  while (!s.done()) {
+    rows.push_back(s.next_row());
+  }
+  return rows;
+}
+
+row parse_line(std::string_view line, char sep) {
+  scanner s{line, 0, sep, /*allow_newlines=*/false};
+  return s.next_row();
+}
+
+std::string format_line(const row& fields, char sep) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += sep;
+    const auto& f = fields[i];
+    if (needs_quoting(f, sep)) {
+      out += '"';
+      for (char c : f) {
+        if (c == '"') out += '"';
+        out += c;
+      }
+      out += '"';
+    } else {
+      out += f;
+    }
+  }
+  return out;
+}
+
+std::string format(const std::vector<row>& rows, char sep) {
+  std::string out;
+  for (const auto& r : rows) {
+    out += format_line(r, sep);
+    out += '\n';
+  }
+  return out;
+}
+
+table::table(row header, std::vector<row> rows) : header_(std::move(header)), rows_(std::move(rows)) {
+  for (auto& r : rows_) {
+    if (r.size() > header_.size()) {
+      throw parse_error("CSV row has more fields than header");
+    }
+    r.resize(header_.size());
+  }
+}
+
+table table::from_text(std::string_view text, char sep) {
+  auto rows = parse(text, sep);
+  if (rows.empty()) return table{};
+  row header = std::move(rows.front());
+  rows.erase(rows.begin());
+  // A trailing newline produces a spurious single-empty-field row; drop it.
+  if (!rows.empty() && rows.back().size() == 1 && rows.back()[0].empty()) {
+    rows.pop_back();
+  }
+  return table(std::move(header), std::move(rows));
+}
+
+const row& table::row_at(std::size_t i) const {
+  if (i >= rows_.size()) throw logic_error("CSV row index out of range");
+  return rows_[i];
+}
+
+std::size_t table::column(std::string_view name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  throw not_found_error("CSV column '" + std::string(name) + "'");
+}
+
+bool table::has_column(std::string_view name) const {
+  for (const auto& h : header_) {
+    if (h == name) return true;
+  }
+  return false;
+}
+
+const std::string& table::at(std::size_t row_index, std::string_view column_name) const {
+  return row_at(row_index)[column(column_name)];
+}
+
+}  // namespace avtk::csv

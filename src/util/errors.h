@@ -1,0 +1,43 @@
+// avtk/util/errors.h
+//
+// Exception hierarchy for the avtk library. All avtk components signal
+// unrecoverable conditions by throwing one of these types (C++ Core
+// Guidelines E.2/E.14: throw exceptions, use purpose-designed types).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace avtk {
+
+/// Base class of every error thrown by avtk.
+class error : public std::runtime_error {
+ public:
+  explicit error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input encountered while parsing a report, CSV row, date, etc.
+class parse_error : public error {
+ public:
+  explicit parse_error(const std::string& what) : error("parse error: " + what) {}
+};
+
+/// A numerical routine failed to converge or was handed an invalid domain.
+class numeric_error : public error {
+ public:
+  explicit numeric_error(const std::string& what) : error("numeric error: " + what) {}
+};
+
+/// A lookup (manufacturer, tag, column...) failed.
+class not_found_error : public error {
+ public:
+  explicit not_found_error(const std::string& what) : error("not found: " + what) {}
+};
+
+/// A component was used in a way that violates its contract.
+class logic_error : public error {
+ public:
+  explicit logic_error(const std::string& what) : error("logic error: " + what) {}
+};
+
+}  // namespace avtk

@@ -1,0 +1,78 @@
+#include "core/context.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/generator.h"
+
+namespace avtk::core {
+namespace {
+
+using dataset::road_type;
+using dataset::weather;
+
+const dataset::failure_database& corpus_db() {
+  static const dataset::failure_database db = [] {
+    dataset::generator_config cfg;
+    cfg.render_documents = false;
+    return dataset::generate_corpus(cfg).to_database();
+  }();
+  return db;
+}
+
+TEST(Context, RoadMixSharesSumToOne) {
+  const auto mix = build_road_mix(corpus_db());
+  ASSERT_FALSE(mix.empty());
+  double total = 0;
+  for (const auto& row : mix) {
+    EXPECT_NE(row.road, road_type::unknown);
+    total += row.share;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Context, RoadMixMatchesGenerationWeights) {
+  // Reporters sample road types with the corpus §III-C mix.
+  const auto mix = build_road_mix(corpus_db());
+  double city = 0;
+  double highway = 0;
+  for (const auto& row : mix) {
+    if (row.road == road_type::city_street) city = row.share;
+    if (row.road == road_type::highway) highway = row.share;
+  }
+  EXPECT_NEAR(city, 0.317, 0.04);
+  EXPECT_NEAR(highway, 0.2926, 0.04);
+}
+
+TEST(Context, WeatherMixSunnyDominates) {
+  const auto mix = build_weather_mix(corpus_db());
+  ASSERT_FALSE(mix.empty());
+  EXPECT_EQ(mix.front().conditions, weather::sunny);
+  double total = 0;
+  for (const auto& row : mix) total += row.share;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Context, WeatherEnvironmentSharesBounded) {
+  for (const auto& row : build_weather_environment(corpus_db())) {
+    EXPECT_GE(row.perception_share, 0.0);
+    EXPECT_LE(row.perception_share, 1.0);
+    EXPECT_GT(row.events, 0);
+  }
+}
+
+TEST(Context, EmptyDatabaseYieldsEmptyMixes) {
+  dataset::failure_database empty;
+  EXPECT_TRUE(build_road_mix(empty).empty());
+  EXPECT_TRUE(build_weather_mix(empty).empty());
+  EXPECT_TRUE(build_weather_environment(empty).empty());
+}
+
+TEST(Context, RenderedBreakdownMentionsRoadAndWeather) {
+  const auto text = render_context_breakdown(corpus_db());
+  EXPECT_NE(text.find("City Street"), std::string::npos);
+  EXPECT_NE(text.find("Sunny"), std::string::npos);
+  EXPECT_NE(text.find("road type"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace avtk::core

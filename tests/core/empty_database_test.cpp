@@ -1,0 +1,64 @@
+// Robustness: every renderer and builder must degrade gracefully on an
+// empty or near-empty database rather than throwing or dividing by zero.
+#include <gtest/gtest.h>
+
+#include "core/context.h"
+#include "core/exposure.h"
+#include "core/figure_export.h"
+#include "core/report.h"
+
+namespace avtk::core {
+namespace {
+
+TEST(EmptyDatabase, AllRenderersSurvive) {
+  dataset::failure_database db;
+  const std::vector<dataset::manufacturer> none;
+  EXPECT_NO_THROW(render_table1(db));
+  EXPECT_NO_THROW(render_table4(db, none));
+  EXPECT_NO_THROW(render_table5(db, none));
+  EXPECT_NO_THROW(render_table6(db));
+  EXPECT_NO_THROW(render_table7(db, none));
+  EXPECT_NO_THROW(render_table8(db));
+  EXPECT_NO_THROW(render_fig4(db, none));
+  EXPECT_NO_THROW(render_fig5(db, none));
+  EXPECT_NO_THROW(render_fig6(db, none));
+  EXPECT_NO_THROW(render_fig7(db, none));
+  EXPECT_NO_THROW(render_fig8(db, none));
+  EXPECT_NO_THROW(render_fig9(db, none));
+  EXPECT_NO_THROW(render_fig10(db, none));
+  EXPECT_NO_THROW(render_fig11(db, none));
+  EXPECT_NO_THROW(render_fig12(db));
+  EXPECT_NO_THROW(render_headlines(db, none));
+  EXPECT_NO_THROW(render_full_report(db, none));
+  EXPECT_NO_THROW(render_reliability_metrics(db));
+  EXPECT_NO_THROW(render_context_breakdown(db));
+}
+
+TEST(EmptyDatabase, FigureExportSurvives) {
+  dataset::failure_database db;
+  const std::vector<dataset::manufacturer> none;
+  EXPECT_NO_THROW(export_all_figures(db, none));
+}
+
+TEST(EmptyDatabase, SingleManufacturerNoMileage) {
+  dataset::failure_database db;
+  dataset::disengagement_record d;
+  d.maker = dataset::manufacturer::waymo;
+  d.description = "watchdog error";
+  db.add_disengagement(d);
+  const std::vector<dataset::manufacturer> makers = {dataset::manufacturer::waymo};
+  EXPECT_NO_THROW(render_full_report(db, makers));
+}
+
+TEST(EmptyDatabase, AccidentsWithoutSpeeds) {
+  dataset::failure_database db;
+  dataset::accident_record a;
+  a.maker = dataset::manufacturer::uber_atc;
+  a.description = "collision";
+  db.add_accident(a);
+  EXPECT_NO_THROW(render_fig12(db));
+  EXPECT_NO_THROW(render_table6(db));
+}
+
+}  // namespace
+}  // namespace avtk::core

@@ -1,0 +1,120 @@
+#include "core/exposure.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/generator.h"
+
+namespace avtk::core {
+namespace {
+
+using dataset::manufacturer;
+
+dataset::failure_database one_vehicle_db(double miles, long long events) {
+  dataset::failure_database db;
+  dataset::mileage_record m;
+  m.maker = manufacturer::nissan;
+  m.vehicle_id = "N1";
+  m.month = year_month{2016, 1};
+  m.miles = miles;
+  db.add_mileage(m);
+  for (long long e = 0; e < events; ++e) {
+    dataset::disengagement_record d;
+    d.maker = manufacturer::nissan;
+    d.vehicle_id = "N1";
+    d.event_date = date::make(2016, 1, 2);
+    d.description = "x";
+    db.add_disengagement(d);
+  }
+  return db;
+}
+
+TEST(Exposure, SingleMonthSplitsUniformly) {
+  // 300 miles, 2 events -> spells of 100 (event), 100 (event), 100 (censored).
+  const auto spells =
+      miles_to_disengagement_spells(one_vehicle_db(300, 2), manufacturer::nissan);
+  ASSERT_EQ(spells.size(), 3u);
+  int events = 0;
+  for (const auto& s : spells) {
+    EXPECT_NEAR(s.time, 100.0, 1e-9);
+    if (s.event) ++events;
+  }
+  EXPECT_EQ(events, 2);
+}
+
+TEST(Exposure, EventFreeVehicleIsFullyCensored) {
+  const auto spells =
+      miles_to_disengagement_spells(one_vehicle_db(500, 0), manufacturer::nissan);
+  ASSERT_EQ(spells.size(), 1u);
+  EXPECT_FALSE(spells[0].event);
+  EXPECT_DOUBLE_EQ(spells[0].time, 500.0);
+}
+
+TEST(Exposure, ExposureCarriesAcrossEventFreeMonths) {
+  dataset::failure_database db;
+  for (int month = 1; month <= 3; ++month) {
+    dataset::mileage_record m;
+    m.maker = manufacturer::nissan;
+    m.vehicle_id = "N1";
+    m.month = year_month{2016, static_cast<std::uint8_t>(month)};
+    m.miles = 100;
+    db.add_mileage(m);
+  }
+  // One event in March: the spell includes Jan + Feb exposure.
+  dataset::disengagement_record d;
+  d.maker = manufacturer::nissan;
+  d.vehicle_id = "N1";
+  d.event_date = date::make(2016, 3, 10);
+  d.description = "x";
+  db.add_disengagement(d);
+
+  const auto spells = miles_to_disengagement_spells(db, manufacturer::nissan);
+  ASSERT_EQ(spells.size(), 2u);
+  EXPECT_TRUE(spells[0].event);
+  EXPECT_NEAR(spells[0].time, 100 + 100 + 50, 1e-9);  // Jan + Feb + half of March
+  EXPECT_FALSE(spells[1].event);
+  EXPECT_NEAR(spells[1].time, 50, 1e-9);
+}
+
+TEST(Exposure, TotalExposureConserved) {
+  const auto db = one_vehicle_db(300, 2);
+  const auto spells = miles_to_disengagement_spells(db, manufacturer::nissan);
+  double total = 0;
+  for (const auto& s : spells) total += s.time;
+  EXPECT_NEAR(total, 300.0, 1e-9);
+}
+
+TEST(Exposure, MetricMtbfMatchesMilesPerEvent) {
+  const auto metric =
+      compute_reliability_metric(one_vehicle_db(300, 2), manufacturer::nissan);
+  ASSERT_TRUE(metric.mtbf_miles);
+  EXPECT_NEAR(*metric.mtbf_miles, 150.0, 1e-9);  // 300 miles / 2 events
+  EXPECT_EQ(metric.events, 2u);
+}
+
+TEST(Exposure, FullCorpusOrderingMatchesDpmOrdering) {
+  dataset::generator_config cfg;
+  cfg.render_documents = false;
+  const auto db = dataset::generate_corpus(cfg).to_database();
+  const auto metrics = compute_all_reliability_metrics(db, 20);
+  ASSERT_GE(metrics.size(), 5u);
+  // Sorted by MTBF descending: Waymo must lead, Bosch must trail.
+  EXPECT_EQ(metrics.front().maker, manufacturer::waymo);
+  EXPECT_EQ(metrics.back().maker, manufacturer::bosch);
+  // MTBF ~ 1/DPM: Waymo's MTBF should be about 1/4.4e-4 ~ 2300 miles.
+  ASSERT_TRUE(metrics.front().mtbf_miles);
+  EXPECT_GT(*metrics.front().mtbf_miles, 1000.0);
+  EXPECT_LT(*metrics.front().mtbf_miles, 5000.0);
+}
+
+TEST(Exposure, RenderedTableMentionsEveryBigManufacturer) {
+  dataset::generator_config cfg;
+  cfg.render_documents = false;
+  const auto db = dataset::generate_corpus(cfg).to_database();
+  const auto text = render_reliability_metrics(db);
+  for (const char* name : {"Waymo", "Bosch", "Benz", "Nissan"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace avtk::core

@@ -1,0 +1,31 @@
+// Calibration robustness: the headline claims must hold for ANY generator
+// seed, not just the default one — the reproduction cannot hinge on a
+// lucky draw.
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "core/pipeline.h"
+#include "dataset/generator.h"
+
+namespace avtk::core {
+namespace {
+
+class MultiSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MultiSeed, HeadlineClaimsHold) {
+  dataset::generator_config cfg;
+  cfg.seed = GetParam();
+  const auto corpus = dataset::generate_corpus(cfg);
+  const auto result = run_pipeline(corpus.documents, corpus.pristine_documents);
+  for (const auto& claim : evaluate_headlines(result.database, result.stats.analyzed)) {
+    EXPECT_TRUE(claim.within_tolerance())
+        << "seed " << GetParam() << ": " << claim.name << " paper=" << claim.paper_value
+        << " measured=" << claim.measured_value;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiSeed,
+                         ::testing::Values(1u, 42u, 777u, 31337u, 20180625u));
+
+}  // namespace
+}  // namespace avtk::core

@@ -1,0 +1,53 @@
+#include "core/narrative.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "dataset/generator.h"
+
+namespace avtk::core {
+namespace {
+
+struct fixture {
+  pipeline_result result;
+};
+
+const fixture& fx() {
+  static const fixture f = [] {
+    const auto corpus = dataset::generate_corpus({});
+    return fixture{run_pipeline(corpus.documents, corpus.pristine_documents)};
+  }();
+  return f;
+}
+
+TEST(Narrative, AllTrackedConclusionsSupported) {
+  const auto conclusions =
+      evaluate_conclusions(fx().result.database, fx().result.stats.analyzed);
+  ASSERT_EQ(conclusions.size(), 7u);
+  for (const auto& c : conclusions) {
+    EXPECT_TRUE(c.supported) << c.id << ": " << c.evidence;
+    EXPECT_FALSE(c.statement.empty());
+    EXPECT_FALSE(c.evidence.empty());
+  }
+}
+
+TEST(Narrative, RenderNumbersAndVerdicts) {
+  const auto text = render_conclusions(fx().result.database, fx().result.stats.analyzed);
+  EXPECT_NE(text.find("SUPPORTED"), std::string::npos);
+  EXPECT_EQ(text.find("NOT SUPPORTED"), std::string::npos);
+  EXPECT_NE(text.find("burn-in"), std::string::npos);
+  EXPECT_NE(text.find("evidence:"), std::string::npos);
+}
+
+TEST(Narrative, EmptyDatabaseDegradesGracefully) {
+  dataset::failure_database empty;
+  const auto conclusions = evaluate_conclusions(empty, {});
+  ASSERT_EQ(conclusions.size(), 7u);
+  for (const auto& c : conclusions) {
+    EXPECT_FALSE(c.supported) << c.id;  // no data -> nothing supported
+  }
+  EXPECT_NO_THROW(render_conclusions(empty, {}));
+}
+
+}  // namespace
+}  // namespace avtk::core

@@ -1,0 +1,63 @@
+// The parallel Stage II must be bit-identical to the serial one for any
+// thread count — the merge is in document order and workers share no
+// mutable state.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "dataset/generator.h"
+
+namespace avtk::core {
+namespace {
+
+const dataset::generated_corpus& corpus() {
+  static const dataset::generated_corpus c = dataset::generate_corpus({});
+  return c;
+}
+
+pipeline_result run_with(unsigned parallelism) {
+  pipeline_config cfg;
+  cfg.parallelism = parallelism;
+  return run_pipeline(corpus().documents, corpus().pristine_documents, cfg);
+}
+
+void expect_identical(const pipeline_result& a, const pipeline_result& b) {
+  ASSERT_EQ(a.database.disengagements().size(), b.database.disengagements().size());
+  ASSERT_EQ(a.database.mileage().size(), b.database.mileage().size());
+  ASSERT_EQ(a.database.accidents().size(), b.database.accidents().size());
+  for (std::size_t i = 0; i < a.database.disengagements().size(); ++i) {
+    const auto& da = a.database.disengagements()[i];
+    const auto& db = b.database.disengagements()[i];
+    EXPECT_EQ(da.description, db.description) << i;
+    EXPECT_EQ(da.tag, db.tag) << i;
+    EXPECT_EQ(da.maker, db.maker) << i;
+    EXPECT_EQ(da.vehicle_id, db.vehicle_id) << i;
+  }
+  for (std::size_t i = 0; i < a.database.mileage().size(); ++i) {
+    EXPECT_EQ(a.database.mileage()[i].vehicle_id, b.database.mileage()[i].vehicle_id);
+    EXPECT_DOUBLE_EQ(a.database.mileage()[i].miles, b.database.mileage()[i].miles);
+  }
+  EXPECT_EQ(a.stats.manual_transcriptions, b.stats.manual_transcriptions);
+  EXPECT_EQ(a.stats.unknown_tags, b.stats.unknown_tags);
+  EXPECT_EQ(a.stats.parse_failed_lines, b.stats.parse_failed_lines);
+  EXPECT_NEAR(a.stats.ocr_mean_confidence, b.stats.ocr_mean_confidence, 1e-12);
+}
+
+class ParallelPipeline : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelPipeline, IdenticalToSerial) {
+  const auto serial = run_with(1);
+  const auto parallel = run_with(GetParam());
+  expect_identical(serial, parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelPipeline, ::testing::Values(2u, 4u, 13u));
+
+TEST(ParallelPipeline, OversubscriptionIsClamped) {
+  // More threads than documents must still work.
+  const auto result = run_with(10000);
+  EXPECT_EQ(result.stats.documents_in, corpus().documents.size());
+  EXPECT_EQ(result.stats.disengagements, 5328u);
+}
+
+}  // namespace
+}  // namespace avtk::core

@@ -1,0 +1,159 @@
+// Manufacturer registry, records, and phrase-bank coverage.
+#include <gtest/gtest.h>
+
+#include "dataset/manufacturers.h"
+#include "dataset/phrase_bank.h"
+#include "dataset/records.h"
+#include "util/rng.h"
+
+namespace avtk::dataset {
+namespace {
+
+TEST(Manufacturers, NamesRoundTrip) {
+  for (const auto m : k_all_manufacturers) {
+    EXPECT_EQ(manufacturer_from_string(manufacturer_name(m)).value(), m);
+    EXPECT_EQ(manufacturer_from_string(manufacturer_short_name(m)).value(), m);
+    EXPECT_EQ(manufacturer_from_string(manufacturer_id(m)).value(), m);
+  }
+}
+
+TEST(Manufacturers, Aliases) {
+  EXPECT_EQ(manufacturer_from_string("Google").value(), manufacturer::waymo);
+  EXPECT_EQ(manufacturer_from_string("GMCruise").value(), manufacturer::gm_cruise);
+  EXPECT_EQ(manufacturer_from_string("Mercedes").value(), manufacturer::mercedes_benz);
+  EXPECT_EQ(manufacturer_from_string("VW").value(), manufacturer::volkswagen);
+  EXPECT_FALSE(manufacturer_from_string("Toyota"));
+}
+
+TEST(Manufacturers, AnalyzedSubsetExcludesSmallFleets) {
+  for (const auto m : {manufacturer::uber_atc, manufacturer::bmw, manufacturer::ford,
+                       manufacturer::honda}) {
+    bool found = false;
+    for (const auto a : k_analyzed_manufacturers) {
+      if (a == m) found = true;
+    }
+    EXPECT_FALSE(found) << manufacturer_name(m);
+  }
+}
+
+TEST(Modality, RoundTrip) {
+  EXPECT_EQ(modality_from_string("Automatic").value(), modality::automatic);
+  EXPECT_EQ(modality_from_string("auto").value(), modality::automatic);
+  EXPECT_EQ(modality_from_string("Driver").value(), modality::manual);
+  EXPECT_EQ(modality_from_string("Safe Operation").value(), modality::manual);
+  EXPECT_EQ(modality_from_string("planned test campaign").value(), modality::planned);
+  EXPECT_EQ(modality_from_string("").value(), modality::unknown);
+  EXPECT_FALSE(modality_from_string("banana"));
+}
+
+TEST(RoadType, RoundTrip) {
+  EXPECT_EQ(road_type_from_string("City Street").value(), road_type::city_street);
+  EXPECT_EQ(road_type_from_string("highway").value(), road_type::highway);
+  EXPECT_EQ(road_type_from_string("Interstate 280").value(), road_type::interstate);
+  EXPECT_EQ(road_type_from_string("PARKING LOT").value(), road_type::parking_lot);
+  EXPECT_EQ(road_type_from_string("").value(), road_type::unknown);
+  EXPECT_FALSE(road_type_from_string("moonbase"));
+}
+
+TEST(Weather, RoundTrip) {
+  EXPECT_EQ(weather_from_string("Sunny").value(), weather::sunny);
+  EXPECT_EQ(weather_from_string("Sunny/Dry").value(), weather::sunny);
+  EXPECT_EQ(weather_from_string("light rain").value(), weather::rainy);
+  EXPECT_EQ(weather_from_string("Overcast").value(), weather::overcast);
+  EXPECT_FALSE(weather_from_string("plasma storm"));
+}
+
+TEST(Records, MonthBucketPrefersExplicitMonth) {
+  disengagement_record d;
+  EXPECT_FALSE(d.month_bucket());
+  d.event_date = date::make(2016, 5, 25);
+  EXPECT_EQ(d.month_bucket().value(), (year_month{2016, 5}));
+  d.event_month = year_month{2016, 7};
+  EXPECT_EQ(d.month_bucket().value(), (year_month{2016, 7}));
+}
+
+TEST(Records, RelativeSpeedRequiresBoth) {
+  accident_record a;
+  EXPECT_FALSE(a.relative_speed_mph());
+  a.av_speed_mph = 5.0;
+  EXPECT_FALSE(a.relative_speed_mph());
+  a.other_speed_mph = 12.0;
+  EXPECT_DOUBLE_EQ(a.relative_speed_mph().value(), 7.0);
+  a.other_speed_mph = 2.0;
+  EXPECT_DOUBLE_EQ(a.relative_speed_mph().value(), 3.0);  // absolute
+}
+
+TEST(PhraseBank, EveryRealTagHasDescriptions) {
+  for (const auto tag : nlp::k_all_fault_tags) {
+    if (tag == nlp::fault_tag::unknown) {
+      EXPECT_TRUE(descriptions_for(tag).empty());
+    } else {
+      EXPECT_GE(descriptions_for(tag).size(), 4u) << nlp::tag_id(tag);
+    }
+  }
+  EXPECT_GE(vague_descriptions().size(), 4u);
+}
+
+TEST(PhraseBank, SampleDescriptionAppendsShellSometimes) {
+  rng g(101);
+  bool with_shell = false;
+  bool without_shell = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto text = sample_description(nlp::fault_tag::software, g, 0.5);
+    if (text.find("control") != std::string::npos ||
+        text.find("precaution") != std::string::npos) {
+      with_shell = true;
+    } else {
+      without_shell = true;
+    }
+  }
+  EXPECT_TRUE(with_shell);
+  EXPECT_TRUE(without_shell);
+}
+
+TEST(PhraseBank, UnknownTagSamplesVagueText) {
+  rng g(102);
+  const auto text = sample_description(nlp::fault_tag::unknown, g);
+  bool found = false;
+  for (const auto& v : vague_descriptions()) {
+    if (text == v) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PhraseBank, TagWeightsSumToOnePerGroup) {
+  for (const auto group : {cause_group::perception, cause_group::planner_controller,
+                           cause_group::system, cause_group::unknown}) {
+    double sum = 0;
+    for (const auto& [tag, w] : tag_weights(group)) sum += w;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(PhraseBank, WatchdogHeavyProfileShiftsMass) {
+  const auto normal = tag_weights(cause_group::system, false);
+  const auto vw = tag_weights(cause_group::system, true);
+  const auto weight_of = [](const auto& weights, nlp::fault_tag tag) {
+    for (const auto& [t, w] : weights) {
+      if (t == tag) return w;
+    }
+    return 0.0;
+  };
+  EXPECT_GT(weight_of(vw, nlp::fault_tag::hang_crash),
+            weight_of(normal, nlp::fault_tag::hang_crash));
+}
+
+TEST(PhraseBank, SampleTagStaysInGroup) {
+  rng g(103);
+  for (int i = 0; i < 100; ++i) {
+    const auto tag = sample_tag(cause_group::perception, g);
+    EXPECT_EQ(nlp::ml_subcategory_of(tag), nlp::ml_subcategory::perception_recognition);
+  }
+  for (int i = 0; i < 100; ++i) {
+    const auto tag = sample_tag(cause_group::system, g);
+    EXPECT_EQ(nlp::category_of(tag), nlp::failure_category::system);
+  }
+}
+
+}  // namespace
+}  // namespace avtk::dataset

@@ -1,0 +1,191 @@
+// Internal-consistency checks on the transcribed paper constants: if a
+// number was mistyped, these tests catch it against the paper's own
+// cross-checkable identities.
+#include "dataset/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/errors.h"
+
+namespace avtk::dataset::ground_truth {
+namespace {
+
+TEST(Table1, TotalsMatchPaperHeadlines) {
+  double miles = 0;
+  long long disengagements = 0;
+  long long accidents = 0;
+  int cars = 0;
+  for (const auto& row : table1()) {
+    miles += row.miles.value_or(0);
+    disengagements += row.disengagements.value_or(0);
+    accidents += row.accidents.value_or(0);
+    cars += row.cars.value_or(0);
+  }
+  EXPECT_EQ(disengagements, k_total_disengagements);
+  EXPECT_EQ(accidents, k_total_accidents);
+  EXPECT_NEAR(miles, k_total_miles, 1.0);
+  // The paper's own Table I is internally inconsistent on fleet size: its
+  // 2017 rows sum to 85 cars while its Total row prints 83 (and the
+  // abstract's 144 = 61 + 83). We transcribe the rows verbatim, so the row
+  // sum is 61 + 85.
+  EXPECT_EQ(cars, 61 + 85);
+  EXPECT_EQ(k_total_cars, 144);  // headline value kept for the record
+}
+
+TEST(Table1, PerReleaseTotalsMatchPaper) {
+  double miles_2016 = 0;
+  long long dis_2016 = 0;
+  for (const auto& row : table1()) {
+    if (row.report_year == 2016) {
+      miles_2016 += row.miles.value_or(0);
+      dis_2016 += row.disengagements.value_or(0);
+    }
+  }
+  EXPECT_NEAR(miles_2016, 460384.1, 0.5);  // paper's "Total" row
+  EXPECT_EQ(dis_2016, 2896);
+}
+
+TEST(Table1, LookupFindsEveryPair) {
+  for (const auto maker : k_all_manufacturers) {
+    for (const int year : {2016, 2017}) {
+      EXPECT_NO_THROW(table1_row(maker, year));
+      EXPECT_NE(table1_row_or_null(maker, year), nullptr);
+    }
+  }
+  EXPECT_EQ(table1_row_or_null(manufacturer::waymo, 2019), nullptr);
+  EXPECT_THROW(table1_row(manufacturer::waymo, 2019), avtk::not_found_error);
+}
+
+TEST(Table4, RowsSumToOne) {
+  for (const auto& mix : table4()) {
+    const double sum =
+        mix.planner_controller + mix.perception_recognition + mix.system + mix.unknown;
+    EXPECT_NEAR(sum, 1.0, 0.005) << manufacturer_name(mix.maker);
+  }
+}
+
+TEST(Table4, GenerationMixCoversAnalyzedManufacturers) {
+  for (const auto maker : k_analyzed_manufacturers) {
+    const auto& mix = generation_mix_for(maker);
+    EXPECT_EQ(mix.maker, maker);
+    const double sum =
+        mix.planner_controller + mix.perception_recognition + mix.system + mix.unknown;
+    EXPECT_NEAR(sum, 1.0, 0.005);
+  }
+}
+
+TEST(Table4, CorpusWideMlShareLandsAt64Percent) {
+  // Weighted by each maker's total disengagements, the generation mixes
+  // must reproduce the paper's 64% ML/Design share.
+  double ml = 0;
+  double total = 0;
+  for (const auto maker : k_analyzed_manufacturers) {
+    long long events = 0;
+    for (const int year : {2016, 2017}) {
+      events += table1_row(maker, year).disengagements.value_or(0);
+    }
+    const auto& mix = generation_mix_for(maker);
+    ml += static_cast<double>(events) * (mix.planner_controller + mix.perception_recognition);
+    total += static_cast<double>(events);
+  }
+  EXPECT_NEAR(ml / total, k_ml_fraction, 0.03);
+}
+
+TEST(Table5, RowsSumToOne) {
+  for (const auto& mix : table5()) {
+    EXPECT_NEAR(mix.automatic + mix.manual + mix.planned, 1.0, 0.005)
+        << manufacturer_name(mix.maker);
+  }
+}
+
+TEST(Table6, AccidentsSumTo42AndFractionsConsistent) {
+  long long total = 0;
+  for (const auto& row : table6()) total += row.accidents;
+  EXPECT_EQ(total, k_total_accidents);
+  for (const auto& row : table6()) {
+    EXPECT_NEAR(row.fraction_of_total, static_cast<double>(row.accidents) / 42.0, 0.001);
+  }
+}
+
+TEST(Table6, DpaConsistentWithTable1Disengagements) {
+  // DPA = total disengagements / accidents, from Table I.
+  for (const auto& row : table6()) {
+    if (!row.dpa) continue;
+    long long events = 0;
+    for (const int year : {2016, 2017}) {
+      events += table1_row(row.maker, year).disengagements.value_or(0);
+    }
+    const double dpa = static_cast<double>(events) / static_cast<double>(row.accidents);
+    EXPECT_NEAR(*row.dpa, dpa, dpa * 0.05) << manufacturer_name(row.maker);
+  }
+}
+
+TEST(Table7, ApmEqualsDpmOverDpa) {
+  for (const auto& row : table7()) {
+    if (!row.median_apm) continue;
+    for (const auto& acc : table6()) {
+      if (acc.maker != row.maker || !acc.dpa) continue;
+      EXPECT_NEAR(*row.median_apm, row.median_dpm / *acc.dpa, *row.median_apm * 0.05)
+          << manufacturer_name(row.maker);
+    }
+  }
+}
+
+TEST(Table7, HumanRatioConsistent) {
+  // Note: the paper's printed Nissan ratio (15.285x) contradicts its own
+  // APM column (3.057e-4 / 2e-6 = 152.85x); all other rows divide cleanly.
+  for (const auto& row : table7()) {
+    if (!row.median_apm || !row.relative_to_human) continue;
+    if (row.maker == manufacturer::nissan) continue;
+    EXPECT_NEAR(*row.relative_to_human, *row.median_apm / k_human_apm,
+                *row.relative_to_human * 0.05)
+        << manufacturer_name(row.maker);
+  }
+}
+
+TEST(Table8, ApmiIsApmTimesMedianTrip) {
+  for (const auto& row : table8()) {
+    for (const auto& rel : table7()) {
+      if (rel.maker != row.maker || !rel.median_apm) continue;
+      EXPECT_NEAR(row.apmi, *rel.median_apm * k_median_trip_miles, row.apmi * 0.05);
+      EXPECT_NEAR(row.vs_airline, row.apmi / k_airline_apm, row.vs_airline * 0.05);
+      EXPECT_NEAR(row.vs_surgical_robot, row.apmi / k_surgical_robot_apm,
+                  row.vs_surgical_robot * 0.05);
+    }
+  }
+}
+
+TEST(Periods, TwentySixMonthsTotal) {
+  const auto p1 = period_for_release(2016);
+  const auto p2 = period_for_release(2017);
+  const auto months = (p1.last.index() - p1.first.index() + 1) +
+                      (p2.last.index() - p2.first.index() + 1);
+  EXPECT_EQ(months, 27);  // Sep 2014 .. Nov 2016 inclusive
+  EXPECT_EQ(p1.last.next(), p2.first);
+  EXPECT_THROW(period_for_release(2015), avtk::not_found_error);
+}
+
+TEST(Plans, EveryPlanInsideItsPeriod) {
+  for (const auto& plan : generation_plans()) {
+    const auto period = period_for_release(plan.report_year);
+    EXPECT_GE(plan.first_month, period.first) << manufacturer_name(plan.maker);
+    EXPECT_LE(plan.last_month, period.last) << manufacturer_name(plan.maker);
+    EXPECT_LE(plan.dpm_decay, 0.0);
+    EXPECT_GT(plan.rt_shape, 0.0);
+    EXPECT_GT(plan.rt_scale, 0.0);
+    EXPECT_GT(plan.rt_power, 0.0);
+  }
+}
+
+TEST(Plans, LookupMatchesHasPlan) {
+  EXPECT_TRUE(has_plan_for(manufacturer::waymo, 2016));
+  EXPECT_FALSE(has_plan_for(manufacturer::tesla, 2016));
+  EXPECT_FALSE(has_plan_for(manufacturer::uber_atc, 2017));
+  EXPECT_NO_THROW(plan_for(manufacturer::waymo, 2016));
+  EXPECT_THROW(plan_for(manufacturer::tesla, 2016), avtk::not_found_error);
+}
+
+}  // namespace
+}  // namespace avtk::dataset::ground_truth

@@ -1,0 +1,116 @@
+#include "nlp/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/generator.h"
+#include "nlp/classifier.h"
+#include "util/rng.h"
+
+namespace avtk::nlp {
+namespace {
+
+std::vector<labeled_description> toy_corpus() {
+  std::vector<labeled_description> corpus;
+  for (int i = 0; i < 5; ++i) {
+    corpus.push_back({"lidar dropout on unit " + std::to_string(i), fault_tag::sensor});
+    corpus.push_back({"watchdog timer expired run " + std::to_string(i),
+                      fault_tag::hang_crash});
+    corpus.push_back({"failed to detect pedestrian case " + std::to_string(i),
+                      fault_tag::recognition_system});
+    corpus.push_back({"no details " + std::to_string(i), fault_tag::unknown});
+  }
+  return corpus;
+}
+
+TEST(Bootstrap, LearnsDiscriminativePhrases) {
+  const auto dict = bootstrap_dictionary(toy_corpus());
+  EXPECT_FALSE(dict.phrases(fault_tag::sensor).empty());
+  EXPECT_FALSE(dict.phrases(fault_tag::hang_crash).empty());
+  EXPECT_FALSE(dict.phrases(fault_tag::recognition_system).empty());
+  // Unknown is negative evidence only.
+  EXPECT_TRUE(dict.phrases(fault_tag::unknown).empty());
+}
+
+TEST(Bootstrap, LearnedDictionaryClassifiesItsTrainingSet) {
+  const auto corpus = toy_corpus();
+  const auto dict = bootstrap_dictionary(corpus);
+  // Unknown examples stay unknown; the rest must classify correctly, so
+  // accuracy is 1.0 over the whole set (unknown -> unknown counts as match).
+  EXPECT_GT(evaluate_dictionary(dict, corpus), 0.95);
+}
+
+TEST(Bootstrap, PrecisionFilterRejectsSharedPhrases) {
+  // "fault alert" appears in two different tags: precision 0.5 < 0.9.
+  std::vector<labeled_description> corpus;
+  for (int i = 0; i < 5; ++i) {
+    corpus.push_back({"fault alert lidar", fault_tag::sensor});
+    corpus.push_back({"fault alert watchdog", fault_tag::hang_crash});
+  }
+  const auto dict = bootstrap_dictionary(corpus);
+  // Phrases occurring in BOTH tags ("fault", "alert", "fault alert") must be
+  // rejected; tag-unique phrases that merely contain those words ("alert
+  // lidar") are legitimate.
+  for (const auto tag : {fault_tag::sensor, fault_tag::hang_crash}) {
+    for (const auto& p : dict.phrases(tag)) {
+      EXPECT_NE(p.stems, (std::vector<std::string>{"fault"})) << tag_id(tag);
+      EXPECT_NE(p.stems, (std::vector<std::string>{"alert"})) << tag_id(tag);
+      EXPECT_NE(p.stems, (std::vector<std::string>{"fault", "alert"})) << tag_id(tag);
+    }
+  }
+}
+
+TEST(Bootstrap, MinCountFilters) {
+  std::vector<labeled_description> corpus = {
+      {"singular oddity text", fault_tag::sensor},
+      {"lidar dropout", fault_tag::sensor},
+      {"lidar dropout", fault_tag::sensor},
+      {"lidar dropout", fault_tag::sensor},
+  };
+  const auto dict = bootstrap_dictionary(corpus);
+  for (const auto& p : dict.phrases(fault_tag::sensor)) {
+    for (const auto& stem : p.stems) EXPECT_NE(stem, "oddity");
+  }
+}
+
+TEST(Bootstrap, MaxPhrasesPerTagRespected) {
+  std::vector<labeled_description> corpus;
+  for (int i = 0; i < 40; ++i) {
+    corpus.push_back({"unique phrase number" + std::to_string(i / 4) + " lidar",
+                      fault_tag::sensor});
+  }
+  bootstrap_config cfg;
+  cfg.max_phrases_per_tag = 3;
+  cfg.min_count = 2;
+  const auto dict = bootstrap_dictionary(corpus, cfg);
+  EXPECT_LE(dict.phrases(fault_tag::sensor).size(), 3u);
+}
+
+TEST(Bootstrap, LearnsFromGeneratedCorpusAndGeneralizes) {
+  // Train on half of the generated corpus's ground-truth labels; evaluate
+  // on the other half — the bootstrapped dictionary should approach the
+  // hand-built one.
+  dataset::generator_config cfg;
+  cfg.render_documents = false;
+  const auto corpus = dataset::generate_corpus(cfg);
+  std::vector<labeled_description> train;
+  std::vector<labeled_description> test;
+  for (std::size_t i = 0; i < corpus.disengagements.size(); ++i) {
+    const auto& d = corpus.disengagements[i];
+    (i % 2 == 0 ? train : test).push_back({d.description, d.tag});
+  }
+  const auto learned = bootstrap_dictionary(train);
+  const double learned_accuracy = evaluate_dictionary(learned, test);
+  EXPECT_GT(learned_accuracy, 0.80);
+  const double builtin_accuracy = evaluate_dictionary(failure_dictionary::builtin(), test);
+  // The hand-built dictionary should not beat the learned one by much.
+  EXPECT_GT(learned_accuracy, builtin_accuracy - 0.15);
+}
+
+TEST(Bootstrap, EmptyCorpus) {
+  const auto dict = bootstrap_dictionary({});
+  EXPECT_EQ(dict.phrase_count(), 0u);
+  EXPECT_DOUBLE_EQ(evaluate_dictionary(dict, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace avtk::nlp

@@ -1,0 +1,84 @@
+#include "nlp/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include "util/errors.h"
+
+namespace avtk::nlp {
+namespace {
+
+TEST(Dictionary, AddPhraseStemsAndFilters) {
+  failure_dictionary d;
+  d.add_phrase(fault_tag::software, "the software modules were crashing");
+  const auto& phrases = d.phrases(fault_tag::software);
+  ASSERT_EQ(phrases.size(), 1u);
+  EXPECT_EQ(phrases[0].stems, (std::vector<std::string>{"softwar", "modul", "crash"}));
+  EXPECT_DOUBLE_EQ(phrases[0].weight, 3.0);  // defaults to stem count
+}
+
+TEST(Dictionary, ExplicitWeight) {
+  failure_dictionary d;
+  d.add_phrase(fault_tag::sensor, "lidar", 5.0);
+  EXPECT_DOUBLE_EQ(d.phrases(fault_tag::sensor)[0].weight, 5.0);
+}
+
+TEST(Dictionary, AllStopwordPhraseThrows) {
+  failure_dictionary d;
+  EXPECT_THROW(d.add_phrase(fault_tag::software, "the and of"), logic_error);
+}
+
+TEST(Dictionary, EmptyTagsHaveNoPhrases) {
+  const failure_dictionary d;
+  EXPECT_TRUE(d.phrases(fault_tag::network).empty());
+  EXPECT_TRUE(d.tags().empty());
+  EXPECT_EQ(d.phrase_count(), 0u);
+}
+
+TEST(Dictionary, BuiltinCoversEveryRealTag) {
+  const auto d = failure_dictionary::builtin();
+  for (const auto tag : k_all_fault_tags) {
+    if (tag == fault_tag::unknown) {
+      EXPECT_TRUE(d.phrases(tag).empty());
+    } else {
+      EXPECT_FALSE(d.phrases(tag).empty()) << tag_id(tag);
+    }
+  }
+  EXPECT_GT(d.phrase_count(), 80u);
+}
+
+TEST(Dictionary, SerializeDeserializeRoundTrip) {
+  const auto d = failure_dictionary::builtin();
+  const auto text = d.serialize();
+  const auto d2 = failure_dictionary::deserialize(text);
+  EXPECT_EQ(d2.phrase_count(), d.phrase_count());
+  for (const auto tag : d.tags()) {
+    EXPECT_EQ(d2.phrases(tag).size(), d.phrases(tag).size()) << tag_id(tag);
+    for (std::size_t i = 0; i < d.phrases(tag).size(); ++i) {
+      EXPECT_EQ(d2.phrases(tag)[i].stems, d.phrases(tag)[i].stems);
+    }
+  }
+}
+
+TEST(Dictionary, DeserializeSkipsCommentsAndBlanks) {
+  const auto d = failure_dictionary::deserialize(
+      "# comment line\n\nsoftware\t2\tsoftwar crash\n");
+  EXPECT_EQ(d.phrase_count(), 1u);
+  EXPECT_EQ(d.phrases(fault_tag::software)[0].weight, 2.0);
+}
+
+TEST(Dictionary, DeserializeRejectsMalformedLines) {
+  EXPECT_THROW(failure_dictionary::deserialize("only_two\tfields"), parse_error);
+  EXPECT_THROW(failure_dictionary::deserialize("no_such_tag\t1\tstem"), parse_error);
+  EXPECT_THROW(failure_dictionary::deserialize("software\t-1\tstem"), parse_error);
+  EXPECT_THROW(failure_dictionary::deserialize("software\tx\tstem"), parse_error);
+}
+
+TEST(Dictionary, ExtensionAfterConstruction) {
+  auto d = failure_dictionary::builtin();
+  const auto before = d.phrases(fault_tag::sensor).size();
+  d.add_phrase(fault_tag::sensor, "ultrasonic transducer fault");
+  EXPECT_EQ(d.phrases(fault_tag::sensor).size(), before + 1);
+}
+
+}  // namespace
+}  // namespace avtk::nlp

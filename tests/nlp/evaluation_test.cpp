@@ -1,0 +1,84 @@
+#include "nlp/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/generator.h"
+
+namespace avtk::nlp {
+namespace {
+
+TEST(ConfusionMatrix, PerfectPredictions) {
+  confusion_matrix cm;
+  for (int i = 0; i < 10; ++i) cm.add(fault_tag::sensor, fault_tag::sensor);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  const auto m = cm.metrics_for(fault_tag::sensor);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_EQ(m.support, 10);
+}
+
+TEST(ConfusionMatrix, KnownMixedCase) {
+  confusion_matrix cm;
+  // sensor: 3 truth, 2 correct, 1 predicted as software.
+  cm.add(fault_tag::sensor, fault_tag::sensor);
+  cm.add(fault_tag::sensor, fault_tag::sensor);
+  cm.add(fault_tag::sensor, fault_tag::software);
+  // software: 1 truth, predicted sensor.
+  cm.add(fault_tag::software, fault_tag::sensor);
+
+  EXPECT_EQ(cm.total(), 4);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.5);
+  const auto sensor = cm.metrics_for(fault_tag::sensor);
+  EXPECT_DOUBLE_EQ(sensor.precision, 2.0 / 3.0);  // 2 of 3 sensor predictions correct
+  EXPECT_DOUBLE_EQ(sensor.recall, 2.0 / 3.0);     // 2 of 3 sensor truths found
+  const auto software = cm.metrics_for(fault_tag::software);
+  EXPECT_DOUBLE_EQ(software.precision, 0.0);
+  EXPECT_DOUBLE_EQ(software.recall, 0.0);
+  EXPECT_DOUBLE_EQ(software.f1, 0.0);
+}
+
+TEST(ConfusionMatrix, UnseenTagReportsZeros) {
+  confusion_matrix cm;
+  cm.add(fault_tag::sensor, fault_tag::sensor);
+  const auto m = cm.metrics_for(fault_tag::network);
+  EXPECT_EQ(m.support, 0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+  // all_metrics skips unsupported tags.
+  EXPECT_EQ(cm.all_metrics().size(), 1u);
+}
+
+TEST(ConfusionMatrix, EmptyMatrix) {
+  confusion_matrix cm;
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 0.0);
+  EXPECT_TRUE(cm.all_metrics().empty());
+}
+
+TEST(ConfusionMatrix, MacroF1AveragesOverSupportedTags) {
+  confusion_matrix cm;
+  for (int i = 0; i < 5; ++i) cm.add(fault_tag::sensor, fault_tag::sensor);       // F1 = 1
+  for (int i = 0; i < 5; ++i) cm.add(fault_tag::software, fault_tag::network);    // F1 = 0
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 0.5);
+}
+
+TEST(EvaluateClassifier, BuiltinDictionaryOnCleanCorpus) {
+  dataset::generator_config cfg;
+  cfg.render_documents = false;
+  const auto corpus = dataset::generate_corpus(cfg);
+  std::vector<labeled_description> labeled;
+  for (const auto& d : corpus.disengagements) labeled.push_back({d.description, d.tag});
+
+  const keyword_voting_classifier cls(failure_dictionary::builtin());
+  const auto cm = evaluate_classifier(cls, labeled);
+  EXPECT_EQ(cm.total(), static_cast<long long>(labeled.size()));
+  EXPECT_GT(cm.accuracy(), 0.98);
+  EXPECT_GT(cm.macro_f1(), 0.95);
+  // The per-tag report renders with the header line.
+  const auto text = cm.render();
+  EXPECT_NE(text.find("Precision"), std::string::npos);
+  EXPECT_NE(text.find("micro accuracy"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace avtk::nlp

@@ -1,0 +1,77 @@
+// Stop-word and n-gram coverage.
+#include <gtest/gtest.h>
+
+#include "nlp/ngram.h"
+#include "nlp/stopwords.h"
+
+namespace avtk::nlp {
+namespace {
+
+TEST(Stopwords, CommonFunctionWords) {
+  EXPECT_TRUE(is_stopword("the"));
+  EXPECT_TRUE(is_stopword("and"));
+  EXPECT_TRUE(is_stopword("because"));
+  EXPECT_FALSE(is_stopword("lidar"));
+  EXPECT_FALSE(is_stopword("watchdog"));
+}
+
+TEST(Stopwords, LogBoilerplate) {
+  EXPECT_TRUE(is_log_boilerplate("driver"));
+  EXPECT_TRUE(is_log_boilerplate("disengaged"));
+  EXPECT_TRUE(is_log_boilerplate("takeover"));
+  EXPECT_FALSE(is_log_boilerplate("software"));
+  EXPECT_FALSE(is_log_boilerplate("pedestrian"));
+}
+
+TEST(Stopwords, RemoveStopwordsKeepsSignal) {
+  const auto out =
+      remove_stopwords({"the", "software", "module", "froze", "and", "driver", "disengaged"});
+  EXPECT_EQ(out, (std::vector<std::string>{"software", "module", "froze"}));
+}
+
+TEST(Stopwords, BoilerplateOptional) {
+  const auto out = remove_stopwords({"driver", "took", "control"}, /*drop_boilerplate=*/false);
+  EXPECT_EQ(out, (std::vector<std::string>{"driver", "took", "control"}));
+}
+
+TEST(Ngrams, UnigramsAreTokens) {
+  const std::vector<std::string> tokens = {"a", "b", "c"};
+  EXPECT_EQ(ngrams(tokens, 1), tokens);
+}
+
+TEST(Ngrams, Bigrams) {
+  EXPECT_EQ(ngrams({"a", "b", "c"}, 2), (std::vector<std::string>{"a b", "b c"}));
+}
+
+TEST(Ngrams, NLargerThanInput) {
+  EXPECT_TRUE(ngrams({"a"}, 2).empty());
+  EXPECT_TRUE(ngrams({}, 1).empty());
+  EXPECT_TRUE(ngrams({"a", "b"}, 0).empty());
+}
+
+TEST(NgramCounts, AccumulatesAcrossCorpus) {
+  const std::vector<std::vector<std::string>> corpus = {{"lidar", "dropout"},
+                                                        {"lidar", "dropout", "again"}};
+  const auto counts = ngram_counts(corpus, 1, 2);
+  EXPECT_EQ(counts.at("lidar"), 2u);
+  EXPECT_EQ(counts.at("lidar dropout"), 2u);
+  EXPECT_EQ(counts.at("dropout again"), 1u);
+}
+
+TEST(RankCandidates, OrdersByCountTimesLength) {
+  std::map<std::string, std::size_t> counts = {
+      {"lidar", 10}, {"lidar dropout", 6}, {"rare phrase", 1}};
+  const auto ranked = rank_candidates(counts, 2);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].phrase, "lidar dropout");  // 6*2 = 12 > 10*1
+  EXPECT_EQ(ranked[0].length, 2u);
+  EXPECT_EQ(ranked[1].phrase, "lidar");
+}
+
+TEST(RankCandidates, MinCountFilters) {
+  std::map<std::string, std::size_t> counts = {{"a", 1}, {"b", 5}};
+  EXPECT_EQ(rank_candidates(counts, 3).size(), 1u);
+}
+
+}  // namespace
+}  // namespace avtk::nlp

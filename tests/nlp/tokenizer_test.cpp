@@ -1,0 +1,59 @@
+#include "nlp/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace avtk::nlp {
+namespace {
+
+TEST(Tokenizer, LowercasesAndSplits) {
+  const auto words = tokenize_words("Software Module FROZE");
+  EXPECT_EQ(words, (std::vector<std::string>{"software", "module", "froze"}));
+}
+
+TEST(Tokenizer, SplitsOnPunctuation) {
+  const auto words = tokenize_words("decision-and-control; planning/control");
+  EXPECT_EQ(words,
+            (std::vector<std::string>{"decision", "and", "control", "planning", "control"}));
+}
+
+TEST(Tokenizer, KeepsDecimalNumbersTogether) {
+  const auto tokens = tokenize("reaction time 0.85 s");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[2].text, "0.85");
+  EXPECT_TRUE(tokens[2].is_number);
+  EXPECT_FALSE(tokens[0].is_number);
+}
+
+TEST(Tokenizer, DoesNotGlueTrailingDot) {
+  const auto words = tokenize_words("module froze.");
+  EXPECT_EQ(words.back(), "froze");
+}
+
+TEST(Tokenizer, OffsetsPointIntoSource) {
+  const std::string text = "AV didn't stop";
+  const auto tokens = tokenize(text);
+  ASSERT_EQ(tokens.size(), 4u);  // av, didn, t, stop
+  EXPECT_EQ(text.substr(tokens[0].offset, 2), "AV");
+  EXPECT_EQ(tokens[3].offset, text.find("stop"));
+}
+
+TEST(Tokenizer, EmptyAndSeparatorOnly) {
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_TRUE(tokenize(" -- ;;; ").empty());
+}
+
+TEST(Tokenizer, AlphanumericTokensSurvive) {
+  const auto words = tokenize_words("Leaf1 OL316");
+  EXPECT_EQ(words, (std::vector<std::string>{"leaf1", "ol316"}));
+}
+
+TEST(Tokenizer, NumberDetection) {
+  const auto tokens = tokenize("42 3.14 a1 1a");
+  EXPECT_TRUE(tokens[0].is_number);
+  EXPECT_TRUE(tokens[1].is_number);
+  EXPECT_FALSE(tokens[2].is_number);
+  EXPECT_FALSE(tokens[3].is_number);
+}
+
+}  // namespace
+}  // namespace avtk::nlp

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "ocr/document.h"
+#include "ocr/engine.h"
+#include "ocr/noise.h"
+#include "ocr/postprocess.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace avtk::ocr {
+namespace {
+
+// ---------------------------------------------------------------- document
+
+TEST(Document, FromTextRoundTrip) {
+  const std::string text = "line one\nline two\nline three\n";
+  const auto doc = document::from_text(text);
+  EXPECT_EQ(doc.line_count(), 3u);
+  EXPECT_EQ(doc.full_text(), text);
+}
+
+TEST(Document, EmptyText) {
+  const auto doc = document::from_text("");
+  EXPECT_EQ(doc.line_count(), 0u);
+}
+
+TEST(Document, MultiPageFullText) {
+  document doc;
+  doc.pages.push_back(page{{"a"}});
+  doc.pages.push_back(page{{"b"}});
+  EXPECT_EQ(doc.line_count(), 2u);
+  EXPECT_EQ(doc.full_text(), "a\n\nb\n");
+}
+
+// ------------------------------------------------------------------- noise
+
+TEST(Noise, CleanProfileIsIdentity) {
+  rng g(91);
+  const auto profile = noise_profile::for_quality(scan_quality::clean);
+  const std::string line = "Date: 1/12/15 | Vehicle: DEL-01 | Cause: lidar dropout";
+  EXPECT_EQ(corrupt_line(line, profile, g), line);
+}
+
+TEST(Noise, QualityOrdersErrorRates) {
+  const auto good = noise_profile::for_quality(scan_quality::good);
+  const auto poor = noise_profile::for_quality(scan_quality::poor);
+  EXPECT_LT(good.confusion, poor.confusion);
+  EXPECT_LT(good.drop, poor.drop);
+}
+
+TEST(Noise, PoorProfileActuallyCorrupts) {
+  rng g(92);
+  const auto profile = noise_profile::for_quality(scan_quality::poor);
+  const std::string line(200, 'l');  // 'l' confuses to '1'/'I'
+  int changed = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (corrupt_line(line, profile, g) != line) ++changed;
+  }
+  EXPECT_GT(changed, 15);
+}
+
+TEST(Noise, ConfusionsAreFromTable) {
+  EXPECT_FALSE(confusions_for('l').empty());
+  EXPECT_FALSE(confusions_for('0').empty());
+  EXPECT_TRUE(confusions_for(' ').empty());
+  EXPECT_TRUE(confusions_for('#').empty());
+}
+
+TEST(Noise, DeterministicGivenSeed) {
+  const auto profile = noise_profile::for_quality(scan_quality::poor);
+  const std::string line = "watchdog error at 18:24:03 on 11/12/14";
+  rng g1(7);
+  rng g2(7);
+  EXPECT_EQ(corrupt_line(line, profile, g1), corrupt_line(line, profile, g2));
+}
+
+TEST(Noise, CorruptDocumentPreservesLineStructure) {
+  rng g(93);
+  auto doc = document::from_text("alpha\nbravo\ncharlie\n");
+  doc.quality = scan_quality::poor;
+  corrupt_document(doc, g);
+  EXPECT_EQ(doc.line_count(), 3u);
+}
+
+TEST(CharacterErrorRate, KnownValues) {
+  EXPECT_DOUBLE_EQ(character_error_rate("abcd", "abcd"), 0.0);
+  EXPECT_DOUBLE_EQ(character_error_rate("abcd", "abce"), 0.25);
+  EXPECT_DOUBLE_EQ(character_error_rate("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(character_error_rate("", "x"), 1.0);
+}
+
+// ------------------------------------------------------------- postprocess
+
+TEST(Lexicon, ContainsIsCaseInsensitive) {
+  lexicon v({"Watchdog", "lidar"});
+  EXPECT_TRUE(v.contains("watchdog"));
+  EXPECT_TRUE(v.contains("WATCHDOG"));
+  EXPECT_FALSE(v.contains("radar"));
+}
+
+TEST(Lexicon, BestMatchSnapsWithinDistanceOne) {
+  lexicon v({"watchdog", "software"});
+  EXPECT_EQ(v.best_match("watchd0g"), "watchdog");
+  EXPECT_EQ(v.best_match("softwarre"), "software");
+  EXPECT_EQ(v.best_match("watchdog"), "watchdog");  // exact
+  EXPECT_EQ(v.best_match("xyz"), "");
+}
+
+TEST(Lexicon, AmbiguousMatchRefused) {
+  lexicon v({"cart", "card"});
+  EXPECT_EQ(v.best_match("carx"), "");  // distance 1 to both
+}
+
+TEST(Lexicon, ShortWordsNotSnapped) {
+  lexicon v({"to", "of"});
+  EXPECT_EQ(v.best_match("tx"), "");
+}
+
+TEST(Lexicon, BuiltinKnowsDomainVocabulary) {
+  const auto v = lexicon::builtin();
+  for (const char* w : {"watchdog", "lidar", "disengagement", "waymo", "mileage",
+                        "pedestrian", "january"}) {
+    EXPECT_TRUE(v.contains(w)) << w;
+  }
+}
+
+TEST(RepairNumericToken, FixesConfusedDigits) {
+  EXPECT_EQ(repair_numeric_token("2O16"), "2016");
+  EXPECT_EQ(repair_numeric_token("1l2"), "112");
+  EXPECT_EQ(repair_numeric_token("4Z"), "42");
+}
+
+TEST(RepairNumericToken, LeavesWordsAlone) {
+  EXPECT_EQ(repair_numeric_token("a1pha"), "a1pha");  // letters present -> untouched
+  EXPECT_EQ(repair_numeric_token("2016"), "2016");
+  EXPECT_EQ(repair_numeric_token(""), "");
+}
+
+TEST(CorrectLine, FixesWordsAndNumbers) {
+  const auto v = lexicon::builtin();
+  EXPECT_EQ(correct_line("watchd0g error", v), "watchdog error");
+  EXPECT_EQ(correct_line("DMV Release: 2O16", v), "DMV Release: 2016");
+}
+
+TEST(CorrectLine, PreservesCapitalization) {
+  lexicon v({"watchdog"});
+  EXPECT_EQ(correct_line("Watchd0g", v), "Watchdog");
+}
+
+TEST(CorrectLine, LeavesUnknownWordsAlone) {
+  lexicon v({"known"});
+  EXPECT_EQ(correct_line("zzqqy stays", v), "zzqqy stays");
+}
+
+TEST(VocabularyHitRate, FractionOfKnownWords) {
+  lexicon v({"alpha", "beta"});
+  EXPECT_DOUBLE_EQ(vocabulary_hit_rate("alpha beta", v), 1.0);
+  EXPECT_DOUBLE_EQ(vocabulary_hit_rate("alpha gamma", v), 0.5);
+  EXPECT_DOUBLE_EQ(vocabulary_hit_rate("12 34", v), 1.0);  // numbers exempt
+}
+
+// ------------------------------------------------------------------ engine
+
+TEST(Engine, HighConfidenceOnCleanDomainText) {
+  const mock_ocr_engine engine(lexicon::builtin());
+  const auto rec = engine.recognize_line("watchdog error triggered a takeover request");
+  EXPECT_GT(rec.confidence, 0.8);
+  EXPECT_FALSE(rec.needs_manual_review);
+}
+
+TEST(Engine, LowConfidenceFlagsManualReview) {
+  const mock_ocr_engine engine(lexicon::builtin());
+  const auto rec = engine.recognize_line("zxq wvut bnmp qrst hjkl");
+  EXPECT_LT(rec.confidence, 0.6);
+  EXPECT_TRUE(rec.needs_manual_review);
+}
+
+TEST(Engine, RecoveryReducesCharacterErrorRate) {
+  rng g(94);
+  const mock_ocr_engine engine(lexicon::builtin());
+  const std::string original =
+      "Sensor failed to localize in time. Driver safely disengaged and resumed manual control.";
+  const auto profile = noise_profile::for_quality(scan_quality::fair);
+  double cer_corrupted = 0;
+  double cer_recovered = 0;
+  const int trials = 50;
+  for (int i = 0; i < trials; ++i) {
+    const auto corrupted = corrupt_line(original, profile, g);
+    const auto recovered = engine.recognize_line(corrupted).text;
+    cer_corrupted += character_error_rate(original, corrupted);
+    cer_recovered += character_error_rate(original, recovered);
+  }
+  EXPECT_LE(cer_recovered, cer_corrupted);
+}
+
+TEST(Engine, DocumentRecognitionAggregates) {
+  const mock_ocr_engine engine(lexicon::builtin());
+  const auto doc = document::from_text("watchdog error\nzxq wvut bnmp qrst\n");
+  const auto result = engine.recognize(doc);
+  ASSERT_EQ(result.lines.size(), 2u);
+  EXPECT_EQ(result.manual_review_count, 1u);
+  EXPECT_GT(result.mean_confidence, 0.0);
+  EXPECT_LT(result.mean_confidence, 1.0);
+  EXPECT_TRUE(str::contains(result.text(), "watchdog"));
+}
+
+TEST(Engine, PostprocessCanBeDisabled) {
+  engine_config cfg;
+  cfg.apply_postprocess = false;
+  const mock_ocr_engine engine(lexicon::builtin(), cfg);
+  EXPECT_EQ(engine.recognize_line("watchd0g").text, "watchd0g");
+}
+
+}  // namespace
+}  // namespace avtk::ocr

@@ -1,0 +1,106 @@
+// Property sweep: for every manufacturer and a battery of noise seeds and
+// qualities, the corrupted-document + manual-fallback path must preserve
+// the record inventory exactly — the pipeline's central robustness
+// guarantee (no event silently lost or invented).
+#include <gtest/gtest.h>
+
+#include "dataset/generator.h"
+#include "dataset/ground_truth.h"
+#include "nlp/classifier.h"
+#include "ocr/engine.h"
+#include "ocr/noise.h"
+#include "parse/disengagement_parser.h"
+#include "util/rng.h"
+
+namespace avtk::parse {
+namespace {
+
+using dataset::manufacturer;
+
+struct corruption_case {
+  manufacturer maker;
+  ocr::scan_quality quality;
+  std::uint64_t seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<corruption_case>& info) {
+  std::string q;
+  switch (info.param.quality) {
+    case ocr::scan_quality::clean: q = "clean"; break;
+    case ocr::scan_quality::good: q = "good"; break;
+    case ocr::scan_quality::fair: q = "fair"; break;
+    case ocr::scan_quality::poor: q = "poor"; break;
+  }
+  return std::string(dataset::manufacturer_id(info.param.maker)) + "_" + q + "_s" +
+         std::to_string(info.param.seed);
+}
+
+class CorruptionSweep : public ::testing::TestWithParam<corruption_case> {};
+
+TEST_P(CorruptionSweep, InventoryPreservedUnderNoise) {
+  const auto& p = GetParam();
+  dataset::generator_config cfg;
+  cfg.corrupt_documents = false;
+  const int year = dataset::ground_truth::has_plan_for(p.maker, 2016) ? 2016 : 2017;
+  const auto slice = dataset::generate_slice(p.maker, year, cfg);
+  ASSERT_FALSE(slice.documents.empty());
+
+  auto corrupted = slice.documents[0];
+  corrupted.quality = p.quality;
+  rng gen(p.seed);
+  ocr::corrupt_document(corrupted, gen);
+
+  // OCR recovery, as in the real pipeline (Stage II-1).
+  static const ocr::mock_ocr_engine engine{ocr::lexicon::builtin()};
+  for (auto& page : corrupted.pages) {
+    for (auto& line : page.lines) line = engine.recognize_line(line).text;
+  }
+
+  const auto result = parse_disengagement_report(corrupted, &slice.pristine_documents[0]);
+  EXPECT_EQ(result.maker, p.maker);
+  EXPECT_EQ(result.events.size(), slice.disengagements.size());
+  EXPECT_EQ(result.failed_lines, 0u);
+
+  double truth_miles = 0;
+  double parsed_miles = 0;
+  for (const auto& m : slice.mileage) truth_miles += m.miles;
+  for (const auto& m : result.mileage) parsed_miles += m.miles;
+  EXPECT_NEAR(parsed_miles, truth_miles, truth_miles * 0.001 + 0.01);
+
+  // Byte-identical text is NOT the requirement (residual glyph noise is
+  // expected); the property that matters is semantic: the NLP stage must
+  // still assign the ground-truth tag for the overwhelming majority.
+  static const nlp::keyword_voting_classifier classifier{
+      nlp::failure_dictionary::builtin()};
+  std::size_t tag_agree = 0;
+  for (std::size_t i = 0; i < result.events.size(); ++i) {
+    if (classifier.classify(result.events[i].description).tag ==
+        slice.disengagements[i].tag) {
+      ++tag_agree;
+    }
+  }
+  EXPECT_GT(static_cast<double>(tag_agree) / result.events.size(),
+            p.quality == ocr::scan_quality::poor ? 0.75 : 0.85);
+}
+
+std::vector<corruption_case> make_cases() {
+  std::vector<corruption_case> cases;
+  for (const auto maker :
+       {manufacturer::mercedes_benz, manufacturer::bosch, manufacturer::delphi,
+        manufacturer::gm_cruise, manufacturer::nissan, manufacturer::tesla,
+        manufacturer::volkswagen, manufacturer::waymo}) {
+    for (const auto quality :
+         {ocr::scan_quality::good, ocr::scan_quality::fair, ocr::scan_quality::poor}) {
+      for (const std::uint64_t seed : {11u, 222u}) {
+        cases.push_back({maker, quality, seed});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMakersQualitiesSeeds, CorruptionSweep,
+                         ::testing::ValuesIn(make_cases()), case_name);
+
+}  // namespace
+}  // namespace avtk::parse

@@ -1,0 +1,298 @@
+// Header identification, line readers, accident parsing, normalization and
+// filtering.
+#include <gtest/gtest.h>
+
+#include "dataset/generator.h"
+#include "dataset/report_writers.h"
+#include "parse/accident_parser.h"
+#include "parse/filter.h"
+#include "parse/formats/common.h"
+#include "parse/normalizer.h"
+#include "parse/report_header.h"
+#include "util/errors.h"
+
+namespace avtk::parse {
+namespace {
+
+using dataset::manufacturer;
+
+// ------------------------------------------------------------------ header
+
+TEST(Header, IdentifiesDisengagementReport) {
+  const auto doc = ocr::document::from_text(
+      "Waymo Autonomous Vehicle Disengagement Report\nDMV Release: 2017\n");
+  const auto id = identify_report(doc);
+  EXPECT_EQ(id.kind, report_kind::disengagement);
+  EXPECT_EQ(id.maker.value(), manufacturer::waymo);
+  EXPECT_EQ(id.report_year.value(), 2017);
+}
+
+TEST(Header, IdentifiesAccidentReport) {
+  const auto doc = ocr::document::from_text(
+      "STATE OF CALIFORNIA\nREPORT OF TRAFFIC COLLISION INVOLVING AN AUTONOMOUS VEHICLE (OL "
+      "316)\nManufacturer: GM Cruise\n");
+  const auto id = identify_report(doc);
+  EXPECT_EQ(id.kind, report_kind::accident);
+  EXPECT_EQ(id.maker.value(), manufacturer::gm_cruise);
+}
+
+TEST(Header, ToleratesOcrDamageInManufacturerName) {
+  const auto doc = ocr::document::from_text(
+      "Vo1kswagen Autonomous Vehicle Disengagement Report\nDMV Release: 2016\n");
+  const auto id = identify_report(doc);
+  EXPECT_EQ(id.maker.value(), manufacturer::volkswagen);
+}
+
+TEST(Header, UnknownDocumentKind) {
+  const auto doc = ocr::document::from_text("grocery list\nmilk\n");
+  EXPECT_EQ(identify_report(doc).kind, report_kind::unknown);
+}
+
+TEST(Header, RejectsImplausibleReleaseYear) {
+  const auto doc = ocr::document::from_text(
+      "Waymo Autonomous Vehicle Disengagement Report\nDMV Release: 20177\n");
+  EXPECT_FALSE(identify_report(doc).report_year.has_value());
+}
+
+TEST(FuzzyManufacturer, ExactAndNear) {
+  EXPECT_EQ(fuzzy_manufacturer("Waymo").value(), manufacturer::waymo);
+  EXPECT_EQ(fuzzy_manufacturer("Wayno").value(), manufacturer::waymo);
+  EXPECT_EQ(fuzzy_manufacturer("Mercedes-Benz").value(), manufacturer::mercedes_benz);
+  EXPECT_FALSE(fuzzy_manufacturer("Toyota").has_value());
+  EXPECT_FALSE(fuzzy_manufacturer("X").has_value());
+}
+
+// ------------------------------------------------------------ line readers
+
+TEST(LineReaders, StructuralLinesDetected) {
+  using formats::is_structural_line;
+  EXPECT_TRUE(is_structural_line("SECTION: MILEAGE"));
+  EXPECT_TRUE(is_structural_line("DISENGAGEMENTS"));
+  EXPECT_TRUE(is_structural_line("Date,VIN,Initiated By,Reaction Time (s)"));
+  EXPECT_TRUE(is_structural_line("Reporting Period: Sep 2014 to Nov 2015"));
+  EXPECT_TRUE(is_structural_line("DMV Release: 2016"));
+  EXPECT_TRUE(is_structural_line(""));
+  EXPECT_TRUE(is_structural_line("   "));
+}
+
+TEST(LineReaders, DataLinesNotStructural) {
+  using formats::is_structural_line;
+  EXPECT_FALSE(is_structural_line(
+      "01/12/2015,MB-AV01,Driver,0.80,City Street,Sunny,\"Planner failed\""));
+  EXPECT_FALSE(is_structural_line(
+      "1/4/16 -- 1:25 PM -- Leaf 1 (Alfa) -- Software module froze. -- City Street -- "
+      "Sunny/Dry -- Auto -- 1.10 s"));
+  // A Tesla event whose vague cause mentions "reporting" must not be
+  // mistaken for a header line.
+  EXPECT_FALSE(is_structural_line(
+      "10/14/2016,TES-01,Auto,0.55,Event recorded per reporting requirement."));
+}
+
+TEST(LineReaders, ReactionFieldRangeTakesUpperBound) {
+  // §V-A4 footnote: ranges resolve to their upper bound.
+  EXPECT_DOUBLE_EQ(formats::parse_reaction_field("0.5-1.2 s").value(), 1.2);
+  EXPECT_DOUBLE_EQ(formats::parse_reaction_field("0.85 s").value(), 0.85);
+  EXPECT_DOUBLE_EQ(formats::parse_reaction_field("2").value(), 2.0);
+  EXPECT_FALSE(formats::parse_reaction_field("fast"));
+  EXPECT_FALSE(formats::parse_reaction_field(""));
+}
+
+TEST(LineReaders, DelphiKeyValueLine) {
+  const auto parsed = formats::read_delphi_line(
+      "Date: 1/12/15 | Vehicle: DEL-01 | Mode: Auto | Reaction: 0.90 s | Road: Highway | "
+      "Weather: Sunny | Cause: LIDAR dropout during operation.");
+  ASSERT_TRUE(parsed);
+  ASSERT_TRUE(parsed->event);
+  EXPECT_EQ(parsed->event->vehicle_id, "DEL-01");
+  EXPECT_EQ(parsed->event->mode, dataset::modality::automatic);
+  EXPECT_DOUBLE_EQ(parsed->event->reaction_time_s.value(), 0.90);
+  EXPECT_EQ(parsed->event->road, dataset::road_type::highway);
+}
+
+TEST(LineReaders, DelphiToleratesDamagedKey) {
+  const auto parsed = formats::read_delphi_line(
+      "Dat3: 1/12/15 | Vehicle: DEL-01 | Cause: lidar dropout");
+  ASSERT_TRUE(parsed);
+  ASSERT_TRUE(parsed->event);
+}
+
+TEST(LineReaders, DelphiRejectsMissingCause) {
+  EXPECT_FALSE(formats::read_delphi_line("Date: 1/12/15 | Vehicle: DEL-01"));
+}
+
+TEST(LineReaders, WaymoEventLine) {
+  const auto parsed = formats::read_waymo_line(
+      "May-16 -- Highway -- Safe Operation -- Disengage for a recklessly behaving road user "
+      "-- 0.70 s");
+  ASSERT_TRUE(parsed);
+  ASSERT_TRUE(parsed->event);
+  EXPECT_EQ(parsed->event->event_month.value(), (year_month{2016, 5}));
+  EXPECT_EQ(parsed->event->mode, dataset::modality::manual);
+  EXPECT_DOUBLE_EQ(parsed->event->reaction_time_s.value(), 0.70);
+}
+
+TEST(LineReaders, WaymoMileageLine) {
+  const auto parsed = formats::read_waymo_line("WAYMO-AV001 -- May-16 -- 1032.1");
+  ASSERT_TRUE(parsed);
+  ASSERT_TRUE(parsed->mileage);
+  EXPECT_EQ(parsed->mileage->vehicle_id, "WAYMO-AV001");
+  EXPECT_DOUBLE_EQ(parsed->mileage->miles, 1032.1);
+}
+
+TEST(LineReaders, VolkswagenTakeoverLine) {
+  const auto parsed = formats::read_volkswagen_line(
+      "11/12/14 -- 18:24:03 -- Takeover-Request -- watchdog error -- 1.20 s");
+  ASSERT_TRUE(parsed);
+  ASSERT_TRUE(parsed->event);
+  EXPECT_EQ(parsed->event->mode, dataset::modality::automatic);
+  EXPECT_EQ(parsed->event->description, "watchdog error");
+}
+
+TEST(LineReaders, BenzCsvEventLine) {
+  const auto parsed = formats::read_benz_line(
+      "01/12/2015,MB-AV01,Driver,0.80,City Street,Sunny,\"Planner failed to anticipate\"");
+  ASSERT_TRUE(parsed);
+  ASSERT_TRUE(parsed->event);
+  EXPECT_EQ(parsed->event->mode, dataset::modality::manual);
+  EXPECT_EQ(parsed->event->conditions, dataset::weather::sunny);
+}
+
+TEST(LineReaders, GarbageLinesRejected) {
+  EXPECT_FALSE(formats::read_benz_line("complete garbage"));
+  EXPECT_FALSE(formats::read_waymo_line("a -- b"));
+  EXPECT_FALSE(formats::read_nissan_line("1/4/16 -- only -- three"));
+}
+
+// --------------------------------------------------------------- accidents
+
+TEST(AccidentParser, ParsesRenderedReport) {
+  dataset::accident_record truth;
+  truth.maker = manufacturer::waymo;
+  truth.report_year = 2017;
+  truth.event_date = date::make(2016, 5, 19);
+  truth.location = "Intersection of El Camino Real and Clark Av, Mountain View, CA";
+  truth.description = "The AV signaled a right turn and was struck from behind.";
+  truth.av_speed_mph = 1.0;
+  truth.other_speed_mph = 4.0;
+  truth.rear_end = true;
+  truth.near_intersection = true;
+  const auto doc = dataset::render_accident_report(truth);
+  const auto parsed = parse_accident_report(doc);
+  EXPECT_EQ(parsed.record.maker, truth.maker);
+  EXPECT_EQ(parsed.record.report_year, truth.report_year);
+  EXPECT_EQ(parsed.record.event_date, truth.event_date);
+  EXPECT_EQ(parsed.record.location, truth.location);
+  EXPECT_EQ(parsed.record.description, truth.description);
+  EXPECT_DOUBLE_EQ(parsed.record.av_speed_mph.value(), 1.0);
+  EXPECT_DOUBLE_EQ(parsed.record.other_speed_mph.value(), 4.0);
+  EXPECT_TRUE(parsed.record.rear_end);
+  EXPECT_TRUE(parsed.record.near_intersection);
+  EXPECT_EQ(parsed.unparsed_fields, 0u);
+}
+
+TEST(AccidentParser, RedactedVehicleComesBackEmpty) {
+  dataset::accident_record truth;
+  truth.maker = manufacturer::gm_cruise;
+  truth.report_year = 2017;
+  truth.vehicle_id = "";  // rendered as [REDACTED]
+  truth.description = "collision";
+  const auto parsed = parse_accident_report(dataset::render_accident_report(truth));
+  EXPECT_TRUE(parsed.record.vehicle_id.empty());
+}
+
+TEST(AccidentParser, RejectsWrongDocumentKind) {
+  const auto doc = ocr::document::from_text(
+      "Waymo Autonomous Vehicle Disengagement Report\nDMV Release: 2016\n");
+  EXPECT_THROW(parse_accident_report(doc), avtk::parse_error);
+}
+
+// ------------------------------------------------------------- normalizer
+
+TEST(Normalizer, CollapsesWhitespaceAndDropsEmpty) {
+  std::vector<dataset::disengagement_record> recs(2);
+  recs[0].description = "  watchdog   error  ";
+  recs[1].description = "   ";
+  const auto stats = normalize_disengagements(recs);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].description, "watchdog error");
+  EXPECT_EQ(stats.records_dropped, 1u);
+  EXPECT_GE(stats.descriptions_normalized, 1u);
+}
+
+TEST(Normalizer, ClearsNonPositiveReactionTimes) {
+  std::vector<dataset::disengagement_record> recs(1);
+  recs[0].description = "x";
+  recs[0].reaction_time_s = 0.0;
+  normalize_disengagements(recs);
+  EXPECT_FALSE(recs[0].reaction_time_s.has_value());
+}
+
+TEST(Normalizer, KeepsTheVolkswagenOutlier) {
+  std::vector<dataset::disengagement_record> recs(1);
+  recs[0].description = "watchdog error";
+  recs[0].reaction_time_s = 13860.0;  // the ~4 h record stays (Fig. 10)
+  normalize_disengagements(recs);
+  EXPECT_TRUE(recs[0].reaction_time_s.has_value());
+}
+
+TEST(Normalizer, MergesDuplicateMileageAndDropsNonPositive) {
+  std::vector<dataset::mileage_record> recs(3);
+  recs[0].vehicle_id = "A";
+  recs[0].month = year_month{2016, 1};
+  recs[0].miles = 10;
+  recs[1] = recs[0];
+  recs[1].miles = 5;
+  recs[2].vehicle_id = "B";
+  recs[2].month = year_month{2016, 1};
+  recs[2].miles = 0;
+  const auto stats = normalize_mileage(recs);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_DOUBLE_EQ(recs[0].miles, 15);
+  EXPECT_EQ(stats.records_dropped, 1u);
+}
+
+TEST(Normalizer, ClampsImpossibleAccidentSpeeds) {
+  std::vector<dataset::accident_record> recs(1);
+  recs[0].av_speed_mph = 500.0;
+  recs[0].other_speed_mph = 12.0;
+  recs[0].description = "x";
+  normalize_accidents(recs);
+  EXPECT_FALSE(recs[0].av_speed_mph.has_value());
+  EXPECT_TRUE(recs[0].other_speed_mph.has_value());
+}
+
+// ------------------------------------------------------------------ filter
+
+TEST(Filter, ExcludesSmallFleets) {
+  dataset::failure_database db;
+  for (int i = 0; i < 25; ++i) {
+    dataset::disengagement_record d;
+    d.maker = manufacturer::waymo;
+    d.description = "x";
+    db.add_disengagement(d);
+  }
+  dataset::disengagement_record lone;
+  lone.maker = manufacturer::bmw;
+  lone.description = "x";
+  db.add_disengagement(lone);
+
+  EXPECT_TRUE(passes_filter(db, manufacturer::waymo));
+  EXPECT_FALSE(passes_filter(db, manufacturer::bmw));
+  const auto analyzed = analyzed_manufacturers(db);
+  ASSERT_EQ(analyzed.size(), 1u);
+  EXPECT_EQ(analyzed[0], manufacturer::waymo);
+}
+
+TEST(Filter, ThresholdConfigurable) {
+  dataset::failure_database db;
+  dataset::disengagement_record d;
+  d.maker = manufacturer::ford;
+  d.description = "x";
+  db.add_disengagement(d);
+  filter_config cfg;
+  cfg.min_disengagements = 1;
+  EXPECT_TRUE(passes_filter(db, manufacturer::ford, cfg));
+}
+
+}  // namespace
+}  // namespace avtk::parse

@@ -1,0 +1,122 @@
+// Writer -> reader round trips: for every manufacturer format, a rendered
+// report must parse back to the records it was rendered from, and must
+// still parse (via OCR recovery + manual fallback) after scan corruption.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dataset/generator.h"
+#include "dataset/ground_truth.h"
+#include "dataset/report_writers.h"
+#include "ocr/noise.h"
+#include "parse/disengagement_parser.h"
+#include "util/rng.h"
+
+namespace avtk::parse {
+namespace {
+
+using dataset::manufacturer;
+
+class FormatRoundTrip : public ::testing::TestWithParam<manufacturer> {
+ protected:
+  // A clean slice of this manufacturer's 2016 or 2017 data.
+  dataset::generated_corpus make_slice() const {
+    dataset::generator_config cfg;
+    cfg.corrupt_documents = false;
+    const int year =
+        dataset::ground_truth::has_plan_for(GetParam(), 2016) ? 2016 : 2017;
+    return dataset::generate_slice(GetParam(), year, cfg);
+  }
+};
+
+TEST_P(FormatRoundTrip, CleanDocumentParsesExactly) {
+  const auto slice = make_slice();
+  ASSERT_FALSE(slice.documents.empty());
+  // The disengagement report is the first rendered document.
+  const auto result = parse_disengagement_report(slice.documents[0]);
+
+  EXPECT_EQ(result.maker, GetParam());
+  EXPECT_EQ(result.events.size(), slice.disengagements.size());
+  EXPECT_EQ(result.mileage.size(), slice.mileage.size());
+  EXPECT_EQ(result.failed_lines, 0u);
+  EXPECT_EQ(result.manual_transcriptions, 0u);
+
+  // Field-level comparison: description, modality, month bucket.
+  for (std::size_t i = 0; i < result.events.size(); ++i) {
+    const auto& parsed = result.events[i];
+    const auto& truth = slice.disengagements[i];
+    EXPECT_EQ(parsed.description, truth.description) << i;
+    EXPECT_EQ(parsed.month_bucket(), truth.month_bucket()) << i;
+    if (truth.mode != dataset::modality::unknown) {
+      EXPECT_EQ(parsed.mode, truth.mode) << i;
+    }
+    if (truth.reaction_time_s) {
+      ASSERT_TRUE(parsed.reaction_time_s.has_value()) << i;
+      EXPECT_NEAR(*parsed.reaction_time_s, *truth.reaction_time_s, 0.006) << i;
+    }
+  }
+
+  // Mileage matches cell for cell.
+  double truth_miles = 0;
+  double parsed_miles = 0;
+  for (const auto& m : slice.mileage) truth_miles += m.miles;
+  for (const auto& m : result.mileage) parsed_miles += m.miles;
+  EXPECT_NEAR(parsed_miles, truth_miles, 0.01);
+}
+
+TEST_P(FormatRoundTrip, CorruptedDocumentRecoversWithFallback) {
+  const auto slice = make_slice();
+  ASSERT_FALSE(slice.documents.empty());
+  auto corrupted = slice.documents[0];
+  corrupted.quality = ocr::scan_quality::fair;
+  rng gen(2018);
+  ocr::corrupt_document(corrupted, gen);
+
+  const auto result = parse_disengagement_report(corrupted, &slice.pristine_documents[0]);
+  EXPECT_EQ(result.maker, GetParam());
+  // Nothing may be lost: fallback rescues what noise broke.
+  EXPECT_EQ(result.events.size(), slice.disengagements.size());
+  EXPECT_EQ(result.failed_lines, 0u);
+  // Mileage totals are audited against the transcription.
+  double truth_miles = 0;
+  double parsed_miles = 0;
+  for (const auto& m : slice.mileage) truth_miles += m.miles;
+  for (const auto& m : result.mileage) parsed_miles += m.miles;
+  EXPECT_NEAR(parsed_miles, truth_miles, truth_miles * 0.001 + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormats, FormatRoundTrip,
+    ::testing::Values(manufacturer::mercedes_benz, manufacturer::bosch, manufacturer::delphi,
+                      manufacturer::gm_cruise, manufacturer::nissan, manufacturer::tesla,
+                      manufacturer::volkswagen, manufacturer::waymo, manufacturer::ford),
+    [](const ::testing::TestParamInfo<manufacturer>& info) {
+      return std::string(dataset::manufacturer_id(info.param));
+    });
+
+TEST(ParseErrors, RejectsNonDisengagementDocument) {
+  ocr::document doc = ocr::document::from_text("STATE OF CALIFORNIA\nsome accident form\n");
+  EXPECT_THROW(parse_disengagement_report(doc), parse_error);
+}
+
+TEST(ParseErrors, RejectsUnidentifiableManufacturer) {
+  ocr::document doc = ocr::document::from_text(
+      "Zorblatt Autonomous Vehicle Disengagement Report\nDMV Release: 2016\n");
+  EXPECT_THROW(parse_disengagement_report(doc), parse_error);
+}
+
+TEST(ParseErrors, HeaderRecoveredFromFallback) {
+  dataset::generator_config cfg;
+  cfg.corrupt_documents = false;
+  const auto slice = dataset::generate_slice(manufacturer::nissan, 2016, cfg);
+  auto corrupted = slice.documents[0];
+  // Destroy the header lines entirely.
+  corrupted.pages[0].lines[0] = "##### ######## ####";
+  corrupted.pages[0].lines[1] = "### #######: ####";
+  const auto result = parse_disengagement_report(corrupted, &slice.pristine_documents[0]);
+  EXPECT_EQ(result.maker, manufacturer::nissan);
+  EXPECT_EQ(result.report_year, 2016);
+}
+
+}  // namespace
+}  // namespace avtk::parse

@@ -1,0 +1,78 @@
+#include "stats/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "util/errors.h"
+
+namespace avtk::stats {
+namespace {
+
+TEST(Resample, SameSizeValuesFromOriginal) {
+  rng g(81);
+  const std::vector<double> xs = {1, 2, 3};
+  const auto rs = resample(xs, g);
+  EXPECT_EQ(rs.size(), xs.size());
+  for (const double v : rs) {
+    EXPECT_TRUE(v == 1 || v == 2 || v == 3);
+  }
+  EXPECT_THROW(resample({}, g), logic_error);
+}
+
+TEST(BootstrapCi, CoversTrueMean) {
+  rng g(82);
+  std::vector<double> xs;
+  for (int i = 0; i < 300; ++i) xs.push_back(g.normal(10.0, 2.0));
+  const auto ci = bootstrap_ci(xs, [](std::span<const double> s) { return mean(s); }, g);
+  EXPECT_LT(ci.lower, 10.0);
+  EXPECT_GT(ci.upper, 10.0);
+  EXPECT_NEAR(ci.point, 10.0, 0.5);
+  EXPECT_GT(ci.std_error, 0.0);
+}
+
+TEST(BootstrapCi, WidensWithConfidence) {
+  rng g(83);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(g.exponential(3.0));
+  rng g1(99);
+  rng g2(99);
+  const auto narrow =
+      bootstrap_ci(xs, [](std::span<const double> s) { return median(s); }, g1, 1000, 0.80);
+  const auto wide =
+      bootstrap_ci(xs, [](std::span<const double> s) { return median(s); }, g2, 1000, 0.99);
+  EXPECT_LE(wide.lower, narrow.lower);
+  EXPECT_GE(wide.upper, narrow.upper);
+}
+
+TEST(BootstrapCi, DeterministicGivenSeed) {
+  const std::vector<double> xs = {1, 5, 3, 8, 2, 9, 4};
+  rng g1(7);
+  rng g2(7);
+  const auto a = bootstrap_ci(xs, [](std::span<const double> s) { return mean(s); }, g1, 500);
+  const auto b = bootstrap_ci(xs, [](std::span<const double> s) { return mean(s); }, g2, 500);
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(BootstrapCi, InvalidArgsThrow) {
+  rng g(85);
+  const std::vector<double> xs = {1, 2, 3};
+  const auto stat = [](std::span<const double> s) { return mean(s); };
+  EXPECT_THROW(bootstrap_ci({}, stat, g), logic_error);
+  EXPECT_THROW(bootstrap_ci(xs, stat, g, 50), logic_error);
+  EXPECT_THROW(bootstrap_ci(xs, stat, g, 1000, 1.5), logic_error);
+}
+
+TEST(BootstrapCi, ConstantSampleDegenerates) {
+  rng g(86);
+  const std::vector<double> xs(20, 4.2);
+  const auto ci = bootstrap_ci(xs, [](std::span<const double> s) { return mean(s); }, g);
+  EXPECT_DOUBLE_EQ(ci.lower, 4.2);
+  EXPECT_DOUBLE_EQ(ci.upper, 4.2);
+  EXPECT_NEAR(ci.std_error, 0.0, 1e-9);  // floating residue from mean()
+}
+
+}  // namespace
+}  // namespace avtk::stats

@@ -1,0 +1,95 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/errors.h"
+#include "util/rng.h"
+
+namespace avtk::stats {
+namespace {
+
+TEST(Histogram, BasicBinning) {
+  histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.99);  // bin 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  histogram h(0.0, 1.0, 2);
+  h.add(-0.1);
+  h.add(1.0);  // hi is exclusive
+  h.add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(0) + h.count(1), 0u);
+}
+
+TEST(Histogram, BinCenters) {
+  histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+  EXPECT_THROW(h.bin_center(5), logic_error);
+}
+
+TEST(Histogram, DensityIntegratesToBinnedFraction) {
+  histogram h(0.0, 4.0, 4);
+  for (const double x : {0.5, 1.5, 2.5, 3.5}) h.add(x);
+  double integral = 0;
+  for (std::size_t i = 0; i < h.bin_count(); ++i) integral += h.density(i) * h.bin_width();
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, DensityMatchesUniformSample) {
+  rng g(71);
+  histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 100000; ++i) h.add(g.uniform());
+  for (std::size_t i = 0; i < h.bin_count(); ++i) {
+    EXPECT_NEAR(h.density(i), 1.0, 0.05);
+  }
+}
+
+TEST(Histogram, FromSamplesCoversRange) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 10.0};
+  const auto h = histogram::from_samples(xs, 3);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.underflow() + h.overflow(), 0u);
+  EXPECT_THROW(histogram::from_samples({}, 3), logic_error);
+}
+
+TEST(Histogram, FromSamplesDegenerateRange) {
+  const std::vector<double> xs = {5.0, 5.0, 5.0};
+  const auto h = histogram::from_samples(xs, 4);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.underflow() + h.overflow(), 0u);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(histogram(1.0, 1.0, 5), logic_error);
+  EXPECT_THROW(histogram(0.0, 1.0, 0), logic_error);
+}
+
+TEST(Histogram, RenderAsciiContainsBars) {
+  histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const auto out = h.render_ascii(10);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('\n'), std::string::npos);
+}
+
+TEST(Histogram, EmptyRenderDoesNotCrash) {
+  histogram h(0.0, 1.0, 3);
+  EXPECT_FALSE(h.render_ascii().empty());
+}
+
+}  // namespace
+}  // namespace avtk::stats

@@ -1,0 +1,118 @@
+#include "stats/nonparametric.h"
+
+#include <gtest/gtest.h>
+
+#include "util/errors.h"
+#include "util/rng.h"
+
+namespace avtk::stats {
+namespace {
+
+TEST(MannWhitney, IdenticalDistributionsNotSignificant) {
+  rng g(201);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 300; ++i) {
+    a.push_back(g.normal(0, 1));
+    b.push_back(g.normal(0, 1));
+  }
+  const auto r = mann_whitney_u(a, b);
+  EXPECT_GT(r.p_value, 0.01);
+  EXPECT_LT(std::fabs(r.effect_size), 0.2);
+}
+
+TEST(MannWhitney, ShiftedDistributionsDetected) {
+  rng g(202);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(g.normal(0, 1));
+    b.push_back(g.normal(0.8, 1));
+  }
+  const auto r = mann_whitney_u(a, b);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_LT(r.effect_size, -0.2);  // a stochastically smaller than b
+}
+
+TEST(MannWhitney, KnownSmallExample) {
+  // a = {1,2,3}, b = {4,5,6,7,8}: U_a = 0 (complete separation).
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {4, 5, 6, 7, 8};
+  const auto r = mann_whitney_u(a, b);
+  EXPECT_DOUBLE_EQ(r.u, 0.0);
+  EXPECT_DOUBLE_EQ(r.effect_size, -1.0);
+  EXPECT_LT(r.p_value, 0.05);
+}
+
+TEST(MannWhitney, SymmetryInArguments) {
+  const std::vector<double> a = {1, 3, 5, 7, 9};
+  const std::vector<double> b = {2, 4, 6, 8};
+  const auto ab = mann_whitney_u(a, b);
+  const auto ba = mann_whitney_u(b, a);
+  EXPECT_NEAR(ab.p_value, ba.p_value, 1e-12);
+  EXPECT_NEAR(ab.effect_size, -ba.effect_size, 1e-12);
+}
+
+TEST(MannWhitney, AllTiedValuesGivePOne) {
+  const std::vector<double> a(5, 1.0);
+  const std::vector<double> b(5, 1.0);
+  const auto r = mann_whitney_u(a, b);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+  EXPECT_DOUBLE_EQ(r.effect_size, 0.0);
+}
+
+TEST(MannWhitney, InvalidInputsThrow) {
+  const std::vector<double> tiny = {1, 2};
+  EXPECT_THROW(mann_whitney_u({}, tiny), logic_error);
+  EXPECT_THROW(mann_whitney_u(tiny, tiny), logic_error);  // n1+n2 < 8
+}
+
+TEST(KruskalWallis, IdenticalGroupsNotSignificant) {
+  rng g(203);
+  std::vector<std::vector<double>> groups(4);
+  for (auto& group : groups) {
+    for (int i = 0; i < 100; ++i) group.push_back(g.exponential(2.0));
+  }
+  const auto r = kruskal_wallis(groups);
+  EXPECT_GT(r.p_value, 0.01);
+  EXPECT_EQ(r.groups, 4u);
+  EXPECT_EQ(r.n, 400u);
+}
+
+TEST(KruskalWallis, OneShiftedGroupDetected) {
+  rng g(204);
+  std::vector<std::vector<double>> groups(3);
+  for (int i = 0; i < 120; ++i) {
+    groups[0].push_back(g.normal(0, 1));
+    groups[1].push_back(g.normal(0, 1));
+    groups[2].push_back(g.normal(1.0, 1));
+  }
+  EXPECT_LT(kruskal_wallis(groups).p_value, 1e-6);
+}
+
+TEST(KruskalWallis, ReducesToRankTestForTwoGroups) {
+  rng g(205);
+  std::vector<std::vector<double>> groups(2);
+  for (int i = 0; i < 80; ++i) {
+    groups[0].push_back(g.normal(0, 1));
+    groups[1].push_back(g.normal(0.7, 1));
+  }
+  const auto kw = kruskal_wallis(groups);
+  const auto mw = mann_whitney_u(groups[0], groups[1]);
+  // Same hypothesis; the p-values must agree to within approximation error.
+  EXPECT_NEAR(kw.p_value, mw.p_value, 0.02);
+}
+
+TEST(KruskalWallis, EmptyGroupsSkipped) {
+  std::vector<std::vector<double>> groups = {{1, 2, 3, 4}, {}, {5, 6, 7, 8}};
+  const auto r = kruskal_wallis(groups);
+  EXPECT_EQ(r.groups, 2u);
+}
+
+TEST(KruskalWallis, InvalidInputsThrow) {
+  EXPECT_THROW(kruskal_wallis({{1, 2, 3}}), logic_error);
+  EXPECT_THROW(kruskal_wallis({{1, 2}, {3}}), logic_error);  // total < 8
+}
+
+}  // namespace
+}  // namespace avtk::stats

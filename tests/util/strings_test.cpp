@@ -1,0 +1,210 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace avtk::str {
+namespace {
+
+TEST(Trim, RemovesLeadingAndTrailingWhitespace) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\nhello\r\n"), "hello");
+}
+
+TEST(Trim, EmptyAndAllWhitespace) {
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   \t\n "), "");
+}
+
+TEST(Trim, PreservesInnerWhitespace) { EXPECT_EQ(trim(" a b "), "a b"); }
+
+TEST(Case, ToLower) {
+  EXPECT_EQ(to_lower("Hello World 123"), "hello world 123");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(Case, ToUpper) { EXPECT_EQ(to_upper("gps Lidar"), "GPS LIDAR"); }
+
+TEST(Split, OnChar) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, AdjacentSeparatorsYieldEmptyFields) {
+  const auto parts = split("a,,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Split, LeadingAndTrailingSeparators) {
+  const auto parts = split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Split, EmptyInputGivesOneEmptyField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Split, OnMultiCharSeparator) {
+  const auto parts = split("a -- b -- c", " -- ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(Split, MultiCharSeparatorAbsent) {
+  const auto parts = split("abc", " -- ");
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitWhitespace, CollapsesRuns) {
+  const auto parts = split_whitespace("  a \t b\n\nc ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitWhitespace, EmptyGivesNoFields) {
+  EXPECT_TRUE(split_whitespace("   ").empty());
+  EXPECT_TRUE(split_whitespace("").empty());
+}
+
+TEST(Join, RoundTripsSplit) {
+  EXPECT_EQ(join({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Affixes, StartsWith) {
+  EXPECT_TRUE(starts_with("disengagement", "dis"));
+  EXPECT_FALSE(starts_with("dis", "disengagement"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(Affixes, EndsWith) {
+  EXPECT_TRUE(ends_with("report.csv", ".csv"));
+  EXPECT_FALSE(ends_with("csv", "report.csv"));
+}
+
+TEST(Affixes, Contains) {
+  EXPECT_TRUE(contains("watchdog error", "dog"));
+  EXPECT_FALSE(contains("watchdog", "cat"));
+}
+
+TEST(CaseInsensitive, IEquals) {
+  EXPECT_TRUE(iequals("WayMo", "waymo"));
+  EXPECT_FALSE(iequals("waymo", "waym"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(CaseInsensitive, IContains) {
+  EXPECT_TRUE(icontains("Takeover-Request", "REQUEST"));
+  EXPECT_FALSE(icontains("short", "longneedle"));
+  EXPECT_TRUE(icontains("anything", ""));
+}
+
+TEST(ReplaceAll, Basic) {
+  EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");  // non-overlapping, left to right
+}
+
+TEST(ReplaceAll, NoOccurrences) { EXPECT_EQ(replace_all("abc", "x", "y"), "abc"); }
+
+TEST(ReplaceAll, GrowingReplacement) {
+  EXPECT_EQ(replace_all("a,b", ",", " -- "), "a -- b");
+}
+
+TEST(NormalizeWhitespace, CollapsesAndTrims) {
+  EXPECT_EQ(normalize_whitespace("  a\t\tb  c  "), "a b c");
+  EXPECT_EQ(normalize_whitespace(""), "");
+  EXPECT_EQ(normalize_whitespace(" \n "), "");
+}
+
+TEST(ParseInt, ValidValues) {
+  EXPECT_EQ(parse_int("42").value(), 42);
+  EXPECT_EQ(parse_int("-17").value(), -17);
+  EXPECT_EQ(parse_int("  1024 ").value(), 1024);
+}
+
+TEST(ParseInt, RejectsGarbage) {
+  EXPECT_FALSE(parse_int("12x"));
+  EXPECT_FALSE(parse_int(""));
+  EXPECT_FALSE(parse_int("1.5"));
+  EXPECT_FALSE(parse_int("x12"));
+}
+
+TEST(ParseDouble, ValidValues) {
+  EXPECT_DOUBLE_EQ(parse_double("0.85").value(), 0.85);
+  EXPECT_DOUBLE_EQ(parse_double("-3.5e-4").value(), -3.5e-4);
+  EXPECT_DOUBLE_EQ(parse_double(" 42 ").value(), 42.0);
+}
+
+TEST(ParseDouble, RejectsGarbage) {
+  EXPECT_FALSE(parse_double("0.85s"));
+  EXPECT_FALSE(parse_double(""));
+  EXPECT_FALSE(parse_double("--1"));
+}
+
+TEST(ParseNumberLenient, ThousandsSeparators) {
+  EXPECT_DOUBLE_EQ(parse_number_lenient("1,116,605").value(), 1116605.0);
+}
+
+TEST(ParseNumberLenient, Percent) {
+  EXPECT_DOUBLE_EQ(parse_number_lenient("59.52%").value(), 0.5952);
+}
+
+TEST(ParseNumberLenient, PlainNumberUnchanged) {
+  EXPECT_DOUBLE_EQ(parse_number_lenient("16661").value(), 16661.0);
+}
+
+TEST(EditDistance, KnownValues) {
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+  EXPECT_EQ(edit_distance("", "abc"), 3u);
+  EXPECT_EQ(edit_distance("abc", "abc"), 0u);
+  EXPECT_EQ(edit_distance("waymo", "wayno"), 1u);
+}
+
+TEST(EditDistance, Symmetry) {
+  EXPECT_EQ(edit_distance("disengage", "disengaged"), edit_distance("disengaged", "disengage"));
+}
+
+TEST(EditDistance, TriangleInequalitySpotCheck) {
+  const auto ab = edit_distance("bosch", "basch");
+  const auto bc = edit_distance("basch", "batch");
+  const auto ac = edit_distance("bosch", "batch");
+  EXPECT_LE(ac, ab + bc);
+}
+
+TEST(CharClasses, AlphaDigit) {
+  EXPECT_TRUE(is_alpha('a'));
+  EXPECT_TRUE(is_alpha('Z'));
+  EXPECT_FALSE(is_alpha('1'));
+  EXPECT_TRUE(is_digit('0'));
+  EXPECT_FALSE(is_digit('x'));
+  EXPECT_TRUE(is_alnum('7'));
+  EXPECT_FALSE(is_alnum('-'));
+}
+
+// Property-style sweep: split/join round-trips for any separator-free parts.
+class SplitJoinRoundTrip : public ::testing::TestWithParam<std::vector<std::string>> {};
+
+TEST_P(SplitJoinRoundTrip, JoinThenSplitIsIdentity) {
+  const auto& parts = GetParam();
+  const auto joined = join(parts, "|");
+  EXPECT_EQ(split(joined, '|'), parts);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, SplitJoinRoundTrip,
+                         ::testing::Values(std::vector<std::string>{"a"},
+                                           std::vector<std::string>{"a", "b"},
+                                           std::vector<std::string>{"", "x", ""},
+                                           std::vector<std::string>{"date", "vin", "cause"},
+                                           std::vector<std::string>{"", "", ""}));
+
+}  // namespace
+}  // namespace avtk::str

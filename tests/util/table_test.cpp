@@ -1,0 +1,83 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/errors.h"
+#include "util/strings.h"
+
+namespace avtk {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  text_table t({"Name", "Value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const auto out = t.render();
+  EXPECT_TRUE(str::contains(out, "Name"));
+  EXPECT_TRUE(str::contains(out, "alpha"));
+  EXPECT_TRUE(str::contains(out, "22"));
+}
+
+TEST(TextTable, TitleAppearsFirst) {
+  text_table t({"c"});
+  t.set_title("My Title");
+  EXPECT_TRUE(str::starts_with(t.render(), "My Title\n"));
+}
+
+TEST(TextTable, ColumnCountMismatchThrows) {
+  text_table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), logic_error);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(text_table({}), logic_error);
+}
+
+TEST(TextTable, AlignmentSizeMismatchThrows) {
+  text_table t({"a", "b"});
+  EXPECT_THROW(t.set_alignment({align::left}), logic_error);
+}
+
+TEST(TextTable, ColumnsPadToWidestCell) {
+  text_table t({"h"});
+  t.add_row({"wide-cell-content"});
+  const auto out = t.render();
+  // Every rendered line has the same length.
+  const auto lines = str::split(out, '\n');
+  std::size_t width = 0;
+  for (const auto& line : lines) {
+    if (line.empty()) continue;
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(FormatNumber, PlainAndScientific) {
+  EXPECT_EQ(format_number(42.0), "42");
+  EXPECT_EQ(format_number(0.5952, 4), "0.5952");
+  EXPECT_TRUE(str::contains(format_number(4.14e-05, 3), "e-05"));
+  EXPECT_TRUE(str::contains(format_number(1.2e9, 3), "e+09"));
+}
+
+TEST(FormatNumber, SpecialValues) {
+  EXPECT_EQ(format_number(std::nan("")), "-");
+  EXPECT_EQ(format_number(INFINITY), "inf");
+  EXPECT_EQ(format_number(-INFINITY), "-inf");
+  EXPECT_EQ(format_number(0.0), "0");
+}
+
+TEST(FormatRatio, AppendsX) {
+  EXPECT_EQ(format_ratio(20.7), "20.7x");
+  EXPECT_EQ(format_ratio(std::nan("")), "-");
+}
+
+TEST(FormatPercent, FractionToPercent) {
+  EXPECT_EQ(format_percent(0.5952), "59.52%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+  EXPECT_EQ(format_percent(std::nan("")), "-");
+}
+
+}  // namespace
+}  // namespace avtk

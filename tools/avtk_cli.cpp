@@ -1,0 +1,245 @@
+// avtk — command-line driver for the toolkit.
+//
+//   avtk generate --out DIR [--seed N] [--quality clean|good|fair|poor]
+//       Render the raw DMV-style report corpus to text files.
+//   avtk run [--seed N] [--quality Q] [--csv DIR] [--figures DIR] [--full]
+//       Run the Stage I-IV pipeline; print headline claims (or the full
+//       report with --full); optionally export the consolidated database
+//       as CSV and the figures as gnuplot bundles.
+//   avtk simulate [--vehicles N] [--months M] [--driverless] [--seed N]
+//       Run the STPA fleet simulator and print the summary + overlay.
+//   avtk classify TEXT...
+//       Classify a disengagement description with the builtin dictionary.
+//   avtk help
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/context.h"
+#include "core/exposure.h"
+#include "core/figure_export.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "dataset/csv_io.h"
+#include "dataset/generator.h"
+#include "nlp/classifier.h"
+#include "sim/fleet.h"
+#include "sim/stpa.h"
+
+namespace {
+
+using namespace avtk;
+
+int usage() {
+  std::puts(
+      "avtk — AV failure-analysis toolkit (reproduction of Banerjee et al., DSN 2018)\n"
+      "\n"
+      "  avtk generate --out DIR [--seed N] [--quality clean|good|fair|poor]\n"
+      "  avtk run [--seed N] [--quality Q] [--csv DIR] [--figures DIR] [--full]\n"
+      "  avtk simulate [--vehicles N] [--months M] [--driverless] [--seed N]\n"
+      "  avtk classify TEXT...\n"
+      "  avtk help");
+  return 2;
+}
+
+// Minimal flag parsing: --name value or bare flags.
+class arg_list {
+ public:
+  arg_list(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  std::string value_of(const std::string& flag, const std::string& fallback = "") {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == flag) {
+        consumed_.insert(i);
+        consumed_.insert(i + 1);
+        return args_[i + 1];
+      }
+    }
+    return fallback;
+  }
+
+  bool has(const std::string& flag) {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i] == flag) {
+        consumed_.insert(i);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<std::string> positional() const {
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (!consumed_.contains(i)) out.push_back(args_[i]);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::string> args_;
+  std::set<std::size_t> consumed_;
+};
+
+ocr::scan_quality quality_from(const std::string& name) {
+  if (name == "clean") return ocr::scan_quality::clean;
+  if (name == "good") return ocr::scan_quality::good;
+  if (name == "poor") return ocr::scan_quality::poor;
+  return ocr::scan_quality::fair;
+}
+
+dataset::generator_config make_generator_config(arg_list& args) {
+  dataset::generator_config cfg;
+  const auto seed = args.value_of("--seed");
+  if (!seed.empty()) cfg.seed = std::strtoull(seed.c_str(), nullptr, 10);
+  const auto quality = args.value_of("--quality", "fair");
+  cfg.quality = quality_from(quality);
+  cfg.corrupt_documents = cfg.quality != ocr::scan_quality::clean;
+  return cfg;
+}
+
+int cmd_generate(arg_list args) {
+  const auto out_dir = args.value_of("--out");
+  if (out_dir.empty()) {
+    std::fputs("generate: --out DIR is required\n", stderr);
+    return 2;
+  }
+  const auto cfg = make_generator_config(args);
+  const auto corpus = dataset::generate_corpus(cfg);
+
+  namespace fs = std::filesystem;
+  fs::create_directories(fs::path(out_dir) / "scanned");
+  fs::create_directories(fs::path(out_dir) / "pristine");
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < corpus.documents.size(); ++i) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "doc_%03zu.txt", i);
+    for (const auto& [sub, doc] :
+         {std::pair{"scanned", &corpus.documents[i]},
+          std::pair{"pristine", &corpus.pristine_documents[i]}}) {
+      std::ofstream out(fs::path(out_dir) / sub / name, std::ios::binary);
+      out << doc->full_text();
+      ++n;
+    }
+  }
+  std::printf("wrote %zu files under %s (seed %llu, %zu documents)\n", n, out_dir.c_str(),
+              static_cast<unsigned long long>(cfg.seed), corpus.documents.size());
+  return 0;
+}
+
+int cmd_run(arg_list args) {
+  const auto cfg = make_generator_config(args);
+  std::printf("generating corpus (seed %llu) and running the pipeline...\n",
+              static_cast<unsigned long long>(cfg.seed));
+  const auto corpus = dataset::generate_corpus(cfg);
+  const auto result = core::run_pipeline(corpus.documents, corpus.pristine_documents);
+
+  std::cout << core::render_pipeline_stats(result.stats) << "\n";
+  if (args.has("--full")) {
+    std::cout << core::render_full_report(result.database, result.stats.analyzed);
+    std::cout << "\n" << core::render_reliability_metrics(result.database) << "\n";
+    std::cout << core::render_context_breakdown(result.database);
+  } else {
+    std::cout << core::render_headlines(result.database, result.stats.analyzed);
+  }
+
+  const auto csv_dir = args.value_of("--csv");
+  if (!csv_dir.empty()) {
+    namespace fs = std::filesystem;
+    fs::create_directories(csv_dir);
+    const auto csv = dataset::export_csv(result.database);
+    for (const auto& [name, contents] :
+         std::map<std::string, const std::string*>{{"disengagements.csv", &csv.disengagements},
+                                                   {"mileage.csv", &csv.mileage},
+                                                   {"accidents.csv", &csv.accidents}}) {
+      std::ofstream out(fs::path(csv_dir) / name, std::ios::binary);
+      out << *contents;
+    }
+    std::printf("\nCSV database written under %s\n", csv_dir.c_str());
+  }
+
+  const auto fig_dir = args.value_of("--figures");
+  if (!fig_dir.empty()) {
+    const auto bundle =
+        core::export_all_figures(result.database, result.stats.analyzed);
+    const auto written = core::write_bundle(bundle, fig_dir);
+    std::printf("%zu figure files (gnuplot + data) written under %s\n", written,
+                fig_dir.c_str());
+  }
+  return 0;
+}
+
+int cmd_simulate(arg_list args) {
+  sim::fleet_config cfg;
+  const auto vehicles = args.value_of("--vehicles", "12");
+  const auto months = args.value_of("--months", "24");
+  cfg.vehicles = std::atoi(vehicles.c_str());
+  cfg.months = std::atoi(months.c_str());
+  const auto seed = args.value_of("--seed");
+  if (!seed.empty()) cfg.seed = std::strtoull(seed.c_str(), nullptr, 10);
+  cfg.vehicle.driverless = args.has("--driverless");
+  cfg.miles_per_vehicle_month = 1200;
+
+  std::printf("simulating %d vehicles x %d months%s...\n", cfg.vehicles, cfg.months,
+              cfg.vehicle.driverless ? " (driverless / L4-5 mode)" : "");
+  const auto result = sim::run_fleet(cfg);
+  std::printf("miles %.0f, disengagements %lld, accidents %lld, absorbed %lld\n",
+              result.total_miles, result.disengagements, result.accidents, result.absorbed);
+  std::printf("DPM %.4g, APM %.4g\n\n", result.dpm(), result.apm());
+  std::cout << sim::stpa::render_overlay(sim::stpa::overlay_events(result.events));
+  return 0;
+}
+
+int cmd_classify(arg_list args) {
+  const auto words = args.positional();
+  if (words.empty()) {
+    std::fputs("classify: no text given\n", stderr);
+    return 2;
+  }
+  std::string text;
+  for (const auto& w : words) {
+    if (!text.empty()) text += ' ';
+    text += w;
+  }
+  const nlp::keyword_voting_classifier cls(nlp::failure_dictionary::builtin());
+  const auto verdict = cls.classify(text);
+  std::printf("text:       %s\n", text.c_str());
+  std::printf("tag:        %s\n", std::string(nlp::tag_name(verdict.tag)).c_str());
+  std::printf("category:   %s\n", std::string(nlp::category_name(verdict.category)).c_str());
+  std::printf("score:      %.1f (runner-up %.1f, confidence %.2f)\n", verdict.score,
+              verdict.runner_up, verdict.confidence);
+  for (const auto& phrase : verdict.matched_phrases) {
+    std::printf("matched:    %s\n", phrase.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "generate") return cmd_generate(arg_list(argc, argv, 2));
+    if (command == "run") return cmd_run(arg_list(argc, argv, 2));
+    if (command == "simulate") return cmd_simulate(arg_list(argc, argv, 2));
+    if (command == "classify") return cmd_classify(arg_list(argc, argv, 2));
+    if (command == "help" || command == "--help" || command == "-h") {
+      usage();
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "avtk %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "avtk: unknown command '%s'\n", command.c_str());
+  return usage();
+}
