@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avtk_bench_common.dir/common.cpp.o"
+  "CMakeFiles/avtk_bench_common.dir/common.cpp.o.d"
+  "libavtk_bench_common.a"
+  "libavtk_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avtk_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

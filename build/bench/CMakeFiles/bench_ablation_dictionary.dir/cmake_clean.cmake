@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dictionary.dir/bench_ablation_dictionary.cpp.o"
+  "CMakeFiles/bench_ablation_dictionary.dir/bench_ablation_dictionary.cpp.o.d"
+  "bench_ablation_dictionary"
+  "bench_ablation_dictionary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dictionary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

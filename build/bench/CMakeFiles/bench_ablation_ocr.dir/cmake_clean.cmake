@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ocr.dir/bench_ablation_ocr.cpp.o"
+  "CMakeFiles/bench_ablation_ocr.dir/bench_ablation_ocr.cpp.o.d"
+  "bench_ablation_ocr"
+  "bench_ablation_ocr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ocr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_context_breakdown.dir/bench_context_breakdown.cpp.o"
+  "CMakeFiles/bench_context_breakdown.dir/bench_context_breakdown.cpp.o.d"
+  "bench_context_breakdown"
+  "bench_context_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_context_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_reaction.dir/bench_fig10_reaction.cpp.o"
+  "CMakeFiles/bench_fig10_reaction.dir/bench_fig10_reaction.cpp.o.d"
+  "bench_fig10_reaction"
+  "bench_fig10_reaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_reaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_weibull.dir/bench_fig11_weibull.cpp.o"
+  "CMakeFiles/bench_fig11_weibull.dir/bench_fig11_weibull.cpp.o.d"
+  "bench_fig11_weibull"
+  "bench_fig11_weibull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_weibull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

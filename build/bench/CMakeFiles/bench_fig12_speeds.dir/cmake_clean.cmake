@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_speeds.dir/bench_fig12_speeds.cpp.o"
+  "CMakeFiles/bench_fig12_speeds.dir/bench_fig12_speeds.cpp.o.d"
+  "bench_fig12_speeds"
+  "bench_fig12_speeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_speeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_dpm_dist.dir/bench_fig4_dpm_dist.cpp.o"
+  "CMakeFiles/bench_fig4_dpm_dist.dir/bench_fig4_dpm_dist.cpp.o.d"
+  "bench_fig4_dpm_dist"
+  "bench_fig4_dpm_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_dpm_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_cumulative.dir/bench_fig5_cumulative.cpp.o"
+  "CMakeFiles/bench_fig5_cumulative.dir/bench_fig5_cumulative.cpp.o.d"
+  "bench_fig5_cumulative"
+  "bench_fig5_cumulative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cumulative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

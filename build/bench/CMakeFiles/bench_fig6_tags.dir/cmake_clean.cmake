@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_tags.dir/bench_fig6_tags.cpp.o"
+  "CMakeFiles/bench_fig6_tags.dir/bench_fig6_tags.cpp.o.d"
+  "bench_fig6_tags"
+  "bench_fig6_tags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_tags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

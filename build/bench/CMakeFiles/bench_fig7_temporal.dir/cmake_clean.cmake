@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_temporal.dir/bench_fig7_temporal.cpp.o"
+  "CMakeFiles/bench_fig7_temporal.dir/bench_fig7_temporal.cpp.o.d"
+  "bench_fig7_temporal"
+  "bench_fig7_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

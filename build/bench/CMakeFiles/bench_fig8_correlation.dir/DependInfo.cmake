@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_correlation.cpp" "bench/CMakeFiles/bench_fig8_correlation.dir/bench_fig8_correlation.cpp.o" "gcc" "bench/CMakeFiles/bench_fig8_correlation.dir/bench_fig8_correlation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/avtk_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/avtk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/avtk_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/parse/CMakeFiles/avtk_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/avtk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/avtk_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocr/CMakeFiles/avtk_ocr.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/avtk_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/avtk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_dpm_miles.dir/bench_fig9_dpm_miles.cpp.o"
+  "CMakeFiles/bench_fig9_dpm_miles.dir/bench_fig9_dpm_miles.cpp.o.d"
+  "bench_fig9_dpm_miles"
+  "bench_fig9_dpm_miles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_dpm_miles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_headline_claims.dir/bench_headline_claims.cpp.o"
+  "CMakeFiles/bench_headline_claims.dir/bench_headline_claims.cpp.o.d"
+  "bench_headline_claims"
+  "bench_headline_claims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_headline_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pipeline_perf.dir/bench_pipeline_perf.cpp.o"
+  "CMakeFiles/bench_pipeline_perf.dir/bench_pipeline_perf.cpp.o.d"
+  "bench_pipeline_perf"
+  "bench_pipeline_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipeline_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

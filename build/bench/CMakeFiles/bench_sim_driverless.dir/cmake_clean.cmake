@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_driverless.dir/bench_sim_driverless.cpp.o"
+  "CMakeFiles/bench_sim_driverless.dir/bench_sim_driverless.cpp.o.d"
+  "bench_sim_driverless"
+  "bench_sim_driverless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_driverless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

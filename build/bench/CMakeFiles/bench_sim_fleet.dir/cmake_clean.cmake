@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_fleet.dir/bench_sim_fleet.cpp.o"
+  "CMakeFiles/bench_sim_fleet.dir/bench_sim_fleet.cpp.o.d"
+  "bench_sim_fleet"
+  "bench_sim_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_survival_metric.dir/bench_survival_metric.cpp.o"
+  "CMakeFiles/bench_survival_metric.dir/bench_survival_metric.cpp.o.d"
+  "bench_survival_metric"
+  "bench_survival_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_survival_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

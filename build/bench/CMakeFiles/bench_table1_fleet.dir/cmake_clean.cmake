@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_fleet.dir/bench_table1_fleet.cpp.o"
+  "CMakeFiles/bench_table1_fleet.dir/bench_table1_fleet.cpp.o.d"
+  "bench_table1_fleet"
+  "bench_table1_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

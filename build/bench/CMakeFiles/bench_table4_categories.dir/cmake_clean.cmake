@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_categories.dir/bench_table4_categories.cpp.o"
+  "CMakeFiles/bench_table4_categories.dir/bench_table4_categories.cpp.o.d"
+  "bench_table4_categories"
+  "bench_table4_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_modality.dir/bench_table5_modality.cpp.o"
+  "CMakeFiles/bench_table5_modality.dir/bench_table5_modality.cpp.o.d"
+  "bench_table5_modality"
+  "bench_table5_modality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_modality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_accidents.dir/bench_table6_accidents.cpp.o"
+  "CMakeFiles/bench_table6_accidents.dir/bench_table6_accidents.cpp.o.d"
+  "bench_table6_accidents"
+  "bench_table6_accidents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_accidents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

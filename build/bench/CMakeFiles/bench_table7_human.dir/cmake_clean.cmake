@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_human.dir/bench_table7_human.cpp.o"
+  "CMakeFiles/bench_table7_human.dir/bench_table7_human.cpp.o.d"
+  "bench_table7_human"
+  "bench_table7_human.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_human.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_missions.dir/bench_table8_missions.cpp.o"
+  "CMakeFiles/bench_table8_missions.dir/bench_table8_missions.cpp.o.d"
+  "bench_table8_missions"
+  "bench_table8_missions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_missions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_dictionary.dir/custom_dictionary.cpp.o"
+  "CMakeFiles/custom_dictionary.dir/custom_dictionary.cpp.o.d"
+  "custom_dictionary"
+  "custom_dictionary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_dictionary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_monitor.dir/fleet_monitor.cpp.o"
+  "CMakeFiles/fleet_monitor.dir/fleet_monitor.cpp.o.d"
+  "fleet_monitor"
+  "fleet_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_comparison.dir/reliability_comparison.cpp.o"
+  "CMakeFiles/reliability_comparison.dir/reliability_comparison.cpp.o.d"
+  "reliability_comparison"
+  "reliability_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/avtk_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/avtk_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/context.cpp" "src/core/CMakeFiles/avtk_core.dir/context.cpp.o" "gcc" "src/core/CMakeFiles/avtk_core.dir/context.cpp.o.d"
+  "/root/repo/src/core/exposure.cpp" "src/core/CMakeFiles/avtk_core.dir/exposure.cpp.o" "gcc" "src/core/CMakeFiles/avtk_core.dir/exposure.cpp.o.d"
+  "/root/repo/src/core/figure_export.cpp" "src/core/CMakeFiles/avtk_core.dir/figure_export.cpp.o" "gcc" "src/core/CMakeFiles/avtk_core.dir/figure_export.cpp.o.d"
+  "/root/repo/src/core/figures.cpp" "src/core/CMakeFiles/avtk_core.dir/figures.cpp.o" "gcc" "src/core/CMakeFiles/avtk_core.dir/figures.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/avtk_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/avtk_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/narrative.cpp" "src/core/CMakeFiles/avtk_core.dir/narrative.cpp.o" "gcc" "src/core/CMakeFiles/avtk_core.dir/narrative.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/avtk_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/avtk_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/avtk_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/avtk_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/tables.cpp" "src/core/CMakeFiles/avtk_core.dir/tables.cpp.o" "gcc" "src/core/CMakeFiles/avtk_core.dir/tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/avtk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/avtk_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/avtk_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocr/CMakeFiles/avtk_ocr.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/avtk_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/parse/CMakeFiles/avtk_parse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avtk_core.dir/analysis.cpp.o"
+  "CMakeFiles/avtk_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/avtk_core.dir/context.cpp.o"
+  "CMakeFiles/avtk_core.dir/context.cpp.o.d"
+  "CMakeFiles/avtk_core.dir/exposure.cpp.o"
+  "CMakeFiles/avtk_core.dir/exposure.cpp.o.d"
+  "CMakeFiles/avtk_core.dir/figure_export.cpp.o"
+  "CMakeFiles/avtk_core.dir/figure_export.cpp.o.d"
+  "CMakeFiles/avtk_core.dir/figures.cpp.o"
+  "CMakeFiles/avtk_core.dir/figures.cpp.o.d"
+  "CMakeFiles/avtk_core.dir/metrics.cpp.o"
+  "CMakeFiles/avtk_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/avtk_core.dir/narrative.cpp.o"
+  "CMakeFiles/avtk_core.dir/narrative.cpp.o.d"
+  "CMakeFiles/avtk_core.dir/pipeline.cpp.o"
+  "CMakeFiles/avtk_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/avtk_core.dir/report.cpp.o"
+  "CMakeFiles/avtk_core.dir/report.cpp.o.d"
+  "CMakeFiles/avtk_core.dir/tables.cpp.o"
+  "CMakeFiles/avtk_core.dir/tables.cpp.o.d"
+  "libavtk_core.a"
+  "libavtk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avtk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/csv_io.cpp" "src/dataset/CMakeFiles/avtk_dataset.dir/csv_io.cpp.o" "gcc" "src/dataset/CMakeFiles/avtk_dataset.dir/csv_io.cpp.o.d"
+  "/root/repo/src/dataset/database.cpp" "src/dataset/CMakeFiles/avtk_dataset.dir/database.cpp.o" "gcc" "src/dataset/CMakeFiles/avtk_dataset.dir/database.cpp.o.d"
+  "/root/repo/src/dataset/generator.cpp" "src/dataset/CMakeFiles/avtk_dataset.dir/generator.cpp.o" "gcc" "src/dataset/CMakeFiles/avtk_dataset.dir/generator.cpp.o.d"
+  "/root/repo/src/dataset/ground_truth.cpp" "src/dataset/CMakeFiles/avtk_dataset.dir/ground_truth.cpp.o" "gcc" "src/dataset/CMakeFiles/avtk_dataset.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/dataset/manufacturers.cpp" "src/dataset/CMakeFiles/avtk_dataset.dir/manufacturers.cpp.o" "gcc" "src/dataset/CMakeFiles/avtk_dataset.dir/manufacturers.cpp.o.d"
+  "/root/repo/src/dataset/phrase_bank.cpp" "src/dataset/CMakeFiles/avtk_dataset.dir/phrase_bank.cpp.o" "gcc" "src/dataset/CMakeFiles/avtk_dataset.dir/phrase_bank.cpp.o.d"
+  "/root/repo/src/dataset/records.cpp" "src/dataset/CMakeFiles/avtk_dataset.dir/records.cpp.o" "gcc" "src/dataset/CMakeFiles/avtk_dataset.dir/records.cpp.o.d"
+  "/root/repo/src/dataset/report_writers.cpp" "src/dataset/CMakeFiles/avtk_dataset.dir/report_writers.cpp.o" "gcc" "src/dataset/CMakeFiles/avtk_dataset.dir/report_writers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/avtk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/avtk_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocr/CMakeFiles/avtk_ocr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avtk_dataset.dir/csv_io.cpp.o"
+  "CMakeFiles/avtk_dataset.dir/csv_io.cpp.o.d"
+  "CMakeFiles/avtk_dataset.dir/database.cpp.o"
+  "CMakeFiles/avtk_dataset.dir/database.cpp.o.d"
+  "CMakeFiles/avtk_dataset.dir/generator.cpp.o"
+  "CMakeFiles/avtk_dataset.dir/generator.cpp.o.d"
+  "CMakeFiles/avtk_dataset.dir/ground_truth.cpp.o"
+  "CMakeFiles/avtk_dataset.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/avtk_dataset.dir/manufacturers.cpp.o"
+  "CMakeFiles/avtk_dataset.dir/manufacturers.cpp.o.d"
+  "CMakeFiles/avtk_dataset.dir/phrase_bank.cpp.o"
+  "CMakeFiles/avtk_dataset.dir/phrase_bank.cpp.o.d"
+  "CMakeFiles/avtk_dataset.dir/records.cpp.o"
+  "CMakeFiles/avtk_dataset.dir/records.cpp.o.d"
+  "CMakeFiles/avtk_dataset.dir/report_writers.cpp.o"
+  "CMakeFiles/avtk_dataset.dir/report_writers.cpp.o.d"
+  "libavtk_dataset.a"
+  "libavtk_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avtk_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

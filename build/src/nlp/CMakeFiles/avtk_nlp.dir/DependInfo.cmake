@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nlp/bootstrap.cpp" "src/nlp/CMakeFiles/avtk_nlp.dir/bootstrap.cpp.o" "gcc" "src/nlp/CMakeFiles/avtk_nlp.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/nlp/classifier.cpp" "src/nlp/CMakeFiles/avtk_nlp.dir/classifier.cpp.o" "gcc" "src/nlp/CMakeFiles/avtk_nlp.dir/classifier.cpp.o.d"
+  "/root/repo/src/nlp/dictionary.cpp" "src/nlp/CMakeFiles/avtk_nlp.dir/dictionary.cpp.o" "gcc" "src/nlp/CMakeFiles/avtk_nlp.dir/dictionary.cpp.o.d"
+  "/root/repo/src/nlp/evaluation.cpp" "src/nlp/CMakeFiles/avtk_nlp.dir/evaluation.cpp.o" "gcc" "src/nlp/CMakeFiles/avtk_nlp.dir/evaluation.cpp.o.d"
+  "/root/repo/src/nlp/ngram.cpp" "src/nlp/CMakeFiles/avtk_nlp.dir/ngram.cpp.o" "gcc" "src/nlp/CMakeFiles/avtk_nlp.dir/ngram.cpp.o.d"
+  "/root/repo/src/nlp/ontology.cpp" "src/nlp/CMakeFiles/avtk_nlp.dir/ontology.cpp.o" "gcc" "src/nlp/CMakeFiles/avtk_nlp.dir/ontology.cpp.o.d"
+  "/root/repo/src/nlp/stemmer.cpp" "src/nlp/CMakeFiles/avtk_nlp.dir/stemmer.cpp.o" "gcc" "src/nlp/CMakeFiles/avtk_nlp.dir/stemmer.cpp.o.d"
+  "/root/repo/src/nlp/stopwords.cpp" "src/nlp/CMakeFiles/avtk_nlp.dir/stopwords.cpp.o" "gcc" "src/nlp/CMakeFiles/avtk_nlp.dir/stopwords.cpp.o.d"
+  "/root/repo/src/nlp/tokenizer.cpp" "src/nlp/CMakeFiles/avtk_nlp.dir/tokenizer.cpp.o" "gcc" "src/nlp/CMakeFiles/avtk_nlp.dir/tokenizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/avtk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

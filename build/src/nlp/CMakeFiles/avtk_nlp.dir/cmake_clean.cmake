@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avtk_nlp.dir/bootstrap.cpp.o"
+  "CMakeFiles/avtk_nlp.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/avtk_nlp.dir/classifier.cpp.o"
+  "CMakeFiles/avtk_nlp.dir/classifier.cpp.o.d"
+  "CMakeFiles/avtk_nlp.dir/dictionary.cpp.o"
+  "CMakeFiles/avtk_nlp.dir/dictionary.cpp.o.d"
+  "CMakeFiles/avtk_nlp.dir/evaluation.cpp.o"
+  "CMakeFiles/avtk_nlp.dir/evaluation.cpp.o.d"
+  "CMakeFiles/avtk_nlp.dir/ngram.cpp.o"
+  "CMakeFiles/avtk_nlp.dir/ngram.cpp.o.d"
+  "CMakeFiles/avtk_nlp.dir/ontology.cpp.o"
+  "CMakeFiles/avtk_nlp.dir/ontology.cpp.o.d"
+  "CMakeFiles/avtk_nlp.dir/stemmer.cpp.o"
+  "CMakeFiles/avtk_nlp.dir/stemmer.cpp.o.d"
+  "CMakeFiles/avtk_nlp.dir/stopwords.cpp.o"
+  "CMakeFiles/avtk_nlp.dir/stopwords.cpp.o.d"
+  "CMakeFiles/avtk_nlp.dir/tokenizer.cpp.o"
+  "CMakeFiles/avtk_nlp.dir/tokenizer.cpp.o.d"
+  "libavtk_nlp.a"
+  "libavtk_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avtk_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ocr/document.cpp" "src/ocr/CMakeFiles/avtk_ocr.dir/document.cpp.o" "gcc" "src/ocr/CMakeFiles/avtk_ocr.dir/document.cpp.o.d"
+  "/root/repo/src/ocr/engine.cpp" "src/ocr/CMakeFiles/avtk_ocr.dir/engine.cpp.o" "gcc" "src/ocr/CMakeFiles/avtk_ocr.dir/engine.cpp.o.d"
+  "/root/repo/src/ocr/noise.cpp" "src/ocr/CMakeFiles/avtk_ocr.dir/noise.cpp.o" "gcc" "src/ocr/CMakeFiles/avtk_ocr.dir/noise.cpp.o.d"
+  "/root/repo/src/ocr/postprocess.cpp" "src/ocr/CMakeFiles/avtk_ocr.dir/postprocess.cpp.o" "gcc" "src/ocr/CMakeFiles/avtk_ocr.dir/postprocess.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/avtk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/avtk_nlp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

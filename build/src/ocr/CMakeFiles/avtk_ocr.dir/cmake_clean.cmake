@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avtk_ocr.dir/document.cpp.o"
+  "CMakeFiles/avtk_ocr.dir/document.cpp.o.d"
+  "CMakeFiles/avtk_ocr.dir/engine.cpp.o"
+  "CMakeFiles/avtk_ocr.dir/engine.cpp.o.d"
+  "CMakeFiles/avtk_ocr.dir/noise.cpp.o"
+  "CMakeFiles/avtk_ocr.dir/noise.cpp.o.d"
+  "CMakeFiles/avtk_ocr.dir/postprocess.cpp.o"
+  "CMakeFiles/avtk_ocr.dir/postprocess.cpp.o.d"
+  "libavtk_ocr.a"
+  "libavtk_ocr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avtk_ocr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for avtk_ocr.
+# This may be replaced when dependencies are built.

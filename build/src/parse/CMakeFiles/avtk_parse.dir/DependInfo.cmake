@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parse/accident_parser.cpp" "src/parse/CMakeFiles/avtk_parse.dir/accident_parser.cpp.o" "gcc" "src/parse/CMakeFiles/avtk_parse.dir/accident_parser.cpp.o.d"
+  "/root/repo/src/parse/disengagement_parser.cpp" "src/parse/CMakeFiles/avtk_parse.dir/disengagement_parser.cpp.o" "gcc" "src/parse/CMakeFiles/avtk_parse.dir/disengagement_parser.cpp.o.d"
+  "/root/repo/src/parse/filter.cpp" "src/parse/CMakeFiles/avtk_parse.dir/filter.cpp.o" "gcc" "src/parse/CMakeFiles/avtk_parse.dir/filter.cpp.o.d"
+  "/root/repo/src/parse/formats/common.cpp" "src/parse/CMakeFiles/avtk_parse.dir/formats/common.cpp.o" "gcc" "src/parse/CMakeFiles/avtk_parse.dir/formats/common.cpp.o.d"
+  "/root/repo/src/parse/formats/csv_formats.cpp" "src/parse/CMakeFiles/avtk_parse.dir/formats/csv_formats.cpp.o" "gcc" "src/parse/CMakeFiles/avtk_parse.dir/formats/csv_formats.cpp.o.d"
+  "/root/repo/src/parse/formats/dashline_formats.cpp" "src/parse/CMakeFiles/avtk_parse.dir/formats/dashline_formats.cpp.o" "gcc" "src/parse/CMakeFiles/avtk_parse.dir/formats/dashline_formats.cpp.o.d"
+  "/root/repo/src/parse/formats/keyvalue_formats.cpp" "src/parse/CMakeFiles/avtk_parse.dir/formats/keyvalue_formats.cpp.o" "gcc" "src/parse/CMakeFiles/avtk_parse.dir/formats/keyvalue_formats.cpp.o.d"
+  "/root/repo/src/parse/normalizer.cpp" "src/parse/CMakeFiles/avtk_parse.dir/normalizer.cpp.o" "gcc" "src/parse/CMakeFiles/avtk_parse.dir/normalizer.cpp.o.d"
+  "/root/repo/src/parse/report_header.cpp" "src/parse/CMakeFiles/avtk_parse.dir/report_header.cpp.o" "gcc" "src/parse/CMakeFiles/avtk_parse.dir/report_header.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/avtk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/avtk_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocr/CMakeFiles/avtk_ocr.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/avtk_dataset.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

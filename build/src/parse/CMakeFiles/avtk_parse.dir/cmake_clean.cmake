@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avtk_parse.dir/accident_parser.cpp.o"
+  "CMakeFiles/avtk_parse.dir/accident_parser.cpp.o.d"
+  "CMakeFiles/avtk_parse.dir/disengagement_parser.cpp.o"
+  "CMakeFiles/avtk_parse.dir/disengagement_parser.cpp.o.d"
+  "CMakeFiles/avtk_parse.dir/filter.cpp.o"
+  "CMakeFiles/avtk_parse.dir/filter.cpp.o.d"
+  "CMakeFiles/avtk_parse.dir/formats/common.cpp.o"
+  "CMakeFiles/avtk_parse.dir/formats/common.cpp.o.d"
+  "CMakeFiles/avtk_parse.dir/formats/csv_formats.cpp.o"
+  "CMakeFiles/avtk_parse.dir/formats/csv_formats.cpp.o.d"
+  "CMakeFiles/avtk_parse.dir/formats/dashline_formats.cpp.o"
+  "CMakeFiles/avtk_parse.dir/formats/dashline_formats.cpp.o.d"
+  "CMakeFiles/avtk_parse.dir/formats/keyvalue_formats.cpp.o"
+  "CMakeFiles/avtk_parse.dir/formats/keyvalue_formats.cpp.o.d"
+  "CMakeFiles/avtk_parse.dir/normalizer.cpp.o"
+  "CMakeFiles/avtk_parse.dir/normalizer.cpp.o.d"
+  "CMakeFiles/avtk_parse.dir/report_header.cpp.o"
+  "CMakeFiles/avtk_parse.dir/report_header.cpp.o.d"
+  "libavtk_parse.a"
+  "libavtk_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avtk_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/control_loop.cpp" "src/sim/CMakeFiles/avtk_sim.dir/control_loop.cpp.o" "gcc" "src/sim/CMakeFiles/avtk_sim.dir/control_loop.cpp.o.d"
+  "/root/repo/src/sim/driver.cpp" "src/sim/CMakeFiles/avtk_sim.dir/driver.cpp.o" "gcc" "src/sim/CMakeFiles/avtk_sim.dir/driver.cpp.o.d"
+  "/root/repo/src/sim/environment.cpp" "src/sim/CMakeFiles/avtk_sim.dir/environment.cpp.o" "gcc" "src/sim/CMakeFiles/avtk_sim.dir/environment.cpp.o.d"
+  "/root/repo/src/sim/faults.cpp" "src/sim/CMakeFiles/avtk_sim.dir/faults.cpp.o" "gcc" "src/sim/CMakeFiles/avtk_sim.dir/faults.cpp.o.d"
+  "/root/repo/src/sim/fleet.cpp" "src/sim/CMakeFiles/avtk_sim.dir/fleet.cpp.o" "gcc" "src/sim/CMakeFiles/avtk_sim.dir/fleet.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/avtk_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/avtk_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/stpa.cpp" "src/sim/CMakeFiles/avtk_sim.dir/stpa.cpp.o" "gcc" "src/sim/CMakeFiles/avtk_sim.dir/stpa.cpp.o.d"
+  "/root/repo/src/sim/vehicle.cpp" "src/sim/CMakeFiles/avtk_sim.dir/vehicle.cpp.o" "gcc" "src/sim/CMakeFiles/avtk_sim.dir/vehicle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/avtk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/avtk_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/avtk_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocr/CMakeFiles/avtk_ocr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avtk_sim.dir/control_loop.cpp.o"
+  "CMakeFiles/avtk_sim.dir/control_loop.cpp.o.d"
+  "CMakeFiles/avtk_sim.dir/driver.cpp.o"
+  "CMakeFiles/avtk_sim.dir/driver.cpp.o.d"
+  "CMakeFiles/avtk_sim.dir/environment.cpp.o"
+  "CMakeFiles/avtk_sim.dir/environment.cpp.o.d"
+  "CMakeFiles/avtk_sim.dir/faults.cpp.o"
+  "CMakeFiles/avtk_sim.dir/faults.cpp.o.d"
+  "CMakeFiles/avtk_sim.dir/fleet.cpp.o"
+  "CMakeFiles/avtk_sim.dir/fleet.cpp.o.d"
+  "CMakeFiles/avtk_sim.dir/scenario.cpp.o"
+  "CMakeFiles/avtk_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/avtk_sim.dir/stpa.cpp.o"
+  "CMakeFiles/avtk_sim.dir/stpa.cpp.o.d"
+  "CMakeFiles/avtk_sim.dir/vehicle.cpp.o"
+  "CMakeFiles/avtk_sim.dir/vehicle.cpp.o.d"
+  "libavtk_sim.a"
+  "libavtk_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avtk_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

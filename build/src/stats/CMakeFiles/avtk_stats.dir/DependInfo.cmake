@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/avtk_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/avtk_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/avtk_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/avtk_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/avtk_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/avtk_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/dist/exp_weibull.cpp" "src/stats/CMakeFiles/avtk_stats.dir/dist/exp_weibull.cpp.o" "gcc" "src/stats/CMakeFiles/avtk_stats.dir/dist/exp_weibull.cpp.o.d"
+  "/root/repo/src/stats/dist/exponential.cpp" "src/stats/CMakeFiles/avtk_stats.dir/dist/exponential.cpp.o" "gcc" "src/stats/CMakeFiles/avtk_stats.dir/dist/exponential.cpp.o.d"
+  "/root/repo/src/stats/dist/weibull.cpp" "src/stats/CMakeFiles/avtk_stats.dir/dist/weibull.cpp.o" "gcc" "src/stats/CMakeFiles/avtk_stats.dir/dist/weibull.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/avtk_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/avtk_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/nonparametric.cpp" "src/stats/CMakeFiles/avtk_stats.dir/nonparametric.cpp.o" "gcc" "src/stats/CMakeFiles/avtk_stats.dir/nonparametric.cpp.o.d"
+  "/root/repo/src/stats/optimize.cpp" "src/stats/CMakeFiles/avtk_stats.dir/optimize.cpp.o" "gcc" "src/stats/CMakeFiles/avtk_stats.dir/optimize.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/stats/CMakeFiles/avtk_stats.dir/regression.cpp.o" "gcc" "src/stats/CMakeFiles/avtk_stats.dir/regression.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/stats/CMakeFiles/avtk_stats.dir/special.cpp.o" "gcc" "src/stats/CMakeFiles/avtk_stats.dir/special.cpp.o.d"
+  "/root/repo/src/stats/survival.cpp" "src/stats/CMakeFiles/avtk_stats.dir/survival.cpp.o" "gcc" "src/stats/CMakeFiles/avtk_stats.dir/survival.cpp.o.d"
+  "/root/repo/src/stats/tests.cpp" "src/stats/CMakeFiles/avtk_stats.dir/tests.cpp.o" "gcc" "src/stats/CMakeFiles/avtk_stats.dir/tests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/avtk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

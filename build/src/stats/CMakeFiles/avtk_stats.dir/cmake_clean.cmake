@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avtk_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/avtk_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/avtk_stats.dir/correlation.cpp.o"
+  "CMakeFiles/avtk_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/avtk_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/avtk_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/avtk_stats.dir/dist/exp_weibull.cpp.o"
+  "CMakeFiles/avtk_stats.dir/dist/exp_weibull.cpp.o.d"
+  "CMakeFiles/avtk_stats.dir/dist/exponential.cpp.o"
+  "CMakeFiles/avtk_stats.dir/dist/exponential.cpp.o.d"
+  "CMakeFiles/avtk_stats.dir/dist/weibull.cpp.o"
+  "CMakeFiles/avtk_stats.dir/dist/weibull.cpp.o.d"
+  "CMakeFiles/avtk_stats.dir/histogram.cpp.o"
+  "CMakeFiles/avtk_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/avtk_stats.dir/nonparametric.cpp.o"
+  "CMakeFiles/avtk_stats.dir/nonparametric.cpp.o.d"
+  "CMakeFiles/avtk_stats.dir/optimize.cpp.o"
+  "CMakeFiles/avtk_stats.dir/optimize.cpp.o.d"
+  "CMakeFiles/avtk_stats.dir/regression.cpp.o"
+  "CMakeFiles/avtk_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/avtk_stats.dir/special.cpp.o"
+  "CMakeFiles/avtk_stats.dir/special.cpp.o.d"
+  "CMakeFiles/avtk_stats.dir/survival.cpp.o"
+  "CMakeFiles/avtk_stats.dir/survival.cpp.o.d"
+  "CMakeFiles/avtk_stats.dir/tests.cpp.o"
+  "CMakeFiles/avtk_stats.dir/tests.cpp.o.d"
+  "libavtk_stats.a"
+  "libavtk_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avtk_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

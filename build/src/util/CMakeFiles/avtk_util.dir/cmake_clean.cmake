@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avtk_util.dir/csv.cpp.o"
+  "CMakeFiles/avtk_util.dir/csv.cpp.o.d"
+  "CMakeFiles/avtk_util.dir/dates.cpp.o"
+  "CMakeFiles/avtk_util.dir/dates.cpp.o.d"
+  "CMakeFiles/avtk_util.dir/rng.cpp.o"
+  "CMakeFiles/avtk_util.dir/rng.cpp.o.d"
+  "CMakeFiles/avtk_util.dir/strings.cpp.o"
+  "CMakeFiles/avtk_util.dir/strings.cpp.o.d"
+  "CMakeFiles/avtk_util.dir/table.cpp.o"
+  "CMakeFiles/avtk_util.dir/table.cpp.o.d"
+  "libavtk_util.a"
+  "libavtk_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avtk_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

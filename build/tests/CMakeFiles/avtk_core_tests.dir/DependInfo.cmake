@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/context_test.cpp" "tests/CMakeFiles/avtk_core_tests.dir/core/context_test.cpp.o" "gcc" "tests/CMakeFiles/avtk_core_tests.dir/core/context_test.cpp.o.d"
+  "/root/repo/tests/core/empty_database_test.cpp" "tests/CMakeFiles/avtk_core_tests.dir/core/empty_database_test.cpp.o" "gcc" "tests/CMakeFiles/avtk_core_tests.dir/core/empty_database_test.cpp.o.d"
+  "/root/repo/tests/core/exposure_test.cpp" "tests/CMakeFiles/avtk_core_tests.dir/core/exposure_test.cpp.o" "gcc" "tests/CMakeFiles/avtk_core_tests.dir/core/exposure_test.cpp.o.d"
+  "/root/repo/tests/core/figure_export_test.cpp" "tests/CMakeFiles/avtk_core_tests.dir/core/figure_export_test.cpp.o" "gcc" "tests/CMakeFiles/avtk_core_tests.dir/core/figure_export_test.cpp.o.d"
+  "/root/repo/tests/core/metrics_test.cpp" "tests/CMakeFiles/avtk_core_tests.dir/core/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/avtk_core_tests.dir/core/metrics_test.cpp.o.d"
+  "/root/repo/tests/core/multi_seed_test.cpp" "tests/CMakeFiles/avtk_core_tests.dir/core/multi_seed_test.cpp.o" "gcc" "tests/CMakeFiles/avtk_core_tests.dir/core/multi_seed_test.cpp.o.d"
+  "/root/repo/tests/core/narrative_test.cpp" "tests/CMakeFiles/avtk_core_tests.dir/core/narrative_test.cpp.o" "gcc" "tests/CMakeFiles/avtk_core_tests.dir/core/narrative_test.cpp.o.d"
+  "/root/repo/tests/core/parallel_pipeline_test.cpp" "tests/CMakeFiles/avtk_core_tests.dir/core/parallel_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/avtk_core_tests.dir/core/parallel_pipeline_test.cpp.o.d"
+  "/root/repo/tests/core/pipeline_integration_test.cpp" "tests/CMakeFiles/avtk_core_tests.dir/core/pipeline_integration_test.cpp.o" "gcc" "tests/CMakeFiles/avtk_core_tests.dir/core/pipeline_integration_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/avtk_core_tests.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/avtk_core_tests.dir/core/report_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/avtk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/avtk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/avtk_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/parse/CMakeFiles/avtk_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/avtk_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocr/CMakeFiles/avtk_ocr.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/avtk_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/avtk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avtk_core_tests.dir/core/context_test.cpp.o"
+  "CMakeFiles/avtk_core_tests.dir/core/context_test.cpp.o.d"
+  "CMakeFiles/avtk_core_tests.dir/core/empty_database_test.cpp.o"
+  "CMakeFiles/avtk_core_tests.dir/core/empty_database_test.cpp.o.d"
+  "CMakeFiles/avtk_core_tests.dir/core/exposure_test.cpp.o"
+  "CMakeFiles/avtk_core_tests.dir/core/exposure_test.cpp.o.d"
+  "CMakeFiles/avtk_core_tests.dir/core/figure_export_test.cpp.o"
+  "CMakeFiles/avtk_core_tests.dir/core/figure_export_test.cpp.o.d"
+  "CMakeFiles/avtk_core_tests.dir/core/metrics_test.cpp.o"
+  "CMakeFiles/avtk_core_tests.dir/core/metrics_test.cpp.o.d"
+  "CMakeFiles/avtk_core_tests.dir/core/multi_seed_test.cpp.o"
+  "CMakeFiles/avtk_core_tests.dir/core/multi_seed_test.cpp.o.d"
+  "CMakeFiles/avtk_core_tests.dir/core/narrative_test.cpp.o"
+  "CMakeFiles/avtk_core_tests.dir/core/narrative_test.cpp.o.d"
+  "CMakeFiles/avtk_core_tests.dir/core/parallel_pipeline_test.cpp.o"
+  "CMakeFiles/avtk_core_tests.dir/core/parallel_pipeline_test.cpp.o.d"
+  "CMakeFiles/avtk_core_tests.dir/core/pipeline_integration_test.cpp.o"
+  "CMakeFiles/avtk_core_tests.dir/core/pipeline_integration_test.cpp.o.d"
+  "CMakeFiles/avtk_core_tests.dir/core/report_test.cpp.o"
+  "CMakeFiles/avtk_core_tests.dir/core/report_test.cpp.o.d"
+  "avtk_core_tests"
+  "avtk_core_tests.pdb"
+  "avtk_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avtk_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

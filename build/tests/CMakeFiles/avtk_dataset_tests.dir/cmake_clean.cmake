@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avtk_dataset_tests.dir/dataset/csv_io_test.cpp.o"
+  "CMakeFiles/avtk_dataset_tests.dir/dataset/csv_io_test.cpp.o.d"
+  "CMakeFiles/avtk_dataset_tests.dir/dataset/database_test.cpp.o"
+  "CMakeFiles/avtk_dataset_tests.dir/dataset/database_test.cpp.o.d"
+  "CMakeFiles/avtk_dataset_tests.dir/dataset/dataset_test.cpp.o"
+  "CMakeFiles/avtk_dataset_tests.dir/dataset/dataset_test.cpp.o.d"
+  "CMakeFiles/avtk_dataset_tests.dir/dataset/generator_test.cpp.o"
+  "CMakeFiles/avtk_dataset_tests.dir/dataset/generator_test.cpp.o.d"
+  "CMakeFiles/avtk_dataset_tests.dir/dataset/ground_truth_test.cpp.o"
+  "CMakeFiles/avtk_dataset_tests.dir/dataset/ground_truth_test.cpp.o.d"
+  "avtk_dataset_tests"
+  "avtk_dataset_tests.pdb"
+  "avtk_dataset_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avtk_dataset_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avtk_nlp_tests.dir/nlp/bootstrap_test.cpp.o"
+  "CMakeFiles/avtk_nlp_tests.dir/nlp/bootstrap_test.cpp.o.d"
+  "CMakeFiles/avtk_nlp_tests.dir/nlp/classifier_test.cpp.o"
+  "CMakeFiles/avtk_nlp_tests.dir/nlp/classifier_test.cpp.o.d"
+  "CMakeFiles/avtk_nlp_tests.dir/nlp/dictionary_test.cpp.o"
+  "CMakeFiles/avtk_nlp_tests.dir/nlp/dictionary_test.cpp.o.d"
+  "CMakeFiles/avtk_nlp_tests.dir/nlp/evaluation_test.cpp.o"
+  "CMakeFiles/avtk_nlp_tests.dir/nlp/evaluation_test.cpp.o.d"
+  "CMakeFiles/avtk_nlp_tests.dir/nlp/misc_test.cpp.o"
+  "CMakeFiles/avtk_nlp_tests.dir/nlp/misc_test.cpp.o.d"
+  "CMakeFiles/avtk_nlp_tests.dir/nlp/ontology_test.cpp.o"
+  "CMakeFiles/avtk_nlp_tests.dir/nlp/ontology_test.cpp.o.d"
+  "CMakeFiles/avtk_nlp_tests.dir/nlp/stemmer_test.cpp.o"
+  "CMakeFiles/avtk_nlp_tests.dir/nlp/stemmer_test.cpp.o.d"
+  "CMakeFiles/avtk_nlp_tests.dir/nlp/tokenizer_test.cpp.o"
+  "CMakeFiles/avtk_nlp_tests.dir/nlp/tokenizer_test.cpp.o.d"
+  "avtk_nlp_tests"
+  "avtk_nlp_tests.pdb"
+  "avtk_nlp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avtk_nlp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avtk_ocr_tests.dir/ocr/merge_noise_test.cpp.o"
+  "CMakeFiles/avtk_ocr_tests.dir/ocr/merge_noise_test.cpp.o.d"
+  "CMakeFiles/avtk_ocr_tests.dir/ocr/ocr_test.cpp.o"
+  "CMakeFiles/avtk_ocr_tests.dir/ocr/ocr_test.cpp.o.d"
+  "avtk_ocr_tests"
+  "avtk_ocr_tests.pdb"
+  "avtk_ocr_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avtk_ocr_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

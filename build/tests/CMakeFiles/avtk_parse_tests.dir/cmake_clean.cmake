@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avtk_parse_tests.dir/parse/corruption_property_test.cpp.o"
+  "CMakeFiles/avtk_parse_tests.dir/parse/corruption_property_test.cpp.o.d"
+  "CMakeFiles/avtk_parse_tests.dir/parse/fuzz_test.cpp.o"
+  "CMakeFiles/avtk_parse_tests.dir/parse/fuzz_test.cpp.o.d"
+  "CMakeFiles/avtk_parse_tests.dir/parse/parse_test.cpp.o"
+  "CMakeFiles/avtk_parse_tests.dir/parse/parse_test.cpp.o.d"
+  "CMakeFiles/avtk_parse_tests.dir/parse/roundtrip_test.cpp.o"
+  "CMakeFiles/avtk_parse_tests.dir/parse/roundtrip_test.cpp.o.d"
+  "avtk_parse_tests"
+  "avtk_parse_tests.pdb"
+  "avtk_parse_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avtk_parse_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

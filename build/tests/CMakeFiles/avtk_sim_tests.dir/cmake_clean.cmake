@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avtk_sim_tests.dir/sim/driverless_test.cpp.o"
+  "CMakeFiles/avtk_sim_tests.dir/sim/driverless_test.cpp.o.d"
+  "CMakeFiles/avtk_sim_tests.dir/sim/sim_test.cpp.o"
+  "CMakeFiles/avtk_sim_tests.dir/sim/sim_test.cpp.o.d"
+  "CMakeFiles/avtk_sim_tests.dir/sim/stpa_test.cpp.o"
+  "CMakeFiles/avtk_sim_tests.dir/sim/stpa_test.cpp.o.d"
+  "avtk_sim_tests"
+  "avtk_sim_tests.pdb"
+  "avtk_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avtk_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

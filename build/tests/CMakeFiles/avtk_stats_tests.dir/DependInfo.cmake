@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/bootstrap_test.cpp" "tests/CMakeFiles/avtk_stats_tests.dir/stats/bootstrap_test.cpp.o" "gcc" "tests/CMakeFiles/avtk_stats_tests.dir/stats/bootstrap_test.cpp.o.d"
+  "/root/repo/tests/stats/correlation_test.cpp" "tests/CMakeFiles/avtk_stats_tests.dir/stats/correlation_test.cpp.o" "gcc" "tests/CMakeFiles/avtk_stats_tests.dir/stats/correlation_test.cpp.o.d"
+  "/root/repo/tests/stats/descriptive_test.cpp" "tests/CMakeFiles/avtk_stats_tests.dir/stats/descriptive_test.cpp.o" "gcc" "tests/CMakeFiles/avtk_stats_tests.dir/stats/descriptive_test.cpp.o.d"
+  "/root/repo/tests/stats/distributions_test.cpp" "tests/CMakeFiles/avtk_stats_tests.dir/stats/distributions_test.cpp.o" "gcc" "tests/CMakeFiles/avtk_stats_tests.dir/stats/distributions_test.cpp.o.d"
+  "/root/repo/tests/stats/histogram_test.cpp" "tests/CMakeFiles/avtk_stats_tests.dir/stats/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/avtk_stats_tests.dir/stats/histogram_test.cpp.o.d"
+  "/root/repo/tests/stats/nonparametric_test.cpp" "tests/CMakeFiles/avtk_stats_tests.dir/stats/nonparametric_test.cpp.o" "gcc" "tests/CMakeFiles/avtk_stats_tests.dir/stats/nonparametric_test.cpp.o.d"
+  "/root/repo/tests/stats/optimize_test.cpp" "tests/CMakeFiles/avtk_stats_tests.dir/stats/optimize_test.cpp.o" "gcc" "tests/CMakeFiles/avtk_stats_tests.dir/stats/optimize_test.cpp.o.d"
+  "/root/repo/tests/stats/regression_test.cpp" "tests/CMakeFiles/avtk_stats_tests.dir/stats/regression_test.cpp.o" "gcc" "tests/CMakeFiles/avtk_stats_tests.dir/stats/regression_test.cpp.o.d"
+  "/root/repo/tests/stats/special_test.cpp" "tests/CMakeFiles/avtk_stats_tests.dir/stats/special_test.cpp.o" "gcc" "tests/CMakeFiles/avtk_stats_tests.dir/stats/special_test.cpp.o.d"
+  "/root/repo/tests/stats/survival_test.cpp" "tests/CMakeFiles/avtk_stats_tests.dir/stats/survival_test.cpp.o" "gcc" "tests/CMakeFiles/avtk_stats_tests.dir/stats/survival_test.cpp.o.d"
+  "/root/repo/tests/stats/tests_test.cpp" "tests/CMakeFiles/avtk_stats_tests.dir/stats/tests_test.cpp.o" "gcc" "tests/CMakeFiles/avtk_stats_tests.dir/stats/tests_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/avtk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/avtk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/avtk_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/parse/CMakeFiles/avtk_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/avtk_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocr/CMakeFiles/avtk_ocr.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/avtk_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/avtk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avtk_stats_tests.dir/stats/bootstrap_test.cpp.o"
+  "CMakeFiles/avtk_stats_tests.dir/stats/bootstrap_test.cpp.o.d"
+  "CMakeFiles/avtk_stats_tests.dir/stats/correlation_test.cpp.o"
+  "CMakeFiles/avtk_stats_tests.dir/stats/correlation_test.cpp.o.d"
+  "CMakeFiles/avtk_stats_tests.dir/stats/descriptive_test.cpp.o"
+  "CMakeFiles/avtk_stats_tests.dir/stats/descriptive_test.cpp.o.d"
+  "CMakeFiles/avtk_stats_tests.dir/stats/distributions_test.cpp.o"
+  "CMakeFiles/avtk_stats_tests.dir/stats/distributions_test.cpp.o.d"
+  "CMakeFiles/avtk_stats_tests.dir/stats/histogram_test.cpp.o"
+  "CMakeFiles/avtk_stats_tests.dir/stats/histogram_test.cpp.o.d"
+  "CMakeFiles/avtk_stats_tests.dir/stats/nonparametric_test.cpp.o"
+  "CMakeFiles/avtk_stats_tests.dir/stats/nonparametric_test.cpp.o.d"
+  "CMakeFiles/avtk_stats_tests.dir/stats/optimize_test.cpp.o"
+  "CMakeFiles/avtk_stats_tests.dir/stats/optimize_test.cpp.o.d"
+  "CMakeFiles/avtk_stats_tests.dir/stats/regression_test.cpp.o"
+  "CMakeFiles/avtk_stats_tests.dir/stats/regression_test.cpp.o.d"
+  "CMakeFiles/avtk_stats_tests.dir/stats/special_test.cpp.o"
+  "CMakeFiles/avtk_stats_tests.dir/stats/special_test.cpp.o.d"
+  "CMakeFiles/avtk_stats_tests.dir/stats/survival_test.cpp.o"
+  "CMakeFiles/avtk_stats_tests.dir/stats/survival_test.cpp.o.d"
+  "CMakeFiles/avtk_stats_tests.dir/stats/tests_test.cpp.o"
+  "CMakeFiles/avtk_stats_tests.dir/stats/tests_test.cpp.o.d"
+  "avtk_stats_tests"
+  "avtk_stats_tests.pdb"
+  "avtk_stats_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avtk_stats_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/csv_test.cpp" "tests/CMakeFiles/avtk_util_tests.dir/util/csv_test.cpp.o" "gcc" "tests/CMakeFiles/avtk_util_tests.dir/util/csv_test.cpp.o.d"
+  "/root/repo/tests/util/dates_test.cpp" "tests/CMakeFiles/avtk_util_tests.dir/util/dates_test.cpp.o" "gcc" "tests/CMakeFiles/avtk_util_tests.dir/util/dates_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/avtk_util_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/avtk_util_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/strings_test.cpp" "tests/CMakeFiles/avtk_util_tests.dir/util/strings_test.cpp.o" "gcc" "tests/CMakeFiles/avtk_util_tests.dir/util/strings_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/avtk_util_tests.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/avtk_util_tests.dir/util/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/avtk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/avtk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/avtk_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/parse/CMakeFiles/avtk_parse.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/avtk_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocr/CMakeFiles/avtk_ocr.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/avtk_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/avtk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avtk_util_tests.dir/util/csv_test.cpp.o"
+  "CMakeFiles/avtk_util_tests.dir/util/csv_test.cpp.o.d"
+  "CMakeFiles/avtk_util_tests.dir/util/dates_test.cpp.o"
+  "CMakeFiles/avtk_util_tests.dir/util/dates_test.cpp.o.d"
+  "CMakeFiles/avtk_util_tests.dir/util/rng_test.cpp.o"
+  "CMakeFiles/avtk_util_tests.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/avtk_util_tests.dir/util/strings_test.cpp.o"
+  "CMakeFiles/avtk_util_tests.dir/util/strings_test.cpp.o.d"
+  "CMakeFiles/avtk_util_tests.dir/util/table_test.cpp.o"
+  "CMakeFiles/avtk_util_tests.dir/util/table_test.cpp.o.d"
+  "avtk_util_tests"
+  "avtk_util_tests.pdb"
+  "avtk_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avtk_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

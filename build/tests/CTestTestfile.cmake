@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/avtk_util_tests[1]_include.cmake")
+include("/root/repo/build/tests/avtk_stats_tests[1]_include.cmake")
+include("/root/repo/build/tests/avtk_nlp_tests[1]_include.cmake")
+include("/root/repo/build/tests/avtk_ocr_tests[1]_include.cmake")
+include("/root/repo/build/tests/avtk_dataset_tests[1]_include.cmake")
+include("/root/repo/build/tests/avtk_parse_tests[1]_include.cmake")
+include("/root/repo/build/tests/avtk_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/avtk_core_tests[1]_include.cmake")

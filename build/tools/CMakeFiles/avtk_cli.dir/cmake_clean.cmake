@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avtk_cli.dir/avtk_cli.cpp.o"
+  "CMakeFiles/avtk_cli.dir/avtk_cli.cpp.o.d"
+  "avtk"
+  "avtk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avtk_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
