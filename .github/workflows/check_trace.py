@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""CI gate for `avtk run --trace-json` output (schema avtk.trace.v1).
+
+Checks, per the repo's acceptance bar for the observability subsystem:
+  * the document is valid JSON with the expected schema tag,
+  * spans exist for the OCR, parse, classify, and analysis stages,
+  * per-stage wall-clock totals sum to within 10% of end-to-end runtime.
+"""
+import json
+import sys
+
+REQUIRED_STAGES = ["ocr", "parse", "classify", "analysis"]
+# Disjoint leaf stages covering the run (scan/pipeline wrap them, so they
+# are excluded from the sum to avoid double counting).
+LEAF_STAGES = ["ocr", "parse", "merge", "normalize", "ingest", "classify", "analysis"]
+
+
+def main(path: str) -> int:
+    with open(path) as f:
+        trace = json.load(f)
+
+    if trace.get("schema") != "avtk.trace.v1":
+        print(f"FAIL: unexpected schema {trace.get('schema')!r}")
+        return 1
+
+    spans = trace["spans"]
+    names = {s["name"] for s in spans}
+    missing = [stage for stage in REQUIRED_STAGES if stage not in names]
+    if missing:
+        print(f"FAIL: missing spans for stages: {missing}")
+        return 1
+    for s in spans:
+        if s["duration_ns"] < 0:
+            print(f"FAIL: span {s['id']} ({s['name']}) was never closed")
+            return 1
+
+    totals = trace["stage_totals_ns"]
+    total_ns = trace["total_ns"]
+    leaf_sum = sum(totals.get(stage, 0) for stage in LEAF_STAGES)
+    share = leaf_sum / total_ns if total_ns else 0.0
+    print(f"{len(spans)} spans; leaf stages cover {share:.1%} of {total_ns / 1e6:.1f} ms")
+    if not 0.9 <= share <= 1.1:
+        print("FAIL: per-stage totals deviate more than 10% from end-to-end runtime")
+        return 1
+
+    print("trace OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1]))

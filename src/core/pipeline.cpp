@@ -4,6 +4,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "ocr/engine.h"
 #include "parse/accident_parser.h"
 #include "parse/disengagement_parser.h"
@@ -47,13 +49,27 @@ ocr::document recover_document(const ocr::document& doc, const ocr::mock_ocr_eng
   return out;
 }
 
+// Timing sinks shared by every Stage II worker; accumulation is atomic so
+// the totals are exact regardless of thread count.
+struct stage2_timing {
+  obs::duration_accumulator ocr_ns;
+  obs::duration_accumulator parse_ns;
+};
+
 document_result process_document(const ocr::document& delivered, const ocr::document* fallback,
                                  const ocr::mock_ocr_engine& engine,
-                                 const pipeline_config& config) {
+                                 const pipeline_config& config, stage2_timing& timing,
+                                 std::uint64_t scan_span) {
   document_result result;
-  const ocr::document recovered =
-      config.run_ocr ? recover_document(delivered, engine, result) : delivered;
+  ocr::document recovered;
+  {
+    const obs::scoped_timer timer(&timing.ocr_ns);
+    const obs::scoped_span span(config.trace, "ocr", scan_span);
+    recovered = config.run_ocr ? recover_document(delivered, engine, result) : delivered;
+  }
 
+  const obs::scoped_timer timer(&timing.parse_ns);
+  const obs::scoped_span span(config.trace, "parse", scan_span);
   auto id = parse::identify_report(recovered);
   if (id.kind == parse::report_kind::unknown && fallback != nullptr) {
     id = parse::identify_report(*fallback);
@@ -103,6 +119,9 @@ pipeline_result run_pipeline(const std::vector<ocr::document>& documents,
     throw logic_error("pristine fallback must parallel documents one-to-one");
   }
 
+  const obs::stopwatch total_watch;
+  obs::scoped_span pipeline_span(config.trace, "pipeline");
+
   pipeline_result result;
   auto& stats = result.stats;
   stats.documents_in = documents.size();
@@ -110,10 +129,13 @@ pipeline_result run_pipeline(const std::vector<ocr::document>& documents,
   const ocr::mock_ocr_engine engine(ocr::lexicon::builtin());
 
   // Stage II: OCR + parse, one task per document.
+  stage2_timing stage2;
+  obs::scoped_span scan_span(config.trace, "scan", pipeline_span.id());
   std::vector<document_result> per_document(documents.size());
   const auto worker = [&](std::size_t i) {
     const ocr::document* fallback = pristine.empty() ? nullptr : &pristine[i];
-    per_document[i] = process_document(documents[i], fallback, engine, config);
+    per_document[i] =
+        process_document(documents[i], fallback, engine, config, stage2, scan_span.id());
   };
 
   const unsigned parallelism = std::max(1u, config.parallelism);
@@ -141,8 +163,11 @@ pipeline_result run_pipeline(const std::vector<ocr::document>& documents,
     for (auto& thread : threads) thread.join();
     if (first_error) std::rethrow_exception(first_error);
   }
+  scan_span.close();
 
   // Deterministic merge in document order.
+  obs::scoped_span merge_span(config.trace, "merge", pipeline_span.id());
+  const obs::stopwatch merge_watch;
   std::vector<dataset::disengagement_record> all_events;
   std::vector<dataset::mileage_record> all_mileage;
   std::vector<dataset::accident_record> all_accidents;
@@ -165,25 +190,69 @@ pipeline_result run_pipeline(const std::vector<ocr::document>& documents,
   }
   stats.ocr_mean_confidence =
       stats.ocr_lines > 0 ? confidence_sum / static_cast<double>(stats.ocr_lines) : 1.0;
+  const double merge_seconds = merge_watch.elapsed_seconds();
+  merge_span.close();
 
   // Stage II-2: normalization.
+  obs::scoped_span normalize_span(config.trace, "normalize", pipeline_span.id());
+  const obs::stopwatch normalize_watch;
   const auto d_stats = parse::normalize_disengagements(all_events, config.normalizer);
   parse::normalize_mileage(all_mileage);
   parse::normalize_accidents(all_accidents);
   stats.records_normalized_away = d_stats.records_dropped;
+  const double normalize_seconds = normalize_watch.elapsed_seconds();
+  normalize_span.close();
 
+  // Stage IV ingest: the consolidated failure database.
+  obs::scoped_span ingest_span(config.trace, "ingest", pipeline_span.id());
+  const obs::stopwatch ingest_watch;
   for (auto& e : all_events) result.database.add_disengagement(std::move(e));
   for (auto& m : all_mileage) result.database.add_mileage(std::move(m));
   for (auto& a : all_accidents) result.database.add_accident(std::move(a));
+  const double ingest_seconds = ingest_watch.elapsed_seconds();
+  ingest_span.close();
 
   // Stage III: NLP labeling.
+  obs::scoped_span classify_span(config.trace, "classify", pipeline_span.id());
+  const obs::stopwatch classify_watch;
   const nlp::keyword_voting_classifier classifier(config.dictionary);
   stats.unknown_tags = label_disengagements(result.database, classifier);
+  const double classify_seconds = classify_watch.elapsed_seconds();
+  classify_span.close();
 
+  obs::scoped_span analysis_span(config.trace, "analysis", pipeline_span.id());
+  const obs::stopwatch analysis_watch;
   stats.disengagements = result.database.disengagements().size();
   stats.accidents = result.database.accidents().size();
   stats.analyzed = parse::analyzed_manufacturers(result.database, config.filter);
+  const double analysis_seconds = analysis_watch.elapsed_seconds();
+  analysis_span.close();
+
+  stats.stage_timings = {
+      {"ocr", stage2.ocr_ns.total_seconds()},   {"parse", stage2.parse_ns.total_seconds()},
+      {"merge", merge_seconds},                 {"normalize", normalize_seconds},
+      {"ingest", ingest_seconds},               {"classify", classify_seconds},
+      {"analysis", analysis_seconds},
+  };
+  stats.total_seconds = total_watch.elapsed_seconds();
+
+  // Operational metrics for the process-wide registry (fleet-monitor style
+  // visibility; the per-run numbers live in `stats`).
+  auto& registry = obs::metrics();
+  registry.get_counter("pipeline.runs").add();
+  registry.get_counter("pipeline.documents").add(stats.documents_in);
+  registry.get_counter("pipeline.disengagements").add(stats.disengagements);
+  registry.get_counter("pipeline.unknown_tags").add(stats.unknown_tags);
+  registry.set_gauge("pipeline.last_run_seconds", stats.total_seconds);
+  registry.set_gauge("pipeline.last_ocr_mean_confidence", stats.ocr_mean_confidence);
   return result;
+}
+
+double pipeline_stats::stage_seconds(std::string_view stage) const {
+  for (const auto& t : stage_timings) {
+    if (t.stage == stage) return t.seconds;
+  }
+  return 0;
 }
 
 }  // namespace avtk::core

@@ -5,10 +5,13 @@
 // (the consolidated failure database handed to the statistical analyses).
 #pragma once
 
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "dataset/database.h"
 #include "nlp/classifier.h"
+#include "obs/trace.h"
 #include "ocr/document.h"
 #include "parse/filter.h"
 #include "parse/normalizer.h"
@@ -24,6 +27,19 @@ struct pipeline_config {
   parse::normalizer_config normalizer;
   parse::filter_config filter;
   nlp::failure_dictionary dictionary = nlp::failure_dictionary::builtin();
+  /// When non-null, the pipeline records hierarchical stage spans here
+  /// (pipeline → scan → per-document ocr/parse, then merge / normalize /
+  /// ingest / classify / analysis). Tracing never changes the pipeline's
+  /// output — determinism with tracing on vs. off is tested.
+  obs::trace* trace = nullptr;
+};
+
+/// Wall-clock spent in one named pipeline stage. For the Stage II fan-out
+/// stages (`ocr`, `parse`) the time is summed across worker threads, so
+/// with parallelism > 1 those entries can exceed the stage's wall-clock.
+struct stage_timing {
+  std::string stage;
+  double seconds = 0;
 };
 
 /// Everything the pipeline observed along the way — the operational
@@ -43,6 +59,14 @@ struct pipeline_stats {
   std::size_t accidents = 0;
   std::size_t unknown_tags = 0;  ///< Stage III could not assign a tag
   std::vector<dataset::manufacturer> analyzed;  ///< post-filter manufacturers
+  /// Where the time went, one entry per stage (always populated, even with
+  /// tracing off). Not compared by the determinism tests — wall-clock is
+  /// inherently run-to-run noise.
+  std::vector<stage_timing> stage_timings;
+  double total_seconds = 0;  ///< end-to-end run_pipeline wall-clock
+
+  /// Seconds recorded for `stage`; 0 when the stage is absent.
+  double stage_seconds(std::string_view stage) const;
 };
 
 struct pipeline_result {

@@ -1,6 +1,7 @@
 #include "core/report.h"
 
 #include <cmath>
+#include <cstdio>
 
 #include "dataset/ground_truth.h"
 #include "util/table.h"
@@ -291,6 +292,24 @@ std::string render_pipeline_stats(const pipeline_stats& stats) {
   out += "  accidents parsed:        " + std::to_string(stats.accidents) + "\n";
   out += "  Unknown-T tags:          " + std::to_string(stats.unknown_tags) + "\n";
   out += "  analyzed manufacturers:  " + std::to_string(stats.analyzed.size()) + "\n";
+  out += render_stage_timings(stats);
+  return out;
+}
+
+std::string render_stage_timings(const pipeline_stats& stats) {
+  if (stats.stage_timings.empty()) return "";
+  std::string out = "Stage timings (wall-clock)\n";
+  for (const auto& t : stats.stage_timings) {
+    const double share =
+        stats.total_seconds > 0 ? 100.0 * t.seconds / stats.total_seconds : 0.0;
+    char line[96];
+    std::snprintf(line, sizeof(line), "  %-10s %9.3f ms  %5.1f%%\n", t.stage.c_str(),
+                  t.seconds * 1e3, share);
+    out += line;
+  }
+  char total[64];
+  std::snprintf(total, sizeof(total), "  %-10s %9.3f ms\n", "total", stats.total_seconds * 1e3);
+  out += total;
   return out;
 }
 

@@ -46,6 +46,10 @@ std::string render_headlines(const dataset::failure_database& db,
 
 std::string render_pipeline_stats(const pipeline_stats& stats);
 
+/// The `stage_timings` breakdown alone (also included in
+/// render_pipeline_stats); empty string when no timings were recorded.
+std::string render_stage_timings(const pipeline_stats& stats);
+
 /// The whole report: every table and figure plus headline checks.
 std::string render_full_report(const dataset::failure_database& db,
                                const std::vector<dataset::manufacturer>& makers);

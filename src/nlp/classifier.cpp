@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "nlp/stemmer.h"
 #include "nlp/stopwords.h"
 #include "nlp/tokenizer.h"
@@ -47,9 +48,16 @@ tag_scores keyword_voting_classifier::score_all(std::string_view description) co
 }
 
 classification keyword_voting_classifier::classify(std::string_view description) const {
+  static obs::counter& classified = obs::metrics().get_counter("nlp.classifications");
+  static obs::counter& unknown = obs::metrics().get_counter("nlp.unknown_tags");
+
+  classified.add();
   classification out;
   const auto scores = score_all(description);
-  if (scores.empty()) return out;  // Unknown-T / Unknown-C defaults
+  if (scores.empty()) {
+    unknown.add();
+    return out;  // Unknown-T / Unknown-C defaults
+  }
 
   // Winner = max score; tie broken by the more specific tag (one with the
   // heaviest single phrase matched), then by enum order for determinism.

@@ -1,0 +1,69 @@
+// avtk/obs/clock.h
+//
+// Monotonic time primitives shared by the tracing and metrics layers: a
+// stopwatch (started on construction) and a scoped timer that adds its
+// elapsed nanoseconds to an atomic accumulator on destruction. Both are
+// header-only and allocation-free so they are safe on the pipeline's hot
+// per-document path.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace avtk::obs {
+
+using monotonic_clock = std::chrono::steady_clock;
+
+/// Wall-clock stopwatch on the monotonic clock; never goes backwards.
+class stopwatch {
+ public:
+  stopwatch() : start_(monotonic_clock::now()) {}
+
+  void restart() { start_ = monotonic_clock::now(); }
+
+  std::int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(monotonic_clock::now() - start_)
+        .count();
+  }
+
+  double elapsed_seconds() const { return static_cast<double>(elapsed_ns()) * 1e-9; }
+
+  monotonic_clock::time_point start() const { return start_; }
+
+ private:
+  monotonic_clock::time_point start_;
+};
+
+/// Accumulator for scoped_timer — an atomic nanosecond total that many
+/// threads may add to concurrently (relaxed ordering: totals, not ordering).
+class duration_accumulator {
+ public:
+  void add_ns(std::int64_t ns) { total_ns_.fetch_add(ns, std::memory_order_relaxed); }
+  std::int64_t total_ns() const { return total_ns_.load(std::memory_order_relaxed); }
+  double total_seconds() const { return static_cast<double>(total_ns()) * 1e-9; }
+  void reset() { total_ns_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> total_ns_{0};
+};
+
+/// RAII timer: on destruction adds the elapsed time to the accumulator.
+/// A null accumulator makes it a no-op (so call sites need no branching).
+class scoped_timer {
+ public:
+  explicit scoped_timer(duration_accumulator* sink) : sink_(sink) {}
+  scoped_timer(const scoped_timer&) = delete;
+  scoped_timer& operator=(const scoped_timer&) = delete;
+  ~scoped_timer() {
+    if (sink_ != nullptr) sink_->add_ns(watch_.elapsed_ns());
+  }
+
+  std::int64_t elapsed_ns() const { return watch_.elapsed_ns(); }
+
+ private:
+  duration_accumulator* sink_;
+  stopwatch watch_;
+};
+
+}  // namespace avtk::obs

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/metrics.h"
 #include "util/errors.h"
 
 namespace avtk::sim {
@@ -53,9 +54,12 @@ fleet_result run_fleet(const fleet_config& config) {
     fleet.emplace_back(id, config.vehicle, gen.fork().engine()());
   }
 
+  const obs::scoped_span fleet_span(config.trace, "fleet");
+
   double fleet_cum = 0;
   auto month = config.first_month;
   for (int m = 0; m < config.months; ++m, month = month.next()) {
+    const obs::scoped_span month_span(config.trace, "month", fleet_span.id());
     for (std::size_t v = 0; v < fleet.size(); ++v) {
       const double miles =
           std::max(0.0, gen.normal(config.miles_per_vehicle_month,
@@ -112,6 +116,15 @@ fleet_result run_fleet(const fleet_config& config) {
       }
     }
   }
+
+  auto& registry = obs::metrics();
+  registry.get_counter("sim.fleet_runs").add();
+  registry.get_counter("sim.hazard_events").add(static_cast<std::uint64_t>(result.events.size()));
+  registry.get_counter("sim.disengagements")
+      .add(static_cast<std::uint64_t>(result.disengagements));
+  registry.get_counter("sim.accidents").add(static_cast<std::uint64_t>(result.accidents));
+  registry.get_counter("sim.absorbed").add(static_cast<std::uint64_t>(result.absorbed));
+  registry.add_gauge("sim.total_miles", result.total_miles);
   return result;
 }
 

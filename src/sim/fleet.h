@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "dataset/database.h"
+#include "obs/trace.h"
 #include "sim/vehicle.h"
 #include "util/dates.h"
 
@@ -25,6 +26,9 @@ struct fleet_config {
   fault_injector::config faults;
   std::uint64_t seed = 42;
   dataset::manufacturer maker = dataset::manufacturer::waymo;  ///< label for records
+  /// When non-null, records a `fleet` span with one `month` child per
+  /// simulated month. Never affects the simulation's RNG stream or output.
+  obs::trace* trace = nullptr;
 };
 
 /// Aggregate results of one fleet run.

@@ -3,10 +3,13 @@
 //   avtk generate --out DIR [--seed N] [--quality clean|good|fair|poor]
 //       Render the raw DMV-style report corpus to text files.
 //   avtk run [--seed N] [--quality Q] [--csv DIR] [--figures DIR] [--full]
+//            [--parallel N] [--trace-json PATH] [--metrics-json PATH]
 //       Run the Stage I-IV pipeline; print headline claims (or the full
 //       report with --full); optionally export the consolidated database
-//       as CSV and the figures as gnuplot bundles.
+//       as CSV, the figures as gnuplot bundles, the stage-span trace as
+//       JSON (avtk.trace.v1), and the metric registry as JSON.
 //   avtk simulate [--vehicles N] [--months M] [--driverless] [--seed N]
+//                 [--trace-json PATH]
 //       Run the STPA fleet simulator and print the summary + overlay.
 //   avtk classify TEXT...
 //       Classify a disengagement description with the builtin dictionary.
@@ -29,6 +32,9 @@
 #include "dataset/csv_io.h"
 #include "dataset/generator.h"
 #include "nlp/classifier.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/fleet.h"
 #include "sim/stpa.h"
 
@@ -42,7 +48,9 @@ int usage() {
       "\n"
       "  avtk generate --out DIR [--seed N] [--quality clean|good|fair|poor]\n"
       "  avtk run [--seed N] [--quality Q] [--csv DIR] [--figures DIR] [--full]\n"
+      "           [--parallel N] [--trace-json PATH] [--metrics-json PATH]\n"
       "  avtk simulate [--vehicles N] [--months M] [--driverless] [--seed N]\n"
+      "                [--trace-json PATH]\n"
       "  avtk classify TEXT...\n"
       "  avtk help");
   return 2;
@@ -137,18 +145,49 @@ int cmd_generate(arg_list args) {
 
 int cmd_run(arg_list args) {
   const auto cfg = make_generator_config(args);
+  const auto trace_path = args.value_of("--trace-json");
+  const auto metrics_path = args.value_of("--metrics-json");
   std::printf("generating corpus (seed %llu) and running the pipeline...\n",
               static_cast<unsigned long long>(cfg.seed));
   const auto corpus = dataset::generate_corpus(cfg);
-  const auto result = core::run_pipeline(corpus.documents, corpus.pristine_documents);
 
-  std::cout << core::render_pipeline_stats(result.stats) << "\n";
+  // The trace epoch starts after corpus generation so `total_ns` is the
+  // end-to-end pipeline + analysis wall-clock, not the data synthesis.
+  obs::trace trace;
+  core::pipeline_config pcfg;
+  const auto parallel = args.value_of("--parallel");
+  if (!parallel.empty()) pcfg.parallelism = static_cast<unsigned>(std::atoi(parallel.c_str()));
+  if (!trace_path.empty()) pcfg.trace = &trace;
+  const auto result = core::run_pipeline(corpus.documents, corpus.pristine_documents, pcfg);
+
+  // Stage IV analysis/rendering shares the pipeline's trace timeline.
+  obs::scoped_span analysis_span(pcfg.trace, "analysis");
+  std::string rendered;
   if (args.has("--full")) {
-    std::cout << core::render_full_report(result.database, result.stats.analyzed);
-    std::cout << "\n" << core::render_reliability_metrics(result.database) << "\n";
-    std::cout << core::render_context_breakdown(result.database);
+    rendered += core::render_full_report(result.database, result.stats.analyzed);
+    rendered += "\n" + core::render_reliability_metrics(result.database) + "\n";
+    rendered += core::render_context_breakdown(result.database);
   } else {
-    std::cout << core::render_headlines(result.database, result.stats.analyzed);
+    rendered = core::render_headlines(result.database, result.stats.analyzed);
+  }
+  analysis_span.close();
+  std::cout << core::render_pipeline_stats(result.stats) << "\n";
+  std::cout << rendered;
+
+  if (!trace_path.empty()) {
+    if (!obs::write_text_file(trace_path, obs::trace_to_json(trace))) {
+      std::fprintf(stderr, "run: failed to write trace to %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("\nstage trace (%zu spans) written to %s\n", trace.size(), trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    if (!obs::write_text_file(metrics_path,
+                              obs::snapshot_to_json(obs::metrics().snapshot()))) {
+      std::fprintf(stderr, "run: failed to write metrics to %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::printf("metric snapshot written to %s\n", metrics_path.c_str());
   }
 
   const auto csv_dir = args.value_of("--csv");
@@ -187,6 +226,9 @@ int cmd_simulate(arg_list args) {
   if (!seed.empty()) cfg.seed = std::strtoull(seed.c_str(), nullptr, 10);
   cfg.vehicle.driverless = args.has("--driverless");
   cfg.miles_per_vehicle_month = 1200;
+  const auto trace_path = args.value_of("--trace-json");
+  obs::trace trace;
+  if (!trace_path.empty()) cfg.trace = &trace;
 
   std::printf("simulating %d vehicles x %d months%s...\n", cfg.vehicles, cfg.months,
               cfg.vehicle.driverless ? " (driverless / L4-5 mode)" : "");
@@ -195,6 +237,13 @@ int cmd_simulate(arg_list args) {
               result.total_miles, result.disengagements, result.accidents, result.absorbed);
   std::printf("DPM %.4g, APM %.4g\n\n", result.dpm(), result.apm());
   std::cout << sim::stpa::render_overlay(sim::stpa::overlay_events(result.events));
+  if (!trace_path.empty()) {
+    if (!obs::write_text_file(trace_path, obs::trace_to_json(trace))) {
+      std::fprintf(stderr, "simulate: failed to write trace to %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("fleet trace (%zu spans) written to %s\n", trace.size(), trace_path.c_str());
+  }
   return 0;
 }
 
