@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""CI gate for `avtk serve` output (schema avtk.serve.v1).
+
+Usage: check_serve.py RESPONSES_JSONL METRICS_JSON EXPECTED_REQUESTS
+
+Checks, per the repo's acceptance bar for the serve subsystem:
+  * one valid response line per scripted request, in request order (ids),
+  * every response is ok with the expected envelope members and a
+    consistent database version,
+  * repeated queries return byte-identical payloads (the memoized cache
+    must not perturb results),
+  * the avtk.metrics.v1 snapshot accounts for every query: hits + misses
+    equals serve.queries, and the repeated queries actually hit.
+"""
+import json
+import sys
+
+REQUIRED_MEMBERS = ["schema", "ok", "id", "query", "version", "payload"]
+
+
+def main(responses_path: str, metrics_path: str, expected_requests: int) -> int:
+    with open(responses_path) as f:
+        lines = [line for line in f.read().splitlines() if line.strip()]
+
+    if len(lines) != expected_requests:
+        print(f"FAIL: expected {expected_requests} response lines, got {len(lines)}")
+        return 1
+
+    by_query = {}
+    versions = set()
+    for i, line in enumerate(lines):
+        response = json.loads(line)
+        if response.get("schema") != "avtk.serve.v1":
+            print(f"FAIL: line {i}: unexpected schema {response.get('schema')!r}")
+            return 1
+        missing = [m for m in REQUIRED_MEMBERS if m not in response]
+        if missing:
+            print(f"FAIL: line {i}: missing members {missing}")
+            return 1
+        if response["ok"] is not True:
+            print(f"FAIL: line {i}: not ok: {response.get('error')!r}")
+            return 1
+        if response["id"] != i:
+            print(f"FAIL: line {i}: out-of-order response (id {response['id']!r})")
+            return 1
+        if not isinstance(response["payload"], dict):
+            print(f"FAIL: line {i}: payload is not an object")
+            return 1
+        versions.add(response["version"])
+        key = (response["query"], response["version"])
+        payload = json.dumps(response["payload"], sort_keys=True)
+        if by_query.setdefault(key, payload) != payload:
+            print(f"FAIL: line {i}: repeated query {key} returned a different payload")
+            return 1
+
+    if len(versions) != 1:
+        print(f"FAIL: database version changed mid-batch: {sorted(versions)}")
+        return 1
+    repeats = len(lines) - len(by_query)
+    if repeats < 1:
+        print("FAIL: the scripted batch contains no repeated query (nothing to warm)")
+        return 1
+
+    with open(metrics_path) as f:
+        metrics = json.load(f)
+    if metrics.get("schema") != "avtk.metrics.v1":
+        print(f"FAIL: unexpected metrics schema {metrics.get('schema')!r}")
+        return 1
+    counters = metrics["counters"]
+    queries = counters.get("serve.queries", 0)
+    hits = counters.get("serve.cache_hits", 0)
+    misses = counters.get("serve.cache_misses", 0)
+    if queries != expected_requests:
+        print(f"FAIL: serve.queries={queries}, expected {expected_requests}")
+        return 1
+    if hits + misses != queries:
+        print(f"FAIL: hits ({hits}) + misses ({misses}) != queries ({queries})")
+        return 1
+    if hits < repeats:
+        print(f"FAIL: {repeats} repeated queries but only {hits} cache hits")
+        return 1
+    cache_size = metrics.get("gauges", {}).get("serve.cache_size", 0)
+    if cache_size != len(by_query):
+        print(f"FAIL: serve.cache_size={cache_size}, expected {len(by_query)}")
+        return 1
+
+    print(
+        f"{len(lines)} responses OK ({len(by_query)} distinct, {hits} cache hits, "
+        f"version {versions.pop()})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1], sys.argv[2], int(sys.argv[3])))

@@ -1,0 +1,191 @@
+// avtk::serve throughput: queries/sec against the canonical pipeline
+// database, cold (every query computed) vs warm (every query served from
+// the memoized result cache), with p50/p99 per-query latency.
+//
+// Unlike the per-figure benches this one emits a custom perf record —
+// BENCH_serve_throughput.json under AVTK_BENCH_JSON_DIR — because the
+// interesting numbers are the serve-specific cold/warm split, not the
+// pipeline stage timings.
+#include "bench/common.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "serve/engine.h"
+#include "serve/protocol.h"
+
+namespace {
+
+using avtk::serve::engine_config;
+using avtk::serve::query;
+using avtk::serve::query_engine;
+using avtk::serve::query_kind;
+
+// Every query kind, bare and per-manufacturer: the mix a scripted client
+// exploring the Stage-IV analyses would issue.
+std::vector<query> build_workload() {
+  const auto& s = avtk::bench::state();
+  std::vector<query> workload;
+  const std::vector<query_kind> kinds = {
+      query_kind::metrics, query_kind::tags,  query_kind::categories, query_kind::modality,
+      query_kind::trend,   query_kind::fit,   query_kind::compare,
+  };
+  for (const auto kind : kinds) {
+    query q;
+    q.kind = kind;
+    workload.push_back(q);
+    for (const auto maker : s.analyzed()) {
+      q.maker = maker;
+      workload.push_back(q);
+    }
+  }
+  return workload;
+}
+
+query_engine make_engine() {
+  engine_config cfg;
+  cfg.threads = 2;
+  return query_engine(avtk::bench::state().db(), cfg);
+}
+
+struct pass_stats {
+  std::size_t queries = 0;
+  double total_seconds = 0;
+  std::vector<std::int64_t> latencies_ns;
+
+  double qps() const { return total_seconds > 0 ? static_cast<double>(queries) / total_seconds : 0; }
+  std::int64_t percentile_ns(double p) const {
+    if (latencies_ns.empty()) return 0;
+    auto sorted = latencies_ns;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+    return sorted[rank];
+  }
+};
+
+// One pass over the workload on `engine`, accumulating into `stats`.
+void run_pass(query_engine& engine, const std::vector<query>& workload, pass_stats& stats) {
+  const avtk::obs::stopwatch watch;
+  for (const auto& q : workload) {
+    const auto r = engine.execute(q);
+    stats.latencies_ns.push_back(r.latency_ns);
+  }
+  stats.total_seconds += watch.elapsed_seconds();
+  stats.queries += workload.size();
+}
+
+avtk::obs::json::value pass_json(const pass_stats& s) {
+  namespace json = avtk::obs::json;
+  return json::value(json::object{
+      {"queries", json::value(s.queries)},
+      {"total_seconds", json::value(s.total_seconds)},
+      {"queries_per_second", json::value(s.qps())},
+      {"p50_ns", json::value(s.percentile_ns(0.50))},
+      {"p99_ns", json::value(s.percentile_ns(0.99))},
+  });
+}
+
+void BM_ServeColdQuery(benchmark::State& state) {
+  // Cache capacity 1 with a >1-entry workload: every execute recomputes.
+  engine_config cfg;
+  cfg.threads = 1;
+  cfg.cache_capacity = 1;
+  cfg.cache_shards = 1;
+  query_engine engine(avtk::bench::state().db(), cfg);
+  query metrics, tags;
+  metrics.kind = query_kind::metrics;
+  tags.kind = query_kind::tags;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.execute(metrics).payload);
+    benchmark::DoNotOptimize(engine.execute(tags).payload);
+  }
+}
+BENCHMARK(BM_ServeColdQuery);
+
+void BM_ServeWarmQuery(benchmark::State& state) {
+  auto engine = make_engine();
+  query q;
+  q.kind = query_kind::metrics;
+  engine.execute(q);  // prime
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.execute(q).payload);
+  }
+}
+BENCHMARK(BM_ServeWarmQuery);
+
+void BM_ServeRequestLine(benchmark::State& state) {
+  auto engine = make_engine();
+  const std::string line = R"({"query": "compare", "id": "bench"})";
+  avtk::serve::handle_request_line(engine, line);  // prime
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avtk::serve::handle_request_line(engine, line));
+  }
+}
+BENCHMARK(BM_ServeRequestLine);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace json = avtk::obs::json;
+
+  std::cout << "==== serve throughput (cold vs warm) ====\n";
+  const auto workload = build_workload();
+
+  // Cold: fresh engine per pass so every query is a miss.
+  pass_stats cold;
+  constexpr int k_cold_passes = 3;
+  for (int pass = 0; pass < k_cold_passes; ++pass) {
+    auto engine = make_engine();
+    run_pass(engine, workload, cold);
+  }
+
+  // Warm: one engine, primed by the first pass, then measured repeats.
+  pass_stats warm;
+  constexpr int k_warm_passes = 20;
+  auto engine = make_engine();
+  {
+    pass_stats prime;
+    run_pass(engine, workload, prime);
+  }
+  for (int pass = 0; pass < k_warm_passes; ++pass) run_pass(engine, workload, warm);
+
+  const double warm_over_cold = cold.qps() > 0 ? warm.qps() / cold.qps() : 0;
+  std::cout << "workload: " << workload.size() << " distinct queries\n"
+            << "cold: " << cold.qps() << " q/s (p50 " << cold.percentile_ns(0.5) / 1000
+            << " us, p99 " << cold.percentile_ns(0.99) / 1000 << " us)\n"
+            << "warm: " << warm.qps() << " q/s (p50 " << warm.percentile_ns(0.5) / 1000
+            << " us, p99 " << warm.percentile_ns(0.99) / 1000 << " us)\n"
+            << "warm/cold: " << warm_over_cold << "x\n\n";
+
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+
+  if (const char* dir = std::getenv("AVTK_BENCH_JSON_DIR"); dir != nullptr && *dir != '\0') {
+    const json::value record(json::object{
+        {"schema", json::value("avtk.bench.v1")},
+        {"experiment", json::value("serve_throughput")},
+        {"serve", json::value(json::object{
+                      {"workload_queries", json::value(workload.size())},
+                      {"threads", json::value(engine.threads())},
+                      {"cold", pass_json(cold)},
+                      {"warm", pass_json(warm)},
+                      {"warm_over_cold", json::value(warm_over_cold)},
+                  })},
+        {"metrics", avtk::obs::snapshot_to_json_value(avtk::obs::metrics().snapshot())},
+    });
+    const std::string path = std::string(dir) + "/BENCH_serve_throughput.json";
+    if (!avtk::obs::write_text_file(path, record.dump(2) + "\n")) {
+      std::cerr << "bench: failed to write perf record under " << dir << "\n";
+      return 1;
+    }
+    std::cout << "perf record written to " << path << "\n";
+  }
+  return 0;
+}

@@ -2,6 +2,13 @@
 //
 // Stage IV: the five research questions of Section V, answered from a
 // failure_database, plus the paper's headline claims in checkable form.
+//
+// Thread-safety contract: every entry point here (and every table/figure
+// builder they call) is a pure function of a const database — no hidden
+// mutable state, no memoization, no globals other than the atomic obs
+// counters. avtk::serve calls them concurrently from its worker pool on a
+// shared const database; tests/serve/serve_concurrency_test.cpp enforces
+// the contract under ThreadSanitizer.
 #pragma once
 
 #include <optional>

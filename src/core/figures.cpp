@@ -11,26 +11,21 @@ namespace avtk::core {
 
 using dataset::manufacturer;
 
-namespace {
-
-// Per-manufacturer monthly fleet aggregates, month-ascending.
-struct month_cell {
-  double miles = 0;
-  long long events = 0;
-};
-std::map<std::int64_t, month_cell> monthly_fleet(const dataset::failure_database& db,
-                                                 manufacturer maker) {
-  std::map<std::int64_t, month_cell> out;
+std::vector<monthly_point> build_monthly_trend(const dataset::failure_database& db,
+                                               manufacturer maker) {
+  std::map<std::int64_t, monthly_point> cells;
   for (const auto& vm : db.vehicle_months()) {
     if (vm.maker != maker) continue;
-    auto& c = out[vm.month.index()];
+    auto& c = cells[vm.month.index()];
+    c.month = vm.month;
     c.miles += vm.miles;
-    c.events += vm.disengagements;
+    c.disengagements += vm.disengagements;
   }
+  std::vector<monthly_point> out;
+  out.reserve(cells.size());
+  for (auto& [index, cell] : cells) out.push_back(cell);
   return out;
 }
-
-}  // namespace
 
 std::vector<fig4_series> build_fig4(const dataset::failure_database& db,
                                     const std::vector<manufacturer>& makers) {
@@ -51,9 +46,9 @@ std::vector<fig5_series> build_fig5(const dataset::failure_database& db,
     s.maker = maker;
     double cum_miles = 0;
     double cum_events = 0;
-    for (const auto& [month, cell] : monthly_fleet(db, maker)) {
+    for (const auto& cell : build_monthly_trend(db, maker)) {
       cum_miles += cell.miles;
-      cum_events += static_cast<double>(cell.events);
+      cum_events += static_cast<double>(cell.disengagements);
       s.cumulative_miles.push_back(cum_miles);
       s.cumulative_disengagements.push_back(cum_events);
     }
@@ -95,9 +90,9 @@ fig8_data build_fig8(const dataset::failure_database& db,
     std::map<std::int64_t, double> fleet_cum;
     {
       double cum = 0;
-      for (const auto& [month, cell] : monthly_fleet(db, maker)) {
+      for (const auto& cell : build_monthly_trend(db, maker)) {
         cum += cell.miles;
-        fleet_cum[month] = cum;
+        fleet_cum[cell.month.index()] = cum;
       }
     }
     for (const auto& vm : db.vehicle_months()) {
@@ -123,11 +118,11 @@ std::vector<fig9_series> build_fig9(const dataset::failure_database& db,
     fig9_series s;
     s.maker = maker;
     double cum = 0;
-    for (const auto& [month, cell] : monthly_fleet(db, maker)) {
+    for (const auto& cell : build_monthly_trend(db, maker)) {
       cum += cell.miles;
-      if (cell.miles > 0 && cell.events > 0) {
+      if (cell.miles > 0 && cell.disengagements > 0) {
         s.cumulative_miles.push_back(cum);
-        s.dpm.push_back(static_cast<double>(cell.events) / cell.miles);
+        s.dpm.push_back(cell.dpm());
       }
     }
     if (s.cumulative_miles.size() >= 2) {
@@ -210,9 +205,9 @@ std::vector<reaction_correlation> build_reaction_correlations(
     std::map<std::int64_t, double> fleet_cum;
     {
       double cum = 0;
-      for (const auto& [month, cell] : monthly_fleet(db, maker)) {
+      for (const auto& cell : build_monthly_trend(db, maker)) {
         cum += cell.miles;
-        fleet_cum[month] = cum;
+        fleet_cum[cell.month.index()] = cum;
       }
     }
     std::vector<double> miles;

@@ -19,6 +19,22 @@
 
 namespace avtk::core {
 
+// One month of fleet-level exposure for a manufacturer. The serve trend
+// query and the cumulative-curve figures (Figs. 5 and 9) share this
+// aggregation, so it is public rather than a figures.cpp detail.
+struct monthly_point {
+  year_month month;
+  double miles = 0;
+  long long disengagements = 0;
+  double dpm() const {
+    return miles > 0 ? static_cast<double>(disengagements) / miles : 0.0;
+  }
+};
+/// Month-ascending fleet aggregates for one manufacturer. Pure function of
+/// `db`; safe to call concurrently with any other const analysis.
+std::vector<monthly_point> build_monthly_trend(const dataset::failure_database& db,
+                                               dataset::manufacturer maker);
+
 // Fig. 4: per-car DPM box plots across manufacturers.
 struct fig4_series {
   dataset::manufacturer maker;

@@ -5,13 +5,25 @@
 
 namespace avtk::dataset {
 
-void failure_database::add_disengagement(disengagement_record rec) {
-  disengagements_.push_back(std::move(rec));
+std::string database_version::to_string() const {
+  return "d" + std::to_string(disengagements) + ".m" + std::to_string(mileage) + ".a" +
+         std::to_string(accidents);
 }
 
-void failure_database::add_mileage(mileage_record rec) { mileage_.push_back(std::move(rec)); }
+void failure_database::add_disengagement(disengagement_record rec) {
+  disengagements_.push_back(std::move(rec));
+  ++version_.disengagements;
+}
 
-void failure_database::add_accident(accident_record rec) { accidents_.push_back(std::move(rec)); }
+void failure_database::add_mileage(mileage_record rec) {
+  mileage_.push_back(std::move(rec));
+  ++version_.mileage;
+}
+
+void failure_database::add_accident(accident_record rec) {
+  accidents_.push_back(std::move(rec));
+  ++version_.accidents;
+}
 
 std::vector<const disengagement_record*> failure_database::query_disengagements(
     const std::function<bool(const disengagement_record&)>& pred) const {

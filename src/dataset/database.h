@@ -5,6 +5,8 @@
 // All Stage IV analyses read from this type.
 #pragma once
 
+#include <compare>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
@@ -23,6 +25,21 @@ struct vehicle_month {
   long long disengagements = 0;
 };
 
+/// Per-domain monotonic version counters, bumped on every ingest. Consumers
+/// that cache derived results (avtk::serve) key them on the versions of the
+/// domains a computation actually reads, so appending an accident does not
+/// invalidate results derived purely from disengagements.
+struct database_version {
+  std::uint64_t disengagements = 0;
+  std::uint64_t mileage = 0;
+  std::uint64_t accidents = 0;
+
+  auto operator<=>(const database_version&) const = default;
+
+  /// "d<N>.m<N>.a<N>" — stable textual form for cache keys and logs.
+  std::string to_string() const;
+};
+
 class failure_database {
  public:
   failure_database() = default;
@@ -30,6 +47,10 @@ class failure_database {
   void add_disengagement(disengagement_record rec);
   void add_mileage(mileage_record rec);
   void add_accident(accident_record rec);
+
+  /// Current per-domain version counters. Each add_* bumps exactly one
+  /// domain by one; a default-constructed database is at {0, 0, 0}.
+  const database_version& version() const { return version_; }
 
   const std::vector<disengagement_record>& disengagements() const { return disengagements_; }
   const std::vector<mileage_record>& mileage() const { return mileage_; }
@@ -79,6 +100,7 @@ class failure_database {
   std::vector<disengagement_record> disengagements_;
   std::vector<mileage_record> mileage_;
   std::vector<accident_record> accidents_;
+  database_version version_;
 };
 
 }  // namespace avtk::dataset

@@ -1,0 +1,354 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "core/analysis.h"
+#include "obs/clock.h"
+#include "obs/json.h"
+
+namespace avtk::serve {
+
+namespace json = obs::json;
+using dataset::manufacturer;
+
+namespace {
+
+// JSON has no NaN/Inf; degenerate statistics serialize as null.
+json::value num(double v) { return std::isfinite(v) ? json::value(v) : json::value(nullptr); }
+json::value opt_num(const std::optional<double>& v) {
+  return v ? num(*v) : json::value(nullptr);
+}
+
+// The `year` filter selects by event time where the record carries one,
+// falling back to the DMV release year for undated records.
+int disengagement_year(const dataset::disengagement_record& d) {
+  if (const auto bucket = d.month_bucket()) return bucket->year;
+  return d.report_year;
+}
+
+int accident_year(const dataset::accident_record& a) {
+  return a.event_date ? a.event_date->year : a.report_year;
+}
+
+bool matches(const dataset::disengagement_record& d, const query& q) {
+  if (q.maker && d.maker != *q.maker) return false;
+  if (q.year && disengagement_year(d) != *q.year) return false;
+  if (q.tag && d.tag != *q.tag) return false;
+  if (q.category && d.category != *q.category) return false;
+  return true;
+}
+
+bool needs_filter(const query& q) {
+  return q.maker || q.year || q.tag || q.category;
+}
+
+// Materializes the filtered view the analysis builders run against.
+// Mileage is restricted by maker/year only: a tag or category filter
+// narrows the event set, not the exposure it is normalized by.
+dataset::failure_database filter_database(const dataset::failure_database& db, const query& q) {
+  dataset::failure_database out;
+  for (const auto& d : db.disengagements()) {
+    if (matches(d, q)) out.add_disengagement(d);
+  }
+  for (const auto& m : db.mileage()) {
+    if (q.maker && m.maker != *q.maker) continue;
+    if (q.year && m.month.year != *q.year) continue;
+    out.add_mileage(m);
+  }
+  for (const auto& a : db.accidents()) {
+    if (q.maker && a.maker != *q.maker) continue;
+    if (q.year && accident_year(a) != *q.year) continue;
+    out.add_accident(a);
+  }
+  return out;
+}
+
+std::vector<manufacturer> makers_for(const dataset::failure_database& db, const query& q) {
+  if (q.maker) return {*q.maker};
+  return db.manufacturers_present();  // enum order: deterministic
+}
+
+json::value metrics_payload(const dataset::failure_database& db,
+                            const std::vector<manufacturer>& makers) {
+  json::array rows;
+  for (const auto maker : makers) {
+    const auto m = core::compute_metrics(db, maker);
+    if (m.total_miles <= 0 && m.total_disengagements == 0 && m.total_accidents == 0) continue;
+    rows.emplace_back(json::object{
+        {"maker", json::value(std::string(dataset::manufacturer_id(maker)))},
+        {"miles", num(m.total_miles)},
+        {"disengagements", json::value(m.total_disengagements)},
+        {"accidents", json::value(m.total_accidents)},
+        {"overall_dpm", num(m.overall_dpm)},
+        {"median_dpm", opt_num(m.median_dpm)},
+        {"dpa", opt_num(m.dpa)},
+        {"apm", opt_num(m.apm)},
+        {"apmi", opt_num(m.apmi)},
+        {"vs_human", opt_num(m.vs_human)},
+    });
+  }
+  return json::object{{"makers", json::value(std::move(rows))}};
+}
+
+json::value tags_payload(const dataset::failure_database& db,
+                         const std::vector<manufacturer>& makers) {
+  json::array rows;
+  for (const auto& row : core::build_tag_fractions(db, makers)) {
+    json::object fractions;
+    for (const auto& [tag, fraction] : row.fractions) {
+      fractions.emplace_back(std::string(nlp::tag_id(tag)), num(fraction));
+    }
+    rows.emplace_back(json::object{
+        {"maker", json::value(std::string(dataset::manufacturer_id(row.maker)))},
+        {"total", json::value(row.total)},
+        {"fractions", json::value(std::move(fractions))},
+    });
+  }
+  return json::object{{"makers", json::value(std::move(rows))}};
+}
+
+json::value categories_payload(const dataset::failure_database& db,
+                               const std::vector<manufacturer>& makers) {
+  json::array rows;
+  for (const auto& row : core::build_table4(db, makers)) {
+    rows.emplace_back(json::object{
+        {"maker", json::value(std::string(dataset::manufacturer_id(row.maker)))},
+        {"planner_controller", num(row.planner_controller)},
+        {"perception_recognition", num(row.perception_recognition)},
+        {"system", num(row.system)},
+        {"unknown", num(row.unknown)},
+        {"total", json::value(row.total)},
+    });
+  }
+  return json::object{{"makers", json::value(std::move(rows))}};
+}
+
+json::value modality_payload(const dataset::failure_database& db,
+                             const std::vector<manufacturer>& makers) {
+  json::array rows;
+  for (const auto& row : core::build_table5(db, makers)) {
+    rows.emplace_back(json::object{
+        {"maker", json::value(std::string(dataset::manufacturer_id(row.maker)))},
+        {"automatic", num(row.automatic)},
+        {"manual", num(row.manual)},
+        {"planned", num(row.planned)},
+        {"total", json::value(row.total)},
+    });
+  }
+  return json::object{{"makers", json::value(std::move(rows))}};
+}
+
+json::value trend_payload(const dataset::failure_database& db,
+                          const std::vector<manufacturer>& makers) {
+  json::array rows;
+  for (const auto maker : makers) {
+    const auto series = core::build_monthly_trend(db, maker);
+    if (series.empty()) continue;
+    json::array months;
+    for (const auto& point : series) {
+      months.emplace_back(json::object{
+          {"month", json::value(point.month.to_string())},
+          {"miles", num(point.miles)},
+          {"disengagements", json::value(point.disengagements)},
+          {"dpm", num(point.dpm())},
+      });
+    }
+    rows.emplace_back(json::object{
+        {"maker", json::value(std::string(dataset::manufacturer_id(maker)))},
+        {"months", json::value(std::move(months))},
+    });
+  }
+  return json::object{{"makers", json::value(std::move(rows))}};
+}
+
+json::value fit_payload(const dataset::failure_database& db,
+                        const std::vector<manufacturer>& makers, std::size_t min_samples) {
+  constexpr double k_outlier_cut_s = 300.0;  // build_fig11's default
+  json::array rows;
+  for (const auto& fit : core::build_fig11(db, makers, min_samples, k_outlier_cut_s)) {
+    // Exponential baseline over the same cleaned sample the Weibull fits
+    // used, for the paper's Weibull-vs-exponential comparison.
+    auto rts = db.reaction_times(fit.maker);
+    std::erase_if(rts, [&](double t) { return !(t > 0) || t > k_outlier_cut_s; });
+    json::value exponential(nullptr);
+    if (rts.size() >= 2) {
+      const auto exp_fit = stats::exponential_dist::fit(rts);
+      exponential = json::object{{"mean", num(exp_fit.mean())}};
+    }
+    rows.emplace_back(json::object{
+        {"maker", json::value(std::string(dataset::manufacturer_id(fit.maker)))},
+        {"n", json::value(fit.n)},
+        {"weibull", json::value(json::object{{"shape", num(fit.weibull.shape())},
+                                             {"scale", num(fit.weibull.scale())}})},
+        {"exp_weibull", json::value(json::object{{"shape", num(fit.exp_weibull.shape())},
+                                                 {"scale", num(fit.exp_weibull.scale())},
+                                                 {"power", num(fit.exp_weibull.power())}})},
+        {"exponential", std::move(exponential)},
+        {"ks_p_weibull", num(fit.ks_p_weibull)},
+        {"ks_p_exp_weibull", num(fit.ks_p_exp_weibull)},
+    });
+  }
+  return json::object{{"makers", json::value(std::move(rows))}};
+}
+
+json::value compare_payload(const dataset::failure_database& db,
+                            const std::vector<manufacturer>& makers) {
+  json::array rows;
+  std::optional<double> best_dpm;
+  std::optional<double> worst_dpm;
+  std::optional<manufacturer> best_maker;
+  std::optional<manufacturer> worst_maker;
+  for (const auto& row : core::build_table7(db, makers)) {
+    rows.emplace_back(json::object{
+        {"maker", json::value(std::string(dataset::manufacturer_id(row.maker)))},
+        {"median_dpm", opt_num(row.median_dpm)},
+        {"median_apm", opt_num(row.median_apm)},
+        {"vs_human", opt_num(row.vs_human)},
+    });
+    if (row.median_dpm && *row.median_dpm > 0) {
+      if (!best_dpm || *row.median_dpm < *best_dpm) {
+        best_dpm = row.median_dpm;
+        best_maker = row.maker;
+      }
+      if (!worst_dpm || *row.median_dpm > *worst_dpm) {
+        worst_dpm = row.median_dpm;
+        worst_maker = row.maker;
+      }
+    }
+  }
+  json::object out{{"rows", json::value(std::move(rows))}};
+  if (best_maker && worst_maker) {
+    out.emplace_back("best", json::value(std::string(dataset::manufacturer_id(*best_maker))));
+    out.emplace_back("worst", json::value(std::string(dataset::manufacturer_id(*worst_maker))));
+    // The paper's "~100x disparity" headline, live from the database.
+    out.emplace_back("median_dpm_spread", num(*worst_dpm / *best_dpm));
+  }
+  return out;
+}
+
+json::value execute_payload(const dataset::failure_database& db, const query& q) {
+  const dataset::failure_database* view = &db;
+  dataset::failure_database filtered;
+  if (needs_filter(q)) {
+    filtered = filter_database(db, q);
+    view = &filtered;
+  }
+  const auto makers = makers_for(*view, q);
+  switch (q.kind) {
+    case query_kind::metrics: return metrics_payload(*view, makers);
+    case query_kind::tags: return tags_payload(*view, makers);
+    case query_kind::categories: return categories_payload(*view, makers);
+    case query_kind::modality: return modality_payload(*view, makers);
+    case query_kind::trend: return trend_payload(*view, makers);
+    case query_kind::fit: return fit_payload(*view, makers, q.min_samples);
+    case query_kind::compare: return compare_payload(*view, makers);
+  }
+  return json::object{};
+}
+
+}  // namespace
+
+query_engine::query_engine(dataset::failure_database db, engine_config config)
+    : db_(std::move(db)),
+      cache_(config.cache_capacity, config.cache_shards),
+      pool_(config.threads != 0 ? config.threads
+                                : std::max(std::thread::hardware_concurrency(), 1u)),
+      trace_(config.trace),
+      queries_(obs::metrics().get_counter("serve.queries")),
+      hits_(obs::metrics().get_counter("serve.cache_hits")),
+      misses_(obs::metrics().get_counter("serve.cache_misses")),
+      appends_(obs::metrics().get_counter("serve.appends")),
+      query_ns_(obs::metrics().get_counter("serve.query_ns")) {}
+
+query_response query_engine::execute(const query& q) {
+  const obs::stopwatch watch;
+  queries_.add();
+
+  query_response out;
+  out.canonical = q.canonical();
+
+  std::shared_lock<std::shared_mutex> lock(db_mutex_);
+  out.version = db_.version();
+  const std::string key = cache_key(q, out.version);
+  if (auto cached = cache_.get(key)) {
+    lock.unlock();
+    hits_.add();
+    const obs::scoped_span span(trace_,
+                                "serve.hit." + std::string(query_kind_name(q.kind)));
+    out.payload = std::move(cached);
+    out.cache_hit = true;
+    out.latency_ns = watch.elapsed_ns();
+    query_ns_.add(static_cast<std::uint64_t>(out.latency_ns));
+    return out;
+  }
+
+  misses_.add();
+  obs::scoped_span span(trace_, "serve.query." + std::string(query_kind_name(q.kind)));
+  auto payload = std::make_shared<const std::string>(execute_payload(db_, q).dump());
+  lock.unlock();
+  span.close();
+
+  cache_.put(key, payload);
+  obs::metrics().set_gauge("serve.cache_size", static_cast<double>(cache_.size()));
+  obs::metrics().set_gauge("serve.cache_evictions", static_cast<double>(cache_.evictions()));
+
+  out.payload = std::move(payload);
+  out.cache_hit = false;
+  out.latency_ns = watch.elapsed_ns();
+  query_ns_.add(static_cast<std::uint64_t>(out.latency_ns));
+  return out;
+}
+
+std::future<query_response> query_engine::submit(query q) {
+  return pool_.submit([this, q = std::move(q)] { return execute(q); });
+}
+
+void query_engine::append_disengagement(dataset::disengagement_record rec) {
+  {
+    const std::unique_lock<std::shared_mutex> lock(db_mutex_);
+    db_.add_disengagement(std::move(rec));
+  }
+  appends_.add();
+  invalidate_dependents('d');
+}
+
+void query_engine::append_mileage(dataset::mileage_record rec) {
+  {
+    const std::unique_lock<std::shared_mutex> lock(db_mutex_);
+    db_.add_mileage(std::move(rec));
+  }
+  appends_.add();
+  invalidate_dependents('m');
+}
+
+void query_engine::append_accident(dataset::accident_record rec) {
+  {
+    const std::unique_lock<std::shared_mutex> lock(db_mutex_);
+    db_.add_accident(std::move(rec));
+  }
+  appends_.add();
+  invalidate_dependents('a');
+}
+
+dataset::database_version query_engine::version() const {
+  const std::shared_lock<std::shared_mutex> lock(db_mutex_);
+  return db_.version();
+}
+
+// Cache keys end in "@<version components>" where a component letter is
+// present iff the query depends on that domain. Bumping domain X strands
+// every key carrying an X component (its version number is now stale), so
+// those — and only those — are dropped; entries over untouched domains
+// keep serving.
+void query_engine::invalidate_dependents(char domain_letter) {
+  cache_.erase_if([domain_letter](const std::string& key) {
+    const auto at = key.rfind('@');
+    return at != std::string::npos && key.find(domain_letter, at + 1) != std::string::npos;
+  });
+  obs::metrics().set_gauge("serve.cache_size", static_cast<double>(cache_.size()));
+}
+
+}  // namespace avtk::serve

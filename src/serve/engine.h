@@ -1,0 +1,103 @@
+// avtk/serve/engine.h
+//
+// The embedded analytics query engine: ingests a consolidated
+// failure_database once, then answers typed Stage-IV queries (serve/query.h)
+// from a fixed-size worker pool through a sharded, memoized result cache.
+//
+// Consistency model: the database is guarded by a shared_mutex — queries
+// execute under a shared lock, appends under an exclusive lock. A query
+// reads the per-domain version vector and computes under one shared lock
+// acquisition, so a cached payload is always consistent with the version in
+// its key. Appending to one domain bumps only that domain's version, which
+// (a) redirects dependent queries to fresh cache keys and (b) eagerly drops
+// the now-unreachable dependent entries; results derived from untouched
+// domains keep serving from cache.
+//
+// Every query records an obs span (when a trace is attached) and hit/miss,
+// latency and cache-occupancy metrics in the global obs registry under the
+// "serve." prefix.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+
+#include "dataset/database.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/cache.h"
+#include "serve/query.h"
+#include "serve/thread_pool.h"
+
+namespace avtk::serve {
+
+struct engine_config {
+  /// Worker threads for submit(); 0 means hardware concurrency.
+  unsigned threads = 0;
+  /// Total result-cache entries across shards.
+  std::size_t cache_capacity = 1024;
+  /// Cache shards (1 gives exact global LRU; more bounds lock contention).
+  std::size_t cache_shards = 8;
+  /// When non-null, every executed query records a "serve.query.<kind>"
+  /// span here (cache hits record "serve.hit.<kind>").
+  obs::trace* trace = nullptr;
+};
+
+/// The outcome of one query. `payload` is the serialized JSON payload —
+/// shared with the cache, byte-identical between the cold computation and
+/// every subsequent warm hit.
+struct query_response {
+  std::shared_ptr<const std::string> payload;
+  std::string canonical;               ///< canonicalized query
+  dataset::database_version version;   ///< database version answered against
+  bool cache_hit = false;
+  std::int64_t latency_ns = 0;
+};
+
+class query_engine {
+ public:
+  explicit query_engine(dataset::failure_database db, engine_config config = {});
+
+  query_engine(const query_engine&) = delete;
+  query_engine& operator=(const query_engine&) = delete;
+
+  /// Executes `q` on the calling thread, consulting the cache first.
+  /// Safe to call from any number of threads concurrently.
+  query_response execute(const query& q);
+
+  /// Executes `q` on the worker pool.
+  std::future<query_response> submit(query q);
+
+  /// Incremental ingest: appends one record, bumps that domain's version
+  /// and drops cache entries that depended on the domain.
+  void append_disengagement(dataset::disengagement_record rec);
+  void append_mileage(dataset::mileage_record rec);
+  void append_accident(dataset::accident_record rec);
+
+  dataset::database_version version() const;
+
+  std::size_t cache_size() const { return cache_.size(); }
+  std::uint64_t cache_evictions() const { return cache_.evictions(); }
+  unsigned threads() const { return pool_.size(); }
+
+ private:
+  void invalidate_dependents(char domain_letter);
+
+  mutable std::shared_mutex db_mutex_;
+  dataset::failure_database db_;
+  result_cache cache_;
+  thread_pool pool_;
+  obs::trace* trace_;
+
+  // Registered once; counter references are pointer-stable for the
+  // registry's lifetime, so the hot path pays one atomic add per event.
+  obs::counter& queries_;
+  obs::counter& hits_;
+  obs::counter& misses_;
+  obs::counter& appends_;
+  obs::counter& query_ns_;
+};
+
+}  // namespace avtk::serve

@@ -1,0 +1,135 @@
+#include "serve/protocol.h"
+
+#include <deque>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace avtk::serve {
+
+namespace json = obs::json;
+
+namespace {
+
+// Envelopes are assembled by hand so the cached payload text can be spliced
+// in verbatim — re-parsing it into a value tree would cost the warm path
+// the whole serialization again for nothing.
+std::string envelope_prefix(const std::optional<json::value>& id, bool ok) {
+  std::string out = "{\"schema\":";
+  out += json::escape(k_serve_schema);
+  out += ",\"ok\":";
+  out += ok ? "true" : "false";
+  if (id) {
+    out += ",\"id\":";
+    out += id->dump();
+  }
+  return out;
+}
+
+std::string envelope_ok(const std::optional<json::value>& id, const query_response& r) {
+  std::string out = envelope_prefix(id, true);
+  out += ",\"query\":";
+  out += json::escape(r.canonical);
+  out += ",\"version\":";
+  out += json::escape(r.version.to_string());
+  out += ",\"payload\":";
+  out += *r.payload;
+  out += '}';
+  return out;
+}
+
+std::string envelope_error(const std::optional<json::value>& id, std::string_view message) {
+  std::string out = envelope_prefix(id, false);
+  out += ",\"error\":";
+  out += json::escape(message);
+  out += '}';
+  return out;
+}
+
+// Best-effort correlation id: only well-formed objects can carry one.
+std::optional<json::value> extract_id(std::string_view line) {
+  const auto doc = json::parse(line);
+  if (!doc || !doc->is_object()) return std::nullopt;
+  const auto* id = doc->find("id");
+  if (id == nullptr || (!id->is_string() && !id->is_number())) return std::nullopt;
+  return *id;
+}
+
+bool is_request_line(std::string_view line) {
+  const auto first = line.find_first_not_of(" \t\r");
+  return first != std::string_view::npos && line[first] != '#';
+}
+
+}  // namespace
+
+std::string handle_request_line(query_engine& engine, std::string_view line) {
+  const auto id = extract_id(line);
+  query_parse_error error;
+  const auto q = parse_query(line, &error);
+  if (!q) return envelope_error(id, error.message);
+  try {
+    return envelope_ok(id, engine.execute(*q));
+  } catch (const std::exception& e) {
+    return envelope_error(id, std::string("query failed: ") + e.what());
+  }
+}
+
+serve_loop_stats run_serve_loop(query_engine& engine, std::istream& in, std::ostream& out,
+                                std::size_t max_in_flight) {
+  if (max_in_flight == 0) max_in_flight = static_cast<std::size_t>(engine.threads()) * 2;
+  if (max_in_flight < 1) max_in_flight = 1;
+
+  serve_loop_stats stats;
+
+  // A window of in-flight requests; responses drain from the front so
+  // output order always matches input order regardless of which worker
+  // finishes first.
+  struct pending {
+    std::optional<json::value> id;
+    std::optional<std::future<query_response>> future;  // nullopt: parse error
+    std::string error;
+  };
+  std::deque<pending> window;
+
+  const auto drain_front = [&] {
+    pending p = std::move(window.front());
+    window.pop_front();
+    if (!p.future) {
+      ++stats.errors;
+      out << envelope_error(p.id, p.error) << '\n';
+      return;
+    }
+    try {
+      const auto r = p.future->get();
+      if (r.cache_hit) ++stats.cache_hits;
+      out << envelope_ok(p.id, r) << '\n';
+    } catch (const std::exception& e) {
+      ++stats.errors;
+      out << envelope_error(p.id, std::string("query failed: ") + e.what()) << '\n';
+    }
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!is_request_line(line)) continue;
+    ++stats.requests;
+    pending p;
+    p.id = extract_id(line);
+    query_parse_error error;
+    if (const auto q = parse_query(line, &error)) {
+      p.future = engine.submit(*q);
+    } else {
+      p.error = std::move(error.message);
+    }
+    window.push_back(std::move(p));
+    while (window.size() >= max_in_flight) drain_front();
+  }
+  while (!window.empty()) drain_front();
+  out.flush();
+  return stats;
+}
+
+}  // namespace avtk::serve

@@ -1,0 +1,52 @@
+// avtk/serve/protocol.h
+//
+// The line-delimited request/response wire format over a query_engine.
+// One JSON request object per input line; one compact JSON response object
+// per output line, in request order:
+//
+//   > {"query": "metrics", "maker": "waymo"}
+//   < {"schema":"avtk.serve.v1","ok":true,"query":"metrics?maker=waymo",
+//      "version":"d5328.m12382.a42","payload":{...}}
+//   > {"query": "nope"}
+//   < {"schema":"avtk.serve.v1","ok":false,"error":"unknown query kind 'nope'"}
+//
+// Requests may carry an opaque "id" member (string or number) that is
+// echoed back. Blank lines and lines starting with '#' are skipped, so a
+// scripted batch file can be commented.
+//
+// Responses are deterministic: the envelope carries no timing and no
+// hit/miss flag, so a warm (cached) response is byte-identical to the cold
+// one. Hit/miss and latency are observable via the obs metric registry.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "serve/engine.h"
+
+namespace avtk::serve {
+
+/// Serve wire schema tag.
+inline constexpr std::string_view k_serve_schema = "avtk.serve.v1";
+
+/// Handles one request line synchronously: parse, execute, envelope.
+/// Never throws — execution errors become {"ok":false,...} responses.
+std::string handle_request_line(query_engine& engine, std::string_view line);
+
+struct serve_loop_stats {
+  std::size_t requests = 0;
+  std::size_t errors = 0;     ///< parse or execution failures
+  std::size_t cache_hits = 0;
+};
+
+/// Reads request lines from `in` until EOF, writing one response line per
+/// request to `out` in request order. Requests are dispatched to the
+/// engine's worker pool and pipelined up to `max_in_flight` deep (0 means
+/// 2x the engine's thread count), so independent queries overlap while
+/// responses stay ordered.
+serve_loop_stats run_serve_loop(query_engine& engine, std::istream& in, std::ostream& out,
+                                std::size_t max_in_flight = 0);
+
+}  // namespace avtk::serve

@@ -1,0 +1,64 @@
+// avtk/serve/thread_pool.h
+//
+// A fixed-size worker pool for query execution. Deliberately minimal: FIFO
+// task queue, std::future results via packaged_task, drain-on-destruction.
+// The engine owns one pool for its whole lifetime, so there is no dynamic
+// resizing and no work stealing — queries are coarse enough (whole Stage-IV
+// analyses) that a single shared queue is nowhere near contention.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace avtk::serve {
+
+class thread_pool {
+ public:
+  /// Starts `threads` workers (minimum one).
+  explicit thread_pool(unsigned threads);
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  /// Finishes every queued task, then joins the workers.
+  ~thread_pool();
+
+  /// Enqueues `fn` and returns a future for its result. Tasks run in FIFO
+  /// order across the worker set.
+  template <typename Fn>
+  std::future<std::invoke_result_t<Fn>> submit(Fn fn) {
+    using result_t = std::invoke_result_t<Fn>;
+    std::packaged_task<result_t()> task(std::move(fn));
+    auto future = task.get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back(
+          [task = std::make_shared<std::packaged_task<result_t()>>(std::move(task))] {
+            (*task)();
+          });
+    }
+    wake_.notify_one();
+    return future;
+  }
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace avtk::serve

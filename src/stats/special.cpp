@@ -88,7 +88,15 @@ double beta_cf(double a, double b, double x) {
 
 double log_gamma(double x) {
   if (!(x > 0)) throw numeric_error("log_gamma requires x > 0");
+#if defined(__GLIBC__) || defined(__APPLE__)
+  // std::lgamma writes the process-global `signgam`, which is a data race
+  // when analyses run concurrently (serve worker pool). lgamma_r is the
+  // reentrant form; the sign is always +1 for x > 0.
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
   return std::lgamma(x);
+#endif
 }
 
 double gamma_p(double a, double x) {

@@ -9,8 +9,9 @@
 
 namespace avtk::stats {
 
-/// log Gamma(x) for x > 0 (thin wrapper over std::lgamma, kept here so the
-/// library has a single spelling).
+/// log Gamma(x) for x > 0. Thread-safe: uses lgamma_r where available
+/// (std::lgamma races on the global `signgam`), kept here so the library
+/// has a single spelling.
 double log_gamma(double x);
 
 /// Regularized lower incomplete gamma P(a, x) = gamma(a,x)/Gamma(a),

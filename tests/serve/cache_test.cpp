@@ -1,0 +1,111 @@
+// serve/cache.h unit tests: hit/miss, LRU ordering, eviction accounting,
+// predicate-based invalidation, and shard-capacity arithmetic.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.h"
+
+namespace avtk::serve {
+namespace {
+
+std::shared_ptr<const std::string> payload(const std::string& s) {
+  return std::make_shared<const std::string>(s);
+}
+
+TEST(ResultCache, MissThenHit) {
+  result_cache cache(4, 1);
+  EXPECT_EQ(cache.get("a"), nullptr);
+  cache.put("a", payload("va"));
+  const auto hit = cache.get("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "va");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedAtCapacity) {
+  result_cache cache(2, 1);  // one shard: exact global LRU
+  cache.put("a", payload("va"));
+  cache.put("b", payload("vb"));
+  ASSERT_NE(cache.get("a"), nullptr);  // refresh a; b is now LRU
+  cache.put("c", payload("vc"));       // evicts b
+  EXPECT_EQ(cache.get("b"), nullptr);
+  EXPECT_NE(cache.get("a"), nullptr);
+  EXPECT_NE(cache.get("c"), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(ResultCache, PutRefreshesExistingKeyWithoutEviction) {
+  result_cache cache(2, 1);
+  cache.put("a", payload("v1"));
+  cache.put("b", payload("vb"));
+  cache.put("a", payload("v2"));  // refresh, not insert: nothing evicted
+  EXPECT_EQ(cache.evictions(), 0u);
+  const auto hit = cache.get("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "v2");
+  EXPECT_NE(cache.get("b"), nullptr);
+}
+
+TEST(ResultCache, HeldPayloadSurvivesEviction) {
+  result_cache cache(1, 1);
+  cache.put("a", payload("va"));
+  const auto held = cache.get("a");
+  cache.put("b", payload("vb"));  // evicts a
+  EXPECT_EQ(cache.get("a"), nullptr);
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(*held, "va");  // reader's copy is immune to eviction
+}
+
+TEST(ResultCache, EraseIfDropsMatchingEntriesOnly) {
+  result_cache cache(8, 2);
+  cache.put("tags@d1", payload("t"));
+  cache.put("metrics@d1m1a1", payload("m"));
+  cache.put("trend@d1m1", payload("r"));
+  const auto dropped = cache.erase_if([](const std::string& key) {
+    return key.find('a', key.rfind('@') + 1) != std::string::npos;
+  });
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_EQ(cache.get("metrics@d1m1a1"), nullptr);
+  EXPECT_NE(cache.get("tags@d1"), nullptr);
+  EXPECT_NE(cache.get("trend@d1m1"), nullptr);
+  EXPECT_EQ(cache.evictions(), 0u);  // invalidation is not eviction
+}
+
+TEST(ResultCache, CapacityIsSplitAcrossShards) {
+  result_cache cache(8, 4);
+  EXPECT_EQ(cache.shard_count(), 4u);
+  EXPECT_EQ(cache.capacity(), 8u);
+  // More shards than capacity collapses to capacity shards, minimum 1 each.
+  result_cache tiny(2, 16);
+  EXPECT_LE(tiny.shard_count(), 2u);
+  result_cache zero(0, 0);
+  EXPECT_EQ(zero.capacity(), 1u);
+  EXPECT_EQ(zero.shard_count(), 1u);
+}
+
+TEST(ResultCache, ConcurrentMixedTrafficIsSafe) {
+  result_cache cache(64, 4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        const std::string key = "k" + std::to_string((t * 31 + i) % 100);
+        if (i % 3 == 0) {
+          cache.put(key, payload(key));
+        } else if (const auto hit = cache.get(key)) {
+          EXPECT_EQ(*hit, key);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(cache.size(), 64u);
+}
+
+}  // namespace
+}  // namespace avtk::serve

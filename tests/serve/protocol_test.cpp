@@ -1,0 +1,145 @@
+// serve/protocol.h tests: envelope shape, id echo, comment/blank skipping,
+// pipelined response ordering, error accounting, and warm/cold byte
+// equality end to end through the wire format.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "serve/protocol.h"
+#include "serve_test_util.h"
+
+namespace avtk::serve {
+namespace {
+
+namespace json = obs::json;
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  return lines;
+}
+
+TEST(HandleRequestLine, OkEnvelopeCarriesSchemaQueryVersionPayload) {
+  query_engine engine(testing::make_test_database(), {.threads = 1});
+  const auto response =
+      handle_request_line(engine, R"({"query": "tags", "maker": "waymo"})");
+  const auto doc = json::parse(response);
+  ASSERT_TRUE(doc.has_value()) << response;
+  EXPECT_EQ(doc->find("schema")->as_string(), k_serve_schema);
+  EXPECT_TRUE(doc->find("ok")->as_bool());
+  EXPECT_EQ(doc->find("query")->as_string(), "tags?maker=waymo");
+  EXPECT_EQ(doc->find("version")->as_string(), engine.version().to_string());
+  ASSERT_NE(doc->find("payload"), nullptr);
+  EXPECT_TRUE(doc->find("payload")->is_object());
+  EXPECT_EQ(doc->find("error"), nullptr);
+}
+
+TEST(HandleRequestLine, EchoesStringAndNumericIds) {
+  query_engine engine(testing::make_test_database(), {.threads = 1});
+  const auto with_string =
+      handle_request_line(engine, R"({"query": "compare", "id": "req-7"})");
+  const auto doc = json::parse(with_string);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("id")->as_string(), "req-7");
+
+  const auto with_number = handle_request_line(engine, R"({"id": 42, "query": "compare"})");
+  const auto num_doc = json::parse(with_number);
+  ASSERT_TRUE(num_doc.has_value());
+  EXPECT_EQ(num_doc->find("id")->as_number(), 42.0);
+}
+
+TEST(HandleRequestLine, ErrorsBecomeEnvelopesNotThrows) {
+  query_engine engine(testing::make_test_database(), {.threads = 1});
+  for (const auto* bad : {"not json", R"({"query": "nope"})",
+                          R"({"query": "tags", "bogus": 1, "id": "e1"})"}) {
+    const auto response = handle_request_line(engine, bad);
+    const auto doc = json::parse(response);
+    ASSERT_TRUE(doc.has_value()) << response;
+    EXPECT_EQ(doc->find("schema")->as_string(), k_serve_schema);
+    EXPECT_FALSE(doc->find("ok")->as_bool());
+    EXPECT_FALSE(doc->find("error")->as_string().empty());
+    EXPECT_EQ(doc->find("payload"), nullptr);
+  }
+  // The id survives even on a rejected request.
+  const auto doc = json::parse(
+      handle_request_line(engine, R"({"query": "tags", "bogus": 1, "id": "e1"})"));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("id")->as_string(), "e1");
+}
+
+TEST(ServeLoop, OneOrderedResponsePerRequest) {
+  // One worker serializes execution, so the repeated metrics query is a
+  // guaranteed cache hit (with more workers both could miss concurrently).
+  query_engine engine(testing::make_test_database(), {.threads = 1});
+  std::istringstream in(
+      "# scripted batch\n"
+      R"({"query": "metrics", "id": 1})" "\n"
+      "\n"
+      R"({"query": "tags", "id": 2})" "\n"
+      R"({"query": "metrics", "id": 3})" "\n"
+      R"({"query": "nope", "id": 4})" "\n"
+      R"({"query": "compare", "id": 5})" "\n");
+  std::ostringstream out;
+  const auto stats = run_serve_loop(engine, in, out);
+
+  EXPECT_EQ(stats.requests, 5u);
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);  // the repeated metrics query
+
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 5u);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto doc = json::parse(lines[i]);
+    ASSERT_TRUE(doc.has_value()) << lines[i];
+    EXPECT_EQ(doc->find("id")->as_number(), static_cast<double>(i + 1));
+    EXPECT_EQ(doc->find("ok")->as_bool(), i != 3);
+  }
+  // Warm response is byte-identical to the cold one apart from the id.
+  const auto strip_id = [](std::string s, std::string_view id_member) {
+    const auto at = s.find(id_member);
+    EXPECT_NE(at, std::string::npos) << s;
+    return s.erase(at, id_member.size());
+  };
+  EXPECT_EQ(strip_id(lines[0], R"("id":1,)"), strip_id(lines[2], R"("id":3,)"));
+}
+
+TEST(ServeLoop, PipeliningDepthDoesNotReorderResponses) {
+  query_engine engine(testing::make_test_database(), {.threads = 4});
+  std::string batch;
+  for (int i = 0; i < 40; ++i) {
+    const char* kind = i % 3 == 0 ? "metrics" : i % 3 == 1 ? "tags" : "trend";
+    batch += std::string(R"({"query": ")") + kind + R"(", "id": )" +
+             std::to_string(i) + "}\n";
+  }
+  for (const std::size_t depth : {std::size_t{1}, std::size_t{8}, std::size_t{0}}) {
+    std::istringstream in(batch);
+    std::ostringstream out;
+    const auto stats = run_serve_loop(engine, in, out, depth);
+    EXPECT_EQ(stats.requests, 40u);
+    EXPECT_EQ(stats.errors, 0u);
+    const auto lines = lines_of(out.str());
+    ASSERT_EQ(lines.size(), 40u);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const auto doc = json::parse(lines[i]);
+      ASSERT_TRUE(doc.has_value());
+      EXPECT_EQ(doc->find("id")->as_number(), static_cast<double>(i));
+    }
+  }
+}
+
+TEST(ServeLoop, EmptyAndCommentOnlyInputProducesNoOutput) {
+  query_engine engine(testing::make_test_database(), {.threads = 1});
+  std::istringstream in("# nothing here\n\n   \n# still nothing\n");
+  std::ostringstream out;
+  const auto stats = run_serve_loop(engine, in, out);
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_TRUE(out.str().empty());
+}
+
+}  // namespace
+}  // namespace avtk::serve

@@ -1,0 +1,141 @@
+// serve/query.h unit tests: wire-name round-trips, canonicalization,
+// dependency masks, strict JSON parsing, and version-qualified cache keys.
+#include <gtest/gtest.h>
+
+#include "serve/query.h"
+
+namespace avtk::serve {
+namespace {
+
+TEST(QueryKind, NamesRoundTrip) {
+  for (const auto k : {query_kind::metrics, query_kind::tags, query_kind::categories,
+                       query_kind::modality, query_kind::trend, query_kind::fit,
+                       query_kind::compare}) {
+    const auto parsed = query_kind_from_string(query_kind_name(k));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(query_kind_from_string("headlines").has_value());
+  EXPECT_FALSE(query_kind_from_string("").has_value());
+}
+
+TEST(QueryCanonical, FieldsAppearInFixedOrder) {
+  query q;
+  q.kind = query_kind::tags;
+  q.year = 2016;
+  q.maker = dataset::manufacturer::waymo;
+  q.tag = nlp::fault_tag::software;
+  EXPECT_EQ(q.canonical(), "tags?maker=waymo&year=2016&tag=software");
+}
+
+TEST(QueryCanonical, BareQueryIsJustTheKind) {
+  query q;
+  q.kind = query_kind::compare;
+  EXPECT_EQ(q.canonical(), "compare");
+}
+
+TEST(QueryCanonical, MinSamplesOnlyAffectsFitKeys) {
+  query tags;
+  tags.kind = query_kind::tags;
+  tags.min_samples = 7;  // irrelevant to tags: must not fragment the key
+  query tags_default;
+  tags_default.kind = query_kind::tags;
+  EXPECT_EQ(tags.canonical(), tags_default.canonical());
+
+  query fit;
+  fit.kind = query_kind::fit;
+  fit.min_samples = 7;
+  EXPECT_EQ(fit.canonical(), "fit?min_samples=7");
+}
+
+TEST(QueryDependencies, MatchDomainsEachKindReads) {
+  const auto deps_of = [](query_kind k) {
+    query q;
+    q.kind = k;
+    return q.dependencies();
+  };
+  EXPECT_EQ(deps_of(query_kind::tags), domain_disengagements);
+  EXPECT_EQ(deps_of(query_kind::categories), domain_disengagements);
+  EXPECT_EQ(deps_of(query_kind::modality), domain_disengagements);
+  EXPECT_EQ(deps_of(query_kind::fit), domain_disengagements);
+  EXPECT_EQ(deps_of(query_kind::trend), domain_disengagements | domain_mileage);
+  EXPECT_EQ(deps_of(query_kind::metrics),
+            domain_disengagements | domain_mileage | domain_accidents);
+  EXPECT_EQ(deps_of(query_kind::compare),
+            domain_disengagements | domain_mileage | domain_accidents);
+}
+
+TEST(ParseQuery, AcceptsFullRequest) {
+  const auto q = parse_query(
+      R"({"query": "fit", "maker": "Waymo", "year": 2016, "min_samples": 5, "id": "r1"})");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->kind, query_kind::fit);
+  EXPECT_EQ(q->maker, dataset::manufacturer::waymo);
+  EXPECT_EQ(q->year, 2016);
+  EXPECT_EQ(q->min_samples, 5u);
+}
+
+TEST(ParseQuery, RejectsMalformedRequests) {
+  query_parse_error error;
+  EXPECT_FALSE(parse_query("not json", &error).has_value());
+  EXPECT_FALSE(parse_query("[1, 2]", &error).has_value());
+  EXPECT_FALSE(parse_query(R"({"maker": "waymo"})", &error).has_value());
+  EXPECT_NE(error.message.find("'query'"), std::string::npos);
+  EXPECT_FALSE(parse_query(R"({"query": "tags", "yeear": 2016})", &error).has_value());
+  EXPECT_NE(error.message.find("yeear"), std::string::npos);
+  EXPECT_FALSE(parse_query(R"({"query": "tags", "maker": "acme"})").has_value());
+  EXPECT_FALSE(parse_query(R"({"query": "tags", "year": 2016.5})").has_value());
+  EXPECT_FALSE(parse_query(R"({"query": "tags", "year": 1800})").has_value());
+  EXPECT_FALSE(parse_query(R"({"query": "fit", "min_samples": 0})").has_value());
+  EXPECT_FALSE(parse_query(R"({"query": "tags", "tag": "gremlins"})").has_value());
+}
+
+TEST(ParseQuery, ParsesTagAndCategorySpellings) {
+  const auto by_id = parse_query(R"({"query": "tags", "tag": "recognition_system"})");
+  ASSERT_TRUE(by_id.has_value());
+  EXPECT_EQ(by_id->tag, nlp::fault_tag::recognition_system);
+  const auto by_name = parse_query(R"({"query": "categories", "category": "ML/Design"})");
+  ASSERT_TRUE(by_name.has_value());
+  EXPECT_EQ(by_name->category, nlp::failure_category::ml_design);
+}
+
+TEST(CacheKey, CarriesOnlyDependentVersionComponents) {
+  const dataset::database_version v{3, 7, 9};
+  query tags;
+  tags.kind = query_kind::tags;
+  EXPECT_EQ(cache_key(tags, v), "tags@d3");
+
+  query trend;
+  trend.kind = query_kind::trend;
+  EXPECT_EQ(cache_key(trend, v), "trend@d3m7");
+
+  query metrics;
+  metrics.kind = query_kind::metrics;
+  EXPECT_EQ(cache_key(metrics, v), "metrics@d3m7a9");
+}
+
+TEST(CacheKey, AccidentBumpLeavesDisengagementKeysUntouched) {
+  query tags;
+  tags.kind = query_kind::tags;
+  const dataset::database_version before{3, 7, 9};
+  const dataset::database_version after{3, 7, 10};
+  EXPECT_EQ(cache_key(tags, before), cache_key(tags, after));
+
+  query metrics;
+  metrics.kind = query_kind::metrics;
+  EXPECT_NE(cache_key(metrics, before), cache_key(metrics, after));
+}
+
+TEST(DatabaseVersion, BumpsPerDomain) {
+  dataset::failure_database db;
+  EXPECT_EQ(db.version(), (dataset::database_version{0, 0, 0}));
+  db.add_disengagement({});
+  db.add_disengagement({});
+  db.add_mileage({});
+  db.add_accident({});
+  EXPECT_EQ(db.version(), (dataset::database_version{2, 1, 1}));
+  EXPECT_EQ(db.version().to_string(), "d2.m1.a1");
+}
+
+}  // namespace
+}  // namespace avtk::serve

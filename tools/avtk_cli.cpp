@@ -11,17 +11,28 @@
 //   avtk simulate [--vehicles N] [--months M] [--driverless] [--seed N]
 //                 [--trace-json PATH]
 //       Run the STPA fleet simulator and print the summary + overlay.
+//   avtk serve [--seed N] [--quality Q] [--threads N] [--cache-capacity N]
+//              [--input PATH] [--metrics-json PATH]
+//       Run the pipeline once, then answer line-delimited JSON analytics
+//       queries (from --input or stdin) on a worker pool with a memoized
+//       result cache. One response line per request, in request order.
+//   avtk query JSON [--seed N] [--quality Q]
+//       One-shot: build the database and answer a single query, e.g.
+//       avtk query '{"query": "metrics", "maker": "waymo"}'
 //   avtk classify TEXT...
 //       Classify a disengagement description with the builtin dictionary.
 //   avtk help
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/context.h"
@@ -35,6 +46,8 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/engine.h"
+#include "serve/protocol.h"
 #include "sim/fleet.h"
 #include "sim/stpa.h"
 
@@ -48,9 +61,19 @@ int usage() {
       "\n"
       "  avtk generate --out DIR [--seed N] [--quality clean|good|fair|poor]\n"
       "  avtk run [--seed N] [--quality Q] [--csv DIR] [--figures DIR] [--full]\n"
-      "           [--parallel N] [--trace-json PATH] [--metrics-json PATH]\n"
+      "           [--parallel [N]] [--trace-json PATH] [--metrics-json PATH]\n"
+      "      --parallel without a value (or with 0) uses every hardware thread\n"
+      "      for the per-document OCR + parse stage.\n"
       "  avtk simulate [--vehicles N] [--months M] [--driverless] [--seed N]\n"
       "                [--trace-json PATH]\n"
+      "  avtk serve [--seed N] [--quality Q] [--threads N] [--cache-capacity N]\n"
+      "             [--input PATH] [--metrics-json PATH]\n"
+      "      Answer line-delimited JSON analytics queries (--input file or stdin)\n"
+      "      from a worker pool with a sharded, memoized result cache.\n"
+      "  avtk query JSON [--seed N] [--quality Q]\n"
+      "      One-shot analytics query, e.g. '{\"query\": \"metrics\"}'. Kinds:\n"
+      "      metrics tags categories modality trend fit compare; filters:\n"
+      "      maker, year, tag, category, min_samples.\n"
       "  avtk classify TEXT...\n"
       "  avtk help");
   return 2;
@@ -82,6 +105,22 @@ class arg_list {
       }
     }
     return false;
+  }
+
+  /// For flags whose value is optional (--parallel [N]): nullopt when the
+  /// flag is absent, "" when it is passed bare or followed by another flag,
+  /// else the value.
+  std::optional<std::string> value_if_present(const std::string& flag) {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i] != flag) continue;
+      consumed_.insert(i);
+      if (i + 1 < args_.size() && args_[i + 1].rfind("--", 0) != 0) {
+        consumed_.insert(i + 1);
+        return args_[i + 1];
+      }
+      return std::string();
+    }
+    return std::nullopt;
   }
 
   std::vector<std::string> positional() const {
@@ -155,8 +194,12 @@ int cmd_run(arg_list args) {
   // end-to-end pipeline + analysis wall-clock, not the data synthesis.
   obs::trace trace;
   core::pipeline_config pcfg;
-  const auto parallel = args.value_of("--parallel");
-  if (!parallel.empty()) pcfg.parallelism = static_cast<unsigned>(std::atoi(parallel.c_str()));
+  if (const auto parallel = args.value_if_present("--parallel")) {
+    // Bare --parallel (or an explicit 0) means "use every hardware thread".
+    const unsigned n =
+        parallel->empty() ? 0u : static_cast<unsigned>(std::atoi(parallel->c_str()));
+    pcfg.parallelism = n != 0 ? n : std::max(std::thread::hardware_concurrency(), 1u);
+  }
   if (!trace_path.empty()) pcfg.trace = &trace;
   const auto result = core::run_pipeline(corpus.documents, corpus.pristine_documents, pcfg);
 
@@ -247,6 +290,82 @@ int cmd_simulate(arg_list args) {
   return 0;
 }
 
+// Shared by serve and query: generate the corpus, run the pipeline, hand
+// the consolidated database to a query engine. Progress goes to stderr so
+// stdout stays a pure response stream.
+serve::query_engine make_engine(arg_list& args, serve::engine_config cfg) {
+  const auto gen_cfg = make_generator_config(args);
+  std::fprintf(stderr, "serve: generating corpus (seed %llu) and running the pipeline...\n",
+               static_cast<unsigned long long>(gen_cfg.seed));
+  const auto corpus = dataset::generate_corpus(gen_cfg);
+  auto result = core::run_pipeline(corpus.documents, corpus.pristine_documents);
+  std::fprintf(stderr, "serve: database ready (%lld disengagements, %lld accidents, %.0f miles)\n",
+               result.database.total_disengagements(), result.database.total_accidents(),
+               result.database.total_miles());
+  return serve::query_engine(std::move(result.database), cfg);
+}
+
+int cmd_serve(arg_list args) {
+  serve::engine_config cfg;
+  const auto threads = args.value_of("--threads");
+  if (!threads.empty()) cfg.threads = static_cast<unsigned>(std::atoi(threads.c_str()));
+  const auto capacity = args.value_of("--cache-capacity");
+  if (!capacity.empty()) {
+    cfg.cache_capacity = static_cast<std::size_t>(std::strtoull(capacity.c_str(), nullptr, 10));
+  }
+  const auto metrics_path = args.value_of("--metrics-json");
+  const auto input_path = args.value_of("--input");
+
+  auto engine = make_engine(args, cfg);
+  std::fprintf(stderr, "serve: %u worker threads, cache capacity %zu; reading %s\n",
+               engine.threads(), cfg.cache_capacity,
+               input_path.empty() ? "stdin" : input_path.c_str());
+
+  serve::serve_loop_stats stats;
+  if (input_path.empty()) {
+    stats = serve::run_serve_loop(engine, std::cin, std::cout);
+  } else {
+    std::ifstream in(input_path);
+    if (!in) {
+      std::fprintf(stderr, "serve: cannot open %s\n", input_path.c_str());
+      return 2;
+    }
+    stats = serve::run_serve_loop(engine, in, std::cout);
+  }
+  std::fprintf(stderr, "serve: %zu requests, %zu errors, %zu cache hits, cache size %zu\n",
+               stats.requests, stats.errors, stats.cache_hits, engine.cache_size());
+
+  if (!metrics_path.empty()) {
+    if (!obs::write_text_file(metrics_path,
+                              obs::snapshot_to_json(obs::metrics().snapshot()))) {
+      std::fprintf(stderr, "serve: failed to write metrics to %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "serve: metric snapshot written to %s\n", metrics_path.c_str());
+  }
+  return stats.errors == 0 ? 0 : 1;
+}
+
+int cmd_query(arg_list args) {
+  serve::engine_config cfg;
+  cfg.threads = 1;  // one-shot: no pool needed
+  auto engine = make_engine(args, cfg);
+  const auto words = args.positional();
+  if (words.empty()) {
+    std::fputs("query: no request given, e.g. avtk query '{\"query\": \"metrics\"}'\n", stderr);
+    return 2;
+  }
+  std::string request;
+  for (const auto& w : words) {
+    if (!request.empty()) request += ' ';
+    request += w;
+  }
+  const auto response = serve::handle_request_line(engine, request);
+  std::cout << response << "\n";
+  // Mirror the wire-level ok flag in the exit code for scripting.
+  return response.find("\"ok\":true") != std::string::npos ? 0 : 1;
+}
+
 int cmd_classify(arg_list args) {
   const auto words = args.positional();
   if (words.empty()) {
@@ -280,6 +399,8 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmd_generate(arg_list(argc, argv, 2));
     if (command == "run") return cmd_run(arg_list(argc, argv, 2));
     if (command == "simulate") return cmd_simulate(arg_list(argc, argv, 2));
+    if (command == "serve") return cmd_serve(arg_list(argc, argv, 2));
+    if (command == "query") return cmd_query(arg_list(argc, argv, 2));
     if (command == "classify") return cmd_classify(arg_list(argc, argv, 2));
     if (command == "help" || command == "--help" || command == "-h") {
       usage();
