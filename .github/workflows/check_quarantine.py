@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""CI gate for the chaos smoke: fault injection + quarantine containment.
+
+Usage: check_quarantine.py QUARANTINE_JSON INJECT_MANIFEST CHAOS_CSV_DIR CLEAN_CSV_DIR
+
+Checks, per the repo's acceptance bar for fault containment:
+  * the quarantine export is well-formed avtk.quarantine.v1 and the
+    injection manifest is well-formed avtk.inject.v1,
+  * the set of quarantined documents is EXACTLY the set of injected
+    documents — nothing corrupted slips through, nothing healthy is
+    dragged in,
+  * every quarantined document carries a machine-readable taxonomy code
+    (never the "internal" catch-all: injected damage must be diagnosed,
+    not crash),
+  * the analysis of the surviving documents is byte-identical to a clean
+    run with the same documents dropped up front — quarantine cannot
+    perturb the numbers of unaffected reports.
+"""
+import json
+import pathlib
+import sys
+
+TAXONOMY = {"ocr", "header", "parse", "normalize", "label", "io", "internal"}
+CSV_FILES = ["disengagements.csv", "mileage.csv", "accidents.csv"]
+
+
+def main(quarantine_path, manifest_path, chaos_dir, clean_dir):
+    with open(quarantine_path) as f:
+        quarantine = json.load(f)
+    with open(manifest_path) as f:
+        manifest = json.load(f)
+
+    if quarantine.get("schema") != "avtk.quarantine.v1":
+        print(f"FAIL: unexpected quarantine schema {quarantine.get('schema')!r}")
+        return 1
+    if quarantine.get("policy") != "quarantine":
+        print(f"FAIL: unexpected policy {quarantine.get('policy')!r}")
+        return 1
+    docs = quarantine["documents"]
+    if quarantine.get("documents_quarantined") != len(docs):
+        print("FAIL: documents_quarantined disagrees with the documents array")
+        return 1
+    for d in docs:
+        missing = [m for m in ("index", "title", "code", "message") if m not in d]
+        if missing:
+            print(f"FAIL: quarantined document missing members {missing}")
+            return 1
+        if d["code"] not in TAXONOMY:
+            print(f"FAIL: document {d['index']}: unknown error code {d['code']!r}")
+            return 1
+        if d["code"] == "internal":
+            print(f"FAIL: document {d['index']}: injected fault surfaced as 'internal'")
+            return 1
+
+    if manifest.get("schema") != "avtk.inject.v1":
+        print(f"FAIL: unexpected manifest schema {manifest.get('schema')!r}")
+        return 1
+    injected = sorted(f["index"] for f in manifest["faults"])
+    if not injected:
+        print("FAIL: the injection manifest is empty (nothing was tested)")
+        return 1
+    quarantined = sorted(d["index"] for d in docs)
+    if quarantined != injected:
+        leaked = sorted(set(injected) - set(quarantined))
+        dragged = sorted(set(quarantined) - set(injected))
+        print(f"FAIL: containment mismatch: leaked={leaked} dragged_in={dragged}")
+        return 1
+
+    for name in CSV_FILES:
+        chaos = (pathlib.Path(chaos_dir) / name).read_bytes()
+        clean = (pathlib.Path(clean_dir) / name).read_bytes()
+        if chaos != clean:
+            print(f"FAIL: {name}: chaos-run output differs from the clean dropped run")
+            return 1
+
+    codes = sorted({d["code"] for d in docs})
+    print(
+        f"{len(docs)} of {quarantine['documents_in']} documents quarantined "
+        f"(codes: {', '.join(codes)}); clean-document analysis byte-identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4]))

@@ -5,17 +5,21 @@ Usage: check_serve.py RESPONSES_JSONL METRICS_JSON EXPECTED_REQUESTS
 
 Checks, per the repo's acceptance bar for the serve subsystem:
   * one valid response line per scripted request, in request order (ids),
-  * every response is ok with the expected envelope members and a
-    consistent database version,
+  * ok responses carry the expected envelope members and a consistent
+    database version; error responses carry a machine-readable "code"
+    plus a human "error" message (malformed requests are answered on the
+    wire, never fatal),
   * repeated queries return byte-identical payloads (the memoized cache
     must not perturb results),
   * the avtk.metrics.v1 snapshot accounts for every query: hits + misses
-    equals serve.queries, and the repeated queries actually hit.
+    equals serve.queries, the repeated queries actually hit, and the
+    parse/execution error counters match the error envelopes one-to-one.
 """
 import json
 import sys
 
-REQUIRED_MEMBERS = ["schema", "ok", "id", "query", "version", "payload"]
+OK_MEMBERS = ["schema", "ok", "id", "query", "version", "payload"]
+ERROR_MEMBERS = ["schema", "ok", "id", "code", "error"]
 
 
 def main(responses_path: str, metrics_path: str, expected_requests: int) -> int:
@@ -28,37 +32,56 @@ def main(responses_path: str, metrics_path: str, expected_requests: int) -> int:
 
     by_query = {}
     versions = set()
+    parse_errors = 0
+    execution_errors = 0
     for i, line in enumerate(lines):
         response = json.loads(line)
         if response.get("schema") != "avtk.serve.v1":
             print(f"FAIL: line {i}: unexpected schema {response.get('schema')!r}")
             return 1
-        missing = [m for m in REQUIRED_MEMBERS if m not in response]
-        if missing:
-            print(f"FAIL: line {i}: missing members {missing}")
+        if response.get("id") != i:
+            print(f"FAIL: line {i}: out-of-order response (id {response.get('id')!r})")
             return 1
-        if response["ok"] is not True:
-            print(f"FAIL: line {i}: not ok: {response.get('error')!r}")
-            return 1
-        if response["id"] != i:
-            print(f"FAIL: line {i}: out-of-order response (id {response['id']!r})")
-            return 1
-        if not isinstance(response["payload"], dict):
-            print(f"FAIL: line {i}: payload is not an object")
-            return 1
-        versions.add(response["version"])
-        key = (response["query"], response["version"])
-        payload = json.dumps(response["payload"], sort_keys=True)
-        if by_query.setdefault(key, payload) != payload:
-            print(f"FAIL: line {i}: repeated query {key} returned a different payload")
-            return 1
+        if response.get("ok") is True:
+            missing = [m for m in OK_MEMBERS if m not in response]
+            if missing:
+                print(f"FAIL: line {i}: missing members {missing}")
+                return 1
+            if not isinstance(response["payload"], dict):
+                print(f"FAIL: line {i}: payload is not an object")
+                return 1
+            versions.add(response["version"])
+            key = (response["query"], response["version"])
+            payload = json.dumps(response["payload"], sort_keys=True)
+            if by_query.setdefault(key, payload) != payload:
+                print(f"FAIL: line {i}: repeated query {key} returned a different payload")
+                return 1
+        else:
+            missing = [m for m in ERROR_MEMBERS if m not in response]
+            if missing:
+                print(f"FAIL: line {i}: error response missing members {missing}")
+                return 1
+            if "payload" in response:
+                print(f"FAIL: line {i}: error response carries a payload")
+                return 1
+            if not response["error"]:
+                print(f"FAIL: line {i}: empty error message")
+                return 1
+            if response["code"] == "parse":
+                parse_errors += 1
+            else:
+                execution_errors += 1
 
     if len(versions) != 1:
         print(f"FAIL: database version changed mid-batch: {sorted(versions)}")
         return 1
-    repeats = len(lines) - len(by_query)
+    ok_count = len(lines) - parse_errors - execution_errors
+    repeats = ok_count - len(by_query)
     if repeats < 1:
         print("FAIL: the scripted batch contains no repeated query (nothing to warm)")
+        return 1
+    if parse_errors < 1:
+        print("FAIL: the scripted batch contains no malformed request (nothing rejected)")
         return 1
 
     with open(metrics_path) as f:
@@ -67,17 +90,31 @@ def main(responses_path: str, metrics_path: str, expected_requests: int) -> int:
         print(f"FAIL: unexpected metrics schema {metrics.get('schema')!r}")
         return 1
     counters = metrics["counters"]
+    # Parse failures never reach the engine: serve.queries counts only the
+    # requests that parsed (ok responses + execution failures).
     queries = counters.get("serve.queries", 0)
     hits = counters.get("serve.cache_hits", 0)
     misses = counters.get("serve.cache_misses", 0)
-    if queries != expected_requests:
-        print(f"FAIL: serve.queries={queries}, expected {expected_requests}")
+    if queries != ok_count + execution_errors:
+        print(f"FAIL: serve.queries={queries}, expected {ok_count + execution_errors}")
         return 1
     if hits + misses != queries:
         print(f"FAIL: hits ({hits}) + misses ({misses}) != queries ({queries})")
         return 1
     if hits < repeats:
         print(f"FAIL: {repeats} repeated queries but only {hits} cache hits")
+        return 1
+    if counters.get("serve.errors.parse", 0) != parse_errors:
+        print(
+            f"FAIL: serve.errors.parse={counters.get('serve.errors.parse', 0)}, "
+            f"but {parse_errors} parse-error envelopes were emitted"
+        )
+        return 1
+    if counters.get("serve.errors.execution", 0) != execution_errors:
+        print(
+            f"FAIL: serve.errors.execution={counters.get('serve.errors.execution', 0)}, "
+            f"but {execution_errors} execution-error envelopes were emitted"
+        )
         return 1
     cache_size = metrics.get("gauges", {}).get("serve.cache_size", 0)
     if cache_size != len(by_query):
@@ -86,6 +123,7 @@ def main(responses_path: str, metrics_path: str, expected_requests: int) -> int:
 
     print(
         f"{len(lines)} responses OK ({len(by_query)} distinct, {hits} cache hits, "
+        f"{parse_errors} parse + {execution_errors} execution errors rejected on the wire, "
         f"version {versions.pop()})"
     )
     return 0

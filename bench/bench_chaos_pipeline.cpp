@@ -1,0 +1,81 @@
+// Fault-containment benchmarks: how much the quarantine machinery costs.
+// Measures fault injection itself, the strict probe, and full pipeline runs
+// under each error policy — fail_fast on a clean corpus (the historical
+// baseline) vs quarantine on a 10%-corrupted corpus (the chaos-smoke shape).
+#include "bench/common.h"
+
+#include "inject/corruptor.h"
+
+namespace {
+
+using namespace avtk;
+
+dataset::generator_config corpus_config() {
+  dataset::generator_config cfg;
+  cfg.seed = 20180625;
+  return cfg;
+}
+
+void BM_InjectFaults(benchmark::State& state) {
+  const auto original = dataset::generate_corpus(corpus_config());
+  inject::injection_config cfg;
+  cfg.seed = 42;
+  cfg.fraction = 0.1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto corpus = original;  // injection mutates; restore each iteration
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        inject::inject_faults(corpus.documents, corpus.pristine_documents, cfg));
+  }
+}
+BENCHMARK(BM_InjectFaults)->Unit(benchmark::kMillisecond);
+
+void BM_ProbeCleanDocument(benchmark::State& state) {
+  const auto& corpus = avtk::bench::state().corpus;
+  const auto& doc = corpus.documents.front();
+  const auto& pristine = corpus.pristine_documents.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::probe_document(doc, &pristine));
+  }
+}
+BENCHMARK(BM_ProbeCleanDocument)->Unit(benchmark::kMillisecond);
+
+void BM_PipelineFailFastClean(benchmark::State& state) {
+  const auto corpus = dataset::generate_corpus(corpus_config());
+  core::pipeline_config cfg;
+  cfg.parallelism = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::run_pipeline(corpus.documents, corpus.pristine_documents, cfg));
+  }
+}
+BENCHMARK(BM_PipelineFailFastClean)->Unit(benchmark::kMillisecond);
+
+void BM_PipelineQuarantineChaos(benchmark::State& state) {
+  auto corpus = dataset::generate_corpus(corpus_config());
+  inject::injection_config icfg;
+  icfg.seed = 42;
+  icfg.fraction = 0.1;
+  const auto report =
+      inject::inject_faults(corpus.documents, corpus.pristine_documents, icfg);
+  core::pipeline_config cfg;
+  cfg.parallelism = 4;
+  cfg.on_error = core::error_policy::quarantine;
+  std::size_t quarantined = 0;
+  for (auto _ : state) {
+    const auto result =
+        core::run_pipeline(corpus.documents, corpus.pristine_documents, cfg);
+    quarantined = result.stats.documents_quarantined;
+    benchmark::DoNotOptimize(quarantined);
+  }
+  state.counters["quarantined"] = static_cast<double>(quarantined);
+  state.counters["injected"] = static_cast<double>(report.faults.size());
+}
+BENCHMARK(BM_PipelineQuarantineChaos)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return avtk::bench::run_experiment("chaos pipeline", "", argc, argv);
+}

@@ -1,10 +1,15 @@
 #include "core/pipeline.h"
 
-#include <future>
+#include <atomic>
+#include <cstdint>
+#include <map>
 #include <mutex>
+#include <set>
 #include <thread>
+#include <utility>
 
 #include "obs/clock.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "ocr/engine.h"
 #include "parse/accident_parser.h"
@@ -17,7 +22,8 @@ namespace avtk::core {
 namespace {
 
 // Everything one document contributes; merged in document order so the
-// pipeline's output is independent of the thread count.
+// pipeline's output is independent of the thread count. A faulted document
+// contributes nothing but its quarantine record.
 struct document_result {
   std::vector<dataset::disengagement_record> events;
   std::vector<dataset::mileage_record> mileage;
@@ -30,6 +36,7 @@ struct document_result {
   bool is_disengagement_report = false;
   bool is_accident_report = false;
   bool unidentified = false;
+  std::optional<quarantined_document> fault;
 };
 
 // Rebuilds a document with each line replaced by its OCR-recovered text,
@@ -56,10 +63,15 @@ struct stage2_timing {
   obs::duration_accumulator parse_ns;
 };
 
+// Scans one document through OCR + identify + parse. With `strict` set
+// (the skip/quarantine policies, and probe_document) document-level faults
+// that fail_fast historically tolerated — empty documents, unidentifiable
+// kinds, unparseable residue, structurally invalid mileage tables — are
+// promoted to exceptions so the policy layer can contain them.
 document_result process_document(const ocr::document& delivered, const ocr::document* fallback,
                                  const ocr::mock_ocr_engine& engine,
-                                 const pipeline_config& config, stage2_timing& timing,
-                                 std::uint64_t scan_span) {
+                                 const pipeline_config& config, bool strict,
+                                 stage2_timing& timing, std::uint64_t scan_span) {
   document_result result;
   ocr::document recovered;
   {
@@ -70,6 +82,9 @@ document_result process_document(const ocr::document& delivered, const ocr::docu
 
   const obs::scoped_timer timer(&timing.parse_ns);
   const obs::scoped_span span(config.trace, "parse", scan_span);
+  if (strict && delivered.line_count() == 0) {
+    throw header_error("empty document: " + delivered.title);
+  }
   auto id = parse::identify_report(recovered);
   if (id.kind == parse::report_kind::unknown && fallback != nullptr) {
     id = parse::identify_report(*fallback);
@@ -79,6 +94,22 @@ document_result process_document(const ocr::document& delivered, const ocr::docu
     auto parsed = parse::parse_disengagement_report(recovered, fallback);
     result.parse_failed_lines = parsed.failed_lines;
     result.manual_transcriptions = parsed.manual_transcriptions;
+    if (strict) {
+      if (parsed.failed_lines > 0) {
+        throw parse_error(std::to_string(parsed.failed_lines) +
+                          " unparseable line(s) in: " + delivered.title);
+      }
+      // A mileage table listing the same vehicle-month twice is structural
+      // damage (a duplicated page, a scanner double-feed): totals would be
+      // silently inflated, so the document is refused instead.
+      std::set<std::pair<std::string, std::int64_t>> seen;
+      for (const auto& m : parsed.mileage) {
+        if (!seen.emplace(m.vehicle_id, m.month.index()).second) {
+          throw parse_error("duplicate mileage row for vehicle " + m.vehicle_id + " in " +
+                            m.month.to_string() + ": " + delivered.title);
+        }
+      }
+    }
     result.events = std::move(parsed.events);
     result.mileage = std::move(parsed.mileage);
   } else if (id.kind == parse::report_kind::accident) {
@@ -86,6 +117,8 @@ document_result process_document(const ocr::document& delivered, const ocr::docu
     auto parsed = parse::parse_accident_report(recovered, fallback);
     if (parsed.used_manual_fallback) ++result.manual_transcriptions;
     result.accidents.push_back(std::move(parsed.record));
+  } else if (strict) {
+    throw header_error("cannot identify report kind of: " + delivered.title);
   } else {
     result.unidentified = true;
   }
@@ -93,6 +126,32 @@ document_result process_document(const ocr::document& delivered, const ocr::docu
 }
 
 }  // namespace
+
+std::string_view error_policy_name(error_policy policy) {
+  switch (policy) {
+    case error_policy::fail_fast:
+      return "fail_fast";
+    case error_policy::skip:
+      return "skip";
+    case error_policy::quarantine:
+      return "quarantine";
+  }
+  return "fail_fast";
+}
+
+std::optional<error_policy> error_policy_from_name(std::string_view name) {
+  if (name == "fail_fast" || name == "fail-fast") return error_policy::fail_fast;
+  if (name == "skip") return error_policy::skip;
+  if (name == "quarantine") return error_policy::quarantine;
+  return std::nullopt;
+}
+
+document_error::document_error(std::size_t index, std::string title, error_code code,
+                               std::string message)
+    : error(code, "document " + std::to_string(index) + " ('" + title + "'): " + message),
+      index_(index),
+      title_(std::move(title)),
+      message_(std::move(message)) {}
 
 std::size_t label_disengagements(dataset::failure_database& db,
                                  const nlp::keyword_voting_classifier& classifier) {
@@ -128,19 +187,53 @@ pipeline_result run_pipeline(const std::vector<ocr::document>& documents,
 
   const ocr::mock_ocr_engine engine(ocr::lexicon::builtin());
 
-  // Stage II: OCR + parse, one task per document.
+  // Stage II: OCR + parse, one task per document. Every per-document
+  // failure is captured into its slot; what happens to it afterwards is
+  // the policy's call, so the scan itself is identical for all policies
+  // (and for any thread count).
+  const bool strict = config.on_error != error_policy::fail_fast;
   stage2_timing stage2;
   obs::scoped_span scan_span(config.trace, "scan", pipeline_span.id());
   std::vector<document_result> per_document(documents.size());
+  // Under fail_fast the lowest faulting index is the run's outcome, so
+  // workers stop picking up documents beyond a known fault (documents
+  // below it must still be scanned: one of them could fail at a lower
+  // index, and that one wins).
+  std::atomic<std::size_t> first_fault{documents.size()};
   const auto worker = [&](std::size_t i) {
     const ocr::document* fallback = pristine.empty() ? nullptr : &pristine[i];
-    per_document[i] =
-        process_document(documents[i], fallback, engine, config, stage2, scan_span.id());
+    try {
+      per_document[i] =
+          process_document(documents[i], fallback, engine, config, strict, stage2, scan_span.id());
+    } catch (const error& e) {
+      per_document[i] = document_result{};
+      per_document[i].fault =
+          quarantined_document{i, documents[i].title, e.code(), e.what()};
+    } catch (const std::exception& e) {
+      per_document[i] = document_result{};
+      per_document[i].fault =
+          quarantined_document{i, documents[i].title, error_code::internal, e.what()};
+    }
+    if (per_document[i].fault) {
+      if (strict) {
+        // Mark the refusal in the trace so a chaos run's scan shows where
+        // containment fired (never emitted under fail_fast: its traces
+        // stay bit-identical to the historical ones).
+        const obs::scoped_span quarantine_span(config.trace, "quarantine", scan_span.id());
+      }
+      // Atomic running minimum of the faulting indices.
+      std::size_t seen = first_fault.load(std::memory_order_relaxed);
+      while (i < seen && !first_fault.compare_exchange_weak(seen, i, std::memory_order_relaxed)) {
+      }
+    }
   };
 
   const unsigned parallelism = std::max(1u, config.parallelism);
   if (parallelism == 1 || documents.size() <= 1) {
-    for (std::size_t i = 0; i < documents.size(); ++i) worker(i);
+    for (std::size_t i = 0; i < documents.size(); ++i) {
+      worker(i);
+      if (!strict && per_document[i].fault) break;  // fail_fast: first fault decides
+    }
   } else {
     // Fixed-stride work split: no shared mutable state beyond disjoint
     // per_document slots (CP.2: avoid data races by construction).
@@ -148,31 +241,42 @@ pipeline_result run_pipeline(const std::vector<ocr::document>& documents,
     const unsigned n = std::min<unsigned>(parallelism,
                                           static_cast<unsigned>(documents.size()));
     threads.reserve(n);
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
     for (unsigned t = 0; t < n; ++t) {
       threads.emplace_back([&, t] {
-        try {
-          for (std::size_t i = t; i < documents.size(); i += n) worker(i);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
+        for (std::size_t i = t; i < documents.size(); i += n) {
+          if (!strict && i > first_fault.load(std::memory_order_relaxed)) continue;
+          worker(i);
         }
       });
     }
     for (auto& thread : threads) thread.join();
-    if (first_error) std::rethrow_exception(first_error);
   }
   scan_span.close();
 
-  // Deterministic merge in document order.
+  if (config.on_error == error_policy::fail_fast &&
+      first_fault.load(std::memory_order_relaxed) < documents.size()) {
+    const auto& f = *per_document[first_fault.load(std::memory_order_relaxed)].fault;
+    throw document_error(f.index, f.title, f.code, f.message);
+  }
+
+  // Deterministic merge in document order; faulted documents contribute
+  // nothing and are counted (and, under quarantine, surfaced).
   obs::scoped_span merge_span(config.trace, "merge", pipeline_span.id());
   const obs::stopwatch merge_watch;
   std::vector<dataset::disengagement_record> all_events;
   std::vector<dataset::mileage_record> all_mileage;
   std::vector<dataset::accident_record> all_accidents;
+  std::map<error_code, std::size_t> quarantined_by_code;
   double confidence_sum = 0;
   for (auto& doc : per_document) {
+    if (doc.fault) {
+      ++stats.documents_quarantined;
+      ++quarantined_by_code[doc.fault->code];
+      if (config.on_error == error_policy::quarantine) {
+        result.quarantined.push_back(std::move(*doc.fault));
+      }
+      continue;
+    }
     stats.ocr_lines += doc.ocr_lines;
     confidence_sum += doc.ocr_confidence_sum;
     stats.ocr_manual_review_lines += doc.ocr_manual_review_lines;
@@ -243,9 +347,54 @@ pipeline_result run_pipeline(const std::vector<ocr::document>& documents,
   registry.get_counter("pipeline.documents").add(stats.documents_in);
   registry.get_counter("pipeline.disengagements").add(stats.disengagements);
   registry.get_counter("pipeline.unknown_tags").add(stats.unknown_tags);
+  if (stats.documents_quarantined > 0) {
+    registry.get_counter("pipeline.documents_quarantined").add(stats.documents_quarantined);
+    for (const auto& [code, count] : quarantined_by_code) {
+      registry.get_counter("pipeline.quarantined." + std::string(error_code_name(code)))
+          .add(count);
+    }
+  }
   registry.set_gauge("pipeline.last_run_seconds", stats.total_seconds);
   registry.set_gauge("pipeline.last_ocr_mean_confidence", stats.ocr_mean_confidence);
   return result;
+}
+
+std::optional<quarantined_document> probe_document(const ocr::document& doc,
+                                                   const ocr::document* pristine,
+                                                   const pipeline_config& config,
+                                                   std::size_t index) {
+  pipeline_config probe = config;
+  probe.trace = nullptr;  // a probe never pollutes the caller's trace
+  const ocr::mock_ocr_engine engine(ocr::lexicon::builtin());
+  stage2_timing timing;
+  try {
+    process_document(doc, pristine, engine, probe, /*strict=*/true, timing, 0);
+    return std::nullopt;
+  } catch (const error& e) {
+    return quarantined_document{index, doc.title, e.code(), e.what()};
+  } catch (const std::exception& e) {
+    return quarantined_document{index, doc.title, error_code::internal, e.what()};
+  }
+}
+
+std::string quarantine_to_json(const pipeline_result& result, error_policy policy) {
+  namespace json = obs::json;
+  json::array docs;
+  for (const auto& q : result.quarantined) {
+    json::object entry;
+    entry.emplace_back("index", q.index);
+    entry.emplace_back("title", q.title);
+    entry.emplace_back("code", std::string(error_code_name(q.code)));
+    entry.emplace_back("message", q.message);
+    docs.emplace_back(std::move(entry));
+  }
+  json::object root;
+  root.emplace_back("schema", "avtk.quarantine.v1");
+  root.emplace_back("policy", std::string(error_policy_name(policy)));
+  root.emplace_back("documents_in", result.stats.documents_in);
+  root.emplace_back("documents_quarantined", result.stats.documents_quarantined);
+  root.emplace_back("documents", std::move(docs));
+  return json::value(std::move(root)).dump(2) + "\n";
 }
 
 double pipeline_stats::stage_seconds(std::string_view stage) const {

@@ -3,8 +3,31 @@
 // The end-to-end pipeline of Fig. 1: Stage I (documents in), Stage II
 // (OCR -> parse -> filter -> normalize), Stage III (NLP labeling), Stage IV
 // (the consolidated failure database handed to the statistical analyses).
+//
+// Fault containment: real DMV reports are messy (scanned, manufacturer-
+// specific, OCR-degraded), so a per-document failure need not abort the
+// run. `pipeline_config::on_error` selects the degradation policy:
+//
+//   fail_fast   (default) the first failing document aborts the run with a
+//               document_error naming the lowest-index failing document —
+//               identical for any thread count.
+//   skip        failing documents are dropped and counted
+//               (pipeline_stats::documents_quarantined), nothing else.
+//   quarantine  failing documents are dropped, counted, and surfaced in
+//               pipeline_result::quarantined (index, title, error code,
+//               message) for export as an avtk.quarantine.v1 report.
+//
+// Under `skip` and `quarantine` the scan stage is also stricter: empty or
+// unidentifiable documents, unparseable residue that survived the manual
+// fallback, and structurally invalid mileage tables (duplicate
+// vehicle/month rows) are treated as document faults instead of being
+// silently tolerated — exactly the triage posture the paper's Stage II
+// needed for the real archive. `fail_fast` keeps the historical behavior
+// bit-for-bit for existing callers.
 #pragma once
 
+#include <cstddef>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -15,8 +38,45 @@
 #include "ocr/document.h"
 #include "parse/filter.h"
 #include "parse/normalizer.h"
+#include "util/errors.h"
 
 namespace avtk::core {
+
+/// What run_pipeline does when one document fails to scan.
+enum class error_policy { fail_fast, skip, quarantine };
+
+/// Stable spelling ("fail_fast", "skip", "quarantine").
+std::string_view error_policy_name(error_policy policy);
+
+/// Inverse of error_policy_name; also accepts "fail-fast". Returns nullopt
+/// for unknown spellings.
+std::optional<error_policy> error_policy_from_name(std::string_view name);
+
+/// One document the pipeline refused, with enough identity to triage it.
+struct quarantined_document {
+  std::size_t index = 0;   ///< position in the input document vector
+  std::string title;       ///< ocr::document::title (may be empty)
+  error_code code = error_code::internal;
+  std::string message;     ///< human-readable failure description
+};
+
+/// Thrown by run_pipeline under error_policy::fail_fast: the lowest-index
+/// failing document, with its identity attached. The carried error_code is
+/// the underlying failure's code.
+class document_error : public error {
+ public:
+  document_error(std::size_t index, std::string title, error_code code, std::string message);
+
+  std::size_t index() const { return index_; }
+  const std::string& title() const { return title_; }
+  /// The underlying failure message (what() includes the identity prefix).
+  const std::string& message() const { return message_; }
+
+ private:
+  std::size_t index_;
+  std::string title_;
+  std::string message_;
+};
 
 struct pipeline_config {
   bool run_ocr = true;  ///< run mock-OCR recovery before parsing
@@ -24,13 +84,17 @@ struct pipeline_config {
   /// Results are merged in document order, so the output is identical for
   /// any thread count (determinism is tested).
   unsigned parallelism = 1;
+  /// Per-document failure policy (see the header comment). The policy
+  /// never changes what a *successful* document contributes.
+  error_policy on_error = error_policy::fail_fast;
   parse::normalizer_config normalizer;
   parse::filter_config filter;
   nlp::failure_dictionary dictionary = nlp::failure_dictionary::builtin();
   /// When non-null, the pipeline records hierarchical stage spans here
   /// (pipeline → scan → per-document ocr/parse, then merge / normalize /
-  /// ingest / classify / analysis). Tracing never changes the pipeline's
-  /// output — determinism with tracing on vs. off is tested.
+  /// ingest / classify / analysis; quarantined documents add a `quarantine`
+  /// span under scan). Tracing never changes the pipeline's output —
+  /// determinism with tracing on vs. off is tested.
   obs::trace* trace = nullptr;
 };
 
@@ -49,6 +113,9 @@ struct pipeline_stats {
   std::size_t disengagement_reports = 0;
   std::size_t accident_reports = 0;
   std::size_t unidentified_documents = 0;
+  /// Documents dropped by the `skip` / `quarantine` policies (0 under
+  /// fail_fast: the run aborts instead).
+  std::size_t documents_quarantined = 0;
   std::size_t ocr_lines = 0;
   std::size_t ocr_manual_review_lines = 0;
   double ocr_mean_confidence = 1.0;
@@ -72,6 +139,9 @@ struct pipeline_stats {
 struct pipeline_result {
   dataset::failure_database database;
   pipeline_stats stats;
+  /// Documents refused under error_policy::quarantine, in document order
+  /// (empty under the other policies).
+  std::vector<quarantined_document> quarantined;
 };
 
 /// Runs the full pipeline over raw documents. `pristine` (when non-empty)
@@ -80,6 +150,21 @@ struct pipeline_result {
 pipeline_result run_pipeline(const std::vector<ocr::document>& documents,
                              const std::vector<ocr::document>& pristine = {},
                              const pipeline_config& config = {});
+
+/// Runs the strict Stage II scan (OCR + identify + parse, with the same
+/// validations the `skip`/`quarantine` policies apply) over one document
+/// and reports the fault run_pipeline would quarantine it for, or nullopt
+/// when the document scans cleanly. Used by the fault-injection harness to
+/// guarantee a corrupted document is detectably corrupt.
+std::optional<quarantined_document> probe_document(const ocr::document& doc,
+                                                   const ocr::document* pristine = nullptr,
+                                                   const pipeline_config& config = {},
+                                                   std::size_t index = 0);
+
+/// Serializes a run's quarantine ledger as an avtk.quarantine.v1 JSON
+/// report (schema, policy, documents_in/quarantined counts, and one entry
+/// per refused document).
+std::string quarantine_to_json(const pipeline_result& result, error_policy policy);
 
 /// Stage III only: classifies every disengagement in `db` in place and
 /// returns how many came back Unknown-T.

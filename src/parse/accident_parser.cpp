@@ -117,9 +117,11 @@ accident_parse_result parse_accident_report(const ocr::document& doc,
     id = identify_report(*manual_fallback);
   }
   if (id.kind != report_kind::accident) {
-    throw parse_error("document is not an accident report: " + doc.title);
+    throw header_error("document is not an accident report: " + doc.title);
   }
-  if (!id.maker) throw parse_error("cannot identify manufacturer of accident report");
+  if (!id.maker) {
+    throw header_error("cannot identify manufacturer of accident report: " + doc.title);
+  }
 
   accident_parse_result out;
   out.record.maker = *id.maker;

@@ -32,10 +32,10 @@ disengagement_parse_result parse_disengagement_report(const ocr::document& doc,
     id = identify_report(*manual_fallback);
   }
   if (id.kind != report_kind::disengagement) {
-    throw parse_error("document is not a disengagement report: " + doc.title);
+    throw header_error("document is not a disengagement report: " + doc.title);
   }
-  if (!id.maker) throw parse_error("cannot identify manufacturer of: " + doc.title);
-  if (!id.report_year) throw parse_error("cannot identify DMV release of: " + doc.title);
+  if (!id.maker) throw header_error("cannot identify manufacturer of: " + doc.title);
+  if (!id.report_year) throw header_error("cannot identify DMV release of: " + doc.title);
 
   disengagement_parse_result result;
   result.maker = *id.maker;

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "obs/json.h"
+#include "obs/metrics.h"
+#include "util/errors.h"
 
 namespace avtk::serve {
 
@@ -41,8 +43,20 @@ std::string envelope_ok(const std::optional<json::value>& id, const query_respon
   return out;
 }
 
-std::string envelope_error(const std::optional<json::value>& id, std::string_view message) {
+// Machine-readable code for an execution failure: avtk errors report their
+// taxonomy code, anything else is "internal".
+std::string_view execution_code(const std::exception& e) {
+  if (const auto* ave = dynamic_cast<const avtk::error*>(&e)) {
+    return error_code_name(ave->code());
+  }
+  return "internal";
+}
+
+std::string envelope_error(const std::optional<json::value>& id, std::string_view code,
+                           std::string_view message) {
   std::string out = envelope_prefix(id, false);
+  out += ",\"code\":";
+  out += json::escape(code);
   out += ",\"error\":";
   out += json::escape(message);
   out += '}';
@@ -69,11 +83,11 @@ std::string handle_request_line(query_engine& engine, std::string_view line) {
   const auto id = extract_id(line);
   query_parse_error error;
   const auto q = parse_query(line, &error);
-  if (!q) return envelope_error(id, error.message);
+  if (!q) return envelope_error(id, "parse", error.message);
   try {
     return envelope_ok(id, engine.execute(*q));
   } catch (const std::exception& e) {
-    return envelope_error(id, std::string("query failed: ") + e.what());
+    return envelope_error(id, execution_code(e), std::string("query failed: ") + e.what());
   }
 }
 
@@ -99,7 +113,9 @@ serve_loop_stats run_serve_loop(query_engine& engine, std::istream& in, std::ost
     window.pop_front();
     if (!p.future) {
       ++stats.errors;
-      out << envelope_error(p.id, p.error) << '\n';
+      ++stats.parse_errors;
+      obs::metrics().get_counter("serve.errors.parse").add();
+      out << envelope_error(p.id, "parse", p.error) << '\n';
       return;
     }
     try {
@@ -108,7 +124,10 @@ serve_loop_stats run_serve_loop(query_engine& engine, std::istream& in, std::ost
       out << envelope_ok(p.id, r) << '\n';
     } catch (const std::exception& e) {
       ++stats.errors;
-      out << envelope_error(p.id, std::string("query failed: ") + e.what()) << '\n';
+      ++stats.execution_errors;
+      obs::metrics().get_counter("serve.errors.execution").add();
+      out << envelope_error(p.id, execution_code(e), std::string("query failed: ") + e.what())
+          << '\n';
     }
   };
 

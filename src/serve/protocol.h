@@ -8,7 +8,13 @@
 //   < {"schema":"avtk.serve.v1","ok":true,"query":"metrics?maker=waymo",
 //      "version":"d5328.m12382.a42","payload":{...}}
 //   > {"query": "nope"}
-//   < {"schema":"avtk.serve.v1","ok":false,"error":"unknown query kind 'nope'"}
+//   < {"schema":"avtk.serve.v1","ok":false,"code":"parse",
+//      "error":"unknown query kind 'nope'"}
+//
+// Error envelopes carry a machine-readable "code" alongside the human
+// message: "parse" for malformed requests, the avtk error_code name
+// ("io", "internal", ...) for execution failures. Clients can branch on
+// the code without string-matching the message.
 //
 // Requests may carry an opaque "id" member (string or number) that is
 // echoed back. Blank lines and lines starting with '#' are skipped, so a
@@ -37,7 +43,9 @@ std::string handle_request_line(query_engine& engine, std::string_view line);
 
 struct serve_loop_stats {
   std::size_t requests = 0;
-  std::size_t errors = 0;     ///< parse or execution failures
+  std::size_t errors = 0;            ///< total failures (parse + execution)
+  std::size_t parse_errors = 0;      ///< malformed request lines
+  std::size_t execution_errors = 0;  ///< well-formed queries that failed to run
   std::size_t cache_hits = 0;
 };
 

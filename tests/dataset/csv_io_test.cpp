@@ -102,5 +102,49 @@ TEST(CsvIo, DescriptionsWithCommasAndQuotesSurvive) {
   EXPECT_EQ(back.disengagements()[0].description, d.description);
 }
 
+// Adversarial descriptions: the RFC 4180 corner cases a free-text cause
+// field can legitimately contain. export(import(export(x))) must be exact
+// for every one of them, in both record types that carry descriptions.
+class AdversarialDescription : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AdversarialDescription, DisengagementSurvivesRoundTrip) {
+  failure_database db;
+  disengagement_record d;
+  d.maker = manufacturer::waymo;
+  d.report_year = 2016;
+  d.event_month = year_month{2016, 5};
+  d.description = GetParam();
+  db.add_disengagement(d);
+  const auto csv = export_csv(db);
+  const auto back = import_csv(csv);
+  ASSERT_EQ(back.disengagements().size(), 1u);
+  EXPECT_EQ(back.disengagements()[0].description, GetParam());
+  // Second trip is byte-stable: nothing was "almost" escaped.
+  EXPECT_EQ(export_csv(back).disengagements, csv.disengagements);
+}
+
+TEST_P(AdversarialDescription, AccidentSurvivesRoundTrip) {
+  failure_database db;
+  accident_record a;
+  a.maker = manufacturer::gm_cruise;
+  a.report_year = 2017;
+  a.event_date = date::make(2017, 3, 9);
+  a.description = GetParam();
+  db.add_accident(a);
+  const auto csv = export_csv(db);
+  const auto back = import_csv(csv);
+  ASSERT_EQ(back.accidents().size(), 1u);
+  EXPECT_EQ(back.accidents()[0].description, GetParam());
+  EXPECT_EQ(export_csv(back).accidents, csv.accidents);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rfc4180Corners, AdversarialDescription,
+    ::testing::Values("plain cause", "comma, then more", "a \"quoted\" word",
+                      "quote before comma\", then text", "mid\"quote",
+                      "ends with quote\"", "\"starts with quote",
+                      "multi\nline\ndescription", "crlf\r\ninside",
+                      "trailing comma,", ",", "\"", "\"\"", ""));
+
 }  // namespace
 }  // namespace avtk::dataset

@@ -1,0 +1,130 @@
+// Malformed-document regression suite: structurally broken reports must
+// fail with the right machine-readable error code — and must be
+// quarantined, not fatal, when the pipeline runs with
+// on_error = quarantine.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "dataset/generator.h"
+#include "ocr/document.h"
+#include "parse/accident_parser.h"
+#include "parse/disengagement_parser.h"
+
+namespace {
+
+using namespace avtk;
+
+dataset::generator_config clean_config() {
+  dataset::generator_config cfg;
+  cfg.seed = 416;
+  cfg.quality = ocr::scan_quality::clean;
+  cfg.corrupt_documents = false;
+  return cfg;
+}
+
+ocr::document clean_disengagement_doc() {
+  const auto slice = dataset::generate_slice(dataset::manufacturer::waymo, 2016, clean_config());
+  for (const auto& doc : slice.documents) {
+    if (doc.title.find("Disengagement") != std::string::npos) return doc;
+  }
+  ADD_FAILURE() << "no disengagement document in slice";
+  return {};
+}
+
+ocr::document clean_accident_doc() {
+  const auto slice = dataset::generate_slice(dataset::manufacturer::waymo, 2016, clean_config());
+  for (const auto& doc : slice.documents) {
+    if (doc.title.find("Accident") != std::string::npos) return doc;
+  }
+  ADD_FAILURE() << "no accident document in slice";
+  return {};
+}
+
+TEST(MalformedDocuments, EmptyDocumentIsHeaderError) {
+  ocr::document empty;
+  empty.title = "blank scan";
+  try {
+    parse::parse_disengagement_report(empty, nullptr);
+    FAIL() << "expected header_error";
+  } catch (const header_error& e) {
+    EXPECT_EQ(e.code(), error_code::header);
+  }
+}
+
+TEST(MalformedDocuments, TruncatedHeaderIsHeaderError) {
+  auto doc = clean_disengagement_doc();
+  ASSERT_FALSE(doc.pages.empty());
+  // Chop the identifying header lines off the first page; the body
+  // survives but the report can no longer be identified.
+  auto& lines = doc.pages.front().lines;
+  ASSERT_GT(lines.size(), 4u);
+  lines.erase(lines.begin(), lines.begin() + 4);
+  try {
+    parse::parse_disengagement_report(doc, nullptr);
+    FAIL() << "expected header_error";
+  } catch (const header_error& e) {
+    EXPECT_EQ(e.code(), error_code::header);
+  }
+}
+
+TEST(MalformedDocuments, UnknownManufacturerIsHeaderError) {
+  ocr::document doc = ocr::document::from_text(
+      "Zorblat Dynamics Autonomous Vehicle Disengagement Report\n"
+      "DMV Release: 2016\n"
+      "Reporting Period: January 2016 to December 2016\n");
+  doc.title = "Zorblat Dynamics Disengagement Report 2016";
+  try {
+    parse::parse_disengagement_report(doc, nullptr);
+    FAIL() << "expected header_error";
+  } catch (const header_error& e) {
+    EXPECT_EQ(e.code(), error_code::header);
+    EXPECT_NE(std::string(e.what()).find("manufacturer"), std::string::npos);
+  }
+}
+
+TEST(MalformedDocuments, AccidentReportFedToDisengagementParser) {
+  const auto doc = clean_accident_doc();
+  try {
+    parse::parse_disengagement_report(doc, nullptr);
+    FAIL() << "expected header_error";
+  } catch (const header_error& e) {
+    EXPECT_EQ(e.code(), error_code::header);
+  }
+}
+
+TEST(MalformedDocuments, DisengagementReportFedToAccidentParser) {
+  const auto doc = clean_disengagement_doc();
+  try {
+    parse::parse_accident_report(doc, nullptr);
+    FAIL() << "expected header_error";
+  } catch (const header_error& e) {
+    EXPECT_EQ(e.code(), error_code::header);
+  }
+}
+
+// header_error derives from parse_error: pre-taxonomy handlers that catch
+// parse failures keep working unchanged.
+TEST(MalformedDocuments, HeaderErrorIsAParseError) {
+  ocr::document empty;
+  EXPECT_THROW(parse::parse_disengagement_report(empty, nullptr), parse_error);
+}
+
+TEST(MalformedDocuments, QuarantinedNotFatalUnderQuarantinePolicy) {
+  auto slice = dataset::generate_slice(dataset::manufacturer::waymo, 2016, clean_config());
+  ASSERT_FALSE(slice.documents.empty());
+  // Blank out one document (both copies, like real damage would).
+  slice.documents[0].pages.clear();
+  slice.pristine_documents[0].pages.clear();
+
+  core::pipeline_config cfg;
+  cfg.on_error = core::error_policy::quarantine;
+  core::pipeline_result result;
+  ASSERT_NO_THROW(
+      result = core::run_pipeline(slice.documents, slice.pristine_documents, cfg));
+  ASSERT_EQ(result.quarantined.size(), 1u);
+  EXPECT_EQ(result.quarantined[0].index, 0u);
+  EXPECT_EQ(result.quarantined[0].code, error_code::header);
+  EXPECT_EQ(result.stats.documents_quarantined, 1u);
+}
+
+}  // namespace

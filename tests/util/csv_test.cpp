@@ -113,6 +113,48 @@ TEST(Table, EmptyText) {
   EXPECT_EQ(t.row_count(), 0u);
 }
 
+// RFC 4180 edge cases that real DMV descriptions hit: a quote in the
+// middle of an unquoted field, CRLF inside a quoted field, an
+// unterminated quote at end-of-input, and a trailing separator.
+TEST(Rfc4180, QuoteAfterTextIsLiteral) {
+  // 'aaa"bbb' is outside RFC 4180; tolerant readers keep the quote.
+  const auto r = parse_line(R"(ab"cd,x)");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], R"(ab"cd)");
+  // And the writer re-quotes it so the round trip is exact.
+  EXPECT_EQ(parse_line(format_line(r)), r);
+}
+
+TEST(Rfc4180, CrLfInsideQuotedFieldIsPreserved) {
+  const auto rows = parse("a,\"line1\r\nline2\",c\r\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1], "line1\r\nline2");
+  EXPECT_EQ(parse(format(rows)), rows);
+}
+
+TEST(Rfc4180, UnterminatedQuoteThrowsInMultiRowParse) {
+  EXPECT_THROW(parse("a,b\nc,\"broken\n"), parse_error);
+  EXPECT_THROW(parse("\""), parse_error);
+}
+
+TEST(Rfc4180, TrailingSeparatorYieldsEmptyFinalField) {
+  const auto r = parse_line("a,b,");
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[2], "");
+  const auto rows = parse("a,b,\nc,d,\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].size(), 3u);
+  EXPECT_EQ(rows[1][2], "");
+}
+
+TEST(Rfc4180, QuotedFieldFollowedBySeparator) {
+  const auto r = parse_line(R"("a","b",c)");
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0], "a");
+  EXPECT_EQ(r[1], "b");
+  EXPECT_EQ(r[2], "c");
+}
+
 // Parameterized: round-trip across tricky field contents.
 class FieldRoundTrip : public ::testing::TestWithParam<std::string> {};
 
@@ -125,7 +167,9 @@ INSTANTIATE_TEST_SUITE_P(TrickyFields, FieldRoundTrip,
                          ::testing::Values("", "plain", "with,comma", "with\"quote",
                                            "\"fully quoted\"", "trailing space ",
                                            "line\nbreak... wait",  // no newline in parse_line
-                                           "comma, quote\" both"));
+                                           "comma, quote\" both", "mid\"quote text",
+                                           "ends with quote\"", "\"", "\"\"",
+                                           ",leading comma", "a,\"b\",c"));
 
 }  // namespace
 }  // namespace avtk::csv

@@ -4,10 +4,19 @@
 //       Render the raw DMV-style report corpus to text files.
 //   avtk run [--seed N] [--quality Q] [--csv DIR] [--figures DIR] [--full]
 //            [--parallel N] [--trace-json PATH] [--metrics-json PATH]
+//            [--on-error POLICY] [--quarantine-json PATH] [--inject-* ...]
 //       Run the Stage I-IV pipeline; print headline claims (or the full
 //       report with --full); optionally export the consolidated database
 //       as CSV, the figures as gnuplot bundles, the stage-span trace as
-//       JSON (avtk.trace.v1), and the metric registry as JSON.
+//       JSON (avtk.trace.v1), the metric registry as JSON, and (under
+//       --on-error quarantine) the refused documents as an
+//       avtk.quarantine.v1 report. The --inject-* flags corrupt a seeded
+//       fraction of the corpus first for chaos testing.
+//   avtk inject [--seed N] [--quality Q] [--inject-seed N]
+//               [--inject-fraction F] [--inject-faults K,...]
+//               [--out DIR] [--manifest PATH]
+//       Generate + corrupt the corpus; write the damaged files and the
+//       avtk.inject.v1 manifest.
 //   avtk simulate [--vehicles N] [--months M] [--driverless] [--seed N]
 //                 [--trace-json PATH]
 //       Run the STPA fleet simulator and print the summary + overlay.
@@ -42,6 +51,7 @@
 #include "core/report.h"
 #include "dataset/csv_io.h"
 #include "dataset/generator.h"
+#include "inject/corruptor.h"
 #include "nlp/classifier.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -50,6 +60,7 @@
 #include "serve/protocol.h"
 #include "sim/fleet.h"
 #include "sim/stpa.h"
+#include "util/strings.h"
 
 namespace {
 
@@ -62,8 +73,20 @@ int usage() {
       "  avtk generate --out DIR [--seed N] [--quality clean|good|fair|poor]\n"
       "  avtk run [--seed N] [--quality Q] [--csv DIR] [--figures DIR] [--full]\n"
       "           [--parallel [N]] [--trace-json PATH] [--metrics-json PATH]\n"
+      "           [--on-error fail_fast|skip|quarantine] [--quarantine-json PATH]\n"
+      "           [--inject-seed N] [--inject-fraction F] [--inject-faults K,K,...]\n"
+      "           [--inject-manifest PATH] [--drop-docs I,J,...]\n"
       "      --parallel without a value (or with 0) uses every hardware thread\n"
-      "      for the per-document OCR + parse stage.\n"
+      "      for the per-document OCR + parse stage. --on-error picks the\n"
+      "      per-document fault policy; quarantine surfaces refused documents\n"
+      "      in an avtk.quarantine.v1 report. The --inject-* flags corrupt a\n"
+      "      seeded fraction of the corpus before the run (chaos testing);\n"
+      "      --drop-docs removes the listed document indices outright.\n"
+      "  avtk inject [--seed N] [--quality Q] [--inject-seed N] [--inject-fraction F]\n"
+      "              [--inject-faults K,K,...] [--out DIR] [--manifest PATH]\n"
+      "      Generate the corpus, corrupt a seeded fraction of it (guaranteed\n"
+      "      detectably corrupt), optionally write the damaged corpus and the\n"
+      "      avtk.inject.v1 manifest.\n"
       "  avtk simulate [--vehicles N] [--months M] [--driverless] [--seed N]\n"
       "                [--trace-json PATH]\n"
       "  avtk serve [--seed N] [--quality Q] [--threads N] [--cache-capacity N]\n"
@@ -79,11 +102,23 @@ int usage() {
   return 2;
 }
 
-// Minimal flag parsing: --name value or bare flags.
+// Minimal flag parsing: --name value, --name=value, or bare flags.
 class arg_list {
  public:
   arg_list(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) args_.emplace_back(argv[i]);
+    for (int i = first; i < argc; ++i) {
+      const std::string arg = argv[i];
+      // Split --name=value into the two-token form the accessors expect.
+      if (arg.rfind("--", 0) == 0) {
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+          args_.push_back(arg.substr(0, eq));
+          args_.push_back(arg.substr(eq + 1));
+          continue;
+        }
+      }
+      args_.push_back(arg);
+    }
   }
 
   std::string value_of(const std::string& flag, const std::string& fallback = "") {
@@ -153,15 +188,69 @@ dataset::generator_config make_generator_config(arg_list& args) {
   return cfg;
 }
 
-int cmd_generate(arg_list args) {
-  const auto out_dir = args.value_of("--out");
-  if (out_dir.empty()) {
-    std::fputs("generate: --out DIR is required\n", stderr);
-    return 2;
+// Parses a comma-separated fault-kind list ("garble_header,ocr_noise").
+// Returns nullopt (and prints to stderr) on an unknown kind.
+std::optional<std::vector<inject::fault_kind>> parse_fault_kinds(const std::string& spec) {
+  std::vector<inject::fault_kind> kinds;
+  if (spec.empty()) return kinds;
+  for (const auto& name : str::split(spec, ',')) {
+    const auto kind = inject::fault_kind_from_name(str::trim(name));
+    if (!kind) {
+      std::fprintf(stderr, "unknown fault kind '%s' (known:", std::string(str::trim(name)).c_str());
+      for (const auto k : inject::all_fault_kinds()) {
+        std::fprintf(stderr, " %s", std::string(inject::fault_kind_name(k)).c_str());
+      }
+      std::fputs(")\n", stderr);
+      return std::nullopt;
+    }
+    kinds.push_back(*kind);
   }
-  const auto cfg = make_generator_config(args);
-  const auto corpus = dataset::generate_corpus(cfg);
+  return kinds;
+}
 
+// Parses a comma-separated index list ("3,17,41") into a sorted set.
+std::set<std::size_t> parse_index_list(const std::string& spec) {
+  std::set<std::size_t> out;
+  for (const auto& field : str::split(spec, ',')) {
+    const auto trimmed = str::trim(field);
+    if (trimmed.empty()) continue;
+    out.insert(static_cast<std::size_t>(std::strtoull(std::string(trimmed).c_str(), nullptr, 10)));
+  }
+  return out;
+}
+
+// Shared by run and inject: builds the injection config from flags. The
+// boolean says whether any injection flag was given at all.
+std::pair<inject::injection_config, bool> make_injection_config(arg_list& args, bool* ok) {
+  inject::injection_config cfg;
+  bool requested = false;
+  *ok = true;
+  const auto seed = args.value_of("--inject-seed");
+  if (!seed.empty()) {
+    cfg.seed = std::strtoull(seed.c_str(), nullptr, 10);
+    requested = true;
+  }
+  const auto fraction = args.value_of("--inject-fraction");
+  if (!fraction.empty()) {
+    cfg.fraction = std::strtod(fraction.c_str(), nullptr);
+    requested = true;
+  }
+  const auto faults = args.value_of("--inject-faults");
+  if (!faults.empty()) {
+    const auto kinds = parse_fault_kinds(faults);
+    if (!kinds) {
+      *ok = false;
+      return {cfg, requested};
+    }
+    cfg.kinds = *kinds;
+    requested = true;
+  }
+  return {cfg, requested};
+}
+
+// Renders a corpus (delivered + pristine) to out_dir/scanned and
+// out_dir/pristine, one doc_NNN.txt per document.
+std::size_t write_corpus(const dataset::generated_corpus& corpus, const std::string& out_dir) {
   namespace fs = std::filesystem;
   fs::create_directories(fs::path(out_dir) / "scanned");
   fs::create_directories(fs::path(out_dir) / "pristine");
@@ -177,6 +266,18 @@ int cmd_generate(arg_list args) {
       ++n;
     }
   }
+  return n;
+}
+
+int cmd_generate(arg_list args) {
+  const auto out_dir = args.value_of("--out");
+  if (out_dir.empty()) {
+    std::fputs("generate: --out DIR is required\n", stderr);
+    return 2;
+  }
+  const auto cfg = make_generator_config(args);
+  const auto corpus = dataset::generate_corpus(cfg);
+  const auto n = write_corpus(corpus, out_dir);
   std::printf("wrote %zu files under %s (seed %llu, %zu documents)\n", n, out_dir.c_str(),
               static_cast<unsigned long long>(cfg.seed), corpus.documents.size());
   return 0;
@@ -186,14 +287,69 @@ int cmd_run(arg_list args) {
   const auto cfg = make_generator_config(args);
   const auto trace_path = args.value_of("--trace-json");
   const auto metrics_path = args.value_of("--metrics-json");
+
+  core::pipeline_config pcfg;
+  const auto on_error = args.value_of("--on-error");
+  if (!on_error.empty()) {
+    const auto policy = core::error_policy_from_name(on_error);
+    if (!policy) {
+      std::fprintf(stderr, "run: unknown --on-error policy '%s' (fail_fast, skip, quarantine)\n",
+                   on_error.c_str());
+      return 2;
+    }
+    pcfg.on_error = *policy;
+  }
+  const auto quarantine_path = args.value_of("--quarantine-json");
+  const auto manifest_path = args.value_of("--inject-manifest");
+  bool inject_flags_ok = true;
+  const auto [inject_cfg, inject_requested] = make_injection_config(args, &inject_flags_ok);
+  if (!inject_flags_ok) return 2;
+
   std::printf("generating corpus (seed %llu) and running the pipeline...\n",
               static_cast<unsigned long long>(cfg.seed));
-  const auto corpus = dataset::generate_corpus(cfg);
+  auto corpus = dataset::generate_corpus(cfg);
+
+  if (inject_requested) {
+    const auto report =
+        inject::inject_faults(corpus.documents, corpus.pristine_documents, inject_cfg);
+    std::printf("injected faults into %zu of %zu documents (inject seed %llu)\n",
+                report.faults.size(), report.documents_in,
+                static_cast<unsigned long long>(report.seed));
+    if (!manifest_path.empty()) {
+      if (!obs::write_text_file(manifest_path, inject::injection_to_json(report))) {
+        std::fprintf(stderr, "run: failed to write inject manifest to %s\n",
+                     manifest_path.c_str());
+        return 1;
+      }
+      std::printf("inject manifest written to %s\n", manifest_path.c_str());
+    }
+  }
+
+  // --drop-docs: remove the listed document indices entirely before the
+  // pipeline sees them. This is the control arm of the chaos determinism
+  // gate: a quarantine run that refuses set S must produce byte-identical
+  // analysis output to a clean run that never had S.
+  const auto drop_spec = args.value_of("--drop-docs");
+  if (!drop_spec.empty()) {
+    const auto drop = parse_index_list(drop_spec);
+    std::vector<ocr::document> kept_docs;
+    std::vector<ocr::document> kept_pristine;
+    for (std::size_t i = 0; i < corpus.documents.size(); ++i) {
+      if (drop.contains(i)) continue;
+      kept_docs.push_back(std::move(corpus.documents[i]));
+      if (i < corpus.pristine_documents.size()) {
+        kept_pristine.push_back(std::move(corpus.pristine_documents[i]));
+      }
+    }
+    std::printf("dropped %zu of %zu documents before the pipeline\n",
+                corpus.documents.size() - kept_docs.size(), corpus.documents.size());
+    corpus.documents = std::move(kept_docs);
+    corpus.pristine_documents = std::move(kept_pristine);
+  }
 
   // The trace epoch starts after corpus generation so `total_ns` is the
   // end-to-end pipeline + analysis wall-clock, not the data synthesis.
   obs::trace trace;
-  core::pipeline_config pcfg;
   if (const auto parallel = args.value_if_present("--parallel")) {
     // Bare --parallel (or an explicit 0) means "use every hardware thread".
     const unsigned n =
@@ -216,6 +372,25 @@ int cmd_run(arg_list args) {
   analysis_span.close();
   std::cout << core::render_pipeline_stats(result.stats) << "\n";
   std::cout << rendered;
+
+  if (result.stats.documents_quarantined > 0) {
+    std::printf("\n%zu document(s) quarantined under policy '%s'\n",
+                result.stats.documents_quarantined,
+                std::string(core::error_policy_name(pcfg.on_error)).c_str());
+    for (const auto& q : result.quarantined) {
+      std::printf("  [%zu] %s (%s): %s\n", q.index, q.title.c_str(),
+                  std::string(error_code_name(q.code)).c_str(), q.message.c_str());
+    }
+  }
+  if (!quarantine_path.empty()) {
+    if (!obs::write_text_file(quarantine_path,
+                              core::quarantine_to_json(result, pcfg.on_error))) {
+      std::fprintf(stderr, "run: failed to write quarantine report to %s\n",
+                   quarantine_path.c_str());
+      return 1;
+    }
+    std::printf("quarantine report written to %s\n", quarantine_path.c_str());
+  }
 
   if (!trace_path.empty()) {
     if (!obs::write_text_file(trace_path, obs::trace_to_json(trace))) {
@@ -255,6 +430,46 @@ int cmd_run(arg_list args) {
     const auto written = core::write_bundle(bundle, fig_dir);
     std::printf("%zu figure files (gnuplot + data) written under %s\n", written,
                 fig_dir.c_str());
+  }
+  return 0;
+}
+
+int cmd_inject(arg_list args) {
+  const auto cfg = make_generator_config(args);
+  bool inject_flags_ok = true;
+  auto [inject_cfg, inject_requested] = make_injection_config(args, &inject_flags_ok);
+  if (!inject_flags_ok) return 2;
+  (void)inject_requested;  // inject always injects; the flags just tune it
+  const auto out_dir = args.value_of("--out");
+  const auto manifest_path = args.value_of("--manifest");
+
+  std::printf("generating corpus (seed %llu) and injecting faults (inject seed %llu, fraction %g)...\n",
+              static_cast<unsigned long long>(cfg.seed),
+              static_cast<unsigned long long>(inject_cfg.seed), inject_cfg.fraction);
+  auto corpus = dataset::generate_corpus(cfg);
+  const auto report =
+      inject::inject_faults(corpus.documents, corpus.pristine_documents, inject_cfg);
+
+  std::printf("corrupted %zu of %zu documents:\n", report.faults.size(), report.documents_in);
+  for (const auto& f : report.faults) {
+    std::printf("  [%zu] %s: %s", f.index, f.title.c_str(),
+                std::string(inject::fault_kind_name(f.requested)).c_str());
+    if (f.applied != f.requested) {
+      std::printf(" -> escalated to %s", std::string(inject::fault_kind_name(f.applied)).c_str());
+    }
+    std::printf(" (probe: %s)\n", std::string(error_code_name(f.code)).c_str());
+  }
+
+  if (!out_dir.empty()) {
+    const auto n = write_corpus(corpus, out_dir);
+    std::printf("wrote %zu corrupted corpus files under %s\n", n, out_dir.c_str());
+  }
+  if (!manifest_path.empty()) {
+    if (!obs::write_text_file(manifest_path, inject::injection_to_json(report))) {
+      std::fprintf(stderr, "inject: failed to write manifest to %s\n", manifest_path.c_str());
+      return 1;
+    }
+    std::printf("inject manifest (avtk.inject.v1) written to %s\n", manifest_path.c_str());
   }
   return 0;
 }
@@ -332,8 +547,11 @@ int cmd_serve(arg_list args) {
     }
     stats = serve::run_serve_loop(engine, in, std::cout);
   }
-  std::fprintf(stderr, "serve: %zu requests, %zu errors, %zu cache hits, cache size %zu\n",
-               stats.requests, stats.errors, stats.cache_hits, engine.cache_size());
+  std::fprintf(stderr,
+               "serve: %zu requests, %zu errors (%zu parse, %zu execution), %zu cache hits, "
+               "cache size %zu\n",
+               stats.requests, stats.errors, stats.parse_errors, stats.execution_errors,
+               stats.cache_hits, engine.cache_size());
 
   if (!metrics_path.empty()) {
     if (!obs::write_text_file(metrics_path,
@@ -343,7 +561,9 @@ int cmd_serve(arg_list args) {
     }
     std::fprintf(stderr, "serve: metric snapshot written to %s\n", metrics_path.c_str());
   }
-  return stats.errors == 0 ? 0 : 1;
+  // A completed loop is a successful serve: bad requests were answered on
+  // the wire with {"ok":false,"code":...} envelopes, not a server failure.
+  return 0;
 }
 
 int cmd_query(arg_list args) {
@@ -398,6 +618,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "generate") return cmd_generate(arg_list(argc, argv, 2));
     if (command == "run") return cmd_run(arg_list(argc, argv, 2));
+    if (command == "inject") return cmd_inject(arg_list(argc, argv, 2));
     if (command == "simulate") return cmd_simulate(arg_list(argc, argv, 2));
     if (command == "serve") return cmd_serve(arg_list(argc, argv, 2));
     if (command == "query") return cmd_query(arg_list(argc, argv, 2));
