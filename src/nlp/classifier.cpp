@@ -15,7 +15,7 @@ keyword_voting_classifier::keyword_voting_classifier(failure_dictionary dictiona
 
 std::size_t count_phrase_matches(const std::vector<std::string>& stems,
                                  const std::vector<std::string>& phrase) {
-  if (phrase.empty() || phrase.size() > stems.size()) return 0;
+  if (phrase.empty() || stems.empty() || phrase.size() > stems.size()) return 0;
   std::size_t count = 0;
   for (std::size_t i = 0; i + phrase.size() <= stems.size(); ++i) {
     bool match = true;
@@ -30,11 +30,19 @@ std::size_t count_phrase_matches(const std::vector<std::string>& stems,
   return count;
 }
 
-tag_scores keyword_voting_classifier::score_all(std::string_view description) const {
+namespace {
+
+// Stage III's shared preprocessing: tokenize, drop stop words and log
+// boilerplate, stem.
+std::vector<std::string> description_stems(std::string_view description) {
   auto words = tokenize_words(description);
   words = remove_stopwords(words);
-  const auto stems = stem_all(words);
+  return stem_all(words);
+}
 
+}  // namespace
+
+tag_scores keyword_voting_classifier::score_stems(const std::vector<std::string>& stems) const {
   tag_scores scores;
   for (const auto tag : dictionary_.tags()) {
     double total = 0;
@@ -47,13 +55,18 @@ tag_scores keyword_voting_classifier::score_all(std::string_view description) co
   return scores;
 }
 
+tag_scores keyword_voting_classifier::score_all(std::string_view description) const {
+  return score_stems(description_stems(description));
+}
+
 classification keyword_voting_classifier::classify(std::string_view description) const {
   static obs::counter& classified = obs::metrics().get_counter("nlp.classifications");
   static obs::counter& unknown = obs::metrics().get_counter("nlp.unknown_tags");
 
   classified.add();
   classification out;
-  const auto scores = score_all(description);
+  const auto stems = description_stems(description);
+  const auto scores = score_stems(stems);
   if (scores.empty()) {
     unknown.add();
     return out;  // Unknown-T / Unknown-C defaults
@@ -81,10 +94,8 @@ classification keyword_voting_classifier::classify(std::string_view description)
   out.confidence = best_score > 0 ? (best_score - runner_up) / best_score : 0.0;
 
   // Record which of the winner's phrases matched, for auditability (the
-  // paper's authors manually verified dictionary assignments).
-  auto words = tokenize_words(description);
-  words = remove_stopwords(words);
-  const auto stems = stem_all(words);
+  // paper's authors manually verified dictionary assignments). The stems
+  // computed for scoring are reused — the description is not re-tokenized.
   for (const auto& phrase : dictionary_.phrases(best)) {
     if (count_phrase_matches(stems, phrase.stems) > 0) {
       out.matched_phrases.push_back(str::join(phrase.stems, " "));

@@ -43,6 +43,9 @@ class keyword_voting_classifier {
   const failure_dictionary& dictionary() const { return dictionary_; }
 
  private:
+  /// Vote totals for an already tokenized/stemmed description.
+  tag_scores score_stems(const std::vector<std::string>& stems) const;
+
   failure_dictionary dictionary_;
 };
 

@@ -107,6 +107,14 @@ TEST(CountPhraseMatches, ContiguousOnly) {
   EXPECT_EQ(count_phrase_matches({"a"}, {}), 0u);
 }
 
+TEST(CountPhraseMatches, EmptyInputs) {
+  // Empty stem streams and empty phrases never match, in any combination.
+  EXPECT_EQ(count_phrase_matches({}, {"a"}), 0u);
+  EXPECT_EQ(count_phrase_matches({}, {"a", "b", "c"}), 0u);
+  EXPECT_EQ(count_phrase_matches({}, {}), 0u);
+  EXPECT_EQ(count_phrase_matches({"a", "b"}, {}), 0u);
+}
+
 // The load-bearing property: every phrase-bank description for a tag must
 // classify back to exactly that tag (the generator<->classifier contract
 // behind Table IV / Fig. 6).
