@@ -90,11 +90,18 @@ struct pipeline_config {
   parse::normalizer_config normalizer;
   parse::filter_config filter;
   nlp::failure_dictionary dictionary = nlp::failure_dictionary::builtin();
+  /// Stage-III scorer backend. Both backends produce bit-identical
+  /// classifications (CI gates on byte-identical pipeline output); `naive`
+  /// keeps the original per-phrase scan for differential testing and
+  /// benchmarking against the Aho-Corasick default.
+  nlp::labeling_backend labeling = nlp::labeling_backend::automaton;
   /// When non-null, the pipeline records hierarchical stage spans here
   /// (pipeline → scan → per-document ocr/parse, then merge / normalize /
-  /// ingest / classify / analysis; quarantined documents add a `quarantine`
-  /// span under scan). Tracing never changes the pipeline's output —
-  /// determinism with tracing on vs. off is tested.
+  /// ingest / classify / analysis; classify carries `classify.build` and
+  /// `classify.label` children splitting matcher construction from the
+  /// labeling pass; quarantined documents add a `quarantine` span under
+  /// scan). Tracing never changes the pipeline's output — determinism with
+  /// tracing on vs. off is tested.
   obs::trace* trace = nullptr;
 };
 
@@ -167,8 +174,11 @@ std::optional<quarantined_document> probe_document(const ocr::document& doc,
 std::string quarantine_to_json(const pipeline_result& result, error_policy policy);
 
 /// Stage III only: classifies every disengagement in `db` in place and
-/// returns how many came back Unknown-T.
+/// returns how many came back Unknown-T. With parallelism > 1 the batch
+/// classify pass fans out over that many workers sharing the classifier
+/// read-only; the labeled database is identical for any worker count.
 std::size_t label_disengagements(dataset::failure_database& db,
-                                 const nlp::keyword_voting_classifier& classifier);
+                                 const nlp::keyword_voting_classifier& classifier,
+                                 unsigned parallelism = 1);
 
 }  // namespace avtk::core

@@ -15,6 +15,13 @@ void failure_database::add_disengagement(disengagement_record rec) {
   ++version_.disengagements;
 }
 
+void failure_database::relabel_disengagement(std::size_t index, nlp::fault_tag tag,
+                                             nlp::failure_category category) {
+  disengagements_.at(index).tag = tag;
+  disengagements_.at(index).category = category;
+  ++version_.disengagements;
+}
+
 void failure_database::add_mileage(mileage_record rec) {
   mileage_.push_back(std::move(rec));
   ++version_.mileage;

@@ -48,6 +48,15 @@ class failure_database {
   void add_mileage(mileage_record rec);
   void add_accident(accident_record rec);
 
+  /// Stage III writes its verdicts back in place: re-tags the
+  /// disengagement at `index`. Bumps the disengagement version exactly
+  /// like an add, so cached query results keyed on the version are
+  /// invalidated. (The alternative — rebuilding the whole database just
+  /// to change two enum fields per record — deep-copies every string and
+  /// dominated the label stage's wall-clock.)
+  void relabel_disengagement(std::size_t index, nlp::fault_tag tag,
+                             nlp::failure_category category);
+
   /// Current per-domain version counters. Each add_* bumps exactly one
   /// domain by one; a default-constructed database is at {0, 0, 0}.
   const database_version& version() const { return version_; }

@@ -1,0 +1,111 @@
+#include "nlp/automaton.h"
+
+#include <deque>
+#include <map>
+
+namespace avtk::nlp {
+
+namespace {
+
+// Trie node used only during construction; flattened to the dense table
+// before the constructor returns. An ordered map keeps the build (and the
+// BFS order) deterministic, which keeps state numbering deterministic.
+struct trie_node {
+  std::map<std::uint32_t, std::uint32_t> edges;  ///< stem id -> state
+  std::vector<std::uint32_t> ends;               ///< phrases ending here
+  std::uint32_t fail = 0;
+};
+
+}  // namespace
+
+phrase_automaton::phrase_automaton(const failure_dictionary& dictionary,
+                                   stem_interner& interner) {
+  // Pass 1: intern every phrase stem and lay out the global phrase table in
+  // the dictionary's own (tag, phrase index) order.
+  std::vector<std::vector<std::uint32_t>> phrase_ids;
+  for (const auto tag : dictionary.tags()) {
+    const auto& phrases = dictionary.phrases(tag);
+    tag_block block;
+    block.tag = tag;
+    block.first = static_cast<std::uint32_t>(phrases_.size());
+    block.count = static_cast<std::uint32_t>(phrases.size());
+    blocks_.push_back(block);
+    for (std::uint32_t i = 0; i < phrases.size(); ++i) {
+      phrase_info info;
+      info.tag = tag;
+      info.index_in_tag = i;
+      info.weight = phrases[i].weight;
+      phrases_.push_back(info);
+      std::vector<std::uint32_t> ids;
+      ids.reserve(phrases[i].stems.size());
+      for (const auto& stem : phrases[i].stems) ids.push_back(interner.intern(stem));
+      phrase_ids.push_back(std::move(ids));
+    }
+  }
+  alphabet_ = static_cast<std::uint32_t>(interner.size());
+
+  // Pass 2: build the goto trie. Shared prefixes share states; a phrase
+  // that is a prefix of another terminates mid-path and adds no state.
+  std::vector<trie_node> trie(1);
+  for (std::uint32_t pid = 0; pid < phrase_ids.size(); ++pid) {
+    std::uint32_t state = 0;
+    for (const auto id : phrase_ids[pid]) {
+      const auto [it, inserted] =
+          trie[state].edges.emplace(id, static_cast<std::uint32_t>(trie.size()));
+      if (inserted) trie.emplace_back();
+      state = it->second;
+    }
+    trie[state].ends.push_back(pid);
+  }
+  state_count_ = trie.size();
+
+  // Pass 3: BFS failure links, resolved directly into a dense transition
+  // table (goto where defined, failure transition otherwise), and
+  // suffix-closed output lists so matching never chases failure chains.
+  next_.assign(state_count_ * alphabet_, 0);
+  std::deque<std::uint32_t> queue;
+  for (const auto& [id, child] : trie[0].edges) {
+    next_[id] = child;
+    queue.push_back(child);
+  }
+  std::vector<std::vector<std::uint32_t>> outputs(state_count_);
+  outputs[0] = trie[0].ends;  // only non-empty for empty phrases, which the
+                              // dictionary rejects at add_phrase time
+  while (!queue.empty()) {
+    const auto state = queue.front();
+    queue.pop_front();
+    const auto fail = trie[state].fail;
+    outputs[state] = trie[state].ends;
+    outputs[state].insert(outputs[state].end(), outputs[fail].begin(), outputs[fail].end());
+    // Start from the failure state's fully resolved row, then overwrite
+    // with this state's own goto edges.
+    for (std::uint32_t c = 0; c < alphabet_; ++c) {
+      next_[state * alphabet_ + c] = next_[fail * alphabet_ + c];
+    }
+    for (const auto& [id, child] : trie[state].edges) {
+      trie[child].fail = next_[fail * alphabet_ + id];
+      next_[state * alphabet_ + id] = child;
+      queue.push_back(child);
+    }
+  }
+
+  out_first_.assign(state_count_ + 1, 0);
+  for (std::size_t s = 0; s < state_count_; ++s) {
+    out_first_[s + 1] = out_first_[s] + static_cast<std::uint32_t>(outputs[s].size());
+  }
+  out_ids_.reserve(out_first_.back());
+  for (const auto& out : outputs) out_ids_.insert(out_ids_.end(), out.begin(), out.end());
+}
+
+void phrase_automaton::count_matches(std::span<const std::uint32_t> stems,
+                                     std::span<std::size_t> counts) const {
+  std::uint32_t state = 0;
+  for (const auto id : stems) {
+    state = step(state, id);
+    for (auto i = out_first_[state]; i < out_first_[state + 1]; ++i) {
+      ++counts[out_ids_[i]];
+    }
+  }
+}
+
+}  // namespace avtk::nlp

@@ -1,6 +1,7 @@
 #include "nlp/classifier.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "obs/metrics.h"
 #include "nlp/stemmer.h"
@@ -10,8 +11,34 @@
 
 namespace avtk::nlp {
 
-keyword_voting_classifier::keyword_voting_classifier(failure_dictionary dictionary)
-    : dictionary_(std::move(dictionary)) {}
+std::string_view labeling_backend_name(labeling_backend backend) {
+  switch (backend) {
+    case labeling_backend::naive:
+      return "naive";
+    case labeling_backend::automaton:
+      return "automaton";
+  }
+  return "automaton";
+}
+
+std::optional<labeling_backend> labeling_backend_from_name(std::string_view name) {
+  if (name == "naive") return labeling_backend::naive;
+  if (name == "automaton") return labeling_backend::automaton;
+  return std::nullopt;
+}
+
+keyword_voting_classifier::keyword_voting_classifier(failure_dictionary dictionary,
+                                                     labeling_backend backend)
+    : dictionary_(std::move(dictionary)),
+      backend_(backend),
+      automaton_(dictionary_, interner_) {
+  phrase_texts_.reserve(automaton_.phrase_count());
+  for (const auto& block : automaton_.tag_blocks()) {
+    for (const auto& phrase : dictionary_.phrases(block.tag)) {
+      phrase_texts_.push_back(str::join(phrase.stems, " "));
+    }
+  }
+}
 
 std::size_t count_phrase_matches(const std::vector<std::string>& stems,
                                  const std::vector<std::string>& phrase) {
@@ -33,11 +60,37 @@ std::size_t count_phrase_matches(const std::vector<std::string>& stems,
 namespace {
 
 // Stage III's shared preprocessing: tokenize, drop stop words and log
-// boilerplate, stem.
+// boilerplate, stem. (The automaton backend fuses this into
+// interned_stem_ids instead.)
 std::vector<std::string> description_stems(std::string_view description) {
   auto words = tokenize_words(description);
   words = remove_stopwords(words);
   return stem_all(words);
+}
+
+// Winner = max score; tie broken by enum order for determinism (tags() and
+// tag_blocks() iterate the ordered dictionary map, and strict > keeps the
+// first maximum). Shared verbatim by both backends.
+classification finalize_scores(const tag_scores& scores) {
+  classification out;
+  fault_tag best = fault_tag::unknown;
+  double best_score = 0;
+  for (const auto& [tag, score] : scores) {
+    if (score > best_score) {
+      best = tag;
+      best_score = score;
+    }
+  }
+  double runner_up = 0;
+  for (const auto& [tag, score] : scores) {
+    if (tag != best) runner_up = std::max(runner_up, score);
+  }
+  out.tag = best;
+  out.category = category_of(best);
+  out.score = best_score;
+  out.runner_up = runner_up;
+  out.confidence = best_score > 0 ? (best_score - runner_up) / best_score : 0.0;
+  return out;
 }
 
 }  // namespace
@@ -55,52 +108,138 @@ tag_scores keyword_voting_classifier::score_stems(const std::vector<std::string>
   return scores;
 }
 
-tag_scores keyword_voting_classifier::score_all(std::string_view description) const {
-  return score_stems(description_stems(description));
+void keyword_voting_classifier::score_interned(std::string_view description, scratch& s) const {
+  interned_stem_ids(description, interner_, s.stem_ids, s.tokens);
+  s.counts.assign(automaton_.phrase_count(), 0);
+  automaton_.count_matches(s.stem_ids, s.counts);
+
+  // Accumulate per tag in (tag, phrase index) order — the same float
+  // addition order as the naive scorer, so totals are bit-identical.
+  const auto& phrases = automaton_.phrases();
+  const auto& blocks = automaton_.tag_blocks();
+  s.block_totals.assign(blocks.size(), 0.0);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    double total = 0;
+    for (std::uint32_t i = 0; i < blocks[b].count; ++i) {
+      const auto pid = blocks[b].first + i;
+      total += static_cast<double>(s.counts[pid]) * phrases[pid].weight;
+    }
+    s.block_totals[b] = total;
+  }
 }
 
-classification keyword_voting_classifier::classify(std::string_view description) const {
+classification keyword_voting_classifier::classify_with(std::string_view description,
+                                                        scratch& s) const {
   static obs::counter& classified = obs::metrics().get_counter("nlp.classifications");
   static obs::counter& unknown = obs::metrics().get_counter("nlp.unknown_tags");
-
   classified.add();
-  classification out;
-  const auto stems = description_stems(description);
-  const auto scores = score_stems(stems);
-  if (scores.empty()) {
-    unknown.add();
-    return out;  // Unknown-T / Unknown-C defaults
+
+  if (backend_ == labeling_backend::naive) {
+    const auto stems = description_stems(description);
+    const auto scores = score_stems(stems);
+    if (scores.empty()) {
+      unknown.add();
+      return {};  // Unknown-T / Unknown-C defaults
+    }
+    auto out = finalize_scores(scores);
+    // Record which of the winner's phrases matched, for auditability (the
+    // paper's authors manually verified dictionary assignments). The stems
+    // computed for scoring are reused — the description is not re-tokenized.
+    for (const auto& phrase : dictionary_.phrases(out.tag)) {
+      if (count_phrase_matches(stems, phrase.stems) > 0) {
+        out.matched_phrases.push_back(str::join(phrase.stems, " "));
+      }
+    }
+    return out;
   }
 
-  // Winner = max score; tie broken by the more specific tag (one with the
-  // heaviest single phrase matched), then by enum order for determinism.
+  score_interned(description, s);
+  // Flat-array replay of finalize_scores: tag_blocks iterate in the same
+  // ordered-map tag order the naive tag_scores map does, strict > keeps
+  // the first maximum, and non-positive totals can never win or place —
+  // exactly the naive selection rule, without a map allocation per call.
+  const auto& blocks = automaton_.tag_blocks();
   fault_tag best = fault_tag::unknown;
   double best_score = 0;
-  for (const auto& [tag, score] : scores) {
-    if (score > best_score) {
-      best = tag;
-      best_score = score;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    if (s.block_totals[b] > best_score) {
+      best = blocks[b].tag;
+      best_score = s.block_totals[b];
     }
   }
-  double runner_up = 0;
-  for (const auto& [tag, score] : scores) {
-    if (tag != best) runner_up = std::max(runner_up, score);
+  if (best_score <= 0) {
+    unknown.add();
+    return {};  // Unknown-T / Unknown-C defaults
   }
-
+  double runner_up = 0;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    if (blocks[b].tag != best) runner_up = std::max(runner_up, s.block_totals[b]);
+  }
+  classification out;
   out.tag = best;
   out.category = category_of(best);
   out.score = best_score;
   out.runner_up = runner_up;
-  out.confidence = best_score > 0 ? (best_score - runner_up) / best_score : 0.0;
-
-  // Record which of the winner's phrases matched, for auditability (the
-  // paper's authors manually verified dictionary assignments). The stems
-  // computed for scoring are reused — the description is not re-tokenized.
-  for (const auto& phrase : dictionary_.phrases(best)) {
-    if (count_phrase_matches(stems, phrase.stems) > 0) {
-      out.matched_phrases.push_back(str::join(phrase.stems, " "));
+  out.confidence = (best_score - runner_up) / best_score;
+  // The hit counts from the single matching pass double as the
+  // matched-phrase record: same phrases, same dictionary order.
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    if (blocks[b].tag != best) continue;
+    for (std::uint32_t i = 0; i < blocks[b].count; ++i) {
+      const auto pid = blocks[b].first + i;
+      if (s.counts[pid] > 0) out.matched_phrases.push_back(phrase_texts_[pid]);
     }
+    break;
   }
+  return out;
+}
+
+classification keyword_voting_classifier::classify(std::string_view description) const {
+  thread_local scratch s;
+  return classify_with(description, s);
+}
+
+tag_scores keyword_voting_classifier::score_all(std::string_view description) const {
+  if (backend_ == labeling_backend::naive) {
+    return score_stems(description_stems(description));
+  }
+  thread_local scratch s;
+  score_interned(description, s);
+  tag_scores scores;
+  const auto& blocks = automaton_.tag_blocks();
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    if (s.block_totals[b] > 0) scores[blocks[b].tag] = s.block_totals[b];
+  }
+  return scores;
+}
+
+std::vector<classification> keyword_voting_classifier::classify_all(
+    std::span<const std::string_view> descriptions, unsigned parallelism) const {
+  std::vector<classification> out(descriptions.size());
+  unsigned workers = std::max(1u, parallelism);
+  if (descriptions.size() < workers) {
+    workers = descriptions.empty() ? 1u : static_cast<unsigned>(descriptions.size());
+  }
+  if (workers == 1) {
+    scratch s;
+    for (std::size_t i = 0; i < descriptions.size(); ++i) {
+      out[i] = classify_with(descriptions[i], s);
+    }
+    return out;
+  }
+  // Fixed-stride split into disjoint result slots; the automaton, interner
+  // and dictionary are read-only, so workers share them without locking.
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) {
+    threads.emplace_back([&, t] {
+      scratch s;
+      for (std::size_t i = t; i < descriptions.size(); i += workers) {
+        out[i] = classify_with(descriptions[i], s);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
   return out;
 }
 

@@ -1,0 +1,63 @@
+#include "nlp/interner.h"
+
+#include <atomic>
+
+#include "nlp/stemmer.h"
+#include "nlp/stopwords.h"
+#include "nlp/tokenizer.h"
+
+namespace avtk::nlp {
+
+std::uint64_t stem_interner::next_generation() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::uint32_t stem_interner::intern(std::string_view stem) {
+  if (const auto it = ids_.find(stem); it != ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(spellings_.size());
+  spellings_.emplace_back(stem);
+  ids_.emplace(spellings_.back(), id);
+  generation_ = next_generation();
+  return id;
+}
+
+std::uint32_t stem_interner::find(std::string_view stem) const {
+  const auto it = ids_.find(stem);
+  return it == ids_.end() ? npos : it->second;
+}
+
+void interned_stem_ids(std::string_view text, const stem_interner& interner,
+                       std::vector<std::uint32_t>& out, token_scratch& scratch) {
+  out.clear();
+  if (scratch.memo_generation != interner.generation()) {
+    scratch.memo.clear();
+    scratch.memo_generation = interner.generation();
+  }
+  std::size_t pos = 0;
+  auto& word = scratch.word;
+  while (true) {
+    const auto raw = next_token_view(text, pos);
+    if (raw.empty()) break;
+    word.assign(raw);
+    for (auto& c : word) {
+      if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    }
+    std::uint32_t id;
+    if (const auto it = scratch.memo.find(word); it != scratch.memo.end()) {
+      id = it->second;
+    } else {
+      if (is_stopword(word) || is_log_boilerplate(word)) {
+        id = token_scratch::skip;
+      } else {
+        scratch.stem_buf = word;
+        stem_in_place(scratch.stem_buf);
+        id = interner.find(scratch.stem_buf);
+      }
+      if (scratch.memo.size() < token_scratch::memo_cap) scratch.memo.emplace(word, id);
+    }
+    if (id != token_scratch::skip) out.push_back(id);
+  }
+}
+
+}  // namespace avtk::nlp

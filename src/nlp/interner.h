@@ -1,0 +1,103 @@
+// avtk/nlp/interner.h
+//
+// Stem interner for the Stage-III labeling hot path: a symbol table
+// mapping stem strings to dense uint32_t ids, shared by the failure
+// dictionary and the tokenizer so phrase matching compares integers
+// instead of strings. Ids are assigned in first-intern order, so a
+// dictionary always interns to the same ids regardless of the corpus
+// later classified against it (determinism is tested).
+//
+// The intended lifecycle is build-then-freeze: the phrase automaton
+// interns every dictionary stem at construction, after which the interner
+// is only read (`find`, `spelling`) — all const members, safe to share
+// across threads without locking.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace avtk::nlp {
+
+class stem_interner {
+ public:
+  /// Sentinel for "not an interned stem". Descriptions routinely contain
+  /// stems outside the dictionary vocabulary; they all map to npos, which
+  /// by construction can never match a phrase token.
+  static constexpr std::uint32_t npos = 0xffffffffu;
+
+  stem_interner() = default;
+
+  /// Id for `stem`, interning it on first sight. Ids are dense: the n-th
+  /// distinct stem gets id n-1.
+  std::uint32_t intern(std::string_view stem);
+
+  /// Id for `stem` or npos when it was never interned. Read-only: never
+  /// allocates, safe for concurrent use once the table is frozen.
+  std::uint32_t find(std::string_view stem) const;
+
+  /// The spelling behind an id (valid for ids returned by intern/find).
+  std::string_view spelling(std::uint32_t id) const { return spellings_[id]; }
+
+  /// Number of distinct interned stems == the automaton's alphabet size.
+  std::size_t size() const { return spellings_.size(); }
+
+  /// Identity of this interner's current stem→id mapping. Changes every
+  /// time a new stem is interned and is unique across all interner
+  /// instances that ever assigned ids, so a token_scratch memo built
+  /// against one mapping can never be mistaken for another's (classify
+  /// uses thread_local scratch shared across classifier instances).
+  std::uint64_t generation() const { return generation_; }
+
+  // Heterogeneous lookup (C++20 transparent hash) so find(string_view)
+  // never materializes a std::string on the classify hot path.
+  struct sv_hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+ private:
+  static std::uint64_t next_generation();
+
+  std::unordered_map<std::string, std::uint32_t, sv_hash, std::equal_to<>> ids_;
+  std::vector<std::string> spellings_;
+  std::uint64_t generation_ = 0;  ///< 0 = empty mapping (memo-compatible)
+};
+
+/// Reusable per-caller scratch for the fused token pass. One instance per
+/// thread; reusing it across calls makes the pass allocation-free once the
+/// buffers have warmed up. The memo caches the full
+/// stopword-check + stem + intern result per distinct lower-cased token,
+/// so corpora with a bounded vocabulary (every real one) pay the Porter
+/// stemmer once per word, not once per occurrence. Stemming is a pure
+/// function, so the memo never changes the emitted id sequence.
+struct token_scratch {
+  /// Memo value for "token is a stop word / boilerplate: emit nothing".
+  /// Distinct from stem_interner::npos, which IS emitted (an
+  /// out-of-vocabulary stem still occupies a position and breaks phrase
+  /// adjacency).
+  static constexpr std::uint32_t skip = 0xfffffffeu;
+  /// Memo growth cap: past this many distinct tokens (pathological,
+  /// e.g. unbounded OCR noise) new tokens are resolved but not cached.
+  static constexpr std::size_t memo_cap = 1u << 16;
+
+  std::string word;      ///< lower-cased token being resolved
+  std::string stem_buf;  ///< stemming workspace (keeps `word` as memo key)
+  std::unordered_map<std::string, std::uint32_t, stem_interner::sv_hash, std::equal_to<>> memo;
+  std::uint64_t memo_generation = 0;  ///< interner generation the memo was built against
+};
+
+/// The fused Stage-III token pass: tokenize `text`, drop stop words and
+/// log boilerplate, stem, and map each stem to its interned id (npos for
+/// stems outside the interner's vocabulary). Appends to `out` after
+/// clearing it. Produces ids for exactly the stem sequence
+/// stem_all(remove_stopwords(tokenize_words(text))) yields — the
+/// equivalence the naive/automaton differential suite pins down.
+void interned_stem_ids(std::string_view text, const stem_interner& interner,
+                       std::vector<std::uint32_t>& out, token_scratch& scratch);
+
+}  // namespace avtk::nlp

@@ -8,25 +8,25 @@ namespace avtk::nlp {
 namespace {
 
 // The Porter algorithm operates on a mutable buffer b[0..k]. Indices are
-// signed: j can legitimately reach -1 (empty stem).
+// signed: j can legitimately reach -1 (empty stem). The buffer is borrowed
+// from the caller and truncated in place, so repeated stemming through one
+// scratch string never allocates.
 class porter {
  public:
-  explicit porter(std::string word)
-      : b_(std::move(word)), k_(static_cast<int>(b_.size()) - 1) {}
+  explicit porter(std::string& word) : b_(word), k_(static_cast<int>(b_.size()) - 1) {}
 
-  std::string run() {
-    if (b_.size() < 3) return b_;
+  void run() {
     step1ab();
     step1c();
     step2();
     step3();
     step4();
     step5();
-    return b_.substr(0, static_cast<std::size_t>(k_ + 1));
+    b_.resize(static_cast<std::size_t>(k_ + 1));
   }
 
  private:
-  std::string b_;
+  std::string& b_;
   int k_ = -1;  // index of last character of the current stem
   int j_ = -1;  // general offset set by ends()
 
@@ -209,8 +209,14 @@ class porter {
 }  // namespace
 
 std::string stem(std::string_view word) {
-  if (word.size() < 3) return std::string(word);
-  return porter(std::string(word)).run();
+  std::string out(word);
+  stem_in_place(out);
+  return out;
+}
+
+void stem_in_place(std::string& word) {
+  if (word.size() < 3) return;
+  porter(word).run();
 }
 
 std::vector<std::string> stem_all(const std::vector<std::string>& words) {

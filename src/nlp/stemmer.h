@@ -15,6 +15,11 @@ namespace avtk::nlp {
 /// Words shorter than three characters are returned unchanged.
 std::string stem(std::string_view word);
 
+/// Stems `word` in place (same algorithm as stem()), reusing the string's
+/// capacity — the allocation-free variant the fused token pass runs on a
+/// caller-provided scratch buffer.
+void stem_in_place(std::string& word);
+
 /// Stems each word in place order.
 std::vector<std::string> stem_all(const std::vector<std::string>& words);
 

@@ -1,13 +1,25 @@
 #include "nlp/stopwords.h"
 
+#include <functional>
 #include <unordered_set>
 
 namespace avtk::nlp {
 
 namespace {
 
-const std::unordered_set<std::string>& stopword_set() {
-  static const std::unordered_set<std::string> words = {
+// Transparent hash so the sets answer string_view queries without
+// materializing a std::string — is_stopword sits on the per-token hot
+// path of the fused Stage-III pass.
+struct sv_hash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+using word_set = std::unordered_set<std::string, sv_hash, std::equal_to<>>;
+
+const word_set& stopword_set() {
+  static const word_set words = {
       "a",     "an",    "and",   "are",   "as",    "at",    "be",    "by",     "for",
       "from",  "had",   "has",   "have",  "he",    "her",   "his",   "i",      "in",
       "is",    "it",    "its",   "of",    "on",    "or",    "that",  "the",    "their",
@@ -22,11 +34,11 @@ const std::unordered_set<std::string>& stopword_set() {
   return words;
 }
 
-const std::unordered_set<std::string>& boilerplate_set() {
+const word_set& boilerplate_set() {
   // These tokens appear in the fixed narrative shell of nearly every log
   // line ("driver safely disengaged and resumed manual control") and in
   // generic AV vocabulary; they are uninformative for tag voting.
-  static const std::unordered_set<std::string> words = {
+  static const word_set words = {
       "driver",    "safely",   "disengage", "disengaged", "disengagement", "resumed",
       "resume",    "manual",   "manually",  "control",    "took",          "take",
       "taken",     "takeover", "vehicle",   "car",        "av",            "autonomous",
@@ -38,13 +50,9 @@ const std::unordered_set<std::string>& boilerplate_set() {
 
 }  // namespace
 
-bool is_stopword(std::string_view word) {
-  return stopword_set().contains(std::string(word));
-}
+bool is_stopword(std::string_view word) { return stopword_set().contains(word); }
 
-bool is_log_boilerplate(std::string_view word) {
-  return boilerplate_set().contains(std::string(word));
-}
+bool is_log_boilerplate(std::string_view word) { return boilerplate_set().contains(word); }
 
 std::vector<std::string> remove_stopwords(const std::vector<std::string>& words,
                                           bool drop_boilerplate) {

@@ -27,4 +27,10 @@ std::vector<token> tokenize(std::string_view text);
 /// Convenience: just the token strings.
 std::vector<std::string> tokenize_words(std::string_view text);
 
+/// Zero-allocation scan primitive behind tokenize(): returns the next raw
+/// (not yet lower-cased) token at or after `pos` as a view into `text`,
+/// advancing `pos` past it; an empty view means the text is exhausted.
+/// tokenize() and the interned-id fast path share these exact boundaries.
+std::string_view next_token_view(std::string_view text, std::size_t& pos);
+
 }  // namespace avtk::nlp

@@ -58,7 +58,7 @@ TEST(TracePipeline, RecordsEveryFigure1Stage) {
   }
   for (const char* stage :
        {"pipeline", "scan", "ocr", "parse", "merge", "normalize", "ingest", "classify",
-        "analysis"}) {
+        "classify.build", "classify.label", "analysis"}) {
     EXPECT_TRUE(names.contains(stage)) << stage;
   }
 
@@ -105,7 +105,13 @@ TEST(TracePipeline, StageDurationsAreConsistent) {
   EXPECT_GT(result.stats.stage_seconds("parse"), 0);
   EXPECT_GT(result.stats.stage_seconds("classify"), 0);
   EXPECT_EQ(result.stats.stage_seconds("no-such-stage"), 0);
-  EXPECT_EQ(result.stats.stage_timings.size(), 7u);
+  EXPECT_EQ(result.stats.stage_timings.size(), 9u);
+
+  // The label stage is split: build + labeling pass nest inside classify.
+  EXPECT_GT(result.stats.stage_seconds("classify.label"), 0);
+  EXPECT_LE(result.stats.stage_seconds("classify.build") +
+                result.stats.stage_seconds("classify.label"),
+            result.stats.stage_seconds("classify") * 1.01 + 1e-4);
 }
 
 TEST(TracePipeline, ParallelScanStillTracesEveryDocument) {

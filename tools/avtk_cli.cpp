@@ -4,6 +4,7 @@
 //       Render the raw DMV-style report corpus to text files.
 //   avtk run [--seed N] [--quality Q] [--csv DIR] [--figures DIR] [--full]
 //            [--parallel N] [--trace-json PATH] [--metrics-json PATH]
+//            [--labeling-backend naive|automaton]
 //            [--on-error POLICY] [--quarantine-json PATH] [--inject-* ...]
 //       Run the Stage I-IV pipeline; print headline claims (or the full
 //       report with --full); optionally export the consolidated database
@@ -73,15 +74,20 @@ int usage() {
       "  avtk generate --out DIR [--seed N] [--quality clean|good|fair|poor]\n"
       "  avtk run [--seed N] [--quality Q] [--csv DIR] [--figures DIR] [--full]\n"
       "           [--parallel [N]] [--trace-json PATH] [--metrics-json PATH]\n"
+      "           [--labeling-backend naive|automaton]\n"
       "           [--on-error fail_fast|skip|quarantine] [--quarantine-json PATH]\n"
       "           [--inject-seed N] [--inject-fraction F] [--inject-faults K,K,...]\n"
       "           [--inject-manifest PATH] [--drop-docs I,J,...]\n"
       "      --parallel without a value (or with 0) uses every hardware thread\n"
-      "      for the per-document OCR + parse stage. --on-error picks the\n"
-      "      per-document fault policy; quarantine surfaces refused documents\n"
-      "      in an avtk.quarantine.v1 report. The --inject-* flags corrupt a\n"
-      "      seeded fraction of the corpus before the run (chaos testing);\n"
-      "      --drop-docs removes the listed document indices outright.\n"
+      "      for the per-document OCR + parse stage and the Stage-III labeling\n"
+      "      pass. --labeling-backend picks the Stage-III scorer (default\n"
+      "      automaton: one Aho-Corasick pass per description; naive keeps the\n"
+      "      original per-phrase scan — both produce identical output).\n"
+      "      --on-error picks the per-document fault policy; quarantine\n"
+      "      surfaces refused documents in an avtk.quarantine.v1 report. The\n"
+      "      --inject-* flags corrupt a seeded fraction of the corpus before\n"
+      "      the run (chaos testing); --drop-docs removes the listed document\n"
+      "      indices outright.\n"
       "  avtk inject [--seed N] [--quality Q] [--inject-seed N] [--inject-fraction F]\n"
       "              [--inject-faults K,K,...] [--out DIR] [--manifest PATH]\n"
       "      Generate the corpus, corrupt a seeded fraction of it (guaranteed\n"
@@ -289,6 +295,16 @@ int cmd_run(arg_list args) {
   const auto metrics_path = args.value_of("--metrics-json");
 
   core::pipeline_config pcfg;
+  const auto backend = args.value_of("--labeling-backend");
+  if (!backend.empty()) {
+    const auto parsed = nlp::labeling_backend_from_name(backend);
+    if (!parsed) {
+      std::fprintf(stderr, "run: unknown --labeling-backend '%s' (naive, automaton)\n",
+                   backend.c_str());
+      return 2;
+    }
+    pcfg.labeling = *parsed;
+  }
   const auto on_error = args.value_of("--on-error");
   if (!on_error.empty()) {
     const auto policy = core::error_policy_from_name(on_error);
