@@ -1,0 +1,152 @@
+// Stage-III labeling throughput: the naive per-phrase scanner vs the
+// Aho-Corasick automaton backend over the canonical pipeline's real
+// disengagement descriptions — descriptions/sec, ns/description, and the
+// automaton-over-naive speedup ratio.
+//
+// Like bench_serve_throughput this emits a custom perf record —
+// BENCH_nlp_classifier.json under AVTK_BENCH_JSON_DIR — because the
+// interesting numbers are the per-backend labeling rates, not the
+// pipeline stage timings.
+#include "bench/common.h"
+
+#include <cstdlib>
+#include <string_view>
+#include <vector>
+
+#include "nlp/classifier.h"
+#include "obs/clock.h"
+#include "obs/export.h"
+#include "obs/json.h"
+
+namespace {
+
+using avtk::nlp::failure_dictionary;
+using avtk::nlp::keyword_voting_classifier;
+using avtk::nlp::labeling_backend;
+
+// The labeling workload: every disengagement description the canonical
+// pipeline run actually classified, in database order.
+const std::vector<std::string_view>& workload() {
+  static const std::vector<std::string_view> descriptions = [] {
+    std::vector<std::string_view> out;
+    const auto& db = avtk::bench::state().db();
+    out.reserve(db.disengagements().size());
+    for (const auto& d : db.disengagements()) out.push_back(d.description);
+    return out;
+  }();
+  return descriptions;
+}
+
+struct backend_stats {
+  std::size_t descriptions = 0;
+  double total_seconds = 0;
+
+  double per_second() const {
+    return total_seconds > 0 ? static_cast<double>(descriptions) / total_seconds : 0;
+  }
+  double ns_per_description() const {
+    return descriptions > 0 ? total_seconds * 1e9 / static_cast<double>(descriptions) : 0;
+  }
+};
+
+backend_stats measure(labeling_backend backend, int passes) {
+  const keyword_voting_classifier cls(failure_dictionary::builtin(), backend);
+  backend_stats stats;
+  // Warm-up pass: page in the corpus and fill the per-thread token memo.
+  benchmark::DoNotOptimize(cls.classify_all(workload()));
+  for (int pass = 0; pass < passes; ++pass) {
+    const avtk::obs::stopwatch watch;
+    const auto verdicts = cls.classify_all(workload());
+    stats.total_seconds += watch.elapsed_seconds();
+    stats.descriptions += verdicts.size();
+    benchmark::DoNotOptimize(verdicts.data());
+  }
+  return stats;
+}
+
+avtk::obs::json::value backend_json(const backend_stats& s) {
+  namespace json = avtk::obs::json;
+  return json::value(json::object{
+      {"descriptions", json::value(s.descriptions)},
+      {"total_seconds", json::value(s.total_seconds)},
+      {"descriptions_per_second", json::value(s.per_second())},
+      {"ns_per_description", json::value(s.ns_per_description())},
+  });
+}
+
+void BM_ClassifyNaive(benchmark::State& state) {
+  const keyword_voting_classifier cls(failure_dictionary::builtin(), labeling_backend::naive);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cls.classify(workload()[i++ % workload().size()]).score);
+  }
+}
+BENCHMARK(BM_ClassifyNaive);
+
+void BM_ClassifyAutomaton(benchmark::State& state) {
+  const keyword_voting_classifier cls(failure_dictionary::builtin(),
+                                      labeling_backend::automaton);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cls.classify(workload()[i++ % workload().size()]).score);
+  }
+}
+BENCHMARK(BM_ClassifyAutomaton);
+
+void BM_AutomatonBuild(benchmark::State& state) {
+  // Matcher construction cost (the pipeline's classify.build split): the
+  // automaton must stay cheap enough to rebuild per run.
+  for (auto _ : state) {
+    const keyword_voting_classifier cls(failure_dictionary::builtin());
+    benchmark::DoNotOptimize(cls.backend());
+  }
+}
+BENCHMARK(BM_AutomatonBuild);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace json = avtk::obs::json;
+
+  std::cout << "==== nlp classifier throughput (naive vs automaton) ====\n";
+  constexpr int k_passes = 5;
+  const auto naive = measure(labeling_backend::naive, k_passes);
+  const auto automaton = measure(labeling_backend::automaton, k_passes);
+  const double speedup =
+      naive.per_second() > 0 ? automaton.per_second() / naive.per_second() : 0;
+
+  std::cout << "workload: " << workload().size() << " descriptions x " << k_passes
+            << " passes\n"
+            << "naive:     " << naive.per_second() << " desc/s ("
+            << naive.ns_per_description() << " ns/desc)\n"
+            << "automaton: " << automaton.per_second() << " desc/s ("
+            << automaton.ns_per_description() << " ns/desc)\n"
+            << "automaton/naive: " << speedup << "x\n\n";
+
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+
+  if (const char* dir = std::getenv("AVTK_BENCH_JSON_DIR"); dir != nullptr && *dir != '\0') {
+    const json::value record(json::object{
+        {"schema", json::value("avtk.bench.v1")},
+        {"experiment", json::value("nlp_classifier")},
+        {"labeling", json::value(json::object{
+                         {"workload_descriptions", json::value(workload().size())},
+                         {"passes", json::value(static_cast<std::size_t>(k_passes))},
+                         {"naive", backend_json(naive)},
+                         {"automaton", backend_json(automaton)},
+                         {"automaton_over_naive", json::value(speedup)},
+                     })},
+        {"metrics", avtk::obs::snapshot_to_json_value(avtk::obs::metrics().snapshot())},
+    });
+    const std::string path = std::string(dir) + "/BENCH_nlp_classifier.json";
+    if (!avtk::obs::write_text_file(path, record.dump(2) + "\n")) {
+      std::cerr << "bench: failed to write perf record under " << dir << "\n";
+      return 1;
+    }
+    std::cout << "perf record written to " << path << "\n";
+  }
+  return 0;
+}
