@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""CI gate for Stage-III labeling backend equivalence.
+
+Usage: check_labeling.py AUTO_CSV_DIR NAIVE_CSV_DIR \
+           AUTO_CHAOS_CSV_DIR NAIVE_CHAOS_CSV_DIR \
+           AUTO_QUARANTINE_JSON NAIVE_QUARANTINE_JSON
+
+The Aho-Corasick automaton backend (the default) must be a pure
+optimization: running the pipeline with --labeling-backend naive has to
+produce byte-identical analysis output. Checks:
+  * the three analysis CSVs (disengagements, mileage, accidents) are
+    byte-identical between the two backends on a clean run — the
+    disengagements CSV carries the Stage-III tag and category columns, so
+    a single diverging classification fails the gate,
+  * the same holds for a chaos run (fault injection + quarantine policy):
+    surviving documents are labeled identically no matter the backend,
+  * the two chaos runs' avtk.quarantine.v1 exports are byte-identical —
+    the labeling backend can never change which documents are refused,
+  * the clean disengagements CSV is non-trivial (the gate actually
+    compared labeled data, not two empty files).
+"""
+import json
+import pathlib
+import sys
+
+CSV_FILES = ["disengagements.csv", "mileage.csv", "accidents.csv"]
+
+
+def compare_dirs(auto_dir, naive_dir, what):
+    for name in CSV_FILES:
+        auto = (pathlib.Path(auto_dir) / name).read_bytes()
+        naive = (pathlib.Path(naive_dir) / name).read_bytes()
+        if auto != naive:
+            print(f"FAIL: {what}: {name} differs between automaton and naive backends")
+            return False
+    return True
+
+
+def main(auto_csv, naive_csv, auto_chaos, naive_chaos, auto_q, naive_q):
+    if not compare_dirs(auto_csv, naive_csv, "clean run"):
+        return 1
+    if not compare_dirs(auto_chaos, naive_chaos, "chaos run"):
+        return 1
+
+    auto_q_bytes = pathlib.Path(auto_q).read_bytes()
+    naive_q_bytes = pathlib.Path(naive_q).read_bytes()
+    if auto_q_bytes != naive_q_bytes:
+        print("FAIL: quarantine exports differ between backends")
+        return 1
+    quarantine = json.loads(auto_q_bytes)
+    if quarantine.get("schema") != "avtk.quarantine.v1":
+        print(f"FAIL: unexpected quarantine schema {quarantine.get('schema')!r}")
+        return 1
+
+    rows = (pathlib.Path(auto_csv) / "disengagements.csv").read_bytes().splitlines()
+    if len(rows) < 2:
+        print("FAIL: the clean disengagements CSV has no data rows to compare")
+        return 1
+
+    print(
+        f"labeling backends byte-identical: {len(rows) - 1} disengagement rows "
+        f"(clean) + chaos run with {quarantine.get('documents_quarantined', 0)} "
+        f"quarantined documents"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 7:
+        print(__doc__)
+        sys.exit(2)
+    sys.exit(main(*sys.argv[1:]))
