@@ -1,28 +1,53 @@
 #!/usr/bin/env python3
 """CI gate for `avtk serve` output (schema avtk.serve.v1).
 
-Usage: check_serve.py RESPONSES_JSONL METRICS_JSON EXPECTED_REQUESTS
+Usage: check_serve.py RESPONSES_JSONL METRICS_JSON EXPECTED_REQUESTS [INJECT_MANIFEST]
 
 Checks, per the repo's acceptance bar for the serve subsystem:
   * one valid response line per scripted request, in request order (ids),
-  * ok responses carry the expected envelope members and a consistent
-    database version; error responses carry a machine-readable "code"
-    plus a human "error" message (malformed requests are answered on the
-    wire, never fatal),
-  * repeated queries return byte-identical payloads (the memoized cache
-    must not perturb results),
-  * the avtk.metrics.v1 snapshot accounts for every query: hits + misses
-    equals serve.queries, the repeated queries actually hit, and the
-    parse/execution error counters match the error envelopes one-to-one.
+  * ok query responses carry the expected envelope members and the
+    database version current at that point in the stream; error
+    responses carry a machine-readable "code" plus a human "error"
+    message (malformed requests are answered on the wire, never fatal),
+  * repeated queries at the same version return byte-identical payloads
+    (the memoized cache must not perturb results),
+  * raw-document ingestion: accepted ingests report what they appended
+    and advance the version (a write barrier in the stream); rejected
+    ingests carry the taxonomy code, a per-record "rejects" breakdown,
+    and leave the version untouched — and when the inject manifest is
+    given, every reject's code must match the manifest's probe code for
+    that document title,
+  * a repeated query after the rejected ingest proves the reject did
+    not perturb the cache,
+  * the avtk.metrics.v1 snapshot accounts for every request: hits +
+    misses equals serve.queries, the repeated queries actually hit, the
+    parse/execution error counters match the error envelopes, and the
+    serve.ingests / serve.ingest.records / serve.ingest.rejected.<code>
+    counters match the ingest envelopes one-to-one.
 """
 import json
 import sys
 
-OK_MEMBERS = ["schema", "ok", "id", "query", "version", "payload"]
+OK_QUERY_MEMBERS = ["schema", "ok", "id", "query", "version", "payload"]
+OK_INGEST_MEMBERS = ["schema", "ok", "id", "ingest", "version"]
+INGEST_STATS_MEMBERS = [
+    "index",
+    "disengagements",
+    "mileage",
+    "accidents",
+    "unknown_tags",
+    "ocr_retried",
+]
 ERROR_MEMBERS = ["schema", "ok", "id", "code", "error"]
+REJECT_MEMBERS = ["index", "title", "code", "message"]
 
 
-def main(responses_path: str, metrics_path: str, expected_requests: int) -> int:
+def main(
+    responses_path: str,
+    metrics_path: str,
+    expected_requests: int,
+    manifest_path: str = "",
+) -> int:
     with open(responses_path) as f:
         lines = [line for line in f.read().splitlines() if line.strip()]
 
@@ -31,9 +56,14 @@ def main(responses_path: str, metrics_path: str, expected_requests: int) -> int:
         return 1
 
     by_query = {}
-    versions = set()
+    version = None  # current database version; advanced only by ok ingests
+    ok_queries = 0
     parse_errors = 0
     execution_errors = 0
+    ok_ingests = 0
+    ingest_records = 0
+    rejects = []  # (line index, title, code)
+    hit_after_reject = False
     for i, line in enumerate(lines):
         response = json.loads(line)
         if response.get("schema") != "avtk.serve.v1":
@@ -42,20 +72,76 @@ def main(responses_path: str, metrics_path: str, expected_requests: int) -> int:
         if response.get("id") != i:
             print(f"FAIL: line {i}: out-of-order response (id {response.get('id')!r})")
             return 1
-        if response.get("ok") is True:
-            missing = [m for m in OK_MEMBERS if m not in response]
+        if response.get("ok") is True and "ingest" in response:
+            missing = [m for m in OK_INGEST_MEMBERS if m not in response]
+            missing += [m for m in INGEST_STATS_MEMBERS if m not in response["ingest"]]
+            if missing:
+                print(f"FAIL: line {i}: ingest response missing members {missing}")
+                return 1
+            stats = response["ingest"]
+            appended = stats["disengagements"] + stats["mileage"] + stats["accidents"]
+            if appended == 0:
+                print(f"FAIL: line {i}: accepted ingest appended no records")
+                return 1
+            if version is not None and response["version"] == version:
+                print(f"FAIL: line {i}: ingest appended records without a version bump")
+                return 1
+            version = response["version"]
+            ok_ingests += 1
+            ingest_records += appended
+        elif response.get("ok") is True:
+            missing = [m for m in OK_QUERY_MEMBERS if m not in response]
             if missing:
                 print(f"FAIL: line {i}: missing members {missing}")
                 return 1
             if not isinstance(response["payload"], dict):
                 print(f"FAIL: line {i}: payload is not an object")
                 return 1
-            versions.add(response["version"])
+            if version is None:
+                version = response["version"]
+            elif response["version"] != version:
+                print(
+                    f"FAIL: line {i}: version {response['version']!r} does not match "
+                    f"the stream's current version {version!r}"
+                )
+                return 1
+            ok_queries += 1
             key = (response["query"], response["version"])
             payload = json.dumps(response["payload"], sort_keys=True)
-            if by_query.setdefault(key, payload) != payload:
-                print(f"FAIL: line {i}: repeated query {key} returned a different payload")
+            if key in by_query:
+                if by_query[key] != payload:
+                    print(f"FAIL: line {i}: repeated query {key} returned a different payload")
+                    return 1
+                if rejects and i > rejects[-1][0]:
+                    hit_after_reject = True
+            else:
+                by_query[key] = payload
+        elif "version" in response:
+            # A rejected ingest: taxonomy code at the top level plus the
+            # per-record breakdown, with the version untouched.
+            missing = [m for m in ERROR_MEMBERS if m not in response]
+            if missing:
+                print(f"FAIL: line {i}: ingest reject missing members {missing}")
                 return 1
+            if version is not None and response["version"] != version:
+                print(f"FAIL: line {i}: rejected ingest moved the version")
+                return 1
+            detail = response.get("rejects", [])
+            if not detail:
+                print(f"FAIL: line {i}: ingest reject carries no per-record detail")
+                return 1
+            for entry in detail:
+                missing = [m for m in REJECT_MEMBERS if m not in entry]
+                if missing:
+                    print(f"FAIL: line {i}: reject entry missing members {missing}")
+                    return 1
+                if entry["code"] != response["code"]:
+                    print(
+                        f"FAIL: line {i}: reject entry code {entry['code']!r} "
+                        f"disagrees with envelope code {response['code']!r}"
+                    )
+                    return 1
+                rejects.append((i, entry["title"], entry["code"]))
         else:
             missing = [m for m in ERROR_MEMBERS if m not in response]
             if missing:
@@ -72,17 +158,34 @@ def main(responses_path: str, metrics_path: str, expected_requests: int) -> int:
             else:
                 execution_errors += 1
 
-    if len(versions) != 1:
-        print(f"FAIL: database version changed mid-batch: {sorted(versions)}")
-        return 1
-    ok_count = len(lines) - parse_errors - execution_errors
-    repeats = ok_count - len(by_query)
+    repeats = ok_queries - len(by_query)
     if repeats < 1:
         print("FAIL: the scripted batch contains no repeated query (nothing to warm)")
         return 1
     if parse_errors < 1:
         print("FAIL: the scripted batch contains no malformed request (nothing rejected)")
         return 1
+
+    if manifest_path:
+        with open(manifest_path) as f:
+            manifest = json.load(f)
+        if ok_ingests < 1:
+            print("FAIL: the scripted batch contains no accepted raw-document ingest")
+            return 1
+        if not rejects:
+            print("FAIL: the scripted batch contains no rejected raw-document ingest")
+            return 1
+        expected = {(f["title"], f["code"]) for f in manifest["faults"]}
+        for _, title, code in rejects:
+            if (title, code) not in expected:
+                print(
+                    f"FAIL: reject ({title!r}, {code!r}) does not match any "
+                    f"inject-manifest probe code"
+                )
+                return 1
+        if not hit_after_reject:
+            print("FAIL: no repeated query after the rejected ingest (cache survival unproven)")
+            return 1
 
     with open(metrics_path) as f:
         metrics = json.load(f)
@@ -91,12 +194,12 @@ def main(responses_path: str, metrics_path: str, expected_requests: int) -> int:
         return 1
     counters = metrics["counters"]
     # Parse failures never reach the engine: serve.queries counts only the
-    # requests that parsed (ok responses + execution failures).
+    # query requests that parsed (ok responses + execution failures).
     queries = counters.get("serve.queries", 0)
     hits = counters.get("serve.cache_hits", 0)
     misses = counters.get("serve.cache_misses", 0)
-    if queries != ok_count + execution_errors:
-        print(f"FAIL: serve.queries={queries}, expected {ok_count + execution_errors}")
+    if queries != ok_queries + execution_errors:
+        print(f"FAIL: serve.queries={queries}, expected {ok_queries + execution_errors}")
         return 1
     if hits + misses != queries:
         print(f"FAIL: hits ({hits}) + misses ({misses}) != queries ({queries})")
@@ -116,18 +219,49 @@ def main(responses_path: str, metrics_path: str, expected_requests: int) -> int:
             f"but {execution_errors} execution-error envelopes were emitted"
         )
         return 1
+    if counters.get("serve.ingests", 0) != ok_ingests + len(rejects):
+        print(
+            f"FAIL: serve.ingests={counters.get('serve.ingests', 0)}, "
+            f"but {ok_ingests + len(rejects)} ingest envelopes were emitted"
+        )
+        return 1
+    if counters.get("serve.ingest.records", 0) != ingest_records:
+        print(
+            f"FAIL: serve.ingest.records={counters.get('serve.ingest.records', 0)}, "
+            f"but the accepted ingests reported {ingest_records} appended records"
+        )
+        return 1
+    rejected_counters = sum(
+        value for name, value in counters.items() if name.startswith("serve.ingest.rejected.")
+    )
+    if rejected_counters != len(rejects):
+        print(
+            f"FAIL: serve.ingest.rejected.* sums to {rejected_counters}, "
+            f"but {len(rejects)} reject envelopes were emitted"
+        )
+        return 1
+    # Ingests invalidate dependent cache entries, so the live cache holds a
+    # subset of the distinct (query, version) pairs answered on the wire.
     cache_size = metrics.get("gauges", {}).get("serve.cache_size", 0)
-    if cache_size != len(by_query):
-        print(f"FAIL: serve.cache_size={cache_size}, expected {len(by_query)}")
+    if not 1 <= cache_size <= len(by_query):
+        print(f"FAIL: serve.cache_size={cache_size}, expected 1..{len(by_query)}")
         return 1
 
     print(
-        f"{len(lines)} responses OK ({len(by_query)} distinct, {hits} cache hits, "
+        f"{len(lines)} responses OK ({len(by_query)} distinct queries, {hits} cache hits, "
         f"{parse_errors} parse + {execution_errors} execution errors rejected on the wire, "
-        f"version {versions.pop()})"
+        f"{ok_ingests} documents ingested (+{ingest_records} records), "
+        f"{len(rejects)} ingest rejects, version {version})"
     )
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv[1], sys.argv[2], int(sys.argv[3])))
+    sys.exit(
+        main(
+            sys.argv[1],
+            sys.argv[2],
+            int(sys.argv[3]),
+            sys.argv[4] if len(sys.argv) > 4 else "",
+        )
+    )

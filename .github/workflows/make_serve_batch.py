@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Build the CI serve smoke batch (requests for `avtk serve --input`).
+
+Usage: make_serve_batch.py CORPUS_DIR INJECT_MANIFEST OUT_BATCH
+
+Emits the scripted query batch (12 distinct queries, 3 cache-warming
+repeats, 3 malformed requests) followed by the raw-document ingestion
+tail:
+
+  id 18  ingest a clean disengagement report from CORPUS_DIR — must be
+         accepted, bump the database version, and invalidate dependent
+         cache entries,
+  id 19  repeat "metrics" — recomputed at the new version,
+  id 20  ingest the first corrupted document from the inject manifest —
+         must be rejected with the manifest's probe code, leaving the
+         version and the cache untouched,
+  id 21  repeat "metrics" — must be served from the still-warm cache.
+
+CORPUS_DIR is the `avtk inject --out` layout (scanned/doc_NNN.txt with
+pristine/ twins); the manifest is the avtk.inject.v1 report naming the
+corrupted indices. check_serve.py verifies the responses against the
+same manifest.
+"""
+import json
+import os
+import sys
+
+QUERIES = [
+    {"id": 0, "query": "metrics"},
+    {"id": 1, "query": "tags"},
+    {"id": 2, "query": "categories"},
+    {"id": 3, "query": "modality"},
+    {"id": 4, "query": "trend"},
+    {"id": 5, "query": "fit"},
+    {"id": 6, "query": "compare"},
+    {"id": 7, "query": "metrics", "maker": "waymo"},
+    {"id": 8, "query": "tags", "maker": "waymo"},
+    {"id": 9, "query": "fit", "min_samples": 10},
+    {"id": 10, "query": "trend", "maker": "delphi"},
+    {"id": 11, "query": "categories", "maker": "delphi"},
+    {"id": 12, "query": "metrics"},
+    {"id": 13, "query": "tags"},
+    {"id": 14, "query": "compare"},
+    # Deliberately malformed: rejected on the wire, never fatal.
+    {"id": 15, "query": "warp_drive"},
+    {"id": 16, "query": "metrics", "maker": "martian_motors"},
+    {"id": 17, "query": "fit", "min_samples": 0},
+]
+
+
+def read_doc(corpus_dir: str, sub: str, index: int) -> str:
+    with open(os.path.join(corpus_dir, sub, f"doc_{index:03d}.txt")) as f:
+        return f.read()
+
+
+def main(corpus_dir: str, manifest_path: str, out_path: str) -> int:
+    with open(manifest_path) as f:
+        manifest = json.load(f)
+    faults = manifest["faults"]
+    if not faults:
+        print("FAIL: inject manifest lists no corrupted documents")
+        return 1
+    corrupted = {f["index"] for f in faults}
+
+    # Clean ingest: the first untouched disengagement report. The first
+    # line of a generated report is its title.
+    clean_index = None
+    for i in range(manifest["documents_in"]):
+        if i in corrupted:
+            continue
+        text = read_doc(corpus_dir, "scanned", i)
+        if "Disengagement Report" in text.splitlines()[0]:
+            clean_index = i
+            break
+    if clean_index is None:
+        print("FAIL: no clean disengagement report in the corpus")
+        return 1
+
+    def ingest_request(rid: int, index: int, title: str) -> dict:
+        return {
+            "id": rid,
+            "ingest": {
+                "text": read_doc(corpus_dir, "scanned", index),
+                "title": title,
+                "pristine": read_doc(corpus_dir, "pristine", index),
+            },
+        }
+
+    clean_title = read_doc(corpus_dir, "scanned", clean_index).splitlines()[0]
+    corrupt = faults[0]
+    batch = QUERIES + [
+        ingest_request(18, clean_index, clean_title),
+        {"id": 19, "query": "metrics"},
+        ingest_request(20, corrupt["index"], corrupt["title"]),
+        {"id": 21, "query": "metrics"},
+    ]
+
+    with open(out_path, "w") as f:
+        f.write("# CI serve smoke batch (queries + raw-document ingestion)\n")
+        for request in batch:
+            f.write(json.dumps(request) + "\n")
+    print(
+        f"{len(batch)} requests written to {out_path} "
+        f"(clean ingest doc {clean_index}, corrupted ingest doc {corrupt['index']} "
+        f"expecting code {corrupt['code']!r})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1], sys.argv[2], sys.argv[3]))

@@ -1,0 +1,141 @@
+// Raw-document ingestion throughput: documents/sec (and records/sec)
+// through serve::query_engine::ingest_document, the full per-document
+// Stage II/III chain — mock-OCR recovery, strict parse, normalization,
+// phrase-automaton labeling — plus the version bump and dependent-cache
+// invalidation, measured against a live engine. A second pass measures the
+// reject path on injected-fault documents (detect + refuse, no append).
+//
+// Like bench_serve_throughput this emits a custom perf record —
+// BENCH_serve_ingest.json under AVTK_BENCH_JSON_DIR — because the
+// interesting numbers are the accept/reject ingestion rates, not the batch
+// pipeline stage timings.
+#include "bench/common.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "inject/corruptor.h"
+#include "obs/clock.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "serve/engine.h"
+
+namespace {
+
+using avtk::serve::engine_config;
+using avtk::serve::query_engine;
+
+struct ingest_pass {
+  std::size_t documents = 0;
+  std::size_t rejected = 0;
+  std::size_t records = 0;
+  double total_seconds = 0;
+
+  double docs_per_second() const {
+    return total_seconds > 0 ? static_cast<double>(documents) / total_seconds : 0;
+  }
+  double records_per_second() const {
+    return total_seconds > 0 ? static_cast<double>(records) / total_seconds : 0;
+  }
+};
+
+// Ingests every corpus document (delivered + pristine fallback, the same
+// pair the batch pipeline consumes) into a fresh engine.
+ingest_pass run_ingest_pass(const std::vector<avtk::ocr::document>& documents,
+                            const std::vector<avtk::ocr::document>& pristine) {
+  engine_config cfg;
+  cfg.threads = 1;
+  query_engine engine(avtk::dataset::failure_database{}, cfg);
+  ingest_pass pass;
+  const avtk::obs::stopwatch watch;
+  for (std::size_t i = 0; i < documents.size(); ++i) {
+    const auto r = engine.ingest_document(documents[i], &pristine[i]);
+    ++pass.documents;
+    if (r.accepted()) {
+      pass.records += r.disengagements_added + r.mileage_added + r.accidents_added;
+    } else {
+      ++pass.rejected;
+    }
+  }
+  pass.total_seconds = watch.elapsed_seconds();
+  return pass;
+}
+
+avtk::obs::json::value pass_json(const ingest_pass& p) {
+  namespace json = avtk::obs::json;
+  return json::value(json::object{
+      {"documents", json::value(p.documents)},
+      {"rejected", json::value(p.rejected)},
+      {"records_appended", json::value(p.records)},
+      {"total_seconds", json::value(p.total_seconds)},
+      {"documents_per_second", json::value(p.docs_per_second())},
+      {"records_per_second", json::value(p.records_per_second())},
+  });
+}
+
+void BM_ServeIngestDocument(benchmark::State& state) {
+  const auto& s = avtk::bench::state();
+  engine_config cfg;
+  cfg.threads = 1;
+  query_engine engine(avtk::dataset::failure_database{}, cfg);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& doc = s.corpus.documents[i];
+    const auto& pristine = s.corpus.pristine_documents[i];
+    benchmark::DoNotOptimize(engine.ingest_document(doc, &pristine));
+    i = (i + 1) % s.corpus.documents.size();
+  }
+}
+BENCHMARK(BM_ServeIngestDocument);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace json = avtk::obs::json;
+  const auto& s = avtk::bench::state();
+
+  std::cout << "==== serve raw-document ingestion ====\n";
+
+  // Clean pass: the generator corpus as delivered.
+  const auto clean = run_ingest_pass(s.corpus.documents, s.corpus.pristine_documents);
+
+  // Chaos pass: a seeded fraction corrupted, so a slice of every pass
+  // exercises the detect-and-reject path.
+  auto damaged = s.corpus.documents;
+  auto damaged_pristine = s.corpus.pristine_documents;
+  avtk::inject::injection_config icfg;
+  icfg.seed = 42;
+  icfg.fraction = 0.1;
+  avtk::inject::inject_faults(damaged, damaged_pristine, icfg);
+  const auto chaos = run_ingest_pass(damaged, damaged_pristine);
+
+  std::cout << "clean: " << clean.documents << " docs, " << clean.records << " records, "
+            << clean.docs_per_second() << " docs/s (" << clean.records_per_second()
+            << " records/s)\n"
+            << "chaos: " << chaos.documents << " docs (" << chaos.rejected << " rejected), "
+            << chaos.docs_per_second() << " docs/s\n\n";
+
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+
+  if (const char* dir = std::getenv("AVTK_BENCH_JSON_DIR"); dir != nullptr && *dir != '\0') {
+    const json::value record(json::object{
+        {"schema", json::value("avtk.bench.v1")},
+        {"experiment", json::value("serve_ingest")},
+        {"serve_ingest", json::value(json::object{
+                             {"clean", pass_json(clean)},
+                             {"chaos", pass_json(chaos)},
+                         })},
+        {"metrics", avtk::obs::snapshot_to_json_value(avtk::obs::metrics().snapshot())},
+    });
+    const std::string path = std::string(dir) + "/BENCH_serve_ingest.json";
+    if (!avtk::obs::write_text_file(path, record.dump(2) + "\n")) {
+      std::cerr << "bench: failed to write perf record under " << dir << "\n";
+      return 1;
+    }
+    std::cout << "perf record written to " << path << "\n";
+  }
+  return 0;
+}

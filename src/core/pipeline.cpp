@@ -3,155 +3,37 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
-#include <set>
 #include <thread>
 #include <utility>
 
 #include "obs/clock.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
-#include "ocr/engine.h"
-#include "parse/accident_parser.h"
-#include "parse/disengagement_parser.h"
-#include "parse/report_header.h"
 #include "util/errors.h"
 
 namespace avtk::core {
 
 namespace {
 
-// Everything one document contributes; merged in document order so the
-// pipeline's output is independent of the thread count. A faulted document
-// contributes nothing but its quarantine record.
-struct document_result {
-  std::vector<dataset::disengagement_record> events;
-  std::vector<dataset::mileage_record> mileage;
-  std::vector<dataset::accident_record> accidents;
-  std::size_t ocr_lines = 0;
-  double ocr_confidence_sum = 0;
-  std::size_t ocr_manual_review_lines = 0;
-  std::size_t parse_failed_lines = 0;
-  std::size_t manual_transcriptions = 0;
-  bool is_disengagement_report = false;
-  bool is_accident_report = false;
-  bool unidentified = false;
-  std::optional<quarantined_document> fault;
-};
-
-// Rebuilds a document with each line replaced by its OCR-recovered text,
-// preserving the page/line structure the parsers rely on.
-ocr::document recover_document(const ocr::document& doc, const ocr::mock_ocr_engine& engine,
-                               document_result& result) {
-  ocr::document out = doc;
-  for (auto& p : out.pages) {
-    for (auto& line : p.lines) {
-      const auto rec = engine.recognize_line(line);
-      line = rec.text;
-      result.ocr_confidence_sum += rec.confidence;
-      ++result.ocr_lines;
-      if (rec.needs_manual_review) ++result.ocr_manual_review_lines;
-    }
-  }
-  return out;
-}
-
-// Timing sinks shared by every Stage II worker; accumulation is atomic so
-// the totals are exact regardless of thread count.
-struct stage2_timing {
-  obs::duration_accumulator ocr_ns;
-  obs::duration_accumulator parse_ns;
-};
-
-// Scans one document through OCR + identify + parse. With `strict` set
-// (the skip/quarantine policies, and probe_document) document-level faults
-// that fail_fast historically tolerated — empty documents, unidentifiable
-// kinds, unparseable residue, structurally invalid mileage tables — are
-// promoted to exceptions so the policy layer can contain them.
-document_result process_document(const ocr::document& delivered, const ocr::document* fallback,
-                                 const ocr::mock_ocr_engine& engine,
-                                 const pipeline_config& config, bool strict,
-                                 stage2_timing& timing, std::uint64_t scan_span) {
-  document_result result;
-  ocr::document recovered;
-  {
-    const obs::scoped_timer timer(&timing.ocr_ns);
-    const obs::scoped_span span(config.trace, "ocr", scan_span);
-    recovered = config.run_ocr ? recover_document(delivered, engine, result) : delivered;
-  }
-
-  const obs::scoped_timer timer(&timing.parse_ns);
-  const obs::scoped_span span(config.trace, "parse", scan_span);
-  if (strict && delivered.line_count() == 0) {
-    throw header_error("empty document: " + delivered.title);
-  }
-  auto id = parse::identify_report(recovered);
-  if (id.kind == parse::report_kind::unknown && fallback != nullptr) {
-    id = parse::identify_report(*fallback);
-  }
-  if (id.kind == parse::report_kind::disengagement) {
-    result.is_disengagement_report = true;
-    auto parsed = parse::parse_disengagement_report(recovered, fallback);
-    result.parse_failed_lines = parsed.failed_lines;
-    result.manual_transcriptions = parsed.manual_transcriptions;
-    if (strict) {
-      if (parsed.failed_lines > 0) {
-        throw parse_error(std::to_string(parsed.failed_lines) +
-                          " unparseable line(s) in: " + delivered.title);
-      }
-      // A mileage table listing the same vehicle-month twice is structural
-      // damage (a duplicated page, a scanner double-feed): totals would be
-      // silently inflated, so the document is refused instead.
-      std::set<std::pair<std::string, std::int64_t>> seen;
-      for (const auto& m : parsed.mileage) {
-        if (!seen.emplace(m.vehicle_id, m.month.index()).second) {
-          throw parse_error("duplicate mileage row for vehicle " + m.vehicle_id + " in " +
-                            m.month.to_string() + ": " + delivered.title);
-        }
-      }
-    }
-    result.events = std::move(parsed.events);
-    result.mileage = std::move(parsed.mileage);
-  } else if (id.kind == parse::report_kind::accident) {
-    result.is_accident_report = true;
-    auto parsed = parse::parse_accident_report(recovered, fallback);
-    if (parsed.used_manual_fallback) ++result.manual_transcriptions;
-    result.accidents.push_back(std::move(parsed.record));
-  } else if (strict) {
-    throw header_error("cannot identify report kind of: " + delivered.title);
-  } else {
-    result.unidentified = true;
-  }
-  return result;
+// Maps the batch run's configuration onto the shared per-document
+// processor. Scans are strict under skip/quarantine (document-level damage
+// becomes a captured fault) and lenient under fail_fast, preserving the
+// historical tolerate-everything behavior of that policy bit-for-bit. The
+// Stage-III dictionary is deliberately not handed over: the batch driver
+// labels the merged corpus with its own classifier, so the processor must
+// never pay for building one.
+ingest::processor_config make_scan_config(const pipeline_config& config) {
+  ingest::processor_config pcfg;
+  pcfg.run_ocr = config.run_ocr;
+  pcfg.strict = config.on_error != error_policy::fail_fast;
+  pcfg.ocr_give_up_confidence = config.ocr_give_up_confidence;
+  pcfg.retry_degraded_ocr = config.retry_degraded_ocr;
+  pcfg.normalizer = config.normalizer;
+  pcfg.trace = config.trace;
+  return pcfg;
 }
 
 }  // namespace
-
-std::string_view error_policy_name(error_policy policy) {
-  switch (policy) {
-    case error_policy::fail_fast:
-      return "fail_fast";
-    case error_policy::skip:
-      return "skip";
-    case error_policy::quarantine:
-      return "quarantine";
-  }
-  return "fail_fast";
-}
-
-std::optional<error_policy> error_policy_from_name(std::string_view name) {
-  if (name == "fail_fast" || name == "fail-fast") return error_policy::fail_fast;
-  if (name == "skip") return error_policy::skip;
-  if (name == "quarantine") return error_policy::quarantine;
-  return std::nullopt;
-}
-
-document_error::document_error(std::size_t index, std::string title, error_code code,
-                               std::string message)
-    : error(code, "document " + std::to_string(index) + " ('" + title + "'): " + message),
-      index_(index),
-      title_(std::move(title)),
-      message_(std::move(message)) {}
 
 std::size_t label_disengagements(dataset::failure_database& db,
                                  const nlp::keyword_voting_classifier& classifier,
@@ -185,16 +67,15 @@ pipeline_result run_pipeline(const std::vector<ocr::document>& documents,
   auto& stats = result.stats;
   stats.documents_in = documents.size();
 
-  const ocr::mock_ocr_engine engine(ocr::lexicon::builtin());
-
-  // Stage II: OCR + parse, one task per document. Every per-document
-  // failure is captured into its slot; what happens to it afterwards is
-  // the policy's call, so the scan itself is identical for all policies
-  // (and for any thread count).
+  // Stage II: OCR + parse through the shared document processor, one task
+  // per document. Every per-document failure is captured into its slot;
+  // what happens to it afterwards is the policy's call, so the scan itself
+  // is identical for all policies (and for any thread count).
   const bool strict = config.on_error != error_policy::fail_fast;
-  stage2_timing stage2;
+  const ingest::document_processor processor(make_scan_config(config));
+  ingest::scan_timing stage2;
   obs::scoped_span scan_span(config.trace, "scan", pipeline_span.id());
-  std::vector<document_result> per_document(documents.size());
+  std::vector<ingest::document_scan> per_document(documents.size());
   // Under fail_fast the lowest faulting index is the run's outcome, so
   // workers stop picking up documents beyond a known fault (documents
   // below it must still be scanned: one of them could fail at a lower
@@ -202,25 +83,8 @@ pipeline_result run_pipeline(const std::vector<ocr::document>& documents,
   std::atomic<std::size_t> first_fault{documents.size()};
   const auto worker = [&](std::size_t i) {
     const ocr::document* fallback = pristine.empty() ? nullptr : &pristine[i];
-    try {
-      per_document[i] =
-          process_document(documents[i], fallback, engine, config, strict, stage2, scan_span.id());
-    } catch (const error& e) {
-      per_document[i] = document_result{};
-      per_document[i].fault =
-          quarantined_document{i, documents[i].title, e.code(), e.what()};
-    } catch (const std::exception& e) {
-      per_document[i] = document_result{};
-      per_document[i].fault =
-          quarantined_document{i, documents[i].title, error_code::internal, e.what()};
-    }
+    per_document[i] = processor.scan(documents[i], fallback, i, &stage2, scan_span.id());
     if (per_document[i].fault) {
-      if (strict) {
-        // Mark the refusal in the trace so a chaos run's scan shows where
-        // containment fired (never emitted under fail_fast: its traces
-        // stay bit-identical to the historical ones).
-        const obs::scoped_span quarantine_span(config.trace, "quarantine", scan_span.id());
-      }
       // Atomic running minimum of the faulting indices.
       std::size_t seen = first_fault.load(std::memory_order_relaxed);
       while (i < seen && !first_fault.compare_exchange_weak(seen, i, std::memory_order_relaxed)) {
@@ -269,6 +133,9 @@ pipeline_result run_pipeline(const std::vector<ocr::document>& documents,
   std::map<error_code, std::size_t> quarantined_by_code;
   double confidence_sum = 0;
   for (auto& doc : per_document) {
+    // The retry rung counts whether or not it saved the document — a
+    // retried-then-quarantined document still burned the second pass.
+    if (doc.ocr_retried) ++stats.ocr_retries;
     if (doc.fault) {
       ++stats.documents_quarantined;
       ++quarantined_by_code[doc.fault->code];
@@ -366,6 +233,9 @@ pipeline_result run_pipeline(const std::vector<ocr::document>& documents,
           .add(count);
     }
   }
+  if (stats.ocr_retries > 0) {
+    registry.get_counter("pipeline.ocr.retried").add(stats.ocr_retries);
+  }
   registry.set_gauge("pipeline.last_run_seconds", stats.total_seconds);
   registry.set_gauge("pipeline.last_ocr_mean_confidence", stats.ocr_mean_confidence);
   return result;
@@ -375,18 +245,11 @@ std::optional<quarantined_document> probe_document(const ocr::document& doc,
                                                    const ocr::document* pristine,
                                                    const pipeline_config& config,
                                                    std::size_t index) {
-  pipeline_config probe = config;
-  probe.trace = nullptr;  // a probe never pollutes the caller's trace
-  const ocr::mock_ocr_engine engine(ocr::lexicon::builtin());
-  stage2_timing timing;
-  try {
-    process_document(doc, pristine, engine, probe, /*strict=*/true, timing, 0);
-    return std::nullopt;
-  } catch (const error& e) {
-    return quarantined_document{index, doc.title, e.code(), e.what()};
-  } catch (const std::exception& e) {
-    return quarantined_document{index, doc.title, error_code::internal, e.what()};
-  }
+  auto pcfg = make_scan_config(config);
+  pcfg.strict = true;     // a probe always applies the full validations
+  pcfg.trace = nullptr;   // ... and never pollutes the caller's trace
+  const ingest::document_processor processor(std::move(pcfg));
+  return processor.scan(doc, pristine, index).fault;
 }
 
 std::string quarantine_to_json(const pipeline_result& result, error_policy policy) {

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "dataset/database.h"
+#include "ingest/processor.h"
 #include "nlp/classifier.h"
 #include "obs/trace.h"
 #include "ocr/document.h"
@@ -42,41 +43,15 @@
 
 namespace avtk::core {
 
-/// What run_pipeline does when one document fails to scan.
-enum class error_policy { fail_fast, skip, quarantine };
-
-/// Stable spelling ("fail_fast", "skip", "quarantine").
-std::string_view error_policy_name(error_policy policy);
-
-/// Inverse of error_policy_name; also accepts "fail-fast". Returns nullopt
-/// for unknown spellings.
-std::optional<error_policy> error_policy_from_name(std::string_view name);
-
-/// One document the pipeline refused, with enough identity to triage it.
-struct quarantined_document {
-  std::size_t index = 0;   ///< position in the input document vector
-  std::string title;       ///< ocr::document::title (may be empty)
-  error_code code = error_code::internal;
-  std::string message;     ///< human-readable failure description
-};
-
-/// Thrown by run_pipeline under error_policy::fail_fast: the lowest-index
-/// failing document, with its identity attached. The carried error_code is
-/// the underlying failure's code.
-class document_error : public error {
- public:
-  document_error(std::size_t index, std::string title, error_code code, std::string message);
-
-  std::size_t index() const { return index_; }
-  const std::string& title() const { return title_; }
-  /// The underlying failure message (what() includes the identity prefix).
-  const std::string& message() const { return message_; }
-
- private:
-  std::size_t index_;
-  std::string title_;
-  std::string message_;
-};
+// The per-document Stage II/III chain now lives in avtk::ingest (shared
+// with the serve ingestion path); the policy vocabulary and the quarantine
+// record shape are re-exported here so existing batch callers keep their
+// historical spelling.
+using ingest::error_policy;
+using ingest::error_policy_name;
+using ingest::error_policy_from_name;
+using ingest::quarantined_document;
+using ingest::document_error;
 
 struct pipeline_config {
   bool run_ocr = true;  ///< run mock-OCR recovery before parsing
@@ -87,6 +62,16 @@ struct pipeline_config {
   /// Per-document failure policy (see the header comment). The policy
   /// never changes what a *successful* document contributes.
   error_policy on_error = error_policy::fail_fast;
+  /// When positive, a document whose mean OCR confidence falls below this
+  /// floor fails recovery with error_code::ocr instead of handing the
+  /// parsers garbage; before quarantining it the scan retries once with
+  /// the degraded-OCR profile at half the floor (the retry rung; see
+  /// ingest::processor_config). 0 = never give up, the historical
+  /// behavior byte-for-byte.
+  double ocr_give_up_confidence = 0.0;
+  /// Retry an OCR-failed document once with the degraded profile before
+  /// giving up on it.
+  bool retry_degraded_ocr = true;
   parse::normalizer_config normalizer;
   parse::filter_config filter;
   nlp::failure_dictionary dictionary = nlp::failure_dictionary::builtin();
@@ -123,6 +108,10 @@ struct pipeline_stats {
   /// Documents dropped by the `skip` / `quarantine` policies (0 under
   /// fail_fast: the run aborts instead).
   std::size_t documents_quarantined = 0;
+  /// Documents the degraded-OCR retry rung fired for (whether or not the
+  /// retry ultimately saved them). 0 unless `ocr_give_up_confidence` is
+  /// set.
+  std::size_t ocr_retries = 0;
   std::size_t ocr_lines = 0;
   std::size_t ocr_manual_review_lines = 0;
   double ocr_mean_confidence = 1.0;

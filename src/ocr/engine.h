@@ -38,6 +38,17 @@ struct recognition_result {
 struct engine_config {
   double manual_review_threshold = 0.60;  ///< flag lines below this confidence
   bool apply_postprocess = true;           ///< run lexicon-based correction
+
+  /// The conservative profile the ingestion path retries with after the
+  /// standard profile gives up on a document (the paper's "manual
+  /// transcription" rung): identical recovery, but nearly every line is
+  /// flagged for manual review so downstream consumers treat the text as
+  /// best-effort rather than trusted.
+  static engine_config degraded() {
+    engine_config cfg;
+    cfg.manual_review_threshold = 0.95;
+    return cfg;
+  }
 };
 
 class mock_ocr_engine {

@@ -229,6 +229,16 @@ json::value compare_payload(const dataset::failure_database& db,
   return out;
 }
 
+// A live append always scans strictly (the batch quarantine policies'
+// validations must not be bypassable over the wire), and the processor
+// shares the engine's trace.
+ingest::processor_config make_ingest_config(const engine_config& config) {
+  ingest::processor_config pcfg = config.ingest;
+  pcfg.strict = true;
+  pcfg.trace = config.trace;
+  return pcfg;
+}
+
 json::value execute_payload(const dataset::failure_database& db, const query& q) {
   const dataset::failure_database* view = &db;
   dataset::failure_database filtered;
@@ -257,11 +267,15 @@ query_engine::query_engine(dataset::failure_database db, engine_config config)
       pool_(config.threads != 0 ? config.threads
                                 : std::max(std::thread::hardware_concurrency(), 1u)),
       trace_(config.trace),
+      processor_(make_ingest_config(config)),
       queries_(obs::metrics().get_counter("serve.queries")),
       hits_(obs::metrics().get_counter("serve.cache_hits")),
       misses_(obs::metrics().get_counter("serve.cache_misses")),
       appends_(obs::metrics().get_counter("serve.appends")),
-      query_ns_(obs::metrics().get_counter("serve.query_ns")) {}
+      query_ns_(obs::metrics().get_counter("serve.query_ns")),
+      ingests_(obs::metrics().get_counter("serve.ingests")),
+      ingest_records_(obs::metrics().get_counter("serve.ingest.records")),
+      ingest_ns_(obs::metrics().get_counter("serve.ingest_ns")) {}
 
 query_response query_engine::execute(const query& q) {
   const obs::stopwatch watch;
@@ -331,6 +345,62 @@ void query_engine::append_accident(dataset::accident_record rec) {
   }
   appends_.add();
   invalidate_dependents('a');
+}
+
+ingest_response query_engine::ingest_document(const ocr::document& delivered,
+                                              const ocr::document* pristine) {
+  const obs::stopwatch watch;
+  ingests_.add();
+
+  ingest_response out;
+  out.index = ingest_seq_.fetch_add(1, std::memory_order_relaxed);
+
+  // Stage II/III run outside the database lock — the processor is
+  // immutable, so concurrent queries keep serving while the document is
+  // scanned, normalized and labeled.
+  obs::scoped_span span(trace_, "serve.ingest");
+  auto processed = processor_.process(delivered, pristine, out.index, span.id());
+  out.ocr_retried = processed.ocr_retried;
+  out.unknown_tags = processed.unknown_tags;
+  if (out.ocr_retried) obs::metrics().get_counter("serve.ingest.retried").add();
+
+  if (!processed.accepted()) {
+    out.reject = std::move(processed.fault);
+    obs::metrics()
+        .get_counter("serve.ingest.rejected." + std::string(error_code_name(out.reject->code)))
+        .add();
+    out.version = version();  // untouched: a reject bumps nothing
+    out.latency_ns = watch.elapsed_ns();
+    ingest_ns_.add(static_cast<std::uint64_t>(out.latency_ns));
+    span.close();
+    return out;
+  }
+
+  out.disengagements_added = processed.disengagements.size();
+  out.mileage_added = processed.mileage.size();
+  out.accidents_added = processed.accidents.size();
+  {
+    const std::unique_lock<std::shared_mutex> lock(db_mutex_);
+    for (auto& d : processed.disengagements) db_.add_disengagement(std::move(d));
+    for (auto& m : processed.mileage) db_.add_mileage(std::move(m));
+    for (auto& a : processed.accidents) db_.add_accident(std::move(a));
+    out.version = db_.version();
+  }
+  const std::size_t records =
+      out.disengagements_added + out.mileage_added + out.accidents_added;
+  appends_.add(records);
+  ingest_records_.add(records);
+
+  // Only the domains the document touched got a version bump, so only
+  // their dependents go stale.
+  if (out.disengagements_added > 0) invalidate_dependents('d');
+  if (out.mileage_added > 0) invalidate_dependents('m');
+  if (out.accidents_added > 0) invalidate_dependents('a');
+
+  out.latency_ns = watch.elapsed_ns();
+  ingest_ns_.add(static_cast<std::uint64_t>(out.latency_ns));
+  span.close();
+  return out;
 }
 
 dataset::database_version query_engine::version() const {

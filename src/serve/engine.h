@@ -18,15 +18,20 @@
 // "serve." prefix.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 
 #include "dataset/database.h"
+#include "ingest/processor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "ocr/document.h"
 #include "serve/cache.h"
 #include "serve/query.h"
 #include "serve/thread_pool.h"
@@ -41,8 +46,13 @@ struct engine_config {
   /// Cache shards (1 gives exact global LRU; more bounds lock contention).
   std::size_t cache_shards = 8;
   /// When non-null, every executed query records a "serve.query.<kind>"
-  /// span here (cache hits record "serve.hit.<kind>").
+  /// span here (cache hits record "serve.hit.<kind>"); raw-document
+  /// ingestion records "serve.ingest" spans.
   obs::trace* trace = nullptr;
+  /// Raw-document ingestion path (ingest_document). `strict` and `trace`
+  /// are overridden at construction: a live append always scans strictly,
+  /// and the processor shares the engine's trace.
+  ingest::processor_config ingest;
 };
 
 /// The outcome of one query. `payload` is the serialized JSON payload —
@@ -54,6 +64,24 @@ struct query_response {
   dataset::database_version version;   ///< database version answered against
   bool cache_hit = false;
   std::int64_t latency_ns = 0;
+};
+
+/// The outcome of ingesting one raw report document. An accepted document
+/// reports what it appended and the post-ingest database version; a
+/// rejected one carries the quarantine record (index / title / taxonomy
+/// code / message) and the version it left untouched.
+struct ingest_response {
+  std::size_t index = 0;                  ///< ingest submission sequence number
+  std::size_t disengagements_added = 0;
+  std::size_t mileage_added = 0;
+  std::size_t accidents_added = 0;
+  std::size_t unknown_tags = 0;           ///< appended records labeled Unknown-T
+  bool ocr_retried = false;               ///< the degraded-OCR rung fired
+  std::optional<ingest::quarantined_document> reject;
+  dataset::database_version version;      ///< post-ingest (reject: untouched)
+  std::int64_t latency_ns = 0;
+
+  bool accepted() const { return !reject.has_value(); }
 };
 
 class query_engine {
@@ -76,6 +104,17 @@ class query_engine {
   void append_mileage(dataset::mileage_record rec);
   void append_accident(dataset::accident_record rec);
 
+  /// Raw-document ingestion: runs `delivered` through the shared
+  /// ingest::document_processor (strict Stage II scan, per-document
+  /// normalization, Stage-III labeling), then appends the surviving
+  /// records under one exclusive lock. Only the domains the document
+  /// actually touched get a version bump — and only their dependent cache
+  /// entries are dropped. A faulted document appends nothing, bumps
+  /// nothing, and comes back as a reject; the engine's own state is
+  /// untouched. Safe to call from any number of threads.
+  ingest_response ingest_document(const ocr::document& delivered,
+                                  const ocr::document* pristine = nullptr);
+
   dataset::database_version version() const;
 
   std::size_t cache_size() const { return cache_.size(); }
@@ -90,6 +129,10 @@ class query_engine {
   result_cache cache_;
   thread_pool pool_;
   obs::trace* trace_;
+  /// Shared document path for ingest_document(); immutable after
+  /// construction, so processing runs outside the database lock.
+  ingest::document_processor processor_;
+  std::atomic<std::size_t> ingest_seq_{0};
 
   // Registered once; counter references are pointer-stable for the
   // registry's lifetime, so the hot path pays one atomic add per event.
@@ -98,6 +141,9 @@ class query_engine {
   obs::counter& misses_;
   obs::counter& appends_;
   obs::counter& query_ns_;
+  obs::counter& ingests_;
+  obs::counter& ingest_records_;
+  obs::counter& ingest_ns_;
 };
 
 }  // namespace avtk::serve

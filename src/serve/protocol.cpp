@@ -77,10 +77,113 @@ bool is_request_line(std::string_view line) {
   return first != std::string_view::npos && line[first] != '#';
 }
 
+// A parsed ingest request: the delivered document plus the optional
+// pristine (manual-transcription) fallback.
+struct ingest_request {
+  ocr::document delivered;
+  std::optional<ocr::document> pristine;
+};
+
+// The "ingest" member is either a bare text string or
+// {"text": ..., "title": ..., "pristine": ...}. Unknown members are
+// rejected, matching parse_query's posture.
+std::optional<ingest_request> parse_ingest_request(const json::value& doc, std::string* error) {
+  const auto* spec = doc.find("ingest");
+  ingest_request out;
+  if (spec->is_string()) {
+    out.delivered = ocr::document::from_text(spec->as_string());
+    return out;
+  }
+  if (!spec->is_object()) {
+    *error = "'ingest' must be a document text string or an object";
+    return std::nullopt;
+  }
+  for (const auto& [key, unused] : spec->as_object()) {
+    if (key != "text" && key != "title" && key != "pristine") {
+      *error = "unknown ingest field '" + key + "'";
+      return std::nullopt;
+    }
+  }
+  const auto* text = spec->find("text");
+  if (text == nullptr || !text->is_string()) {
+    *error = "ingest request needs a string 'text' member";
+    return std::nullopt;
+  }
+  out.delivered = ocr::document::from_text(text->as_string());
+  if (const auto* title = spec->find("title")) {
+    if (!title->is_string()) {
+      *error = "ingest 'title' must be a string";
+      return std::nullopt;
+    }
+    out.delivered.title = title->as_string();
+  }
+  if (const auto* pristine = spec->find("pristine")) {
+    if (!pristine->is_string()) {
+      *error = "ingest 'pristine' must be a string";
+      return std::nullopt;
+    }
+    out.pristine = ocr::document::from_text(pristine->as_string());
+    out.pristine->title = out.delivered.title;
+  }
+  return out;
+}
+
+std::string envelope_ingest_ok(const std::optional<json::value>& id, const ingest_response& r) {
+  std::string out = envelope_prefix(id, true);
+  out += ",\"ingest\":{\"index\":" + std::to_string(r.index);
+  out += ",\"disengagements\":" + std::to_string(r.disengagements_added);
+  out += ",\"mileage\":" + std::to_string(r.mileage_added);
+  out += ",\"accidents\":" + std::to_string(r.accidents_added);
+  out += ",\"unknown_tags\":" + std::to_string(r.unknown_tags);
+  out += ",\"ocr_retried\":";
+  out += r.ocr_retried ? "true" : "false";
+  out += "},\"version\":";
+  out += json::escape(r.version.to_string());
+  out += '}';
+  return out;
+}
+
+// The structured per-record reject: taxonomy code at the top level (so
+// clients branch without string-matching), plus — unless the skip posture
+// dropped it — a "rejects" array with one index/title/code/message entry
+// per refused record.
+std::string envelope_ingest_reject(const std::optional<json::value>& id,
+                                   const ingest_response& r, bool detail) {
+  const auto& q = *r.reject;
+  std::string out = envelope_prefix(id, false);
+  out += ",\"code\":";
+  out += json::escape(error_code_name(q.code));
+  out += ",\"error\":";
+  out += json::escape(q.message);
+  if (detail) {
+    out += ",\"rejects\":[{\"index\":" + std::to_string(q.index);
+    out += ",\"title\":";
+    out += json::escape(q.title);
+    out += ",\"code\":";
+    out += json::escape(error_code_name(q.code));
+    out += ",\"message\":";
+    out += json::escape(q.message);
+    out += "}]";
+  }
+  out += ",\"version\":";
+  out += json::escape(r.version.to_string());
+  out += '}';
+  return out;
+}
+
 }  // namespace
 
 std::string handle_request_line(query_engine& engine, std::string_view line) {
   const auto id = extract_id(line);
+  if (const auto doc = json::parse(line); doc && doc->is_object() && doc->find("ingest")) {
+    std::string perr;
+    const auto req = parse_ingest_request(*doc, &perr);
+    if (!req) return envelope_error(id, "parse", perr);
+    const auto r =
+        engine.ingest_document(req->delivered, req->pristine ? &*req->pristine : nullptr);
+    return r.accepted() ? envelope_ingest_ok(id, r)
+                        : envelope_ingest_reject(id, r, /*detail=*/true);
+  }
   query_parse_error error;
   const auto q = parse_query(line, &error);
   if (!q) return envelope_error(id, "parse", error.message);
@@ -93,6 +196,14 @@ std::string handle_request_line(query_engine& engine, std::string_view line) {
 
 serve_loop_stats run_serve_loop(query_engine& engine, std::istream& in, std::ostream& out,
                                 std::size_t max_in_flight) {
+  serve_loop_options options;
+  options.max_in_flight = max_in_flight;
+  return run_serve_loop(engine, in, out, options);
+}
+
+serve_loop_stats run_serve_loop(query_engine& engine, std::istream& in, std::ostream& out,
+                                const serve_loop_options& options) {
+  std::size_t max_in_flight = options.max_in_flight;
   if (max_in_flight == 0) max_in_flight = static_cast<std::size_t>(engine.threads()) * 2;
   if (max_in_flight < 1) max_in_flight = 1;
 
@@ -135,6 +246,41 @@ serve_loop_stats run_serve_loop(query_engine& engine, std::istream& in, std::ost
   while (std::getline(in, line)) {
     if (!is_request_line(line)) continue;
     ++stats.requests;
+
+    if (const auto doc = json::parse(line); doc && doc->is_object() && doc->find("ingest")) {
+      // Write barrier: everything already in flight answers against the
+      // pre-ingest database before the document lands, so the response
+      // stream reads like a serial history.
+      while (!window.empty()) drain_front();
+      const auto id = extract_id(line);
+      std::string perr;
+      const auto req = parse_ingest_request(*doc, &perr);
+      if (!req) {
+        ++stats.errors;
+        ++stats.parse_errors;
+        obs::metrics().get_counter("serve.errors.parse").add();
+        out << envelope_error(id, "parse", perr) << '\n';
+        continue;
+      }
+      ++stats.ingests;
+      const auto r =
+          engine.ingest_document(req->delivered, req->pristine ? &*req->pristine : nullptr);
+      if (r.accepted()) {
+        stats.ingest_records += r.disengagements_added + r.mileage_added + r.accidents_added;
+        out << envelope_ingest_ok(id, r) << '\n';
+      } else {
+        ++stats.errors;
+        ++stats.ingest_rejected;
+        const bool detail = options.on_ingest_error != ingest::error_policy::skip;
+        out << envelope_ingest_reject(id, r, detail) << '\n';
+        if (options.on_ingest_error == ingest::error_policy::fail_fast) {
+          stats.aborted = true;
+          break;
+        }
+      }
+      continue;
+    }
+
     pending p;
     p.id = extract_id(line);
     query_parse_error error;

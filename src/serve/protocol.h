@@ -20,6 +20,25 @@
 // echoed back. Blank lines and lines starting with '#' are skipped, so a
 // scripted batch file can be commented.
 //
+// Raw-document ingestion rides the same protocol: a request whose top-level
+// member is "ingest" instead of "query" carries a report document (either a
+// bare text string or {"text": ..., "title": ..., "pristine": ...}) and is
+// routed through query_engine::ingest_document. An accepted document
+// answers with what it appended and the post-ingest version:
+//
+//   > {"ingest": {"title": "...", "text": "..."}, "id": 7}
+//   < {"schema":"avtk.serve.v1","ok":true,"id":7,
+//      "ingest":{"index":0,"disengagements":12,"mileage":24,"accidents":0,
+//      "unknown_tags":1,"ocr_retried":false},"version":"d5329.m12406.a42"}
+//
+// A document the processor refuses answers with a structured per-record
+// reject envelope — the quarantine taxonomy code at the top level plus a
+// "rejects" array (index / title / code / message per refused record) —
+// and the database version it left untouched. What happens to the loop
+// afterwards is serve_loop_options::on_ingest_error's call (quarantine:
+// keep serving with full reject detail; skip: keep serving, drop the
+// detail; fail_fast: emit the reject, then abort the loop).
+//
 // Responses are deterministic: the envelope carries no timing and no
 // hit/miss flag, so a warm (cached) response is byte-identical to the cold
 // one. Hit/miss and latency are observable via the obs metric registry.
@@ -39,21 +58,39 @@ inline constexpr std::string_view k_serve_schema = "avtk.serve.v1";
 
 /// Handles one request line synchronously: parse, execute, envelope.
 /// Never throws — execution errors become {"ok":false,...} responses.
+/// Ingest requests are handled under the quarantine posture (full reject
+/// detail, caller keeps going).
 std::string handle_request_line(query_engine& engine, std::string_view line);
 
 struct serve_loop_stats {
   std::size_t requests = 0;
-  std::size_t errors = 0;            ///< total failures (parse + execution)
+  std::size_t errors = 0;            ///< total failures (parse + execution + rejects)
   std::size_t parse_errors = 0;      ///< malformed request lines
   std::size_t execution_errors = 0;  ///< well-formed queries that failed to run
   std::size_t cache_hits = 0;
+  std::size_t ingests = 0;           ///< ingest requests (accepted + rejected)
+  std::size_t ingest_rejected = 0;   ///< documents the processor refused
+  std::size_t ingest_records = 0;    ///< records appended by accepted documents
+  bool aborted = false;              ///< fail_fast stopped the loop on a reject
+};
+
+struct serve_loop_options {
+  /// Pipelining depth for queries (0 means 2x the engine's thread count).
+  std::size_t max_in_flight = 0;
+  /// What a rejected ingest document does to the loop (see header comment).
+  ingest::error_policy on_ingest_error = ingest::error_policy::quarantine;
 };
 
 /// Reads request lines from `in` until EOF, writing one response line per
-/// request to `out` in request order. Requests are dispatched to the
-/// engine's worker pool and pipelined up to `max_in_flight` deep (0 means
-/// 2x the engine's thread count), so independent queries overlap while
-/// responses stay ordered.
+/// request to `out` in request order. Query requests are dispatched to the
+/// engine's worker pool and pipelined up to `max_in_flight` deep, so
+/// independent queries overlap while responses stay ordered. An ingest
+/// request is a write barrier: the in-flight window drains first, then the
+/// document is ingested synchronously — every earlier query answers
+/// against the pre-ingest database, every later one against the
+/// post-ingest version.
+serve_loop_stats run_serve_loop(query_engine& engine, std::istream& in, std::ostream& out,
+                                const serve_loop_options& options);
 serve_loop_stats run_serve_loop(query_engine& engine, std::istream& in, std::ostream& out,
                                 std::size_t max_in_flight = 0);
 

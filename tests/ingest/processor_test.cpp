@@ -1,0 +1,198 @@
+// document_processor unit tests: the shared per-document Stage II/III
+// path. Covers the strict-vs-lenient scan contract, fault capture (never
+// throw), the full process() chain against a hand-checkable document, and
+// the degraded-OCR retry rung — including the invariant that the
+// ocr_retried flag survives into the fault when the retry didn't save the
+// document.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "dataset/generator.h"
+#include "ingest/processor.h"
+#include "inject/corruptor.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using namespace avtk;
+
+dataset::generated_corpus& corpus() {
+  static dataset::generated_corpus c = [] {
+    dataset::generator_config cfg;
+    cfg.seed = 311;
+    return dataset::generate_corpus(cfg);
+  }();
+  return c;
+}
+
+// Index of the first disengagement report in the corpus (every generator
+// corpus front-loads at least one per manufacturer).
+std::size_t first_disengagement_index() {
+  const auto& c = corpus();
+  ingest::document_processor probe{ingest::processor_config{}};
+  for (std::size_t i = 0; i < c.documents.size(); ++i) {
+    const auto scan = probe.scan(c.documents[i], &c.pristine_documents[i], i);
+    if (scan.is_disengagement_report) return i;
+  }
+  ADD_FAILURE() << "corpus has no disengagement report";
+  return 0;
+}
+
+// Mean OCR confidence the standard profile assigns the document — the
+// anchor the retry tests set their give-up floors around.
+double mean_confidence(std::size_t index) {
+  const auto& c = corpus();
+  ingest::document_processor probe{ingest::processor_config{}};
+  const auto scan = probe.scan(c.documents[index], &c.pristine_documents[index], index);
+  EXPECT_GT(scan.ocr_lines, 0u);
+  return scan.ocr_confidence_sum / static_cast<double>(scan.ocr_lines);
+}
+
+TEST(DocumentProcessor, StrictScanFaultsEmptyDocument) {
+  ingest::processor_config cfg;
+  cfg.strict = true;
+  const ingest::document_processor processor(cfg);
+  ocr::document empty;
+  empty.title = "blank page";
+  const auto scan = processor.scan(empty, nullptr, 3);
+  ASSERT_TRUE(scan.fault.has_value());
+  EXPECT_EQ(scan.fault->code, error_code::header);
+  EXPECT_EQ(scan.fault->index, 3u);
+  EXPECT_EQ(scan.fault->title, "blank page");
+}
+
+TEST(DocumentProcessor, LenientScanToleratesEmptyDocument) {
+  const ingest::document_processor processor{ingest::processor_config{}};  // strict = false
+  const auto scan = processor.scan(ocr::document{}, nullptr, 0);
+  EXPECT_FALSE(scan.fault.has_value());
+  EXPECT_TRUE(scan.unidentified);
+}
+
+TEST(DocumentProcessor, ScanParsesDisengagementReport) {
+  const auto& c = corpus();
+  const auto i = first_disengagement_index();
+  const ingest::document_processor processor{ingest::processor_config{}};
+  const auto scan = processor.scan(c.documents[i], &c.pristine_documents[i], i);
+  ASSERT_FALSE(scan.fault.has_value());
+  EXPECT_TRUE(scan.is_disengagement_report);
+  EXPECT_FALSE(scan.events.empty());
+  EXPECT_FALSE(scan.mileage.empty());
+  EXPECT_FALSE(scan.ocr_retried);
+}
+
+TEST(DocumentProcessor, ProcessLabelsEveryRecord) {
+  const auto& c = corpus();
+  const auto i = first_disengagement_index();
+  const ingest::document_processor processor{ingest::processor_config{}};
+  const auto processed = processor.process(c.documents[i], &c.pristine_documents[i], i);
+  ASSERT_TRUE(processed.accepted());
+  ASSERT_FALSE(processed.disengagements.empty());
+  std::size_t unknown = 0;
+  for (const auto& d : processed.disengagements) {
+    if (d.tag == nlp::fault_tag::unknown) ++unknown;
+  }
+  EXPECT_EQ(unknown, processed.unknown_tags);
+}
+
+TEST(DocumentProcessor, ProcessRejectsInjectedDamageWithProbeCode) {
+  auto docs = corpus().documents;
+  auto pristine = corpus().pristine_documents;
+  inject::injection_config icfg;
+  icfg.seed = 5;
+  icfg.fraction = 0.05;
+  const auto report = inject::inject_faults(docs, pristine, icfg);
+  ASSERT_FALSE(report.faults.empty());
+  const ingest::document_processor processor{ingest::processor_config{}};
+  for (const auto& fault : report.faults) {
+    const auto processed =
+        processor.process(docs[fault.index], &pristine[fault.index], fault.index);
+    ASSERT_FALSE(processed.accepted()) << fault.title;
+    EXPECT_EQ(processed.fault->code, fault.code) << fault.title;
+    EXPECT_TRUE(processed.disengagements.empty());
+    EXPECT_TRUE(processed.mileage.empty());
+    EXPECT_TRUE(processed.accidents.empty());
+  }
+}
+
+TEST(DegradedOcrRetry, RetrySavesDocumentWhenHalvedFloorPasses) {
+  const auto& c = corpus();
+  const auto i = first_disengagement_index();
+  const double mean = mean_confidence(i);
+
+  ingest::processor_config cfg;
+  cfg.strict = true;
+  // Above the document's mean, so the standard profile gives up — but the
+  // halved retry floor is below it, so the degraded rung succeeds.
+  cfg.ocr_give_up_confidence = mean * 1.5;
+  const ingest::document_processor processor(cfg);
+  const auto scan = processor.scan(c.documents[i], &c.pristine_documents[i], i);
+  EXPECT_FALSE(scan.fault.has_value());
+  EXPECT_TRUE(scan.ocr_retried);
+  EXPECT_TRUE(scan.is_disengagement_report);
+  EXPECT_FALSE(scan.events.empty());
+}
+
+TEST(DegradedOcrRetry, FaultKeepsRetriedFlagWhenBothRungsFail) {
+  const auto& c = corpus();
+  const auto i = first_disengagement_index();
+  const double mean = mean_confidence(i);
+
+  ingest::processor_config cfg;
+  cfg.strict = true;
+  cfg.ocr_give_up_confidence = mean * 3.0;  // halved floor still above mean
+  const ingest::document_processor processor(cfg);
+  const auto scan = processor.scan(c.documents[i], &c.pristine_documents[i], i);
+  ASSERT_TRUE(scan.fault.has_value());
+  EXPECT_EQ(scan.fault->code, error_code::ocr);
+  EXPECT_TRUE(scan.ocr_retried);
+}
+
+TEST(DegradedOcrRetry, DisabledRetryFailsWithoutFiringTheRung) {
+  const auto& c = corpus();
+  const auto i = first_disengagement_index();
+  const double mean = mean_confidence(i);
+
+  ingest::processor_config cfg;
+  cfg.strict = true;
+  cfg.ocr_give_up_confidence = mean * 1.5;
+  cfg.retry_degraded_ocr = false;
+  const ingest::document_processor processor(cfg);
+  const auto scan = processor.scan(c.documents[i], &c.pristine_documents[i], i);
+  ASSERT_TRUE(scan.fault.has_value());
+  EXPECT_EQ(scan.fault->code, error_code::ocr);
+  EXPECT_FALSE(scan.ocr_retried);
+}
+
+TEST(DegradedOcrRetry, PipelineCountsRetriesAndRecordsMetric) {
+  const auto& c = corpus();
+  // A small slice keeps the run fast; the floor is unreachable even by the
+  // halved retry rung, so every document retries and quarantines.
+  const std::vector<ocr::document> docs(c.documents.begin(), c.documents.begin() + 5);
+  const std::vector<ocr::document> pristine(c.pristine_documents.begin(),
+                                            c.pristine_documents.begin() + 5);
+  core::pipeline_config cfg;
+  cfg.on_error = core::error_policy::quarantine;
+  cfg.ocr_give_up_confidence = 10.0;
+  const auto before = obs::metrics().get_counter("pipeline.ocr.retried").value();
+  const auto result = core::run_pipeline(docs, pristine, cfg);
+  EXPECT_EQ(result.stats.ocr_retries, docs.size());
+  EXPECT_EQ(result.stats.documents_quarantined, docs.size());
+  for (const auto& q : result.quarantined) EXPECT_EQ(q.code, error_code::ocr);
+  EXPECT_EQ(obs::metrics().get_counter("pipeline.ocr.retried").value(), before + docs.size());
+}
+
+TEST(DegradedOcrRetry, DefaultFloorNeverRetries) {
+  const auto& c = corpus();
+  const std::vector<ocr::document> docs(c.documents.begin(), c.documents.begin() + 5);
+  const std::vector<ocr::document> pristine(c.pristine_documents.begin(),
+                                            c.pristine_documents.begin() + 5);
+  core::pipeline_config cfg;
+  cfg.on_error = core::error_policy::skip;
+  const auto result = core::run_pipeline(docs, pristine, cfg);
+  EXPECT_EQ(result.stats.ocr_retries, 0u);
+}
+
+}  // namespace

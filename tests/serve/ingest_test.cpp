@@ -1,0 +1,303 @@
+// Raw-document serve ingestion tests: query_engine::ingest_document and
+// the avtk.serve.v1 "ingest" request kind. A clean document appends its
+// records, bumps only the domains it touched and invalidates only their
+// dependent cache entries; an injected-fault document answers with a
+// structured reject envelope carrying the probe's taxonomy code and leaves
+// the database version and the cache untouched.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "dataset/generator.h"
+#include "ingest/processor.h"
+#include "inject/corruptor.h"
+#include "obs/json.h"
+#include "serve/engine.h"
+#include "serve/protocol.h"
+#include "serve_test_util.h"
+
+namespace avtk::serve {
+namespace {
+
+namespace json = obs::json;
+
+// A clean-quality corpus: the delivered documents scan strictly without
+// needing the pristine fallback, which is exactly the shape a raw text
+// document arriving over the wire has.
+dataset::generated_corpus& corpus() {
+  static dataset::generated_corpus c = [] {
+    dataset::generator_config cfg;
+    cfg.seed = 424;
+    cfg.quality = ocr::scan_quality::clean;
+    return dataset::generate_corpus(cfg);
+  }();
+  return c;
+}
+
+// First corpus document of the wanted kind, by strict probe.
+const ocr::document& first_report(bool accident) {
+  const auto& c = corpus();
+  const ingest::document_processor probe{ingest::processor_config{}};
+  for (std::size_t i = 0; i < c.documents.size(); ++i) {
+    const auto scan = probe.scan(c.documents[i], &c.pristine_documents[i], i);
+    if (scan.fault) continue;
+    if (accident ? scan.is_accident_report : scan.is_disengagement_report) {
+      return c.documents[i];
+    }
+  }
+  ADD_FAILURE() << "corpus has no " << (accident ? "accident" : "disengagement") << " report";
+  return c.documents.front();
+}
+
+query make_query(query_kind kind) {
+  query q;
+  q.kind = kind;
+  return q;
+}
+
+TEST(ServeIngest, CleanDocumentAppendsAndBumpsOnlyTouchedDomains) {
+  query_engine engine(testing::make_test_database(), {.threads = 1});
+  const auto before = engine.version();
+
+  const auto r = engine.ingest_document(first_report(/*accident=*/false));
+  ASSERT_TRUE(r.accepted());
+  EXPECT_GT(r.disengagements_added, 0u);
+  EXPECT_GT(r.mileage_added, 0u);
+  EXPECT_EQ(r.accidents_added, 0u);
+
+  // A disengagement report touches d and m; a is untouched.
+  EXPECT_EQ(r.version.disengagements, before.disengagements + r.disengagements_added);
+  EXPECT_EQ(r.version.mileage, before.mileage + r.mileage_added);
+  EXPECT_EQ(r.version.accidents, before.accidents);
+  EXPECT_EQ(engine.version(), r.version);
+}
+
+TEST(ServeIngest, IngestInvalidatesOnlyDependentCacheEntries) {
+  query_engine engine(testing::make_test_database(), {.threads = 1});
+  const auto tags = make_query(query_kind::tags);        // depends on d only
+  const auto metrics = make_query(query_kind::metrics);  // depends on d+m+a
+  ASSERT_FALSE(engine.execute(tags).cache_hit);
+  ASSERT_FALSE(engine.execute(metrics).cache_hit);
+
+  // An accident report touches only the a domain: the tag mix keeps
+  // serving from cache, the reliability metrics must recompute.
+  const auto r = engine.ingest_document(first_report(/*accident=*/true));
+  ASSERT_TRUE(r.accepted());
+  EXPECT_EQ(r.disengagements_added, 0u);
+  EXPECT_EQ(r.mileage_added, 0u);
+  EXPECT_GT(r.accidents_added, 0u);
+  EXPECT_TRUE(engine.execute(tags).cache_hit);
+  EXPECT_FALSE(engine.execute(metrics).cache_hit);
+}
+
+TEST(ServeIngest, RejectCarriesProbeCodeAndPerturbsNothing) {
+  auto docs = corpus().documents;
+  auto pristine = corpus().pristine_documents;
+  inject::injection_config icfg;
+  icfg.seed = 17;
+  icfg.fraction = 0.05;
+  const auto report = inject::inject_faults(docs, pristine, icfg);
+  ASSERT_FALSE(report.faults.empty());
+
+  query_engine engine(testing::make_test_database(), {.threads = 1});
+  const auto metrics = make_query(query_kind::metrics);
+  ASSERT_FALSE(engine.execute(metrics).cache_hit);
+  const auto before = engine.version();
+
+  const auto& fault = report.faults.front();
+  const auto r = engine.ingest_document(docs[fault.index], &pristine[fault.index]);
+  ASSERT_FALSE(r.accepted());
+  EXPECT_EQ(r.reject->code, fault.code);
+  EXPECT_EQ(r.reject->title, docs[fault.index].title);
+  EXPECT_EQ(r.disengagements_added + r.mileage_added + r.accidents_added, 0u);
+
+  // The reject bumped nothing and dropped nothing: version identical,
+  // cached results keep serving.
+  EXPECT_EQ(r.version, before);
+  EXPECT_EQ(engine.version(), before);
+  EXPECT_TRUE(engine.execute(metrics).cache_hit);
+}
+
+TEST(ServeIngest, IngestIndicesSequenceAcrossCalls) {
+  query_engine engine(testing::make_test_database(), {.threads = 1});
+  const auto& doc = first_report(/*accident=*/true);
+  const auto a = engine.ingest_document(doc);
+  const auto b = engine.ingest_document(doc);
+  EXPECT_EQ(a.index + 1, b.index);
+}
+
+// --- wire protocol ---
+
+// One serve-loop run over a scripted batch; returns the response lines.
+std::vector<std::string> run_batch(query_engine& engine, const std::string& requests,
+                                   serve_loop_stats* stats_out = nullptr,
+                                   const serve_loop_options& options = {}) {
+  std::istringstream in(requests);
+  std::ostringstream out;
+  const auto stats = run_serve_loop(engine, in, out, options);
+  if (stats_out != nullptr) *stats_out = stats;
+  std::vector<std::string> lines;
+  std::istringstream reader(out.str());
+  std::string line;
+  while (std::getline(reader, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string ingest_request_line(const ocr::document& doc, int id) {
+  json::object spec;
+  spec.emplace_back("text", doc.full_text());
+  spec.emplace_back("title", doc.title);
+  json::object req;
+  req.emplace_back("ingest", json::value(std::move(spec)));
+  req.emplace_back("id", id);
+  return json::value(std::move(req)).dump();
+}
+
+TEST(ServeIngestProtocol, RoundTripAppendsAndAnswersInOrder) {
+  query_engine engine(testing::make_test_database(), {.threads = 2});
+  const auto& doc = first_report(/*accident=*/true);
+  const std::string batch = "{\"query\": \"tags\", \"id\": 0}\n" +
+                            ingest_request_line(doc, 1) +
+                            "\n{\"query\": \"tags\", \"id\": 2}\n";
+  serve_loop_stats stats;
+  const auto lines = run_batch(engine, batch, &stats);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.ingests, 1u);
+  EXPECT_EQ(stats.ingest_rejected, 0u);
+  EXPECT_GT(stats.ingest_records, 0u);
+  EXPECT_EQ(stats.errors, 0u);
+
+  const auto ack = json::parse(lines[1]);
+  ASSERT_TRUE(ack && ack->is_object()) << lines[1];
+  EXPECT_TRUE(ack->find("ok")->as_bool());
+  EXPECT_EQ(ack->find("id")->as_number(), 1.0);
+  const auto* ingest = ack->find("ingest");
+  ASSERT_NE(ingest, nullptr);
+  EXPECT_GT(ingest->find("accidents")->as_number(), 0.0);
+  EXPECT_EQ(ingest->find("disengagements")->as_number(), 0.0);
+
+  // The accident append leaves the tag mix's cache key untouched, so the
+  // post-ingest tags response is byte-identical to the pre-ingest one
+  // modulo the id (and was a cache hit).
+  EXPECT_EQ(stats.cache_hits, 1u);
+}
+
+TEST(ServeIngestProtocol, CorruptedDocumentAnswersStructuredReject) {
+  auto docs = corpus().documents;
+  auto pristine = corpus().pristine_documents;
+  inject::injection_config icfg;
+  icfg.seed = 17;
+  icfg.fraction = 0.05;
+  const auto report = inject::inject_faults(docs, pristine, icfg);
+  ASSERT_FALSE(report.faults.empty());
+  const auto& fault = report.faults.front();
+
+  query_engine engine(testing::make_test_database(), {.threads = 1});
+  const auto version_before = engine.version();
+  serve_loop_stats stats;
+  const auto lines =
+      run_batch(engine, ingest_request_line(docs[fault.index], 9) + "\n", &stats);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(stats.ingests, 1u);
+  EXPECT_EQ(stats.ingest_rejected, 1u);
+  EXPECT_FALSE(stats.aborted);
+
+  const auto rej = json::parse(lines[0]);
+  ASSERT_TRUE(rej && rej->is_object()) << lines[0];
+  EXPECT_FALSE(rej->find("ok")->as_bool());
+  EXPECT_EQ(rej->find("code")->as_string(), error_code_name(fault.code));
+  const auto* rejects = rej->find("rejects");
+  ASSERT_NE(rejects, nullptr);
+  ASSERT_TRUE(rejects->is_array());
+  ASSERT_EQ(rejects->as_array().size(), 1u);
+  const auto& entry = rejects->as_array().front();
+  EXPECT_EQ(entry.find("code")->as_string(), error_code_name(fault.code));
+  EXPECT_EQ(entry.find("title")->as_string(), docs[fault.index].title);
+  EXPECT_FALSE(entry.find("message")->as_string().empty());
+  EXPECT_EQ(rej->find("version")->as_string(), version_before.to_string());
+  EXPECT_EQ(engine.version(), version_before);
+}
+
+TEST(ServeIngestProtocol, FailFastAbortsLoopOnReject) {
+  auto docs = corpus().documents;
+  auto pristine = corpus().pristine_documents;
+  inject::injection_config icfg;
+  icfg.seed = 17;
+  icfg.fraction = 0.05;
+  const auto report = inject::inject_faults(docs, pristine, icfg);
+  ASSERT_FALSE(report.faults.empty());
+
+  query_engine engine(testing::make_test_database(), {.threads = 1});
+  serve_loop_options options;
+  options.on_ingest_error = ingest::error_policy::fail_fast;
+  serve_loop_stats stats;
+  const auto lines = run_batch(engine,
+                               ingest_request_line(docs[report.faults.front().index], 0) +
+                                   "\n{\"query\": \"tags\", \"id\": 1}\n",
+                               &stats, options);
+  // The reject was answered, then the loop stopped: the trailing query
+  // never ran.
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_TRUE(stats.aborted);
+  EXPECT_EQ(stats.requests, 1u);
+}
+
+TEST(ServeIngestProtocol, SkipPolicyDropsRejectDetail) {
+  auto docs = corpus().documents;
+  auto pristine = corpus().pristine_documents;
+  inject::injection_config icfg;
+  icfg.seed = 17;
+  icfg.fraction = 0.05;
+  const auto report = inject::inject_faults(docs, pristine, icfg);
+  ASSERT_FALSE(report.faults.empty());
+
+  query_engine engine(testing::make_test_database(), {.threads = 1});
+  serve_loop_options options;
+  options.on_ingest_error = ingest::error_policy::skip;
+  serve_loop_stats stats;
+  const auto lines = run_batch(
+      engine, ingest_request_line(docs[report.faults.front().index], 0) + "\n", &stats, options);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_FALSE(stats.aborted);
+  const auto rej = json::parse(lines[0]);
+  ASSERT_TRUE(rej && rej->is_object());
+  EXPECT_FALSE(rej->find("ok")->as_bool());
+  EXPECT_EQ(rej->find("rejects"), nullptr);  // skip: code + error only
+}
+
+TEST(ServeIngestProtocol, MalformedIngestRequestIsParseError) {
+  query_engine engine(testing::make_test_database(), {.threads = 1});
+  serve_loop_stats stats;
+  const auto lines = run_batch(engine,
+                               "{\"ingest\": {\"title\": \"no text member\"}}\n"
+                               "{\"ingest\": {\"text\": \"x\", \"bogus\": 1}}\n",
+                               &stats);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(stats.parse_errors, 2u);
+  EXPECT_EQ(stats.ingests, 0u);
+  for (const auto& line : lines) {
+    const auto rej = json::parse(line);
+    ASSERT_TRUE(rej && rej->is_object());
+    EXPECT_FALSE(rej->find("ok")->as_bool());
+    EXPECT_EQ(rej->find("code")->as_string(), "parse");
+  }
+}
+
+TEST(ServeIngestProtocol, OneShotHandleRequestLineIngests) {
+  query_engine engine(testing::make_test_database(), {.threads = 1});
+  const auto response =
+      handle_request_line(engine, ingest_request_line(first_report(/*accident=*/true), 3));
+  const auto doc = json::parse(response);
+  ASSERT_TRUE(doc && doc->is_object()) << response;
+  EXPECT_TRUE(doc->find("ok")->as_bool());
+  ASSERT_NE(doc->find("ingest"), nullptr);
+}
+
+}  // namespace
+}  // namespace avtk::serve

@@ -97,10 +97,17 @@ int usage() {
       "                [--trace-json PATH]\n"
       "  avtk serve [--seed N] [--quality Q] [--threads N] [--cache-capacity N]\n"
       "             [--input PATH] [--metrics-json PATH]\n"
+      "             [--on-error fail_fast|skip|quarantine]\n"
       "      Answer line-delimited JSON analytics queries (--input file or stdin)\n"
-      "      from a worker pool with a sharded, memoized result cache.\n"
+      "      from a worker pool with a sharded, memoized result cache. A\n"
+      "      request whose top-level member is \"ingest\" (raw report text, or\n"
+      "      {\"text\":..., \"title\":..., \"pristine\":...}) is scanned, labeled\n"
+      "      and appended live; refused documents answer with a structured\n"
+      "      reject envelope. --on-error picks what a reject does to the loop\n"
+      "      (default quarantine: keep serving; fail_fast aborts, exit 1).\n"
       "  avtk query JSON [--seed N] [--quality Q]\n"
-      "      One-shot analytics query, e.g. '{\"query\": \"metrics\"}'. Kinds:\n"
+      "      One-shot analytics query, e.g. '{\"query\": \"metrics\"}', or a\n"
+      "      one-shot ingest, e.g. '{\"ingest\": {\"text\": \"...\"}}'. Kinds:\n"
       "      metrics tags categories modality trend fit compare; filters:\n"
       "      maker, year, tag, category, min_samples.\n"
       "  avtk classify TEXT...\n"
@@ -546,6 +553,18 @@ int cmd_serve(arg_list args) {
   }
   const auto metrics_path = args.value_of("--metrics-json");
   const auto input_path = args.value_of("--input");
+  serve::serve_loop_options options;
+  const auto on_error = args.value_of("--on-error");
+  if (!on_error.empty()) {
+    const auto policy = ingest::error_policy_from_name(on_error);
+    if (!policy) {
+      std::fprintf(stderr,
+                   "serve: unknown --on-error policy '%s' (fail_fast, skip, quarantine)\n",
+                   on_error.c_str());
+      return 2;
+    }
+    options.on_ingest_error = *policy;
+  }
 
   auto engine = make_engine(args, cfg);
   std::fprintf(stderr, "serve: %u worker threads, cache capacity %zu; reading %s\n",
@@ -554,20 +573,24 @@ int cmd_serve(arg_list args) {
 
   serve::serve_loop_stats stats;
   if (input_path.empty()) {
-    stats = serve::run_serve_loop(engine, std::cin, std::cout);
+    stats = serve::run_serve_loop(engine, std::cin, std::cout, options);
   } else {
     std::ifstream in(input_path);
     if (!in) {
       std::fprintf(stderr, "serve: cannot open %s\n", input_path.c_str());
       return 2;
     }
-    stats = serve::run_serve_loop(engine, in, std::cout);
+    stats = serve::run_serve_loop(engine, in, std::cout, options);
   }
   std::fprintf(stderr,
                "serve: %zu requests, %zu errors (%zu parse, %zu execution), %zu cache hits, "
-               "cache size %zu\n",
+               "%zu ingests (%zu rejected, %zu records), cache size %zu\n",
                stats.requests, stats.errors, stats.parse_errors, stats.execution_errors,
-               stats.cache_hits, engine.cache_size());
+               stats.cache_hits, stats.ingests, stats.ingest_rejected, stats.ingest_records,
+               engine.cache_size());
+  if (stats.aborted) {
+    std::fprintf(stderr, "serve: aborted on rejected ingest (--on-error fail_fast)\n");
+  }
 
   if (!metrics_path.empty()) {
     if (!obs::write_text_file(metrics_path,
@@ -579,7 +602,8 @@ int cmd_serve(arg_list args) {
   }
   // A completed loop is a successful serve: bad requests were answered on
   // the wire with {"ok":false,"code":...} envelopes, not a server failure.
-  return 0;
+  // An aborted loop (fail_fast reject) is the one exception.
+  return stats.aborted ? 1 : 0;
 }
 
 int cmd_query(arg_list args) {
