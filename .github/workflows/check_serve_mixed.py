@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""CI gate for the mixed-workload serve bench (BENCH_serve_mixed.json).
+
+Usage: check_serve_mixed.py BENCH_JSON [MAX_P99_RATIO]
+
+Gates the snapshot-isolated store's core promise: a concurrent paced
+ingest stream must not stall the query tail, and snapshot isolation must
+hold under the mix. Checks:
+  * the record is an avtk.bench.v1 serve_mixed experiment with both
+    passes present and a sane sample count,
+  * the ingest-on pass actually exercised the store: documents were
+    accepted and each one advanced exactly one snapshot epoch,
+  * query p99 with the ingest stream on is within MAX_P99_RATIO
+    (default 1.5x) of p99 with it off,
+  * every snapshot-isolation invariant the bench verified per-response
+    holds in both passes: version components monotone in epoch, one
+    version vector per epoch across all query threads, and each thread
+    observed epochs in non-decreasing order,
+  * the obs snapshot agrees: serve.snapshot.commits / .retired cover the
+    epochs the ingest-on pass advanced.
+"""
+import json
+import sys
+
+PASS_MEMBERS = ["queries", "p50_ns", "p99_ns", "ingests", "epochs_advanced", "total_seconds"]
+INVARIANTS = ["monotone_versions", "consistent_version_vectors", "monotone_epochs_per_thread"]
+
+
+def main(bench_path: str, max_ratio: float = 1.5) -> int:
+    with open(bench_path) as f:
+        record = json.load(f)
+
+    if record.get("schema") != "avtk.bench.v1":
+        print(f"FAIL: unexpected schema {record.get('schema')!r}")
+        return 1
+    if record.get("experiment") != "serve_mixed":
+        print(f"FAIL: unexpected experiment {record.get('experiment')!r}")
+        return 1
+    mixed = record.get("serve_mixed")
+    if not isinstance(mixed, dict):
+        print("FAIL: record carries no serve_mixed section")
+        return 1
+
+    passes = {}
+    for name in ("ingest_off", "ingest_on"):
+        p = mixed.get(name)
+        if not isinstance(p, dict):
+            print(f"FAIL: missing {name} pass")
+            return 1
+        missing = [m for m in PASS_MEMBERS if m not in p]
+        if missing:
+            print(f"FAIL: {name} pass missing members {missing}")
+            return 1
+        if p["queries"] < 100:
+            print(f"FAIL: {name} pass sampled only {p['queries']} queries")
+            return 1
+        if p["p99_ns"] <= 0 or p["p50_ns"] <= 0:
+            print(f"FAIL: {name} pass reports non-positive percentiles")
+            return 1
+        passes[name] = p
+
+    off, on = passes["ingest_off"], passes["ingest_on"]
+    if off["ingests"] != 0 or off["epochs_advanced"] != 0:
+        print("FAIL: the ingest-off pass ingested documents")
+        return 1
+    if on["ingests"] < 1:
+        print("FAIL: the ingest-on pass accepted no documents (nothing was mixed)")
+        return 1
+    # The stream is pre-probed to clean documents: every accepted document
+    # commits exactly one epoch, so the counts must agree.
+    if on["epochs_advanced"] != on["ingests"]:
+        print(
+            f"FAIL: {on['ingests']} accepted documents advanced "
+            f"{on['epochs_advanced']} epochs (expected one epoch per document)"
+        )
+        return 1
+
+    ratio = mixed.get("p99_on_over_off")
+    if not isinstance(ratio, (int, float)) or ratio <= 0:
+        print(f"FAIL: bad p99_on_over_off {ratio!r}")
+        return 1
+    expected = on["p99_ns"] / off["p99_ns"]
+    if abs(ratio - expected) > 1e-6 * expected:
+        print(f"FAIL: p99_on_over_off={ratio} disagrees with the pass p99s ({expected})")
+        return 1
+    if ratio > max_ratio:
+        print(
+            f"FAIL: ingest-on query p99 degraded {ratio:.3f}x "
+            f"(limit {max_ratio}x): off p99 {off['p99_ns']} ns, on p99 {on['p99_ns']} ns"
+        )
+        return 1
+
+    for name in ("invariants_off", "invariants_on"):
+        inv = mixed.get(name)
+        if not isinstance(inv, dict):
+            print(f"FAIL: record carries no {name}")
+            return 1
+        broken = [k for k in INVARIANTS if inv.get(k) is not True]
+        if broken:
+            print(f"FAIL: snapshot-isolation invariants violated in {name}: {broken}")
+            return 1
+
+    metrics = record.get("metrics", {})
+    counters = metrics.get("counters", {})
+    commits = counters.get("serve.snapshot.commits", 0)
+    if commits < on["epochs_advanced"]:
+        print(
+            f"FAIL: serve.snapshot.commits={commits} cannot cover the "
+            f"{on['epochs_advanced']} epochs the ingest-on pass advanced"
+        )
+        return 1
+    if counters.get("serve.snapshot.retired", 0) < on["epochs_advanced"]:
+        print("FAIL: superseded snapshots were not retired")
+        return 1
+
+    print(
+        f"serve mixed OK: p99 {off['p99_ns']} ns -> {on['p99_ns']} ns "
+        f"({ratio:.3f}x, limit {max_ratio}x) over {off['queries']}/{on['queries']} queries, "
+        f"{on['ingests']} documents ingested as {on['epochs_advanced']} epochs, "
+        f"invariants hold in both passes"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1], float(sys.argv[2]) if len(sys.argv) > 2 else 1.5))

@@ -10,32 +10,46 @@ std::string database_version::to_string() const {
          std::to_string(accidents);
 }
 
+// Copy-on-write guard: every mutator funnels through here. A shared array
+// (use_count > 1: some snapshot or copy still references it) is cloned
+// before the write; a uniquely owned one mutates in place, so a burst of
+// appends after one share pays a single clone. The use_count probe can
+// race only downward (a concurrent reader dropping its reference), so a
+// stale read merely clones unnecessarily — it can never mutate an array a
+// reader still sees.
+template <typename T>
+std::vector<T>& failure_database::owned(std::shared_ptr<std::vector<T>>& arr) {
+  if (arr.use_count() != 1) arr = std::make_shared<std::vector<T>>(*arr);
+  return *arr;
+}
+
 void failure_database::add_disengagement(disengagement_record rec) {
-  disengagements_.push_back(std::move(rec));
+  owned(disengagements_).push_back(std::move(rec));
   ++version_.disengagements;
 }
 
 void failure_database::relabel_disengagement(std::size_t index, nlp::fault_tag tag,
                                              nlp::failure_category category) {
-  disengagements_.at(index).tag = tag;
-  disengagements_.at(index).category = category;
+  auto& records = owned(disengagements_);
+  records.at(index).tag = tag;
+  records.at(index).category = category;
   ++version_.disengagements;
 }
 
 void failure_database::add_mileage(mileage_record rec) {
-  mileage_.push_back(std::move(rec));
+  owned(mileage_).push_back(std::move(rec));
   ++version_.mileage;
 }
 
 void failure_database::add_accident(accident_record rec) {
-  accidents_.push_back(std::move(rec));
+  owned(accidents_).push_back(std::move(rec));
   ++version_.accidents;
 }
 
 std::vector<const disengagement_record*> failure_database::query_disengagements(
     const std::function<bool(const disengagement_record&)>& pred) const {
   std::vector<const disengagement_record*> out;
-  for (const auto& d : disengagements_) {
+  for (const auto& d : *disengagements_) {
     if (pred(d)) out.push_back(&d);
   }
   return out;
@@ -48,7 +62,7 @@ std::vector<const disengagement_record*> failure_database::disengagements_of(
 
 std::vector<const accident_record*> failure_database::accidents_of(manufacturer maker) const {
   std::vector<const accident_record*> out;
-  for (const auto& a : accidents_) {
+  for (const auto& a : *accidents_) {
     if (a.maker == maker) out.push_back(&a);
   }
   return out;
@@ -56,44 +70,44 @@ std::vector<const accident_record*> failure_database::accidents_of(manufacturer 
 
 std::vector<manufacturer> failure_database::manufacturers_present() const {
   std::set<manufacturer> seen;
-  for (const auto& d : disengagements_) seen.insert(d.maker);
-  for (const auto& m : mileage_) seen.insert(m.maker);
+  for (const auto& d : *disengagements_) seen.insert(d.maker);
+  for (const auto& m : *mileage_) seen.insert(m.maker);
   return {seen.begin(), seen.end()};
 }
 
 double failure_database::total_miles() const {
   double t = 0;
-  for (const auto& m : mileage_) t += m.miles;
+  for (const auto& m : *mileage_) t += m.miles;
   return t;
 }
 
 double failure_database::total_miles(manufacturer maker) const {
   double t = 0;
-  for (const auto& m : mileage_) {
+  for (const auto& m : *mileage_) {
     if (m.maker == maker) t += m.miles;
   }
   return t;
 }
 
 long long failure_database::total_disengagements() const {
-  return static_cast<long long>(disengagements_.size());
+  return static_cast<long long>(disengagements_->size());
 }
 
 long long failure_database::total_disengagements(manufacturer maker) const {
   long long t = 0;
-  for (const auto& d : disengagements_) {
+  for (const auto& d : *disengagements_) {
     if (d.maker == maker) ++t;
   }
   return t;
 }
 
 long long failure_database::total_accidents() const {
-  return static_cast<long long>(accidents_.size());
+  return static_cast<long long>(accidents_->size());
 }
 
 long long failure_database::total_accidents(manufacturer maker) const {
   long long t = 0;
-  for (const auto& a : accidents_) {
+  for (const auto& a : *accidents_) {
     if (a.maker == maker) ++t;
   }
   return t;
@@ -102,7 +116,7 @@ long long failure_database::total_accidents(manufacturer maker) const {
 std::vector<vehicle_month> failure_database::vehicle_months() const {
   // Key: (maker, vehicle, month index).
   std::map<std::tuple<manufacturer, std::string, std::int64_t>, vehicle_month> cells;
-  for (const auto& m : mileage_) {
+  for (const auto& m : *mileage_) {
     auto& cell = cells[{m.maker, m.vehicle_id, m.month.index()}];
     cell.maker = m.maker;
     cell.vehicle_id = m.vehicle_id;
@@ -120,7 +134,7 @@ std::vector<vehicle_month> failure_database::vehicle_months() const {
   // event share as workhorses). Events with no month at all fall back to
   // miles-proportional attribution across the whole history.
   std::map<std::pair<manufacturer, std::int64_t>, long long> unattributed;  // month -1 = any
-  for (const auto& d : disengagements_) {
+  for (const auto& d : *disengagements_) {
     const auto bucket = d.month_bucket();
     bool attributed = false;
     if (bucket && !d.vehicle_id.empty()) {
@@ -216,7 +230,7 @@ std::vector<failure_database::vehicle_total> failure_database::vehicle_totals() 
 
 std::vector<double> failure_database::reaction_times(std::optional<manufacturer> maker) const {
   std::vector<double> out;
-  for (const auto& d : disengagements_) {
+  for (const auto& d : *disengagements_) {
     if (maker && d.maker != *maker) continue;
     if (d.reaction_time_s) out.push_back(*d.reaction_time_s);
   }

@@ -3,12 +3,23 @@
 // The consolidated AV failure database (step 4 of Fig. 1): normalized
 // disengagements, mileage and accidents merged into one queryable store.
 // All Stage IV analyses read from this type.
+//
+// Storage is copy-on-write per domain: each record array lives behind a
+// shared_ptr, so copying a database is three refcount bumps plus the
+// version vector, and a mutation clones only the domain it touches (the
+// other two stay structurally shared with every copy). This is what makes
+// serve's snapshot-isolated store (serve/store.h) cheap: publishing a new
+// epoch after an ingest shares the untouched domains with every older
+// epoch instead of deep-copying them. Readers of a shared database are
+// race-free by construction (the arrays they see are immutable); mutation
+// is single-owner as ever — writers serialize externally.
 #pragma once
 
 #include <compare>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -61,9 +72,12 @@ class failure_database {
   /// domain by one; a default-constructed database is at {0, 0, 0}.
   const database_version& version() const { return version_; }
 
-  const std::vector<disengagement_record>& disengagements() const { return disengagements_; }
-  const std::vector<mileage_record>& mileage() const { return mileage_; }
-  const std::vector<accident_record>& accidents() const { return accidents_; }
+  /// Domain accessors return the shared array itself, so two databases
+  /// that structurally share a domain return the *same* reference — tests
+  /// (and the snapshot store's sharing contract) compare addresses.
+  const std::vector<disengagement_record>& disengagements() const { return *disengagements_; }
+  const std::vector<mileage_record>& mileage() const { return *mileage_; }
+  const std::vector<accident_record>& accidents() const { return *accidents_; }
 
   /// Disengagements matching a predicate.
   std::vector<const disengagement_record*> query_disengagements(
@@ -106,9 +120,17 @@ class failure_database {
   std::vector<double> reaction_times(std::optional<manufacturer> maker = std::nullopt) const;
 
  private:
-  std::vector<disengagement_record> disengagements_;
-  std::vector<mileage_record> mileage_;
-  std::vector<accident_record> accidents_;
+  /// Clones `arr` iff it is shared (copy-on-write), returning a mutable
+  /// reference to the uniquely owned array.
+  template <typename T>
+  static std::vector<T>& owned(std::shared_ptr<std::vector<T>>& arr);
+
+  std::shared_ptr<std::vector<disengagement_record>> disengagements_ =
+      std::make_shared<std::vector<disengagement_record>>();
+  std::shared_ptr<std::vector<mileage_record>> mileage_ =
+      std::make_shared<std::vector<mileage_record>>();
+  std::shared_ptr<std::vector<accident_record>> accidents_ =
+      std::make_shared<std::vector<accident_record>>();
   database_version version_;
 };
 

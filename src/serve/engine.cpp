@@ -262,7 +262,7 @@ json::value execute_payload(const dataset::failure_database& db, const query& q)
 }  // namespace
 
 query_engine::query_engine(dataset::failure_database db, engine_config config)
-    : db_(std::move(db)),
+    : store_(std::move(db), config.trace),
       cache_(config.cache_capacity, config.cache_shards),
       pool_(config.threads != 0 ? config.threads
                                 : std::max(std::thread::hardware_concurrency(), 1u)),
@@ -284,11 +284,15 @@ query_response query_engine::execute(const query& q) {
   query_response out;
   out.canonical = q.canonical();
 
-  std::shared_lock<std::shared_mutex> lock(db_mutex_);
-  out.version = db_.version();
+  // Pin the published snapshot: one atomic refcounted load, no lock.
+  // Everything below — the version the response reports, the cache key,
+  // the computation — is against this one frozen epoch; a commit landing
+  // meanwhile publishes a *new* snapshot and cannot touch this one.
+  const auto snap = store_.pin();
+  out.version = snap->version();
+  out.epoch = snap->epoch();
   const std::string key = cache_key(q, out.version);
   if (auto cached = cache_.get(key)) {
-    lock.unlock();
     hits_.add();
     const obs::scoped_span span(trace_,
                                 "serve.hit." + std::string(query_kind_name(q.kind)));
@@ -301,8 +305,7 @@ query_response query_engine::execute(const query& q) {
 
   misses_.add();
   obs::scoped_span span(trace_, "serve.query." + std::string(query_kind_name(q.kind)));
-  auto payload = std::make_shared<const std::string>(execute_payload(db_, q).dump());
-  lock.unlock();
+  auto payload = std::make_shared<const std::string>(execute_payload(snap->db(), q).dump());
   span.close();
 
   cache_.put(key, payload);
@@ -321,28 +324,20 @@ std::future<query_response> query_engine::submit(query q) {
 }
 
 void query_engine::append_disengagement(dataset::disengagement_record rec) {
-  {
-    const std::unique_lock<std::shared_mutex> lock(db_mutex_);
-    db_.add_disengagement(std::move(rec));
-  }
+  store_.commit(
+      [&](dataset::failure_database& db) { db.add_disengagement(std::move(rec)); });
   appends_.add();
   invalidate_dependents('d');
 }
 
 void query_engine::append_mileage(dataset::mileage_record rec) {
-  {
-    const std::unique_lock<std::shared_mutex> lock(db_mutex_);
-    db_.add_mileage(std::move(rec));
-  }
+  store_.commit([&](dataset::failure_database& db) { db.add_mileage(std::move(rec)); });
   appends_.add();
   invalidate_dependents('m');
 }
 
 void query_engine::append_accident(dataset::accident_record rec) {
-  {
-    const std::unique_lock<std::shared_mutex> lock(db_mutex_);
-    db_.add_accident(std::move(rec));
-  }
+  store_.commit([&](dataset::failure_database& db) { db.add_accident(std::move(rec)); });
   appends_.add();
   invalidate_dependents('a');
 }
@@ -355,9 +350,9 @@ ingest_response query_engine::ingest_document(const ocr::document& delivered,
   ingest_response out;
   out.index = ingest_seq_.fetch_add(1, std::memory_order_relaxed);
 
-  // Stage II/III run outside the database lock — the processor is
-  // immutable, so concurrent queries keep serving while the document is
-  // scanned, normalized and labeled.
+  // Stage II/III run before the commit — the processor is immutable and
+  // no lock is involved, so concurrent queries keep serving while the
+  // document is scanned, normalized and labeled.
   obs::scoped_span span(trace_, "serve.ingest");
   auto processed = processor_.process(delivered, pristine, out.index, span.id());
   out.ocr_retried = processed.ocr_retried;
@@ -369,7 +364,11 @@ ingest_response query_engine::ingest_document(const ocr::document& delivered,
     obs::metrics()
         .get_counter("serve.ingest.rejected." + std::string(error_code_name(out.reject->code)))
         .add();
-    out.version = version();  // untouched: a reject bumps nothing
+    // Untouched: a reject publishes nothing — no commit, no epoch, no
+    // version bump; the snapshot readers hold stays the published one.
+    const auto snap = store_.pin();
+    out.version = snap->version();
+    out.epoch = snap->epoch();
     out.latency_ns = watch.elapsed_ns();
     ingest_ns_.add(static_cast<std::uint64_t>(out.latency_ns));
     span.close();
@@ -379,13 +378,15 @@ ingest_response query_engine::ingest_document(const ocr::document& delivered,
   out.disengagements_added = processed.disengagements.size();
   out.mileage_added = processed.mileage.size();
   out.accidents_added = processed.accidents.size();
-  {
-    const std::unique_lock<std::shared_mutex> lock(db_mutex_);
-    for (auto& d : processed.disengagements) db_.add_disengagement(std::move(d));
-    for (auto& m : processed.mileage) db_.add_mileage(std::move(m));
-    for (auto& a : processed.accidents) db_.add_accident(std::move(a));
-    out.version = db_.version();
-  }
+  // One commit per document: all surviving records land in a single new
+  // epoch, so a query observes either none or all of the document.
+  const auto snap = store_.commit([&](dataset::failure_database& db) {
+    for (auto& d : processed.disengagements) db.add_disengagement(std::move(d));
+    for (auto& m : processed.mileage) db.add_mileage(std::move(m));
+    for (auto& a : processed.accidents) db.add_accident(std::move(a));
+  });
+  out.version = snap->version();
+  out.epoch = snap->epoch();
   const std::size_t records =
       out.disengagements_added + out.mileage_added + out.accidents_added;
   appends_.add(records);
@@ -401,11 +402,6 @@ ingest_response query_engine::ingest_document(const ocr::document& delivered,
   ingest_ns_.add(static_cast<std::uint64_t>(out.latency_ns));
   span.close();
   return out;
-}
-
-dataset::database_version query_engine::version() const {
-  const std::shared_lock<std::shared_mutex> lock(db_mutex_);
-  return db_.version();
 }
 
 // Cache keys end in "@<version components>" where a component letter is

@@ -4,18 +4,30 @@
 // failure_database once, then answers typed Stage-IV queries (serve/query.h)
 // from a fixed-size worker pool through a sharded, memoized result cache.
 //
-// Consistency model: the database is guarded by a shared_mutex — queries
-// execute under a shared lock, appends under an exclusive lock. A query
-// reads the per-domain version vector and computes under one shared lock
-// acquisition, so a cached payload is always consistent with the version in
-// its key. Appending to one domain bumps only that domain's version, which
-// (a) redirects dependent queries to fresh cache keys and (b) eagerly drops
-// the now-unreachable dependent entries; results derived from untouched
-// domains keep serving from cache.
+// Consistency model: snapshot isolation over an epoch-published store
+// (serve/store.h). The database is never locked for reading — a query
+// pins the currently published immutable snapshot with one atomic
+// shared_ptr load and computes entirely against that frozen state, so
+// concurrent ingests never stall queries and a query can never observe a
+// torn or in-progress ingest. The per-domain version vector a response
+// reports (and the cache key it is memoized under) is the pinned
+// snapshot's by construction, so a cached payload is always consistent
+// with the version in its key.
+//
+// Ingests build the next epoch off to the side — the domain arrays are
+// copy-on-write, so untouched domains are shared structurally with every
+// older epoch — and publish it with a single pointer swap under a
+// writer-only commit mutex. The epoch and every version component are
+// therefore monotone; a rejected ingest publishes nothing. Appending to
+// one domain bumps only that domain's version, which (a) redirects
+// dependent queries to fresh cache keys and (b) eagerly drops the
+// now-unreachable dependent entries; results derived from untouched
+// domains keep serving from cache. Superseded snapshots free when their
+// last pinned reader drops (RCU-by-refcount; no reader ever blocks).
 //
 // Every query records an obs span (when a trace is attached) and hit/miss,
 // latency and cache-occupancy metrics in the global obs registry under the
-// "serve." prefix.
+// "serve." prefix; commits additionally record serve.snapshot.* metrics.
 #pragma once
 
 #include <atomic>
@@ -24,7 +36,6 @@
 #include <future>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 
 #include "dataset/database.h"
@@ -34,6 +45,7 @@
 #include "ocr/document.h"
 #include "serve/cache.h"
 #include "serve/query.h"
+#include "serve/store.h"
 #include "serve/thread_pool.h"
 
 namespace avtk::serve {
@@ -61,7 +73,8 @@ struct engine_config {
 struct query_response {
   std::shared_ptr<const std::string> payload;
   std::string canonical;               ///< canonicalized query
-  dataset::database_version version;   ///< database version answered against
+  dataset::database_version version;   ///< pinned snapshot's version vector
+  std::uint64_t epoch = 0;             ///< pinned snapshot's commit epoch
   bool cache_hit = false;
   std::int64_t latency_ns = 0;
 };
@@ -79,6 +92,7 @@ struct ingest_response {
   bool ocr_retried = false;               ///< the degraded-OCR rung fired
   std::optional<ingest::quarantined_document> reject;
   dataset::database_version version;      ///< post-ingest (reject: untouched)
+  std::uint64_t epoch = 0;                ///< committed epoch (reject: unchanged)
   std::int64_t latency_ns = 0;
 
   bool accepted() const { return !reject.has_value(); }
@@ -106,16 +120,22 @@ class query_engine {
 
   /// Raw-document ingestion: runs `delivered` through the shared
   /// ingest::document_processor (strict Stage II scan, per-document
-  /// normalization, Stage-III labeling), then appends the surviving
-  /// records under one exclusive lock. Only the domains the document
+  /// normalization, Stage-III labeling), then commits the surviving
+  /// records as one new snapshot epoch. Only the domains the document
   /// actually touched get a version bump — and only their dependent cache
-  /// entries are dropped. A faulted document appends nothing, bumps
-  /// nothing, and comes back as a reject; the engine's own state is
-  /// untouched. Safe to call from any number of threads.
+  /// entries are dropped. A faulted document appends nothing, publishes
+  /// no epoch, and comes back as a reject; the published snapshot is
+  /// untouched. Safe to call from any number of threads; in-flight
+  /// queries keep answering against their pinned snapshots throughout.
   ingest_response ingest_document(const ocr::document& delivered,
                                   const ocr::document* pristine = nullptr);
 
-  dataset::database_version version() const;
+  /// The currently published snapshot (pinned: stays alive and immutable
+  /// for as long as the pointer is held, whatever ingests do meanwhile).
+  snapshot_ptr snapshot() const { return store_.pin(); }
+
+  dataset::database_version version() const { return store_.pin()->version(); }
+  std::uint64_t epoch() const { return store_.epoch(); }
 
   std::size_t cache_size() const { return cache_.size(); }
   std::uint64_t cache_evictions() const { return cache_.evictions(); }
@@ -124,8 +144,7 @@ class query_engine {
  private:
   void invalidate_dependents(char domain_letter);
 
-  mutable std::shared_mutex db_mutex_;
-  dataset::failure_database db_;
+  snapshot_store store_;
   result_cache cache_;
   thread_pool pool_;
   obs::trace* trace_;

@@ -248,9 +248,11 @@ serve_loop_stats run_serve_loop(query_engine& engine, std::istream& in, std::ost
     ++stats.requests;
 
     if (const auto doc = json::parse(line); doc && doc->is_object() && doc->find("ingest")) {
-      // Write barrier: everything already in flight answers against the
-      // pre-ingest database before the document lands, so the response
-      // stream reads like a serial history.
+      // Response-order barrier (not a store barrier: the snapshot store
+      // commits without stalling queries): everything already in flight
+      // answers against its pinned pre-ingest snapshot before the
+      // document lands, so the response stream reads like a serial
+      // history and each query's version vector matches its position.
       while (!window.empty()) drain_front();
       const auto id = extract_id(line);
       std::string perr;
@@ -294,6 +296,13 @@ serve_loop_stats run_serve_loop(query_engine& engine, std::istream& in, std::ost
   }
   while (!window.empty()) drain_front();
   out.flush();
+  // Sample the occupancy gauges only after the last response is written:
+  // per-query samples race each other under pipelining, so the snapshot a
+  // caller exports after the loop must be re-sampled from the completed
+  // engine state (check_serve.py asserts on the final value).
+  obs::metrics().set_gauge("serve.cache_size", static_cast<double>(engine.cache_size()));
+  obs::metrics().set_gauge("serve.cache_evictions",
+                           static_cast<double>(engine.cache_evictions()));
   return stats;
 }
 

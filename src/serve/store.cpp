@@ -1,0 +1,44 @@
+#include "serve/store.h"
+
+#include <utility>
+
+#include "obs/clock.h"
+
+namespace avtk::serve {
+
+snapshot_store::snapshot_store(dataset::failure_database db, obs::trace* trace)
+    : published_(std::make_shared<const store_snapshot>(std::move(db), 0)),
+      trace_(trace),
+      commits_(obs::metrics().get_counter("serve.snapshot.commits")),
+      commit_ns_(obs::metrics().get_counter("serve.snapshot.commit_ns")),
+      retired_(obs::metrics().get_counter("serve.snapshot.retired")) {
+  obs::metrics().set_gauge("serve.snapshot.epoch", 0.0);
+}
+
+snapshot_ptr snapshot_store::commit(
+    const std::function<void(dataset::failure_database&)>& mutate) {
+  const obs::stopwatch watch;
+  const std::lock_guard<std::mutex> lock(commit_mutex_);
+  obs::scoped_span span(trace_, "serve.snapshot.commit");
+
+  // Build the next epoch off to the side. The copy shares all three
+  // domain arrays; the first add_* per domain inside `mutate` clones that
+  // domain and only that domain.
+  const auto current = published_.load(std::memory_order_acquire);
+  dataset::failure_database next = current->db();
+  mutate(next);
+
+  auto snap = std::make_shared<const store_snapshot>(std::move(next), current->epoch() + 1);
+  published_.store(snap, std::memory_order_release);
+
+  // `current` is now retired from service; it frees when its last pinned
+  // reader drops (possibly right here, if nobody holds it).
+  retired_.add();
+  commits_.add();
+  commit_ns_.add(static_cast<std::uint64_t>(watch.elapsed_ns()));
+  obs::metrics().set_gauge("serve.snapshot.epoch", static_cast<double>(snap->epoch()));
+  span.close();
+  return snap;
+}
+
+}  // namespace avtk::serve

@@ -1,0 +1,100 @@
+// avtk/serve/store.h
+//
+// The snapshot-isolated failure store behind serve::query_engine.
+//
+// The store publishes exactly one immutable `store_snapshot` at a time — a
+// failure_database frozen at a per-domain version vector, stamped with a
+// monotone commit epoch — through a single atomic shared_ptr. Readers
+// pin() the published snapshot (one atomic refcounted load, no lock) and
+// compute against that frozen state for as long as they hold the pointer;
+// a concurrent commit can never change what a pinned reader sees.
+//
+// Writers never block readers: commit() copies the newest database (three
+// refcount bumps — the domain arrays are copy-on-write, dataset/database.h),
+// applies the mutation off to the side (cloning only the domains it
+// touches; untouched domains stay structurally shared with every older
+// epoch), and publishes the result as epoch N+1 with one pointer swap.
+// Commits serialize against each other under a writer-only mutex, which
+// is what makes the epoch and every version component monotone.
+//
+// Reclamation is RCU-by-refcount: a superseded snapshot stays alive until
+// the last pinned reader drops it, then frees on that reader's thread —
+// no quiescent-state tracking, no deferred-free list, and nothing for a
+// leak checker to find once the readers are gone.
+//
+// Obs surface: `serve.snapshot.epoch` gauge (published epoch),
+// `serve.snapshot.commits` / `serve.snapshot.commit_ns` /
+// `serve.snapshot.retired` counters (retired = snapshots superseded by a
+// commit; they free when their last reader unpins), and one
+// "serve.snapshot.commit" span per commit when a trace is attached.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "dataset/database.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace avtk::serve {
+
+/// One immutable published state of the store. Everything a query needs —
+/// the records, the per-domain version vector it must report, the commit
+/// epoch — is frozen together, so a reader holding the pointer observes
+/// exactly one consistent state.
+class store_snapshot {
+ public:
+  store_snapshot(dataset::failure_database db, std::uint64_t epoch)
+      : db_(std::move(db)), epoch_(epoch) {}
+
+  const dataset::failure_database& db() const { return db_; }
+  const dataset::database_version& version() const { return db_.version(); }
+  std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  dataset::failure_database db_;
+  std::uint64_t epoch_;
+};
+
+using snapshot_ptr = std::shared_ptr<const store_snapshot>;
+
+class snapshot_store {
+ public:
+  /// Publishes `db` as epoch 0. `trace` (optional) receives a
+  /// "serve.snapshot.commit" span per commit.
+  explicit snapshot_store(dataset::failure_database db, obs::trace* trace = nullptr);
+
+  snapshot_store(const snapshot_store&) = delete;
+  snapshot_store& operator=(const snapshot_store&) = delete;
+
+  /// Pins the currently published snapshot: one atomic load, no lock.
+  /// Safe from any number of threads; never blocks, not even against a
+  /// commit in flight.
+  snapshot_ptr pin() const { return published_.load(std::memory_order_acquire); }
+
+  /// The published epoch (0 for a freshly constructed store).
+  std::uint64_t epoch() const { return pin()->epoch(); }
+
+  /// Read-copy-update commit: `mutate` receives a private copy of the
+  /// newest database (cheap — domain arrays are shared until written) and
+  /// the result is published as the next epoch with a single pointer
+  /// swap. Commits serialize; readers are never blocked and keep their
+  /// pinned epochs. Returns the snapshot it published, so the caller can
+  /// report the exact post-commit version vector without re-pinning (a
+  /// later commit may already have superseded it).
+  snapshot_ptr commit(const std::function<void(dataset::failure_database&)>& mutate);
+
+ private:
+  std::atomic<snapshot_ptr> published_;
+  std::mutex commit_mutex_;  ///< serializes writers; readers never take it
+  obs::trace* trace_;
+
+  obs::counter& commits_;
+  obs::counter& commit_ns_;
+  obs::counter& retired_;
+};
+
+}  // namespace avtk::serve

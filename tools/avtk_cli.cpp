@@ -584,10 +584,10 @@ int cmd_serve(arg_list args) {
   }
   std::fprintf(stderr,
                "serve: %zu requests, %zu errors (%zu parse, %zu execution), %zu cache hits, "
-               "%zu ingests (%zu rejected, %zu records), cache size %zu\n",
+               "%zu ingests (%zu rejected, %zu records), cache size %zu, snapshot epoch %llu\n",
                stats.requests, stats.errors, stats.parse_errors, stats.execution_errors,
                stats.cache_hits, stats.ingests, stats.ingest_rejected, stats.ingest_records,
-               engine.cache_size());
+               engine.cache_size(), static_cast<unsigned long long>(engine.epoch()));
   if (stats.aborted) {
     std::fprintf(stderr, "serve: aborted on rejected ingest (--on-error fail_fast)\n");
   }
