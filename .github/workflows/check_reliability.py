@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""CI gate for the recurrent-events reliability engine (mcf / nhpp).
+
+Usage: check_reliability.py BENCH_RELIABILITY_JSON MCF_RESPONSE NHPP_RESPONSE
+
+Checks, per the repo's acceptance bar for the reliability subsystem:
+  * the MCF served by `avtk query '{"query":"mcf"}'` is a valid estimator
+    output for every manufacturer: points ascending in miles, MCF and
+    variance monotone non-decreasing, at-risk counts positive and
+    non-increasing, bootstrap bands ordered (lower <= upper),
+  * the NHPP power-law fit on the synthetic homogeneous-Poisson fleet
+    (recorded by bench_reliability) recovers shape ~ 1 within tolerance —
+    the estimator must not hallucinate a trend where there is none,
+  * on the real corpus, both served NHPP families' log-likelihoods at the
+    optimum are >= the homogeneous-Poisson baseline (the HPP is nested in
+    both, so a worse optimum means a broken optimization), the preferred
+    model is the AIC minimizer, and the extrapolation is finite and
+    non-negative.
+"""
+import json
+import sys
+
+SHAPE_TOLERANCE = 0.15  # |fitted - 1| on synthetic HPP data
+LL_SLACK = 1e-6  # float noise allowance on nested-model comparisons
+
+
+def fail(message: str) -> int:
+    print(f"FAIL: {message}")
+    return 1
+
+
+def load_payload(path: str, kind: str):
+    """An `avtk query` response envelope (avtk.serve.v1) -> its payload."""
+    with open(path) as f:
+        envelope = json.load(f)
+    if envelope.get("schema") != "avtk.serve.v1":
+        raise ValueError(f"{path}: unexpected schema {envelope.get('schema')!r}")
+    if envelope.get("ok") is not True:
+        raise ValueError(f"{path}: query failed: {envelope.get('error')!r}")
+    if not envelope.get("query", "").startswith(kind):
+        raise ValueError(f"{path}: expected a {kind} response, got {envelope.get('query')!r}")
+    return envelope["payload"]
+
+
+def check_mcf(payload) -> list:
+    problems = []
+    makers = payload.get("makers", [])
+    if not makers:
+        problems.append("mcf payload lists no manufacturers")
+    for row in makers:
+        maker = row.get("maker", "?")
+        points = row.get("points", [])
+        if row.get("events", 0) > 0 and not points:
+            problems.append(f"{maker}: events but no curve points")
+        prev_miles, prev_mcf, prev_var = -1.0, 0.0, 0.0
+        prev_at_risk = None
+        for p in points:
+            if p["miles"] <= prev_miles:
+                problems.append(f"{maker}: curve positions not ascending at {p['miles']}")
+                break
+            if p["mcf"] < prev_mcf:
+                problems.append(f"{maker}: MCF decreases at {p['miles']} miles")
+                break
+            if p["variance"] < prev_var:
+                problems.append(f"{maker}: variance decreases at {p['miles']} miles")
+                break
+            if p["at_risk"] < 1:
+                problems.append(f"{maker}: at-risk count below 1 at {p['miles']} miles")
+                break
+            if prev_at_risk is not None and p["at_risk"] > prev_at_risk:
+                problems.append(f"{maker}: at-risk count increases at {p['miles']} miles")
+                break
+            if p["lower"] > p["upper"]:
+                problems.append(f"{maker}: bootstrap band inverted at {p['miles']} miles")
+                break
+            prev_miles, prev_mcf, prev_var = p["miles"], p["mcf"], p["variance"]
+            prev_at_risk = p["at_risk"]
+    return problems
+
+
+def check_synthetic(record) -> list:
+    problems = []
+    synthetic = record["reliability"]["synthetic_hpp"]
+    if not synthetic.get("converged"):
+        problems.append("synthetic-HPP power-law fit did not converge")
+    error = synthetic["shape_abs_error"]
+    if error > SHAPE_TOLERANCE:
+        problems.append(
+            f"synthetic-HPP fitted shape {synthetic['fitted_shape']:.3f} is "
+            f"{error:.3f} from 1.0 (tolerance {SHAPE_TOLERANCE})"
+        )
+    if synthetic["power_law_log_likelihood"] < synthetic["hpp_log_likelihood"] - LL_SLACK:
+        problems.append("synthetic-HPP power-law optimum fell below the HPP likelihood")
+    return problems
+
+
+def check_nhpp(payload) -> list:
+    problems = []
+    makers = payload.get("makers", [])
+    if not makers:
+        problems.append("nhpp payload lists no manufacturers")
+    for row in makers:
+        maker = row.get("maker", "?")
+        hpp = row["hpp"]
+        fits = {"power_law": row["power_law"], "log_linear": row["log_linear"]}
+        for name, fit in fits.items():
+            if not fit.get("converged"):
+                problems.append(f"{maker}: {name} fit did not converge")
+                continue
+            if fit["log_likelihood"] < hpp["log_likelihood"] - LL_SLACK:
+                problems.append(
+                    f"{maker}: {name} optimum log-likelihood {fit['log_likelihood']:.3f} "
+                    f"fell below the HPP baseline {hpp['log_likelihood']:.3f}"
+                )
+        aics = {"hpp": hpp["aic"], **{n: f["aic"] for n, f in fits.items() if f.get("converged")}}
+        best = min(aics, key=aics.get)
+        if aics[row["preferred"]] > aics[best] + LL_SLACK:
+            problems.append(
+                f"{maker}: preferred model {row['preferred']!r} is not the AIC "
+                f"minimizer ({best!r})"
+            )
+        expected = row["expected_events"]
+        for name in ("hpp", "power_law", "log_linear"):
+            value = expected[name]
+            if value is None or value < 0:
+                problems.append(f"{maker}: {name} extrapolation is {value!r}")
+    return problems
+
+
+def main(bench_path: str, mcf_path: str, nhpp_path: str) -> int:
+    with open(bench_path) as f:
+        record = json.load(f)
+    if record.get("schema") != "avtk.bench.v1":
+        return fail(f"unexpected bench schema {record.get('schema')!r}")
+
+    try:
+        mcf = load_payload(mcf_path, "mcf")
+        nhpp = load_payload(nhpp_path, "nhpp")
+    except ValueError as error:
+        return fail(str(error))
+
+    problems = check_mcf(mcf) + check_synthetic(record) + check_nhpp(nhpp)
+    if problems:
+        for p in problems:
+            print(f"FAIL: {p}")
+        return 1
+
+    synthetic = record["reliability"]["synthetic_hpp"]
+    preferred = {row["maker"]: row["preferred"] for row in nhpp["makers"]}
+    print(
+        f"reliability OK: {len(mcf['makers'])} MCF curves monotone with ordered bands, "
+        f"synthetic-HPP shape {synthetic['fitted_shape']:.3f} (|err| "
+        f"{synthetic['shape_abs_error']:.3f} <= {SHAPE_TOLERANCE}), "
+        f"NHPP optima beat the HPP baseline for all {len(nhpp['makers'])} makers "
+        f"(preferred: {preferred})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1], sys.argv[2], sys.argv[3]))

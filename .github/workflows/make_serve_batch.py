@@ -3,18 +3,22 @@
 
 Usage: make_serve_batch.py CORPUS_DIR INJECT_MANIFEST OUT_BATCH
 
-Emits the scripted query batch (12 distinct queries, 3 cache-warming
-repeats, 3 malformed requests) followed by the raw-document ingestion
-tail:
+Emits the scripted query batch (16 distinct queries covering every query
+kind including the reliability pair mcf/nhpp, 5 cache-warming repeats,
+4 malformed requests — one a structurally valid nhpp with an out-of-range
+horizon) followed by the raw-document ingestion tail:
 
-  id 18  ingest a clean disengagement report from CORPUS_DIR — must be
+  id 25  ingest a clean disengagement report from CORPUS_DIR — must be
          accepted, bump the database version, and invalidate dependent
          cache entries,
-  id 19  repeat "metrics" — recomputed at the new version,
-  id 20  ingest the first corrupted document from the inject manifest —
+  id 26  repeat "metrics" — recomputed at the new version,
+  id 27  repeat "nhpp" — recomputed too (reliability queries depend on
+         the disengagement domain the ingest bumped),
+  id 28  ingest the first corrupted document from the inject manifest —
          must be rejected with the manifest's probe code, leaving the
          version and the cache untouched,
-  id 21  repeat "metrics" — must be served from the still-warm cache.
+  id 29  repeat "metrics" — must be served from the still-warm cache,
+  id 30  repeat "nhpp" — likewise still warm after the reject.
 
 CORPUS_DIR is the `avtk inject --out` layout (scanned/doc_NNN.txt with
 pristine/ twins); the manifest is the avtk.inject.v1 report naming the
@@ -33,18 +37,27 @@ QUERIES = [
     {"id": 4, "query": "trend"},
     {"id": 5, "query": "fit"},
     {"id": 6, "query": "compare"},
-    {"id": 7, "query": "metrics", "maker": "waymo"},
-    {"id": 8, "query": "tags", "maker": "waymo"},
-    {"id": 9, "query": "fit", "min_samples": 10},
-    {"id": 10, "query": "trend", "maker": "delphi"},
-    {"id": 11, "query": "categories", "maker": "delphi"},
-    {"id": 12, "query": "metrics"},
-    {"id": 13, "query": "tags"},
-    {"id": 14, "query": "compare"},
-    # Deliberately malformed: rejected on the wire, never fatal.
-    {"id": 15, "query": "warp_drive"},
-    {"id": 16, "query": "metrics", "maker": "martian_motors"},
-    {"id": 17, "query": "fit", "min_samples": 0},
+    {"id": 7, "query": "mcf"},
+    {"id": 8, "query": "nhpp"},
+    {"id": 9, "query": "metrics", "maker": "waymo"},
+    {"id": 10, "query": "tags", "maker": "waymo"},
+    {"id": 11, "query": "fit", "min_samples": 10},
+    {"id": 12, "query": "trend", "maker": "delphi"},
+    {"id": 13, "query": "categories", "maker": "delphi"},
+    {"id": 14, "query": "mcf", "maker": "waymo", "replicates": 150, "seed": 7},
+    {"id": 15, "query": "nhpp", "horizon_miles": 50000},
+    {"id": 16, "query": "metrics"},
+    {"id": 17, "query": "tags"},
+    {"id": 18, "query": "compare"},
+    {"id": 19, "query": "mcf"},
+    {"id": 20, "query": "nhpp"},
+    # Deliberately malformed: rejected on the wire, never fatal. The last
+    # one is structurally valid nhpp with an out-of-range horizon — it must
+    # answer a structured parse-error envelope naming the field.
+    {"id": 21, "query": "warp_drive"},
+    {"id": 22, "query": "metrics", "maker": "martian_motors"},
+    {"id": 23, "query": "fit", "min_samples": 0},
+    {"id": 24, "query": "nhpp", "horizon_miles": -1},
 ]
 
 
@@ -89,10 +102,12 @@ def main(corpus_dir: str, manifest_path: str, out_path: str) -> int:
     clean_title = read_doc(corpus_dir, "scanned", clean_index).splitlines()[0]
     corrupt = faults[0]
     batch = QUERIES + [
-        ingest_request(18, clean_index, clean_title),
-        {"id": 19, "query": "metrics"},
-        ingest_request(20, corrupt["index"], corrupt["title"]),
-        {"id": 21, "query": "metrics"},
+        ingest_request(25, clean_index, clean_title),
+        {"id": 26, "query": "metrics"},
+        {"id": 27, "query": "nhpp"},
+        ingest_request(28, corrupt["index"], corrupt["title"]),
+        {"id": 29, "query": "metrics"},
+        {"id": 30, "query": "nhpp"},
     ]
 
     with open(out_path, "w") as f:

@@ -1,0 +1,112 @@
+#include "reliability/events.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <utility>
+
+namespace avtk::reliability {
+
+namespace {
+
+using dataset::manufacturer;
+using dataset::vehicle_month;
+
+// Appends one month's events to `process`, advancing its exposure clock.
+// The cell's d events land at fractions (j+1)/(d+1) of the month's mileage
+// span, so they stay strictly inside (start, end) and strictly ordered. A
+// zero-mile month with events (possible when a report logs events against
+// a vehicle that reported no miles that month) pins them to the current
+// clock position; events at clock 0 have no observable exposure and are
+// dropped when the process is finalized.
+void append_month(event_process& process, const vehicle_month& cell) {
+  const double start = process.exposure;
+  const auto d = static_cast<std::size_t>(cell.disengagements);
+  for (std::size_t j = 0; j < d; ++j) {
+    const double frac = static_cast<double>(j + 1) / static_cast<double>(d + 1);
+    process.events.push_back(start + cell.miles * frac);
+  }
+  process.exposure = start + cell.miles;
+}
+
+// Drops unobservable zero-clock events; returns false for a process with
+// no exposure at all (nothing to estimate against).
+bool finalize(event_process& process) {
+  std::erase_if(process.events, [](double t) { return !(t > 0); });
+  return process.exposure > 0;
+}
+
+maker_processes build_maker(manufacturer maker,
+                            const std::vector<const vehicle_month*>& cells) {
+  maker_processes out;
+  out.maker = maker;
+  out.fleet.unit_id = std::string(dataset::manufacturer_id(maker));
+
+  // Per-VIN: cells arrive sorted by (vehicle, month), so one linear pass
+  // builds each vehicle's cumulative-mileage clock.
+  event_process current;
+  bool open = false;
+  const auto flush = [&] {
+    if (open && finalize(current)) out.vehicles.push_back(std::move(current));
+    current = event_process{};
+    open = false;
+  };
+  for (const auto* cell : cells) {
+    if (!open || cell->vehicle_id != current.unit_id) {
+      flush();
+      current.unit_id = cell->vehicle_id;
+      open = true;
+    }
+    append_month(current, *cell);
+  }
+  flush();
+
+  // Fleet: the same cells re-grouped by month onto one shared clock. The
+  // month totals are accumulated first so the within-month spread uses the
+  // whole fleet's mileage span for that month.
+  std::map<std::int64_t, vehicle_month> months;
+  for (const auto* cell : cells) {
+    auto& m = months[cell->month.index()];
+    m.maker = maker;
+    m.month = cell->month;
+    m.miles += cell->miles;
+    m.disengagements += cell->disengagements;
+  }
+  for (const auto& [index, cell] : months) append_month(out.fleet, cell);
+  finalize(out.fleet);
+  return out;
+}
+
+}  // namespace
+
+std::size_t maker_processes::vehicle_events() const {
+  std::size_t n = 0;
+  for (const auto& v : vehicles) n += v.count();
+  return n;
+}
+
+std::vector<maker_processes> extract_processes(const dataset::failure_database& db) {
+  // vehicle_months() is keyed (maker, vehicle, month) and already carries
+  // the attribution of vehicle-less / month-less events; its map order
+  // makes the whole extraction deterministic.
+  const auto cells = db.vehicle_months();
+  std::map<manufacturer, std::vector<const vehicle_month*>> by_maker;
+  for (const auto& cell : cells) by_maker[cell.maker].push_back(&cell);
+
+  std::vector<maker_processes> out;
+  for (const auto& [maker, maker_cells] : by_maker) {
+    auto built = build_maker(maker, maker_cells);
+    if (built.fleet.exposure > 0) out.push_back(std::move(built));
+  }
+  return out;
+}
+
+std::optional<maker_processes> extract_processes(const dataset::failure_database& db,
+                                                 dataset::manufacturer maker) {
+  for (auto& p : extract_processes(db)) {
+    if (p.maker == maker) return std::move(p);
+  }
+  return std::nullopt;
+}
+
+}  // namespace avtk::reliability

@@ -1,0 +1,199 @@
+#include "reliability/nhpp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/optimize.h"
+#include "stats/special.h"
+#include "util/errors.h"
+
+namespace avtk::reliability {
+
+namespace {
+
+constexpr double k_penalty = 1e300;  // objective value for infeasible points
+
+// Sufficient statistics of the joint likelihood across units.
+struct pooled {
+  std::size_t units = 0;
+  double n = 0;           // total events
+  double sum_exposure = 0;
+  double sum_t = 0;       // sum of event positions
+  double sum_log_t = 0;   // sum of log event positions
+  double max_exposure = 0;
+  std::vector<double> exposures;
+};
+
+pooled pool(std::span<const event_process> units) {
+  pooled p;
+  for (const auto& u : units) {
+    if (!(u.exposure > 0)) continue;
+    ++p.units;
+    p.sum_exposure += u.exposure;
+    p.max_exposure = std::max(p.max_exposure, u.exposure);
+    p.exposures.push_back(u.exposure);
+    for (const double t : u.events) {
+      p.n += 1;
+      p.sum_t += t;
+      p.sum_log_t += std::log(t);
+    }
+  }
+  return p;
+}
+
+double finite_or_penalty(double negative_log_likelihood) {
+  return std::isfinite(negative_log_likelihood) ? negative_log_likelihood : k_penalty;
+}
+
+// l(beta, eta) = N ln beta + (beta-1) S_log - N beta ln eta - sum_i (T_i/eta)^beta,
+// over x = (ln beta, ln(eta/T_max)) so the simplex walks O(1) coordinates.
+nhpp_fit fit_power_law(const pooled& p, const hpp_fit& hpp) {
+  nhpp_fit fit;
+  if (p.n == 0) {
+    // No events: the likelihood is maximized by Lambda -> 0 (scale -> inf);
+    // report the HPP-equivalent likelihood and let AIC prefer the baseline.
+    fit.log_likelihood = hpp.log_likelihood;
+    fit.aic = 4.0 - 2.0 * fit.log_likelihood;
+    return fit;
+  }
+  const double log_tmax = std::log(p.max_exposure);
+  const auto objective = [&](const std::vector<double>& x) {
+    const double beta = std::exp(x[0]);
+    if (!(beta > 1e-6) || !(beta < 1e6)) return k_penalty;
+    const double log_eta = x[1] + log_tmax;
+    double ll = p.n * std::log(beta) + (beta - 1.0) * p.sum_log_t - p.n * beta * log_eta;
+    for (const double exposure : p.exposures) {
+      const double e = beta * (std::log(exposure) - log_eta);
+      if (e > 700.0) return k_penalty;
+      ll -= std::exp(e);
+    }
+    return finite_or_penalty(-ll);
+  };
+  // Start at the HPP-equivalent point (beta = 1, Lambda(T) = T / eta with
+  // eta = 1/rate): the optimum can therefore never fall below the HPP
+  // likelihood — the nested-model guarantee the CI gate asserts.
+  const std::vector<double> start = {0.0, std::log(p.sum_exposure / p.n) - log_tmax};
+  const auto opt = stats::nelder_mead_minimize(objective, start, 0.25, 1e-12, 4000);
+  fit.shape = std::exp(opt.x[0]);
+  fit.scale = std::exp(opt.x[1]) * p.max_exposure;
+  fit.log_likelihood = -opt.value;
+  fit.aic = 4.0 - 2.0 * fit.log_likelihood;
+  fit.converged = opt.converged;
+  return fit;
+}
+
+// l(alpha, gamma) = N alpha + gamma S_t - sum_i e^alpha (e^(gamma T_i) - 1)/gamma,
+// over x = (alpha, gamma * T_max).
+nhpp_fit fit_log_linear(const pooled& p, const hpp_fit& hpp) {
+  nhpp_fit fit;
+  if (p.n == 0) {
+    fit.log_likelihood = hpp.log_likelihood;
+    fit.aic = 4.0 - 2.0 * fit.log_likelihood;
+    return fit;
+  }
+  const auto objective = [&](const std::vector<double>& x) {
+    const double alpha = x[0];
+    const double gamma_scaled = x[1];
+    if (!(alpha > -700.0) || !(alpha < 700.0)) return k_penalty;
+    double ll = p.n * alpha + (gamma_scaled / p.max_exposure) * p.sum_t;
+    for (const double exposure : p.exposures) {
+      const double s = exposure / p.max_exposure;  // in (0, 1]
+      const double gs = gamma_scaled * s;
+      if (gs > 700.0) return k_penalty;
+      const double integral = std::fabs(gamma_scaled) < 1e-12
+                                  ? exposure
+                                  : p.max_exposure * std::expm1(gs) / gamma_scaled;
+      ll -= std::exp(alpha) * integral;
+    }
+    return finite_or_penalty(-ll);
+  };
+  // Start at the HPP-equivalent point (gamma = 0, e^alpha = rate).
+  const std::vector<double> start = {std::log(p.n / p.sum_exposure), 0.0};
+  const auto opt = stats::nelder_mead_minimize(objective, start, 0.25, 1e-12, 4000);
+  fit.alpha = opt.x[0];
+  fit.gamma = opt.x[1] / p.max_exposure;
+  fit.log_likelihood = -opt.value;
+  fit.aic = 4.0 - 2.0 * fit.log_likelihood;
+  fit.converged = opt.converged;
+  return fit;
+}
+
+laplace_result laplace_test(std::span<const event_process> units) {
+  // U = (sum_ij t_ij - (1/2) sum_i n_i T_i) / sqrt((1/12) sum_i n_i T_i^2):
+  // under H0 (no trend) event positions are uniform on (0, T_i], so U is
+  // asymptotically standard normal.
+  double sum_t = 0;
+  double half_sum = 0;
+  double var_sum = 0;
+  for (const auto& u : units) {
+    if (!(u.exposure > 0)) continue;
+    const auto n = static_cast<double>(u.events.size());
+    for (const double t : u.events) sum_t += t;
+    half_sum += n * u.exposure / 2.0;
+    var_sum += n * u.exposure * u.exposure / 12.0;
+  }
+  laplace_result out;
+  if (!(var_sum > 0)) return out;  // no events: no evidence either way
+  out.statistic = (sum_t - half_sum) / std::sqrt(var_sum);
+  out.p_value = 2.0 * (1.0 - stats::normal_cdf(std::fabs(out.statistic)));
+  return out;
+}
+
+}  // namespace
+
+std::string_view trend_analysis::preferred() const {
+  std::string_view best = "hpp";
+  double best_aic = hpp.aic;
+  if (power_law.converged && power_law.aic < best_aic) {
+    best = "power_law";
+    best_aic = power_law.aic;
+  }
+  if (log_linear.converged && log_linear.aic < best_aic) {
+    best = "log_linear";
+  }
+  return best;
+}
+
+trend_analysis fit_trend(std::span<const event_process> units) {
+  const auto p = pool(units);
+  if (p.units == 0) throw logic_error("fit_trend: no unit has positive exposure");
+
+  trend_analysis out;
+  out.units = p.units;
+  out.events = static_cast<std::size_t>(p.n);
+  out.exposure = p.sum_exposure;
+
+  out.hpp.rate = p.n / p.sum_exposure;
+  out.hpp.log_likelihood =
+      p.n > 0 ? p.n * std::log(out.hpp.rate) - out.hpp.rate * p.sum_exposure : 0.0;
+  out.hpp.aic = 2.0 - 2.0 * out.hpp.log_likelihood;
+
+  out.power_law = fit_power_law(p, out.hpp);
+  out.log_linear = fit_log_linear(p, out.hpp);
+  out.laplace = laplace_test(units);
+  return out;
+}
+
+double expected_events(const trend_analysis& analysis, std::string_view model,
+                       double at_miles, double horizon_miles) {
+  if (!(horizon_miles >= 0) || !(at_miles >= 0)) {
+    throw logic_error("expected_events requires non-negative miles");
+  }
+  if (model == "hpp") return analysis.hpp.rate * horizon_miles;
+  if (model == "power_law") {
+    const auto& f = analysis.power_law;
+    if (!(f.scale > 0)) return 0.0;
+    return std::pow((at_miles + horizon_miles) / f.scale, f.shape) -
+           std::pow(at_miles / f.scale, f.shape);
+  }
+  if (model == "log_linear") {
+    const auto& f = analysis.log_linear;
+    if (std::fabs(f.gamma) < 1e-300) return std::exp(f.alpha) * horizon_miles;
+    return std::exp(f.alpha + f.gamma * at_miles) * std::expm1(f.gamma * horizon_miles) /
+           f.gamma;
+  }
+  throw logic_error("expected_events: unknown model '" + std::string(model) + "'");
+}
+
+}  // namespace avtk::reliability

@@ -1,0 +1,88 @@
+// avtk/reliability/nhpp.h
+//
+// Parametric trend models for the fleet event process: nonhomogeneous
+// Poisson processes with the two intensity families Hong et al.
+// (arXiv:2102.01740, §4) fit to exactly this data, compared against the
+// homogeneous-Poisson (no-trend) baseline by AIC and probed by the Laplace
+// trend test. The clock is cumulative miles; intensities are events/mile.
+//
+//   power-law (Crow/AMSAA):  lambda(t) = (shape/scale) * (t/scale)^(shape-1)
+//                            Lambda(T) = (T/scale)^shape
+//       shape < 1: reliability growth (intensity falling with exposure —
+//       the disengagement-rate improvement the paper's Fig. 5 shows);
+//       shape = 1 degenerates to the HPP.
+//   log-linear (Cox-Lewis):  lambda(t) = exp(alpha + gamma t)
+//                            Lambda(T) = exp(alpha) (exp(gamma T) - 1)/gamma
+//
+// Fits are exact maximum likelihood over all units jointly (each unit i
+// contributes sum_j log lambda(t_ij) - Lambda(T_i)), maximized with
+// stats::nelder_mead_minimize in a rescaled parameterization (log-shape /
+// log-scale; gamma in units of 1/max-exposure) so the simplex operates on
+// O(1) coordinates whatever the mileage scale.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+#include "reliability/events.h"
+
+namespace avtk::reliability {
+
+/// Homogeneous-Poisson baseline: the constant-rate MLE.
+struct hpp_fit {
+  double rate = 0.0;            ///< events per mile
+  double log_likelihood = 0.0;
+  double aic = 0.0;             ///< 2k - 2l with k = 1
+};
+
+/// One fitted NHPP intensity family.
+struct nhpp_fit {
+  // Power-law parameters (meaningful for the power-law family).
+  double shape = 1.0;
+  double scale = 1.0;
+  // Log-linear parameters (meaningful for the log-linear family).
+  double alpha = 0.0;
+  double gamma = 0.0;
+  double log_likelihood = 0.0;
+  double aic = 0.0;             ///< 2k - 2l with k = 2
+  bool converged = false;
+};
+
+/// Laplace trend test over all units: positive statistics mean the event
+/// intensity grows with mileage (deterioration), negative means
+/// improvement; under no trend the statistic is standard normal.
+struct laplace_result {
+  double statistic = 0.0;
+  double p_value = 1.0;  ///< two-sided
+};
+
+/// The full trend analysis of one fleet.
+struct trend_analysis {
+  std::size_t units = 0;
+  std::size_t events = 0;
+  double exposure = 0.0;  ///< total observed miles across units
+
+  hpp_fit hpp;
+  nhpp_fit power_law;
+  nhpp_fit log_linear;
+  laplace_result laplace;
+
+  /// Minimum-AIC model: "hpp", "power_law" or "log_linear".
+  std::string_view preferred() const;
+};
+
+/// Fits all models to `units` (for fleet trends, pass the single fleet
+/// process). Requires at least one unit with positive exposure (throws
+/// avtk::logic_error otherwise); with zero events the NHPP families are
+/// degenerate and the analysis reports the HPP with rate 0 as preferred.
+trend_analysis fit_trend(std::span<const event_process> units);
+
+/// Expected events over the next `horizon_miles` for a unit that has
+/// already accumulated `at_miles`: Lambda(at + horizon) - Lambda(at) under
+/// the given fitted model ("hpp", "power_law", "log_linear"; anything else
+/// throws avtk::logic_error). Requires horizon_miles >= 0.
+double expected_events(const trend_analysis& analysis, std::string_view model,
+                       double at_miles, double horizon_miles);
+
+}  // namespace avtk::reliability

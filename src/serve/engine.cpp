@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <thread>
 #include <utility>
 
 #include "core/analysis.h"
 #include "obs/clock.h"
 #include "obs/json.h"
+#include "reliability/mcf.h"
+#include "reliability/nhpp.h"
 
 namespace avtk::serve {
 
@@ -229,6 +232,104 @@ json::value compare_payload(const dataset::failure_database& db,
   return out;
 }
 
+// Bound on curve points per maker in an mcf payload: the full Waymo curve
+// has thousands of steps, which would dominate every response and cache
+// entry for no analytical gain.
+constexpr std::size_t k_mcf_payload_points = 200;
+
+json::value mcf_payload(const dataset::failure_database& db, const query& q) {
+  json::array rows;
+  for (const auto& mp : reliability::extract_processes(db)) {
+    // Per-VIN processes where the reports expose them; the fleet process is
+    // the single-unit fallback (bands then degenerate, as they should).
+    const std::span<const reliability::event_process> units =
+        mp.vehicles.empty() ? std::span(&mp.fleet, 1) : std::span(mp.vehicles);
+    reliability::mcf_options options;
+    options.seed = q.seed;
+    options.replicates = q.replicates;
+    options.max_points = k_mcf_payload_points;
+    const auto estimate = reliability::estimate_mcf(units, options);
+    json::array points;
+    for (const auto& p : estimate.points) {
+      points.emplace_back(json::object{
+          {"miles", num(p.miles)},
+          {"events", json::value(p.events)},
+          {"at_risk", json::value(p.at_risk)},
+          {"mcf", num(p.mcf)},
+          {"variance", num(p.variance)},
+          {"lower", num(p.lower)},
+          {"upper", num(p.upper)},
+      });
+    }
+    rows.emplace_back(json::object{
+        {"maker", json::value(std::string(dataset::manufacturer_id(mp.maker)))},
+        {"units", json::value(estimate.units)},
+        {"events", json::value(estimate.total_events)},
+        {"points", json::value(std::move(points))},
+    });
+  }
+  return json::object{
+      {"replicates", json::value(q.replicates)},
+      {"seed", json::value(q.seed)},
+      {"makers", json::value(std::move(rows))},
+  };
+}
+
+json::value nhpp_fit_json(const reliability::nhpp_fit& f, bool power_law) {
+  json::object out;
+  if (power_law) {
+    out.emplace_back("shape", num(f.shape));
+    out.emplace_back("scale", num(f.scale));
+  } else {
+    out.emplace_back("alpha", num(f.alpha));
+    out.emplace_back("gamma", num(f.gamma));
+  }
+  out.emplace_back("log_likelihood", num(f.log_likelihood));
+  out.emplace_back("aic", num(f.aic));
+  out.emplace_back("converged", json::value(f.converged));
+  return out;
+}
+
+json::value nhpp_payload(const dataset::failure_database& db, const query& q) {
+  json::array rows;
+  for (const auto& mp : reliability::extract_processes(db)) {
+    // Trend models run on the fleet-level superposed process, so the
+    // extrapolation answers "expected events over the next H fleet miles".
+    const auto analysis = reliability::fit_trend(std::span(&mp.fleet, 1));
+    const double at = mp.fleet.exposure;
+    rows.emplace_back(json::object{
+        {"maker", json::value(std::string(dataset::manufacturer_id(mp.maker)))},
+        {"events", json::value(analysis.events)},
+        {"exposure_miles", num(analysis.exposure)},
+        {"hpp", json::value(json::object{
+                    {"rate", num(analysis.hpp.rate)},
+                    {"log_likelihood", num(analysis.hpp.log_likelihood)},
+                    {"aic", num(analysis.hpp.aic)},
+                })},
+        {"power_law", nhpp_fit_json(analysis.power_law, true)},
+        {"log_linear", nhpp_fit_json(analysis.log_linear, false)},
+        {"laplace", json::value(json::object{
+                        {"statistic", num(analysis.laplace.statistic)},
+                        {"p_value", num(analysis.laplace.p_value)},
+                    })},
+        {"preferred", json::value(std::string(analysis.preferred()))},
+        {"expected_events",
+         json::value(json::object{
+             {"horizon_miles", num(q.horizon_miles)},
+             {"hpp", num(reliability::expected_events(analysis, "hpp", at, q.horizon_miles))},
+             {"power_law",
+              num(reliability::expected_events(analysis, "power_law", at, q.horizon_miles))},
+             {"log_linear",
+              num(reliability::expected_events(analysis, "log_linear", at, q.horizon_miles))},
+         })},
+    });
+  }
+  return json::object{
+      {"horizon_miles", num(q.horizon_miles)},
+      {"makers", json::value(std::move(rows))},
+  };
+}
+
 // A live append always scans strictly (the batch quarantine policies'
 // validations must not be bypassable over the wire), and the processor
 // shares the engine's trace.
@@ -255,6 +356,8 @@ json::value execute_payload(const dataset::failure_database& db, const query& q)
     case query_kind::trend: return trend_payload(*view, makers);
     case query_kind::fit: return fit_payload(*view, makers, q.min_samples);
     case query_kind::compare: return compare_payload(*view, makers);
+    case query_kind::mcf: return mcf_payload(*view, q);
+    case query_kind::nhpp: return nhpp_payload(*view, q);
   }
   return json::object{};
 }

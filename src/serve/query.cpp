@@ -17,14 +17,14 @@ std::string_view query_kind_name(query_kind k) {
     case query_kind::trend: return "trend";
     case query_kind::fit: return "fit";
     case query_kind::compare: return "compare";
+    case query_kind::mcf: return "mcf";
+    case query_kind::nhpp: return "nhpp";
   }
   return "metrics";
 }
 
 std::optional<query_kind> query_kind_from_string(std::string_view s) {
-  for (const auto k : {query_kind::metrics, query_kind::tags, query_kind::categories,
-                       query_kind::modality, query_kind::trend, query_kind::fit,
-                       query_kind::compare}) {
+  for (const auto k : k_all_query_kinds) {
     if (s == query_kind_name(k)) return k;
   }
   return std::nullopt;
@@ -38,8 +38,12 @@ domain_mask query::dependencies() const {
     case query_kind::modality:
     case query_kind::fit:
       return domain_disengagements;
-    // Exposure-normalized series read mileage too.
+    // Exposure-normalized series read mileage too; the reliability event
+    // processes are built from disengagement counts spread over the mileage
+    // ledger, so accident appends must not touch their cached results.
     case query_kind::trend:
+    case query_kind::mcf:
+    case query_kind::nhpp:
       return domain_disengagements | domain_mileage;
     // Full reliability metrics fold in accident counts (DPA / APM / APMi).
     case query_kind::metrics:
@@ -77,9 +81,16 @@ std::string query::canonical() const {
   if (year) add("year", std::to_string(*year));
   if (tag) add("tag", nlp::tag_id(*tag));
   if (category) add("category", category_id(*category));
-  // min_samples only shapes `fit` results; keep other kinds' keys free of it
-  // so {"query":"tags","min_samples":7} and {"query":"tags"} coincide.
+  // Kind-specific knobs appear only in the kinds they shape, so
+  // {"query":"tags","min_samples":7} and {"query":"tags"} coincide.
   if (kind == query_kind::fit) add("min_samples", std::to_string(min_samples));
+  if (kind == query_kind::mcf) {
+    add("replicates", std::to_string(replicates));
+    add("seed", std::to_string(seed));
+  }
+  if (kind == query_kind::nhpp) {
+    add("horizon_miles", std::to_string(static_cast<long long>(horizon_miles)));
+  }
   return out;
 }
 
@@ -130,6 +141,24 @@ std::optional<query> parse_query(std::string_view text, query_parse_error* error
         return fail("'min_samples' must be a positive integer");
       }
       q.min_samples = static_cast<std::size_t>(value.as_number());
+    } else if (key == "replicates") {
+      if (!value.is_number() || value.as_number() != std::floor(value.as_number()) ||
+          value.as_number() < 100 || value.as_number() > 10000) {
+        return fail("'replicates' must be an integer in [100, 10000]");
+      }
+      q.replicates = static_cast<int>(value.as_number());
+    } else if (key == "seed") {
+      if (!value.is_number() || value.as_number() != std::floor(value.as_number()) ||
+          value.as_number() < 0) {
+        return fail("'seed' must be a non-negative integer");
+      }
+      q.seed = static_cast<std::uint64_t>(value.as_number());
+    } else if (key == "horizon_miles") {
+      if (!value.is_number() || value.as_number() != std::floor(value.as_number()) ||
+          value.as_number() < 1 || value.as_number() > 1e12) {
+        return fail("'horizon_miles' must be a positive integer of miles");
+      }
+      q.horizon_miles = value.as_number();
     } else if (key == "id") {
       // Caller correlation id: opaque to the engine, echoed by the protocol
       // layer. Accepted here so one parsed object serves both layers.

@@ -28,6 +28,17 @@ enum class query_kind {
   trend,       ///< monthly miles / disengagements / DPM series
   fit,         ///< Weibull + exponentiated-Weibull + exponential reaction-time fits (Fig. 11)
   compare,     ///< cross-manufacturer reliability comparison (Table VII ordering)
+  mcf,         ///< nonparametric mean cumulative function with bootstrap bands
+  nhpp,        ///< NHPP trend fits (power-law / log-linear vs HPP) + extrapolation
+};
+
+/// Every query_kind, in enum order. New kinds must be added here — the
+/// parser, the canonicalizer, and the exhaustive round-trip test all
+/// iterate this list, so a kind missing from it cannot be requested.
+inline constexpr query_kind k_all_query_kinds[] = {
+    query_kind::metrics, query_kind::tags, query_kind::categories,
+    query_kind::modality, query_kind::trend, query_kind::fit,
+    query_kind::compare,  query_kind::mcf,  query_kind::nhpp,
 };
 
 std::string_view query_kind_name(query_kind k);
@@ -52,6 +63,14 @@ struct query {
   std::optional<nlp::failure_category> category;
   /// Minimum reaction-time samples for `fit` (the paper uses 30).
   std::size_t min_samples = 30;
+  /// Bootstrap replicates for `mcf` confidence bands (>= 100).
+  int replicates = 200;
+  /// Seed for the `mcf` bootstrap resampling stream. Part of the canonical
+  /// form, so differently-seeded bands occupy distinct cache entries.
+  std::uint64_t seed = 42;
+  /// Extrapolation horizon for `nhpp`: expected events over the next this
+  /// many fleet miles.
+  double horizon_miles = 10000.0;
 
   /// Which domains executing this query reads. Tag/category breakdowns
   /// read only disengagements; metrics and compare read all three.

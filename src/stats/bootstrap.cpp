@@ -16,6 +16,55 @@ std::vector<double> resample(std::span<const double> xs, rng& gen) {
   return out;
 }
 
+std::vector<std::size_t> resample_indices(std::size_t n, rng& gen) {
+  if (n == 0) throw logic_error("resample_indices on zero units");
+  std::vector<std::size_t> out(n);
+  const auto hi = static_cast<std::int64_t>(n) - 1;
+  for (auto& i : out) i = static_cast<std::size_t>(gen.uniform_int(0, hi));
+  return out;
+}
+
+curve_bands bootstrap_curve_bands(
+    std::size_t units,
+    const std::function<std::vector<double>(std::span<const std::size_t>)>& curve,
+    std::uint64_t seed, int replicates, double confidence) {
+  if (units == 0) throw logic_error("bootstrap_curve_bands on zero units");
+  if (replicates < 100) throw logic_error("bootstrap_curve_bands requires replicates >= 100");
+  if (!(confidence > 0) || !(confidence < 1)) {
+    throw logic_error("bootstrap_curve_bands requires confidence in (0,1)");
+  }
+
+  // One private stream per call: the caller's seed fully determines every
+  // resample, so the bands cannot drift with evaluation order elsewhere.
+  rng gen(seed);
+  std::vector<std::vector<double>> replicate_curves;
+  replicate_curves.reserve(static_cast<std::size_t>(replicates));
+  std::size_t grid = 0;
+  for (int b = 0; b < replicates; ++b) {
+    const auto indices = resample_indices(units, gen);
+    auto values = curve(indices);
+    if (values.empty()) throw logic_error("bootstrap_curve_bands curve returned no grid points");
+    if (b == 0) {
+      grid = values.size();
+    } else if (values.size() != grid) {
+      throw logic_error("bootstrap_curve_bands curve changed grid size between replicates");
+    }
+    replicate_curves.push_back(std::move(values));
+  }
+
+  const double alpha = 1.0 - confidence;
+  curve_bands out;
+  out.lower.resize(grid);
+  out.upper.resize(grid);
+  std::vector<double> column(replicate_curves.size());
+  for (std::size_t g = 0; g < grid; ++g) {
+    for (std::size_t b = 0; b < replicate_curves.size(); ++b) column[b] = replicate_curves[b][g];
+    out.lower[g] = quantile(column, alpha / 2.0);
+    out.upper[g] = quantile(column, 1.0 - alpha / 2.0);
+  }
+  return out;
+}
+
 bootstrap_interval bootstrap_ci(std::span<const double> xs,
                                 const std::function<double(std::span<const double>)>& statistic,
                                 rng& gen, int replicates, double confidence) {

@@ -5,6 +5,8 @@
 // median-APM comparisons where the paper reports point estimates only.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
@@ -30,5 +32,29 @@ bootstrap_interval bootstrap_ci(std::span<const double> xs,
 
 /// Draws one resample with replacement.
 std::vector<double> resample(std::span<const double> xs, rng& gen);
+
+/// Draws one resample of unit indices [0, n) with replacement — the unit
+/// (cluster) bootstrap used when whole subjects, not scalar observations,
+/// are the exchangeable thing (e.g. vehicles in a recurrent-events fleet).
+std::vector<std::size_t> resample_indices(std::size_t n, rng& gen);
+
+/// Pointwise percentile confidence bands for a curve-valued statistic.
+struct curve_bands {
+  std::vector<double> lower;
+  std::vector<double> upper;
+};
+
+/// Computes pointwise percentile bands for `curve`, a statistic evaluated
+/// on a fixed grid: each replicate draws `units` indices with replacement
+/// and `curve` returns the statistic's values at every grid point for that
+/// resample (always the same length). The resampling stream is seeded
+/// explicitly — NOT from a shared rng — so the bands are byte-identical
+/// across runs, call order, and parallelism; serve's reliability queries
+/// depend on this for warm/cold cache-payload identity. Requires units
+/// >= 1, replicates >= 100, confidence in (0, 1), and a non-empty grid.
+curve_bands bootstrap_curve_bands(
+    std::size_t units,
+    const std::function<std::vector<double>(std::span<const std::size_t>)>& curve,
+    std::uint64_t seed, int replicates = 200, double confidence = 0.95);
 
 }  // namespace avtk::stats

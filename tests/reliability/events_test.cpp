@@ -1,0 +1,116 @@
+// reliability/events.h unit tests: per-VIN and fleet event-process
+// extraction from a hand-built failure database, deterministic within-month
+// event placement, and the no-exposure edge cases.
+#include <gtest/gtest.h>
+
+#include "reliability/events.h"
+
+namespace avtk::reliability {
+namespace {
+
+using dataset::manufacturer;
+
+dataset::mileage_record mileage(manufacturer maker, int month, double miles,
+                                const std::string& vehicle) {
+  dataset::mileage_record m;
+  m.maker = maker;
+  m.report_year = 2016;
+  m.vehicle_id = vehicle;
+  m.month = year_month{2016, static_cast<std::uint8_t>(month)};
+  m.miles = miles;
+  return m;
+}
+
+dataset::disengagement_record event(manufacturer maker, int month, const std::string& vehicle) {
+  dataset::disengagement_record d;
+  d.maker = maker;
+  d.report_year = 2016;
+  d.event_month = year_month{2016, static_cast<std::uint8_t>(month)};
+  d.vehicle_id = vehicle;
+  d.description = "test event";
+  return d;
+}
+
+TEST(ExtractProcesses, PerVinClockAndDeterministicPlacement) {
+  dataset::failure_database db;
+  db.add_mileage(mileage(manufacturer::waymo, 1, 1000.0, "v1"));
+  db.add_mileage(mileage(manufacturer::waymo, 2, 1000.0, "v1"));
+  db.add_disengagement(event(manufacturer::waymo, 1, "v1"));
+  db.add_disengagement(event(manufacturer::waymo, 1, "v1"));
+  db.add_disengagement(event(manufacturer::waymo, 2, "v1"));
+
+  const auto mp = extract_processes(db, manufacturer::waymo);
+  ASSERT_TRUE(mp.has_value());
+  ASSERT_EQ(mp->vehicles.size(), 1u);
+  const auto& v = mp->vehicles[0];
+  EXPECT_EQ(v.unit_id, "v1");
+  EXPECT_DOUBLE_EQ(v.exposure, 2000.0);
+  // Month 1's two events at 1/3 and 2/3 of its 1000-mile span; month 2's
+  // single event at 1/2 of its span on the advanced clock.
+  ASSERT_EQ(v.events.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.events[0], 1000.0 / 3.0);
+  EXPECT_DOUBLE_EQ(v.events[1], 2000.0 / 3.0);
+  EXPECT_DOUBLE_EQ(v.events[2], 1500.0);
+  EXPECT_TRUE(std::is_sorted(v.events.begin(), v.events.end()));
+}
+
+TEST(ExtractProcesses, FleetSuperposesVehiclesOnSharedClock) {
+  dataset::failure_database db;
+  db.add_mileage(mileage(manufacturer::waymo, 1, 600.0, "v1"));
+  db.add_mileage(mileage(manufacturer::waymo, 1, 400.0, "v2"));
+  db.add_mileage(mileage(manufacturer::waymo, 2, 500.0, "v1"));
+  db.add_disengagement(event(manufacturer::waymo, 1, "v1"));
+  db.add_disengagement(event(manufacturer::waymo, 1, "v2"));
+  db.add_disengagement(event(manufacturer::waymo, 2, "v1"));
+
+  const auto mp = extract_processes(db, manufacturer::waymo);
+  ASSERT_TRUE(mp.has_value());
+  EXPECT_EQ(mp->vehicles.size(), 2u);
+  EXPECT_EQ(mp->vehicle_events(), 3u);
+  // Fleet clock: month 1 contributes 1000 fleet miles with 2 events (at
+  // 1/3 and 2/3 of the month), month 2 another 500 with one event.
+  EXPECT_DOUBLE_EQ(mp->fleet.exposure, 1500.0);
+  ASSERT_EQ(mp->fleet.events.size(), 3u);
+  EXPECT_DOUBLE_EQ(mp->fleet.events[0], 1000.0 / 3.0);
+  EXPECT_DOUBLE_EQ(mp->fleet.events[1], 2000.0 / 3.0);
+  EXPECT_DOUBLE_EQ(mp->fleet.events[2], 1250.0);
+}
+
+TEST(ExtractProcesses, SkipsMakersWithoutMileage) {
+  dataset::failure_database db;
+  db.add_disengagement(event(manufacturer::delphi, 1, "v1"));  // events, no miles
+  db.add_mileage(mileage(manufacturer::waymo, 1, 100.0, "v1"));
+
+  const auto all = extract_processes(db);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].maker, manufacturer::waymo);
+  EXPECT_FALSE(extract_processes(db, manufacturer::delphi).has_value());
+}
+
+TEST(ExtractProcesses, EmptyDatabaseYieldsNothing) {
+  dataset::failure_database db;
+  EXPECT_TRUE(extract_processes(db).empty());
+}
+
+TEST(ExtractProcesses, DeterministicAcrossRepeatedExtractions) {
+  dataset::failure_database db;
+  for (int month = 1; month <= 6; ++month) {
+    db.add_mileage(mileage(manufacturer::waymo, month, 250.0 * month, "v1"));
+    db.add_mileage(mileage(manufacturer::waymo, month, 100.0, "v2"));
+    db.add_disengagement(event(manufacturer::waymo, month, month % 2 == 0 ? "v1" : "v2"));
+  }
+  const auto a = extract_processes(db);
+  const auto b = extract_processes(db);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].fleet.events, b[i].fleet.events);
+    ASSERT_EQ(a[i].vehicles.size(), b[i].vehicles.size());
+    for (std::size_t v = 0; v < a[i].vehicles.size(); ++v) {
+      EXPECT_EQ(a[i].vehicles[v].unit_id, b[i].vehicles[v].unit_id);
+      EXPECT_EQ(a[i].vehicles[v].events, b[i].vehicles[v].events);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace avtk::reliability

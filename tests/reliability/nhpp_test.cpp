@@ -1,0 +1,145 @@
+// reliability/nhpp.h unit tests: the HPP closed form, shape recovery on
+// synthetic power-law data, the nested-model likelihood guarantee, the
+// Laplace trend test's sign, extrapolation, and degenerate inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "reliability/nhpp.h"
+#include "util/errors.h"
+#include "util/rng.h"
+
+namespace avtk::reliability {
+namespace {
+
+event_process unit(double exposure, std::vector<double> events) {
+  event_process p;
+  p.unit_id = "u";
+  p.exposure = exposure;
+  p.events = std::move(events);
+  return p;
+}
+
+// One power-law NHPP realization: conditional on the count, event times are
+// iid with CDF (t/T)^shape, so t = T * U^(1/shape).
+event_process simulate_power_law(double exposure, double shape, double scale, rng& gen) {
+  const double mean = std::pow(exposure / scale, shape);
+  const auto n = gen.poisson(mean);
+  std::vector<double> events;
+  events.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    events.push_back(exposure * std::pow(gen.uniform(), 1.0 / shape));
+  }
+  std::sort(events.begin(), events.end());
+  return unit(exposure, std::move(events));
+}
+
+TEST(FitTrend, HppClosedForm) {
+  const std::vector<event_process> units = {unit(100.0, {10.0, 30.0, 50.0, 70.0, 90.0})};
+  const auto a = fit_trend(units);
+  EXPECT_EQ(a.units, 1u);
+  EXPECT_EQ(a.events, 5u);
+  EXPECT_DOUBLE_EQ(a.exposure, 100.0);
+  EXPECT_DOUBLE_EQ(a.hpp.rate, 0.05);
+  EXPECT_DOUBLE_EQ(a.hpp.log_likelihood, 5.0 * std::log(0.05) - 5.0);
+  EXPECT_DOUBLE_EQ(a.hpp.aic, 2.0 - 2.0 * a.hpp.log_likelihood);
+}
+
+TEST(FitTrend, NhppLikelihoodsNeverFallBelowHppBaseline) {
+  // The HPP is nested in both families and both optimizations start at the
+  // HPP-equivalent point, so the fitted likelihoods can only improve.
+  rng gen(11);
+  std::vector<event_process> units;
+  for (int i = 0; i < 5; ++i) {
+    units.push_back(simulate_power_law(5000.0 + 500.0 * i, 0.7, 50.0, gen));
+  }
+  const auto a = fit_trend(units);
+  EXPECT_TRUE(a.power_law.converged);
+  EXPECT_TRUE(a.log_linear.converged);
+  EXPECT_GE(a.power_law.log_likelihood, a.hpp.log_likelihood);
+  EXPECT_GE(a.log_linear.log_likelihood, a.hpp.log_likelihood);
+}
+
+TEST(FitTrend, PowerLawRecoversImprovingShape) {
+  // shape < 1: reliability growth. A few hundred synthetic events pin the
+  // fitted shape well inside (0, 1) and near the truth.
+  rng gen(5);
+  std::vector<event_process> units;
+  for (int i = 0; i < 8; ++i) {
+    units.push_back(simulate_power_law(20000.0, 0.5, 10.0, gen));
+  }
+  const auto a = fit_trend(units);
+  ASSERT_TRUE(a.power_law.converged);
+  EXPECT_NEAR(a.power_law.shape, 0.5, 0.1);
+  // A falling intensity is an improving trend: Laplace goes negative.
+  EXPECT_LT(a.laplace.statistic, 0.0);
+  EXPECT_LT(a.laplace.p_value, 0.05);
+}
+
+TEST(FitTrend, HomogeneousDataRecoversShapeNearOne) {
+  rng gen(3);
+  std::vector<event_process> units;
+  for (int i = 0; i < 8; ++i) {
+    units.push_back(simulate_power_law(10000.0, 1.0, 25.0, gen));
+  }
+  const auto a = fit_trend(units);
+  ASSERT_TRUE(a.power_law.converged);
+  EXPECT_NEAR(a.power_law.shape, 1.0, 0.1);
+  // No trend: the two extra NHPP parameters cannot buy 2 AIC points.
+  EXPECT_EQ(a.preferred(), "hpp");
+  EXPECT_GT(a.laplace.p_value, 0.01);
+}
+
+TEST(FitTrend, LaplaceSignTracksClustering) {
+  const std::vector<event_process> late = {unit(100.0, {80.0, 85.0, 90.0, 95.0})};
+  EXPECT_GT(fit_trend(late).laplace.statistic, 0.0);
+  const std::vector<event_process> early = {unit(100.0, {5.0, 10.0, 15.0, 20.0})};
+  EXPECT_LT(fit_trend(early).laplace.statistic, 0.0);
+}
+
+TEST(FitTrend, NoEventsDegeneratesToZeroRateHpp) {
+  const std::vector<event_process> units = {unit(100.0, {})};
+  const auto a = fit_trend(units);
+  EXPECT_EQ(a.events, 0u);
+  EXPECT_DOUBLE_EQ(a.hpp.rate, 0.0);
+  EXPECT_EQ(a.preferred(), "hpp");
+  EXPECT_DOUBLE_EQ(a.laplace.p_value, 1.0);
+  EXPECT_DOUBLE_EQ(expected_events(a, "hpp", 100.0, 5000.0), 0.0);
+}
+
+TEST(FitTrend, RejectsNoExposure) {
+  EXPECT_THROW(fit_trend(std::vector<event_process>{}), logic_error);
+  const std::vector<event_process> zero = {unit(0.0, {})};
+  EXPECT_THROW(fit_trend(zero), logic_error);
+}
+
+TEST(ExpectedEvents, MatchesCumulativeIntensityDifferences) {
+  rng gen(17);
+  std::vector<event_process> units;
+  for (int i = 0; i < 4; ++i) {
+    units.push_back(simulate_power_law(8000.0, 0.6, 20.0, gen));
+  }
+  const auto a = fit_trend(units);
+
+  EXPECT_DOUBLE_EQ(expected_events(a, "hpp", 1000.0, 500.0), a.hpp.rate * 500.0);
+
+  const auto lambda_pl = [&](double t) {
+    return std::pow(t / a.power_law.scale, a.power_law.shape);
+  };
+  EXPECT_NEAR(expected_events(a, "power_law", 8000.0, 2000.0),
+              lambda_pl(10000.0) - lambda_pl(8000.0), 1e-9);
+
+  const auto lambda_ll = [&](double t) {
+    return std::exp(a.log_linear.alpha) * std::expm1(a.log_linear.gamma * t) /
+           a.log_linear.gamma;
+  };
+  EXPECT_NEAR(expected_events(a, "log_linear", 8000.0, 2000.0),
+              lambda_ll(10000.0) - lambda_ll(8000.0), 1e-6);
+
+  EXPECT_THROW(expected_events(a, "weibull", 0.0, 1.0), logic_error);
+  EXPECT_THROW(expected_events(a, "hpp", 0.0, -1.0), logic_error);
+}
+
+}  // namespace
+}  // namespace avtk::reliability

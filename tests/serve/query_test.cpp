@@ -2,21 +2,55 @@
 // dependency masks, strict JSON parsing, and version-qualified cache keys.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+#include <string>
+
 #include "serve/query.h"
 
 namespace avtk::serve {
 namespace {
 
+// Property test over EVERY kind: the registry list is the single source of
+// truth, so a kind added there automatically joins every assertion below.
 TEST(QueryKind, NamesRoundTrip) {
-  for (const auto k : {query_kind::metrics, query_kind::tags, query_kind::categories,
-                       query_kind::modality, query_kind::trend, query_kind::fit,
-                       query_kind::compare}) {
-    const auto parsed = query_kind_from_string(query_kind_name(k));
+  std::set<std::string_view> names;
+  for (const auto k : k_all_query_kinds) {
+    const auto name = query_kind_name(k);
+    EXPECT_TRUE(names.insert(name).second) << "duplicate wire name " << name;
+    const auto parsed = query_kind_from_string(name);
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, k);
   }
+  // The registry is dense over the enum: kinds are declared contiguously
+  // from 0, so the list's size equals one past the last listed value. A
+  // kind appended to the enum but not the list breaks this.
+  std::size_t max_value = 0;
+  for (const auto k : k_all_query_kinds) {
+    max_value = std::max(max_value, static_cast<std::size_t>(k));
+  }
+  EXPECT_EQ(std::size(k_all_query_kinds), max_value + 1);
   EXPECT_FALSE(query_kind_from_string("headlines").has_value());
   EXPECT_FALSE(query_kind_from_string("").has_value());
+}
+
+// Every kind round-trips through the JSON parser and canonicalizes with
+// its wire name as the prefix — and identically for the bare query.
+TEST(QueryKind, EveryKindParsesAndCanonicalizes) {
+  for (const auto k : k_all_query_kinds) {
+    const std::string name(query_kind_name(k));
+    const auto q = parse_query("{\"query\": \"" + name + "\"}");
+    ASSERT_TRUE(q.has_value()) << name;
+    EXPECT_EQ(q->kind, k);
+    EXPECT_EQ(q->canonical().substr(0, name.size()), name);
+    query bare;
+    bare.kind = k;
+    EXPECT_EQ(q->canonical(), bare.canonical()) << name;
+    // Each kind reads at least one domain, and only known domains.
+    const auto deps = q->dependencies();
+    EXPECT_NE(deps, 0) << name;
+    EXPECT_EQ(deps & ~(domain_disengagements | domain_mileage | domain_accidents), 0);
+  }
 }
 
 TEST(QueryCanonical, FieldsAppearInFixedOrder) {
@@ -48,6 +82,48 @@ TEST(QueryCanonical, MinSamplesOnlyAffectsFitKeys) {
   EXPECT_EQ(fit.canonical(), "fit?min_samples=7");
 }
 
+TEST(QueryCanonical, ReliabilityKnobsOnlyAffectTheirKinds) {
+  query mcf;
+  mcf.kind = query_kind::mcf;
+  EXPECT_EQ(mcf.canonical(), "mcf?replicates=200&seed=42");
+  mcf.maker = dataset::manufacturer::waymo;
+  mcf.replicates = 500;
+  mcf.seed = 7;
+  EXPECT_EQ(mcf.canonical(), "mcf?maker=waymo&replicates=500&seed=7");
+
+  query nhpp;
+  nhpp.kind = query_kind::nhpp;
+  EXPECT_EQ(nhpp.canonical(), "nhpp?horizon_miles=10000");
+  nhpp.horizon_miles = 50000;
+  EXPECT_EQ(nhpp.canonical(), "nhpp?horizon_miles=50000");
+
+  // The knobs of one reliability kind must not fragment the other's keys
+  // (or any non-reliability kind's).
+  query tags;
+  tags.kind = query_kind::tags;
+  tags.replicates = 500;
+  tags.seed = 7;
+  tags.horizon_miles = 50000;
+  EXPECT_EQ(tags.canonical(), "tags");
+}
+
+TEST(ParseQuery, ParsesReliabilityFields) {
+  const auto mcf = parse_query(R"({"query": "mcf", "replicates": 300, "seed": 9})");
+  ASSERT_TRUE(mcf.has_value());
+  EXPECT_EQ(mcf->replicates, 300);
+  EXPECT_EQ(mcf->seed, 9u);
+
+  const auto nhpp = parse_query(R"({"query": "nhpp", "horizon_miles": 250000})");
+  ASSERT_TRUE(nhpp.has_value());
+  EXPECT_EQ(nhpp->horizon_miles, 250000.0);
+
+  EXPECT_FALSE(parse_query(R"({"query": "mcf", "replicates": 10})").has_value());
+  EXPECT_FALSE(parse_query(R"({"query": "mcf", "seed": -1})").has_value());
+  query_parse_error error;
+  EXPECT_FALSE(parse_query(R"({"query": "nhpp", "horizon_miles": -1})", &error).has_value());
+  EXPECT_NE(error.message.find("horizon_miles"), std::string::npos);
+}
+
 TEST(QueryDependencies, MatchDomainsEachKindReads) {
   const auto deps_of = [](query_kind k) {
     query q;
@@ -59,6 +135,10 @@ TEST(QueryDependencies, MatchDomainsEachKindReads) {
   EXPECT_EQ(deps_of(query_kind::modality), domain_disengagements);
   EXPECT_EQ(deps_of(query_kind::fit), domain_disengagements);
   EXPECT_EQ(deps_of(query_kind::trend), domain_disengagements | domain_mileage);
+  // Reliability curves are built from disengagement counts over the mileage
+  // ledger; accidents never enter, so accident appends must not evict them.
+  EXPECT_EQ(deps_of(query_kind::mcf), domain_disengagements | domain_mileage);
+  EXPECT_EQ(deps_of(query_kind::nhpp), domain_disengagements | domain_mileage);
   EXPECT_EQ(deps_of(query_kind::metrics),
             domain_disengagements | domain_mileage | domain_accidents);
   EXPECT_EQ(deps_of(query_kind::compare),

@@ -108,8 +108,9 @@ int usage() {
       "  avtk query JSON [--seed N] [--quality Q]\n"
       "      One-shot analytics query, e.g. '{\"query\": \"metrics\"}', or a\n"
       "      one-shot ingest, e.g. '{\"ingest\": {\"text\": \"...\"}}'. Kinds:\n"
-      "      metrics tags categories modality trend fit compare; filters:\n"
-      "      maker, year, tag, category, min_samples.\n"
+      "      metrics tags categories modality trend fit compare mcf nhpp;\n"
+      "      filters: maker, year, tag, category, min_samples, plus\n"
+      "      replicates/seed (mcf bands) and horizon_miles (nhpp).\n"
       "  avtk classify TEXT...\n"
       "  avtk help");
   return 2;
