@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""CI gate for the simulator-driven soak (BENCH_soak.json).
+
+Usage: check_soak.py BENCH_JSON [MAX_P99_RATIO]
+
+Gates the end-to-end soak harness: a simulated fleet's monthly filings
+streamed into a live serve loop at a paced duty cycle, with a chaos leg
+corrupting a seeded fraction of them, while client threads run the full
+weighted query mix. Checks:
+  * the record is an avtk.bench.v1 soak experiment with both passes
+    present and sustained throughput (qps > 0, sane sample counts),
+  * query p99 with the ingest session on is within MAX_P99_RATIO
+    (default 1.5x) of p99 with it off,
+  * chaos containment is EXACT: every corrupted document was rejected
+    with its inject-manifest taxonomy code and zero clean documents were
+    rejected — recomputed from the component counts, not just the
+    bench's own verdict,
+  * the snapshot invariants hold: epochs monotone, exactly one epoch per
+    accepted document (epochs_advanced == ingest_accepted), warm
+    payloads byte-stable, the ingest response stream ordered, and the
+    serve loop completed un-aborted,
+  * every query in both passes was answered ok.
+"""
+import json
+import sys
+
+PASS_MEMBERS = [
+    "queries",
+    "seconds",
+    "qps",
+    "p50_ns",
+    "p99_ns",
+    "cache_hit_rate",
+    "epochs_advanced",
+    "ingest_accepted",
+    "ingest_rejected",
+    "query_responses_ok",
+]
+CHAOS_MEMBERS = [
+    "documents",
+    "corrupted",
+    "clean",
+    "corrupted_rejected",
+    "code_matches",
+    "clean_rejected",
+    "clean_accepted",
+    "exact",
+]
+INVARIANTS = [
+    "epochs_monotone",
+    "epoch_per_accepted_doc",
+    "payloads_stable",
+    "ingest_stream_ordered",
+    "loop_completed",
+]
+
+
+def main(bench_path: str, max_ratio: float = 1.5) -> int:
+    with open(bench_path) as f:
+        record = json.load(f)
+
+    if record.get("schema") != "avtk.bench.v1":
+        print(f"FAIL: unexpected schema {record.get('schema')!r}")
+        return 1
+    if record.get("experiment") != "soak":
+        print(f"FAIL: unexpected experiment {record.get('experiment')!r}")
+        return 1
+    soak = record.get("soak")
+    if not isinstance(soak, dict):
+        print("FAIL: record carries no soak section")
+        return 1
+
+    passes = {}
+    for name in ("ingest_off", "ingest_on"):
+        p = soak.get(name)
+        if not isinstance(p, dict):
+            print(f"FAIL: missing {name} pass")
+            return 1
+        missing = [m for m in PASS_MEMBERS if m not in p]
+        if missing:
+            print(f"FAIL: {name} pass missing members {missing}")
+            return 1
+        if p["queries"] < 50:
+            print(f"FAIL: {name} pass sampled only {p['queries']} queries")
+            return 1
+        if p["qps"] <= 0:
+            print(f"FAIL: {name} pass sustained no throughput (qps={p['qps']})")
+            return 1
+        if p["p99_ns"] <= 0 or p["p50_ns"] <= 0:
+            print(f"FAIL: {name} pass reports non-positive percentiles")
+            return 1
+        if p["query_responses_ok"] is not True:
+            print(f"FAIL: {name} pass had queries answered ok:false")
+            return 1
+        passes[name] = p
+
+    off, on = passes["ingest_off"], passes["ingest_on"]
+    if off["ingest_accepted"] != 0 or off["epochs_advanced"] != 0:
+        print("FAIL: the ingest-off pass ingested documents")
+        return 1
+    if on["ingest_accepted"] < 1:
+        print("FAIL: the ingest-on pass accepted no documents (nothing soaked)")
+        return 1
+    if on["epochs_advanced"] != on["ingest_accepted"]:
+        print(
+            f"FAIL: {on['ingest_accepted']} accepted documents advanced "
+            f"{on['epochs_advanced']} epochs (expected one epoch per document)"
+        )
+        return 1
+
+    ratio = soak.get("p99_on_over_off")
+    if not isinstance(ratio, (int, float)) or ratio <= 0:
+        print(f"FAIL: bad p99_on_over_off {ratio!r}")
+        return 1
+    expected = on["p99_ns"] / off["p99_ns"]
+    if abs(ratio - expected) > 1e-6 * expected:
+        print(f"FAIL: p99_on_over_off={ratio} disagrees with the pass p99s ({expected})")
+        return 1
+    if ratio > max_ratio:
+        print(
+            f"FAIL: ingest-on query p99 degraded {ratio:.3f}x "
+            f"(limit {max_ratio}x): off p99 {off['p99_ns']} ns, on p99 {on['p99_ns']} ns"
+        )
+        return 1
+
+    chaos = soak.get("chaos")
+    if not isinstance(chaos, dict):
+        print("FAIL: record carries no chaos accounting")
+        return 1
+    missing = [m for m in CHAOS_MEMBERS if m not in chaos]
+    if missing:
+        print(f"FAIL: chaos accounting missing members {missing}")
+        return 1
+    if chaos["corrupted"] < 1:
+        print("FAIL: the chaos leg corrupted no documents (nothing was contained)")
+        return 1
+    if chaos["corrupted"] + chaos["clean"] != chaos["documents"]:
+        print("FAIL: chaos document counts do not add up")
+        return 1
+    # Exact containment, recomputed from components: every fault rejected
+    # with its manifest code, zero collateral damage.
+    exact = (
+        chaos["corrupted_rejected"] == chaos["corrupted"]
+        and chaos["code_matches"] == chaos["corrupted"]
+        and chaos["clean_rejected"] == 0
+        and chaos["clean_accepted"] == chaos["clean"]
+    )
+    if not exact:
+        print(f"FAIL: chaos containment is not exact: {chaos}")
+        return 1
+    if chaos["exact"] is not True:
+        print("FAIL: bench recorded exact=false despite exact component counts")
+        return 1
+    if on["ingest_rejected"] != chaos["corrupted"]:
+        print(
+            f"FAIL: serve loop rejected {on['ingest_rejected']} documents but the "
+            f"chaos leg corrupted {chaos['corrupted']}"
+        )
+        return 1
+
+    inv = soak.get("invariants")
+    if not isinstance(inv, dict):
+        print("FAIL: record carries no invariants")
+        return 1
+    broken = [k for k in INVARIANTS if inv.get(k) is not True]
+    if broken:
+        print(f"FAIL: soak invariants violated: {broken}")
+        return 1
+    if soak.get("ok") is not True:
+        print("FAIL: bench recorded ok=false")
+        return 1
+
+    print(
+        f"soak OK: {chaos['documents']} documents ({chaos['corrupted']} faults contained "
+        f"with manifest codes), {on['ingest_accepted']} accepted as "
+        f"{on['epochs_advanced']} epochs; qps {off['qps']:.0f} -> {on['qps']:.0f}, "
+        f"p99 {off['p99_ns']} ns -> {on['p99_ns']} ns ({ratio:.3f}x, limit {max_ratio}x); "
+        f"invariants hold"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1], float(sys.argv[2]) if len(sys.argv) > 2 else 1.5))

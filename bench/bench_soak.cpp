@@ -1,0 +1,102 @@
+// Simulator-driven soak: stream a simulated fleet's monthly filings into a
+// live serve loop at a paced duty cycle (with the chaos leg corrupting a
+// seeded fraction of them) while client threads run the full weighted
+// query mix, and gate on what comes back. This is the end-to-end
+// counterpart of bench_serve_mixed: that bench measures the store under a
+// synthetic trickle of corpus documents; this one drives the whole stack —
+// sim::run_fleet -> DMV-style report rendering -> inject::corruptor ->
+// wire-level avtk.serve.v1 ingest -> snapshot store — and asserts exact
+// quarantine accounting (every injected fault rejected with its manifest
+// code, zero clean rejects) and per-document epoch accounting on top of
+// the latency measurements.
+//
+// Emits BENCH_soak.json under AVTK_BENCH_JSON_DIR (schema avtk.bench.v1);
+// .github/workflows/check_soak.py gates CI on the record.
+//
+// Knobs (env): AVTK_SOAK_VEHICLES    fleet size (default 6)
+//              AVTK_SOAK_MONTHS      simulated months, <= 23 (default 12)
+//              AVTK_SOAK_QUERIES     min queries per thread per pass (default 150)
+//              AVTK_SOAK_THREADS     query client threads (default 2)
+//              AVTK_SOAK_DUTY_PCT    ingest duty cycle, percent (default 5)
+// The duty-cycle pacing mirrors bench_serve_mixed's reasoning: an unpaced
+// ingest stream on a small CI runner measures scheduler preemption, not
+// store behavior; a paced stream holds a fixed CPU share on any machine
+// and still exposes every lock stall the gate is after.
+#include "bench/common.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "soak/harness.h"
+#include "soak/workload.h"
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  if (const char* v = std::getenv(name); v != nullptr) {
+    if (const int n = std::atoi(v); n > 0) return n;
+  }
+  return fallback;
+}
+
+avtk::soak::soak_workload build_soak_workload() {
+  avtk::soak::workload_config cfg;
+  cfg.fleet.vehicles = env_int("AVTK_SOAK_VEHICLES", 6);
+  cfg.fleet.months = env_int("AVTK_SOAK_MONTHS", 12);
+  cfg.fleet.miles_per_vehicle_month = 1200;
+  cfg.fleet.seed = 2018;
+  cfg.chaos_fraction = 0.15;
+  cfg.chaos_seed = 7;
+  return avtk::soak::build_workload(cfg);
+}
+
+// Micro-benchmark: the workload serializer itself (request-line rendering
+// is on the soak's critical path but must stay negligible next to the
+// serve loop's processing).
+void BM_SoakQueryMixSerialize(benchmark::State& state) {
+  const auto mix = avtk::soak::build_query_mix(avtk::dataset::manufacturer::waymo);
+  for (auto _ : state) {
+    for (const auto& q : mix) {
+      benchmark::DoNotOptimize(avtk::soak::query_request_line(q));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(mix.size()));
+}
+BENCHMARK(BM_SoakQueryMixSerialize);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto workload = build_soak_workload();
+
+  avtk::soak::soak_options opts;
+  opts.query_threads = static_cast<unsigned>(env_int("AVTK_SOAK_THREADS", 2));
+  opts.queries_per_thread = env_int("AVTK_SOAK_QUERIES", 150);
+  opts.duty_cycle = env_int("AVTK_SOAK_DUTY_PCT", 5) / 100.0;
+  opts.engine_threads = 2;
+
+  const auto report = avtk::soak::run_soak(workload, opts);
+  std::cout << avtk::soak::render_soak_summary(workload, report) << "\n";
+
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+
+  if (const char* dir = std::getenv("AVTK_BENCH_JSON_DIR"); dir != nullptr && *dir != '\0') {
+    const auto record = avtk::soak::soak_record_json(workload, opts, report);
+    const std::string path = std::string(dir) + "/BENCH_soak.json";
+    if (!avtk::obs::write_text_file(path, record.dump(2) + "\n")) {
+      std::cerr << "bench: failed to write perf record under " << dir << "\n";
+      return 1;
+    }
+    std::cout << "perf record written to " << path << "\n";
+  }
+  // The soak is a gate, not just a measurement: a violated invariant fails
+  // the bench run outright, sanitized legs included.
+  return report.ok() ? 0 : 1;
+}

@@ -207,6 +207,13 @@ std::vector<std::size_t> injection_report::indices() const {
   return out;
 }
 
+const injected_fault* injection_report::fault_for(std::size_t index) const {
+  for (const auto& f : faults) {
+    if (f.index == index) return &f;
+  }
+  return nullptr;
+}
+
 injection_report inject_faults(std::vector<ocr::document>& documents,
                                std::vector<ocr::document>& pristine,
                                const injection_config& config) {

@@ -85,6 +85,11 @@ struct injection_report {
 
   /// Corrupted document indices, ascending.
   std::vector<std::size_t> indices() const;
+
+  /// The manifest entry for corpus position `index`, or nullptr when that
+  /// document was left clean. This is how a chaos harness pairs each
+  /// pipeline verdict with the fault that was planted.
+  const injected_fault* fault_for(std::size_t index) const;
 };
 
 /// Corrupts a seeded `fraction` of `documents` in place (and the matching

@@ -11,6 +11,13 @@ std::uint64_t metrics_snapshot::counter_value(std::string_view name) const {
   return 0;
 }
 
+std::uint64_t metrics_snapshot::counter_delta(const metrics_snapshot& earlier,
+                                              std::string_view name) const {
+  const auto now = counter_value(name);
+  const auto before = earlier.counter_value(name);
+  return now >= before ? now - before : 0;
+}
+
 double metrics_snapshot::gauge_value(std::string_view name) const {
   for (const auto& [n, v] : gauges) {
     if (n == name) return v;

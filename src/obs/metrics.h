@@ -41,6 +41,11 @@ struct metrics_snapshot {
 
   /// Counter value by name; 0 when absent.
   std::uint64_t counter_value(std::string_view name) const;
+  /// Counter increase since `earlier`: counter_value(name) minus the
+  /// earlier snapshot's value (0 when the counter moved backwards — i.e.
+  /// the registry was reset between the snapshots). This is how a harness
+  /// attributes deltas of the process-wide registry to one bounded phase.
+  std::uint64_t counter_delta(const metrics_snapshot& earlier, std::string_view name) const;
   /// Gauge value by name; NaN when absent.
   double gauge_value(std::string_view name) const;
 };

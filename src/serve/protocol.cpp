@@ -277,6 +277,13 @@ serve_loop_stats run_serve_loop(query_engine& engine, std::istream& in, std::ost
         out << envelope_ingest_reject(id, r, detail) << '\n';
         if (options.on_ingest_error == ingest::error_policy::fail_fast) {
           stats.aborted = true;
+          // Deterministic-prefix contract (see the header): the reject
+          // envelope is the LAST line of the response stream. The barrier
+          // above already drained everything that was in flight, so the
+          // window is empty here; clearing it anyway means a future
+          // reordering of this branch cannot silently answer queued
+          // queries after the abort decision.
+          window.clear();
           break;
         }
       }

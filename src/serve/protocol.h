@@ -39,6 +39,14 @@
 // keep serving with full reject detail; skip: keep serving, drop the
 // detail; fail_fast: emit the reject, then abort the loop).
 //
+// fail_fast abort contract — the response stream is a DETERMINISTIC
+// PREFIX of the request stream's answers: every request before the
+// rejected ingest is answered, in request order (the ingest barrier
+// drains the in-flight window before the abort decision); the reject
+// envelope is the final line; nothing after it is ever answered, whatever
+// max_in_flight is. Two runs over the same input produce byte-identical
+// output up to and including the reject.
+//
 // Responses are deterministic: the envelope carries no timing and no
 // hit/miss flag, so a warm (cached) response is byte-identical to the cold
 // one. Hit/miss and latency are observable via the obs metric registry.

@@ -43,6 +43,8 @@ fleet_result run_fleet(const fleet_config& config) {
     throw logic_error("fleet_config requires vehicles > 0 and months > 0");
   }
   fleet_result result;
+  result.first_month = config.first_month;
+  result.months = config.months;
   rng gen(config.seed);
   fault_injector injector(config.faults, gen.fork().engine()());
 

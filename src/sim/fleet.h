@@ -35,6 +35,11 @@ struct fleet_config {
 struct fleet_result {
   std::vector<hazard_event> events;           ///< full trace, time-ordered by month
   dataset::failure_database database;         ///< records for the analysis pipeline
+  /// The simulated span, echoed from the config so consumers that slice
+  /// the output by month (the soak workload builder) need not carry the
+  /// config alongside the result.
+  year_month first_month{2015, 1};
+  int months = 0;
   double total_miles = 0;
   long long disengagements = 0;
   long long accidents = 0;

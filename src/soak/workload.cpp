@@ -1,0 +1,176 @@
+#include "soak/workload.h"
+
+#include <map>
+#include <utility>
+
+#include "core/pipeline.h"
+#include "dataset/ground_truth.h"
+#include "dataset/report_writers.h"
+#include "obs/json.h"
+
+namespace avtk::soak {
+
+namespace json = obs::json;
+
+int report_year_for(year_month month) {
+  for (const int release : {2016, 2017}) {
+    const auto period = dataset::ground_truth::period_for_release(release);
+    if (period.first <= month && month <= period.last) return release;
+  }
+  throw logic_error("month " + month.to_string() +
+                    " falls outside every DMV reporting period (2014-09 .. 2016-11)");
+}
+
+std::string ingest_request_line(const ocr::document& delivered, const ocr::document& pristine,
+                                std::size_t id) {
+  std::string out = "{\"ingest\":{\"title\":";
+  out += json::escape(delivered.title);
+  out += ",\"text\":";
+  out += json::escape(delivered.full_text());
+  out += ",\"pristine\":";
+  out += json::escape(pristine.full_text());
+  out += "},\"id\":" + std::to_string(id) + "}";
+  return out;
+}
+
+namespace {
+
+// One month's filings: the disengagement report (mileage section + events,
+// in the maker's own format) plus one OL-316 document per accident.
+void render_month(const sim::fleet_result& fleet, dataset::manufacturer maker, year_month month,
+                  std::vector<ocr::document>& out) {
+  const int release = report_year_for(month);
+
+  std::vector<dataset::mileage_record> mileage;
+  for (auto rec : fleet.database.mileage()) {
+    if (rec.month != month) continue;
+    rec.report_year = release;
+    mileage.push_back(std::move(rec));
+  }
+  std::vector<dataset::disengagement_record> events;
+  for (auto rec : fleet.database.disengagements()) {
+    const auto bucket = rec.month_bucket();
+    if (!bucket || *bucket != month) continue;
+    rec.report_year = release;
+    // The simulator stamps full dates; the Waymo-style writer renders at
+    // month granularity and needs event_month set explicitly.
+    if (!rec.event_month && rec.event_date) {
+      rec.event_month = year_month{rec.event_date->year, rec.event_date->month};
+    }
+    events.push_back(std::move(rec));
+  }
+  if (!mileage.empty() || !events.empty()) {
+    auto doc = dataset::render_disengagement_report(maker, release, mileage, events);
+    doc.title += " (" + month.to_string() + ")";
+    out.push_back(std::move(doc));
+  }
+
+  for (auto accident : fleet.database.accidents()) {
+    if (!accident.event_date) continue;
+    if (year_month{accident.event_date->year, accident.event_date->month} != month) continue;
+    accident.report_year = release;
+    auto doc = dataset::render_accident_report(accident);
+    doc.title += " (" + accident.event_date->to_string() + ")";
+    out.push_back(std::move(doc));
+  }
+}
+
+}  // namespace
+
+soak_workload build_workload(const workload_config& config) {
+  if (config.chaos_fraction < 0.0 || config.chaos_fraction > 1.0) {
+    throw logic_error("soak chaos_fraction must be in [0, 1]");
+  }
+  soak_workload out;
+  out.maker = config.fleet.maker;
+  out.fleet = sim::run_fleet(config.fleet);
+
+  // Render month by month, in filing order. report_year_for throws up
+  // front for a fleet span that leaves the reporting periods.
+  std::vector<ocr::document> delivered;
+  auto month = out.fleet.first_month;
+  for (int m = 0; m < out.fleet.months; ++m, month = month.next()) {
+    render_month(out.fleet, out.maker, month, delivered);
+  }
+  std::vector<ocr::document> pristine = delivered;  // clean renders ARE the pristine twins
+
+  if (config.chaos_fraction > 0.0) {
+    inject::injection_config chaos;
+    chaos.seed = config.chaos_seed;
+    chaos.fraction = config.chaos_fraction;
+    out.chaos = inject::inject_faults(delivered, pristine, chaos);
+  }
+
+  out.documents.reserve(delivered.size());
+  for (std::size_t i = 0; i < delivered.size(); ++i) {
+    soak_document doc;
+    doc.title = delivered[i].title;
+    doc.request_line = ingest_request_line(delivered[i], pristine[i], i);
+    if (const auto* fault = out.chaos.fault_for(i)) {
+      doc.corrupted = true;
+      doc.expected_code = fault->code;
+      ++out.corrupted_documents;
+    } else {
+      // A clean render must survive the strict scan — otherwise the exact
+      // quarantine accounting downstream is meaningless. Failing here is a
+      // generator bug, never a load condition, so be loud.
+      if (const auto fault_probe = core::probe_document(delivered[i], &pristine[i])) {
+        throw logic_error("soak workload: clean document '" + delivered[i].title +
+                          "' fails the strict probe: " + fault_probe->message);
+      }
+      ++out.clean_documents;
+    }
+    out.documents.push_back(std::move(doc));
+  }
+  return out;
+}
+
+std::vector<serve::query> build_query_mix(dataset::manufacturer maker) {
+  using serve::query;
+  using serve::query_kind;
+  std::vector<query> mix;
+  const auto push = [&](query_kind kind, int weight, bool with_maker) {
+    query q;
+    q.kind = kind;
+    if (with_maker) q.maker = maker;
+    for (int i = 0; i < weight; ++i) mix.push_back(q);
+  };
+  // Interactive kinds dominate; every kind in k_all_query_kinds appears.
+  // The reliability kinds (mcf/nhpp) and the optimizer-backed fit run at
+  // low weight — they are the expensive tail the cache-dependency masks
+  // must keep warm across unrelated appends.
+  push(query_kind::metrics, 3, true);
+  push(query_kind::metrics, 1, false);
+  push(query_kind::tags, 4, true);
+  push(query_kind::categories, 4, true);
+  push(query_kind::modality, 4, true);
+  push(query_kind::trend, 2, true);
+  push(query_kind::compare, 1, false);
+  push(query_kind::fit, 1, true);
+  push(query_kind::mcf, 1, true);
+  push(query_kind::nhpp, 1, true);
+  // Reduce the bootstrap load of the mcf entries to the engine's floor;
+  // the soak measures store behavior, not resampling throughput.
+  for (auto& q : mix) {
+    if (q.kind == query_kind::mcf) q.replicates = 100;
+  }
+  return mix;
+}
+
+std::string query_request_line(const serve::query& q) {
+  std::string out = "{\"query\":";
+  out += json::escape(serve::query_kind_name(q.kind));
+  if (q.maker) {
+    out += ",\"maker\":";
+    out += json::escape(dataset::manufacturer_id(*q.maker));
+  }
+  if (q.year) out += ",\"year\":" + std::to_string(*q.year);
+  if (q.kind == serve::query_kind::mcf) {
+    out += ",\"replicates\":" + std::to_string(q.replicates);
+    out += ",\"seed\":" + std::to_string(q.seed);
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace avtk::soak

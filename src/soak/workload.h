@@ -1,0 +1,97 @@
+// avtk/soak/workload.h
+//
+// The soak load generator's input side: convert one sim::run_fleet run
+// into the wire-level traffic a production month would generate.
+//
+// The fleet database is sliced month by month — each month's mileage and
+// disengagements render as that month's DMV-style disengagement report in
+// the fleet maker's own format, and every accident renders as its own
+// OL-316 document — then serialized into avtk.serve.v1 ingest request
+// lines, in month order, exactly as a filing pipeline would deliver them.
+// A configurable fraction of the documents is routed through
+// inject::corruptor first (the chaos leg); because the corruptor's
+// probe-and-escalate contract guarantees every corrupted document fails
+// the strict Stage II scan with a recorded taxonomy code, the workload
+// knows the exact fate of every request before it is sent: clean
+// documents MUST be accepted, corrupted ones MUST be rejected with their
+// manifest code. run_soak (soak/harness.h) turns that knowledge into
+// exact quarantine accounting.
+//
+// The query side is a weighted mix over every kind in
+// serve::k_all_query_kinds — the interactive kinds dominate, the heavy
+// analytical kinds (fit, compare, mcf, nhpp) appear at low weight — so a
+// soak exercises the reliability queries' cache-dependency masks (an
+// accident append must leave disengagement-only entries warm) alongside
+// the cheap lookups.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "inject/corruptor.h"
+#include "serve/query.h"
+#include "sim/fleet.h"
+#include "util/errors.h"
+
+namespace avtk::soak {
+
+struct workload_config {
+  /// The fleet whose filings the soak replays. Every simulated month must
+  /// fall inside a DMV reporting period (2014-09 .. 2016-11) so the
+  /// month's report can carry a valid release year.
+  sim::fleet_config fleet;
+  /// Fraction of generated documents routed through inject::corruptor
+  /// before ingestion, in [0, 1]. 0 disables the chaos leg.
+  double chaos_fraction = 0.0;
+  std::uint64_t chaos_seed = 1;
+};
+
+/// One wire-level ingest request, with its known fate.
+struct soak_document {
+  std::string request_line;  ///< avtk.serve.v1 ingest request (one line)
+  std::string title;         ///< document title, for triage
+  bool corrupted = false;    ///< routed through the chaos leg
+  /// The strict probe's taxonomy code from the inject manifest; only
+  /// meaningful when `corrupted` — the serve reject envelope must carry
+  /// exactly this code.
+  error_code expected_code = error_code::internal;
+};
+
+struct soak_workload {
+  sim::fleet_result fleet;             ///< the simulated ground truth
+  dataset::manufacturer maker = dataset::manufacturer::waymo;  ///< fleet label
+  std::vector<soak_document> documents;  ///< month-ordered ingest stream
+  inject::injection_report chaos;      ///< avtk.inject.v1 manifest
+  std::size_t clean_documents = 0;
+  std::size_t corrupted_documents = 0;
+};
+
+/// The DMV release year whose reporting period contains `month`; throws
+/// logic_error for months outside both periods.
+int report_year_for(year_month month);
+
+/// Runs the fleet and renders its filings into the month-ordered ingest
+/// stream described in the header comment. Postconditions: every clean
+/// document passes the strict Stage II probe (so a live ingest must
+/// accept it) and every corrupted document carries its manifest code.
+/// Throws logic_error when the fleet span leaves the reporting periods or
+/// a clean render fails its own probe (a generator bug, never a load
+/// condition).
+soak_workload build_workload(const workload_config& config);
+
+/// Serializes one ingest request line: {"ingest": {"title", "text",
+/// "pristine"}, "id": N}.
+std::string ingest_request_line(const ocr::document& delivered, const ocr::document& pristine,
+                                std::size_t id);
+
+/// The weighted query mix for `maker`'s data: every serve::query_kind at
+/// least once, interactive kinds repeated so they dominate the stream.
+std::vector<serve::query> build_query_mix(dataset::manufacturer maker);
+
+/// Serializes a typed query into its wire request line, e.g.
+/// {"query":"tags","maker":"waymo"}.
+std::string query_request_line(const serve::query& q);
+
+}  // namespace avtk::soak

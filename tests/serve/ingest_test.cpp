@@ -248,6 +248,67 @@ TEST(ServeIngestProtocol, FailFastAbortsLoopOnReject) {
   EXPECT_EQ(stats.requests, 1u);
 }
 
+// The fail_fast abort contract (serve/protocol.h): the response stream is
+// a deterministic prefix — one response per request up to and including
+// the reject envelope, nothing after it, byte-identical run to run — no
+// matter how wide the pipelining window is. The in-flight window is a
+// response-order barrier at every ingest, so queries admitted before the
+// poisoned ingest are always answered, queries after it never are.
+TEST(ServeIngestProtocol, FailFastStreamIsDeterministicPrefixAcrossWindows) {
+  auto docs = corpus().documents;
+  auto pristine = corpus().pristine_documents;
+  inject::injection_config icfg;
+  icfg.seed = 17;
+  icfg.fraction = 0.05;
+  const auto report = inject::inject_faults(docs, pristine, icfg);
+  ASSERT_FALSE(report.faults.empty());
+  const auto& fault = report.faults.front();
+
+  // Two queries, a clean ingest, two more queries, the poisoned ingest,
+  // then a tail that must never be answered.
+  const std::string batch = "{\"query\": \"tags\", \"id\": 0}\n"
+                            "{\"query\": \"metrics\", \"id\": 1}\n" +
+                            ingest_request_line(first_report(/*accident=*/true), 2) +
+                            "\n{\"query\": \"tags\", \"id\": 3}\n"
+                            "{\"query\": \"categories\", \"id\": 4}\n" +
+                            ingest_request_line(docs[fault.index], 5) +
+                            "\n{\"query\": \"tags\", \"id\": 6}\n"
+                            "{\"query\": \"modality\", \"id\": 7}\n";
+
+  std::vector<std::string> first_run;
+  for (const std::size_t window : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    query_engine engine(testing::make_test_database(), {.threads = 2});
+    serve_loop_options options;
+    options.on_ingest_error = ingest::error_policy::fail_fast;
+    options.max_in_flight = window;
+    serve_loop_stats stats;
+    const auto lines = run_batch(engine, batch, &stats, options);
+
+    EXPECT_TRUE(stats.aborted) << "window " << window;
+    // Exactly the six requests before and including the reject.
+    ASSERT_EQ(lines.size(), 6u) << "window " << window;
+    EXPECT_EQ(stats.requests, 6u);
+    const auto rej = json::parse(lines.back());
+    ASSERT_TRUE(rej && rej->is_object()) << lines.back();
+    EXPECT_FALSE(rej->find("ok")->as_bool());
+    EXPECT_EQ(rej->find("code")->as_string(), error_code_name(fault.code));
+    EXPECT_EQ(rej->find("id")->as_number(), 5.0);
+
+    // Responses echo request ids in order: the prefix is deterministic.
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const auto doc = json::parse(lines[i]);
+      ASSERT_TRUE(doc && doc->is_object()) << lines[i];
+      EXPECT_EQ(doc->find("id")->as_number(), static_cast<double>(i)) << "window " << window;
+    }
+    if (first_run.empty()) {
+      first_run = lines;
+    } else {
+      EXPECT_EQ(lines, first_run) << "window " << window
+                                  << ": abort prefix differs between window sizes";
+    }
+  }
+}
+
 TEST(ServeIngestProtocol, SkipPolicyDropsRejectDetail) {
   auto docs = corpus().documents;
   auto pristine = corpus().pristine_documents;

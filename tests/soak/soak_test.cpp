@@ -1,0 +1,186 @@
+// Soak harness tests (soak/workload.h + soak/harness.h): the simulator's
+// filings round-trip through the wire-level serve loop with exact
+// quarantine accounting and the snapshot invariants intact. Tier-1 runs a
+// small fleet; the CI TSan leg cranks the load via AVTK_SOAK_STRESS
+// (same convention as AVTK_SNAPSHOT_STRESS).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "obs/json.h"
+#include "serve/query.h"
+#include "soak/harness.h"
+#include "soak/workload.h"
+
+namespace avtk::soak {
+namespace {
+
+namespace json = obs::json;
+
+int stress_multiplier() {
+  if (const char* v = std::getenv("AVTK_SOAK_STRESS"); v != nullptr) {
+    if (const int m = std::atoi(v); m > 0) return m;
+  }
+  return 1;
+}
+
+workload_config small_config() {
+  workload_config cfg;
+  cfg.fleet.vehicles = 3 * stress_multiplier();
+  cfg.fleet.months = 6;
+  cfg.fleet.miles_per_vehicle_month = 1000;
+  cfg.fleet.seed = 99;
+  cfg.chaos_fraction = 0.25;
+  cfg.chaos_seed = 5;
+  return cfg;
+}
+
+TEST(SoakWorkload, ReportYearTracksReportingPeriods) {
+  EXPECT_EQ(report_year_for({2014, 9}), 2016);
+  EXPECT_EQ(report_year_for({2015, 11}), 2016);
+  EXPECT_EQ(report_year_for({2015, 12}), 2017);
+  EXPECT_EQ(report_year_for({2016, 11}), 2017);
+  EXPECT_THROW(report_year_for({2014, 8}), logic_error);
+  EXPECT_THROW(report_year_for({2016, 12}), logic_error);
+}
+
+TEST(SoakWorkload, FleetSpanOutsidePeriodsThrows) {
+  auto cfg = small_config();
+  cfg.fleet.first_month = {2016, 6};
+  cfg.fleet.months = 12;  // runs through 2017-05, outside every period
+  EXPECT_THROW(build_workload(cfg), logic_error);
+}
+
+TEST(SoakWorkload, ChaosFractionValidated) {
+  auto cfg = small_config();
+  cfg.chaos_fraction = 1.5;
+  EXPECT_THROW(build_workload(cfg), logic_error);
+}
+
+TEST(SoakWorkload, EveryDocumentHasAKnownFate) {
+  const auto workload = build_workload(small_config());
+  ASSERT_FALSE(workload.documents.empty());
+  EXPECT_EQ(workload.clean_documents + workload.corrupted_documents,
+            workload.documents.size());
+  // fraction 0.25 over a multi-month fleet must corrupt something, and the
+  // manifest must agree with the per-document flags.
+  EXPECT_GT(workload.corrupted_documents, 0u);
+  EXPECT_EQ(workload.corrupted_documents, workload.chaos.faults.size());
+  for (std::size_t i = 0; i < workload.documents.size(); ++i) {
+    const auto& doc = workload.documents[i];
+    EXPECT_EQ(doc.corrupted, workload.chaos.fault_for(i) != nullptr) << i;
+    // Every request line is one parseable ingest envelope echoing its index.
+    const auto parsed = json::parse(doc.request_line);
+    ASSERT_TRUE(parsed && parsed->is_object()) << doc.request_line.substr(0, 80);
+    EXPECT_NE(parsed->find("ingest"), nullptr);
+    EXPECT_EQ(parsed->find("id")->as_number(), static_cast<double>(i));
+  }
+}
+
+TEST(SoakWorkload, DeterministicForSameSeeds) {
+  const auto a = build_workload(small_config());
+  const auto b = build_workload(small_config());
+  ASSERT_EQ(a.documents.size(), b.documents.size());
+  for (std::size_t i = 0; i < a.documents.size(); ++i) {
+    EXPECT_EQ(a.documents[i].request_line, b.documents[i].request_line) << i;
+  }
+}
+
+TEST(SoakWorkload, QueryMixCoversEveryKind) {
+  const auto mix = build_query_mix(dataset::manufacturer::waymo);
+  std::set<serve::query_kind> kinds;
+  for (const auto& q : mix) kinds.insert(q.kind);
+  for (const auto kind : serve::k_all_query_kinds) {
+    EXPECT_TRUE(kinds.contains(kind)) << serve::query_kind_name(kind);
+  }
+  // Every mix entry serializes to a wire line the protocol can parse back.
+  for (const auto& q : mix) {
+    const auto parsed = json::parse(query_request_line(q));
+    ASSERT_TRUE(parsed && parsed->is_object());
+    EXPECT_EQ(parsed->find("query")->as_string(), serve::query_kind_name(q.kind));
+  }
+}
+
+// The full harness, scaled down: both passes, the chaos leg, and every
+// invariant family checked on a real serve loop.
+TEST(SoakHarness, SmallSoakHoldsAllInvariants) {
+  const auto workload = build_workload(small_config());
+  soak_options opts;
+  opts.query_threads = 2;
+  opts.queries_per_thread = 25 * stress_multiplier();
+  opts.duty_cycle = 0.5;  // keep the test fast; pacing still exercised
+  opts.pace_floor_ms = 1;
+  opts.engine_threads = 2;
+  const auto report = run_soak(workload, opts);
+
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.chaos.exact());
+  EXPECT_TRUE(report.invariants.epochs_monotone);
+  EXPECT_TRUE(report.invariants.epoch_per_accepted_doc);
+  EXPECT_TRUE(report.invariants.payloads_stable);
+  EXPECT_TRUE(report.invariants.ingest_stream_ordered);
+  EXPECT_TRUE(report.invariants.loop_completed);
+
+  // The accounting is exact, not just consistent: totals equal the
+  // workload's construction-time fates.
+  EXPECT_EQ(report.chaos.documents, workload.documents.size());
+  EXPECT_EQ(report.chaos.corrupted, workload.corrupted_documents);
+  EXPECT_EQ(report.chaos.clean_accepted, workload.clean_documents);
+  EXPECT_EQ(report.ingest_on.ingest_accepted, workload.clean_documents);
+  EXPECT_EQ(report.ingest_on.ingest_rejected, workload.corrupted_documents);
+  // One epoch per accepted document, none for rejects.
+  EXPECT_EQ(report.ingest_on.epochs_advanced, workload.clean_documents);
+  // The baseline pass never ingests.
+  EXPECT_EQ(report.ingest_off.epochs_advanced, 0u);
+  EXPECT_EQ(report.ingest_off.ingest_accepted, 0u);
+  EXPECT_GT(report.ingest_off.qps, 0.0);
+  EXPECT_GT(report.ingest_on.qps, 0.0);
+
+  // The record renders as a well-formed avtk.bench.v1 document.
+  const auto record = soak_record_json(workload, opts, report);
+  ASSERT_TRUE(record.is_object());
+  EXPECT_EQ(record.find("schema")->as_string(), "avtk.bench.v1");
+  EXPECT_EQ(record.find("experiment")->as_string(), "soak");
+  const auto* soak = record.find("soak");
+  ASSERT_NE(soak, nullptr);
+  EXPECT_TRUE(soak->find("ok")->as_bool());
+  EXPECT_TRUE(soak->find("chaos")->find("exact")->as_bool());
+  const auto reparsed = json::parse(record.dump(2));
+  ASSERT_TRUE(reparsed.has_value());
+}
+
+// A chaos-free soak: zero corrupted documents still means exact()
+// accounting (vacuously on the corrupted side, strictly on the clean one).
+TEST(SoakHarness, ChaosFreeSoakAcceptsEverything) {
+  auto cfg = small_config();
+  cfg.chaos_fraction = 0.0;
+  const auto workload = build_workload(cfg);
+  EXPECT_EQ(workload.corrupted_documents, 0u);
+
+  soak_options opts;
+  opts.query_threads = 1;
+  opts.queries_per_thread = 10;
+  opts.duty_cycle = 0.5;
+  opts.pace_floor_ms = 1;
+  const auto report = run_soak(workload, opts);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.chaos.corrupted_rejected, 0u);
+  EXPECT_EQ(report.chaos.clean_accepted, workload.documents.size());
+  EXPECT_EQ(report.ingest_on.epochs_advanced, workload.documents.size());
+}
+
+TEST(SoakHarness, OptionsValidated) {
+  const auto workload = build_workload(small_config());
+  soak_options opts;
+  opts.duty_cycle = 0.0;
+  EXPECT_THROW(run_soak(workload, opts), logic_error);
+  opts.duty_cycle = 0.5;
+  opts.query_threads = 0;
+  EXPECT_THROW(run_soak(workload, opts), logic_error);
+}
+
+}  // namespace
+}  // namespace avtk::soak

@@ -26,21 +26,32 @@
 //       Run the pipeline once, then answer line-delimited JSON analytics
 //       queries (from --input or stdin) on a worker pool with a memoized
 //       result cache. One response line per request, in request order.
+//   avtk soak [--vehicles N] [--months M] [--seed N] [--chaos-fraction F]
+//             [--query-threads N] [--duty-cycle F] [--json PATH]
+//       Simulate a fleet, render its monthly filings, and stream them into
+//       a live serve loop at a paced duty cycle while concurrent client
+//       threads run the full weighted query mix; verify exact quarantine
+//       accounting and snapshot invariants, emit the BENCH_soak record.
 //   avtk query JSON [--seed N] [--quality Q]
 //       One-shot: build the database and answer a single query, e.g.
 //       avtk query '{"query": "metrics", "maker": "waymo"}'
 //   avtk classify TEXT...
 //       Classify a disengagement description with the builtin dictionary.
 //   avtk help
+//
+// Numeric flags parse STRICTLY (util/cli.h): the whole value must be a
+// number of the advertised shape, so `--vehicles banana` or `--months -3`
+// is a usage error (exit 2), never a silent zero-vehicle run. Seeds are
+// unsigned 64-bit end to end.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
-#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -61,11 +72,14 @@
 #include "serve/protocol.h"
 #include "sim/fleet.h"
 #include "sim/stpa.h"
+#include "soak/harness.h"
+#include "util/cli.h"
 #include "util/strings.h"
 
 namespace {
 
 using namespace avtk;
+using cli::arg_list;
 
 int usage() {
   std::puts(
@@ -105,6 +119,19 @@ int usage() {
       "      and appended live; refused documents answer with a structured\n"
       "      reject envelope. --on-error picks what a reject does to the loop\n"
       "      (default quarantine: keep serving; fail_fast aborts, exit 1).\n"
+      "  avtk soak [--vehicles N] [--months M] [--seed N]\n"
+      "            [--chaos-fraction F] [--chaos-seed N]\n"
+      "            [--query-threads N] [--queries N] [--duty-cycle F]\n"
+      "            [--threads N] [--cache-capacity N] [--json PATH]\n"
+      "      End-to-end soak: simulate a fleet, render its filings month by\n"
+      "      month, corrupt a seeded fraction (the chaos leg), and stream\n"
+      "      them into a live serve loop at the given ingest duty cycle while\n"
+      "      N client threads run a weighted mix of every query kind. Checks\n"
+      "      exact quarantine accounting (every fault rejected with its\n"
+      "      manifest code, zero clean rejects) and snapshot invariants\n"
+      "      (epoch-per-accepted-doc, byte-stable warm payloads). Writes the\n"
+      "      avtk.bench.v1 record to --json or $AVTK_BENCH_JSON_DIR. Exit 1\n"
+      "      when any invariant is violated.\n"
       "  avtk query JSON [--seed N] [--quality Q]\n"
       "      One-shot analytics query, e.g. '{\"query\": \"metrics\"}', or a\n"
       "      one-shot ingest, e.g. '{\"ingest\": {\"text\": \"...\"}}'. Kinds:\n"
@@ -116,74 +143,78 @@ int usage() {
   return 2;
 }
 
-// Minimal flag parsing: --name value, --name=value, or bare flags.
-class arg_list {
- public:
-  arg_list(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) {
-      const std::string arg = argv[i];
-      // Split --name=value into the two-token form the accessors expect.
-      if (arg.rfind("--", 0) == 0) {
-        const auto eq = arg.find('=');
-        if (eq != std::string::npos) {
-          args_.push_back(arg.substr(0, eq));
-          args_.push_back(arg.substr(eq + 1));
-          continue;
-        }
-      }
-      args_.push_back(arg);
-    }
-  }
+// ---- strict flag helpers -------------------------------------------------
+// Absent flag: *out untouched, returns true. Present flag: the value must
+// parse in full or the helper prints a usage error and returns false (the
+// caller exits 2). This is the fix for the atoi-era behavior where
+// `--vehicles banana` silently simulated zero vehicles.
 
-  std::string value_of(const std::string& flag, const std::string& fallback = "") {
-    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
-      if (args_[i] == flag) {
-        consumed_.insert(i);
-        consumed_.insert(i + 1);
-        return args_[i + 1];
-      }
-    }
-    return fallback;
-  }
-
-  bool has(const std::string& flag) {
-    for (std::size_t i = 0; i < args_.size(); ++i) {
-      if (args_[i] == flag) {
-        consumed_.insert(i);
-        return true;
-      }
-    }
+bool flag_positive_int(arg_list& args, const char* flag, const char* cmd, int* out) {
+  const auto value = args.maybe_value_of(flag);
+  if (!value) return true;
+  const auto parsed = cli::parse_positive_int(*value);
+  if (!parsed) {
+    std::fprintf(stderr, "%s: %s expects a positive integer, got '%s'\n", cmd, flag,
+                 value->c_str());
     return false;
   }
+  *out = *parsed;
+  return true;
+}
 
-  /// For flags whose value is optional (--parallel [N]): nullopt when the
-  /// flag is absent, "" when it is passed bare or followed by another flag,
-  /// else the value.
-  std::optional<std::string> value_if_present(const std::string& flag) {
-    for (std::size_t i = 0; i < args_.size(); ++i) {
-      if (args_[i] != flag) continue;
-      consumed_.insert(i);
-      if (i + 1 < args_.size() && args_[i + 1].rfind("--", 0) != 0) {
-        consumed_.insert(i + 1);
-        return args_[i + 1];
-      }
-      return std::string();
-    }
-    return std::nullopt;
+bool flag_uint(arg_list& args, const char* flag, const char* cmd, unsigned* out) {
+  const auto value = args.maybe_value_of(flag);
+  if (!value) return true;
+  const auto parsed = cli::parse_uint(*value);
+  if (!parsed) {
+    std::fprintf(stderr, "%s: %s expects an unsigned integer, got '%s'\n", cmd, flag,
+                 value->c_str());
+    return false;
   }
+  *out = *parsed;
+  return true;
+}
 
-  std::vector<std::string> positional() const {
-    std::vector<std::string> out;
-    for (std::size_t i = 0; i < args_.size(); ++i) {
-      if (!consumed_.contains(i)) out.push_back(args_[i]);
-    }
-    return out;
+bool flag_u64(arg_list& args, const char* flag, const char* cmd, std::uint64_t* out) {
+  const auto value = args.maybe_value_of(flag);
+  if (!value) return true;
+  const auto parsed = cli::parse_u64(*value);
+  if (!parsed) {
+    std::fprintf(stderr, "%s: %s expects an unsigned 64-bit integer, got '%s'\n", cmd, flag,
+                 value->c_str());
+    return false;
   }
+  *out = *parsed;
+  return true;
+}
 
- private:
-  std::vector<std::string> args_;
-  std::set<std::size_t> consumed_;
-};
+bool flag_positive_size(arg_list& args, const char* flag, const char* cmd, std::size_t* out) {
+  const auto value = args.maybe_value_of(flag);
+  if (!value) return true;
+  const auto parsed = cli::parse_u64(*value);
+  if (!parsed || *parsed == 0) {
+    std::fprintf(stderr, "%s: %s expects a positive integer, got '%s'\n", cmd, flag,
+                 value->c_str());
+    return false;
+  }
+  *out = static_cast<std::size_t>(*parsed);
+  return true;
+}
+
+bool flag_fraction(arg_list& args, const char* flag, const char* cmd, double* out) {
+  const auto value = args.maybe_value_of(flag);
+  if (!value) return true;
+  const auto parsed = cli::parse_fraction(*value);
+  if (!parsed) {
+    std::fprintf(stderr, "%s: %s expects a number in [0, 1], got '%s'\n", cmd, flag,
+                 value->c_str());
+    return false;
+  }
+  *out = *parsed;
+  return true;
+}
+
+// --------------------------------------------------------------------------
 
 ocr::scan_quality quality_from(const std::string& name) {
   if (name == "clean") return ocr::scan_quality::clean;
@@ -192,10 +223,9 @@ ocr::scan_quality quality_from(const std::string& name) {
   return ocr::scan_quality::fair;
 }
 
-dataset::generator_config make_generator_config(arg_list& args) {
+std::optional<dataset::generator_config> make_generator_config(arg_list& args, const char* cmd) {
   dataset::generator_config cfg;
-  const auto seed = args.value_of("--seed");
-  if (!seed.empty()) cfg.seed = std::strtoull(seed.c_str(), nullptr, 10);
+  if (!flag_u64(args, "--seed", cmd, &cfg.seed)) return std::nullopt;
   const auto quality = args.value_of("--quality", "fair");
   cfg.quality = quality_from(quality);
   cfg.corrupt_documents = cfg.quality != ocr::scan_quality::clean;
@@ -222,32 +252,37 @@ std::optional<std::vector<inject::fault_kind>> parse_fault_kinds(const std::stri
   return kinds;
 }
 
-// Parses a comma-separated index list ("3,17,41") into a sorted set.
-std::set<std::size_t> parse_index_list(const std::string& spec) {
+// Parses a comma-separated index list ("3,17,41") into a sorted set;
+// nullopt (with a usage error) on any non-numeric entry.
+std::optional<std::set<std::size_t>> parse_index_list(const std::string& spec, const char* flag,
+                                                      const char* cmd) {
   std::set<std::size_t> out;
   for (const auto& field : str::split(spec, ',')) {
     const auto trimmed = str::trim(field);
     if (trimmed.empty()) continue;
-    out.insert(static_cast<std::size_t>(std::strtoull(std::string(trimmed).c_str(), nullptr, 10)));
+    const auto parsed = cli::parse_u64(trimmed);
+    if (!parsed) {
+      std::fprintf(stderr, "%s: %s expects comma-separated indices, got '%s'\n", cmd, flag,
+                   std::string(trimmed).c_str());
+      return std::nullopt;
+    }
+    out.insert(static_cast<std::size_t>(*parsed));
   }
   return out;
 }
 
 // Shared by run and inject: builds the injection config from flags. The
 // boolean says whether any injection flag was given at all.
-std::pair<inject::injection_config, bool> make_injection_config(arg_list& args, bool* ok) {
+std::pair<inject::injection_config, bool> make_injection_config(arg_list& args, const char* cmd,
+                                                                bool* ok) {
   inject::injection_config cfg;
   bool requested = false;
   *ok = true;
-  const auto seed = args.value_of("--inject-seed");
-  if (!seed.empty()) {
-    cfg.seed = std::strtoull(seed.c_str(), nullptr, 10);
-    requested = true;
-  }
-  const auto fraction = args.value_of("--inject-fraction");
-  if (!fraction.empty()) {
-    cfg.fraction = std::strtod(fraction.c_str(), nullptr);
-    requested = true;
+  if (args.has("--inject-seed") || args.has("--inject-fraction")) requested = true;
+  if (!flag_u64(args, "--inject-seed", cmd, &cfg.seed) ||
+      !flag_fraction(args, "--inject-fraction", cmd, &cfg.fraction)) {
+    *ok = false;
+    return {cfg, requested};
   }
   const auto faults = args.value_of("--inject-faults");
   if (!faults.empty()) {
@@ -289,16 +324,18 @@ int cmd_generate(arg_list args) {
     std::fputs("generate: --out DIR is required\n", stderr);
     return 2;
   }
-  const auto cfg = make_generator_config(args);
-  const auto corpus = dataset::generate_corpus(cfg);
+  const auto cfg = make_generator_config(args, "generate");
+  if (!cfg) return 2;
+  const auto corpus = dataset::generate_corpus(*cfg);
   const auto n = write_corpus(corpus, out_dir);
   std::printf("wrote %zu files under %s (seed %llu, %zu documents)\n", n, out_dir.c_str(),
-              static_cast<unsigned long long>(cfg.seed), corpus.documents.size());
+              static_cast<unsigned long long>(cfg->seed), corpus.documents.size());
   return 0;
 }
 
 int cmd_run(arg_list args) {
-  const auto cfg = make_generator_config(args);
+  const auto cfg = make_generator_config(args, "run");
+  if (!cfg) return 2;
   const auto trace_path = args.value_of("--trace-json");
   const auto metrics_path = args.value_of("--metrics-json");
 
@@ -326,12 +363,12 @@ int cmd_run(arg_list args) {
   const auto quarantine_path = args.value_of("--quarantine-json");
   const auto manifest_path = args.value_of("--inject-manifest");
   bool inject_flags_ok = true;
-  const auto [inject_cfg, inject_requested] = make_injection_config(args, &inject_flags_ok);
+  const auto [inject_cfg, inject_requested] = make_injection_config(args, "run", &inject_flags_ok);
   if (!inject_flags_ok) return 2;
 
   std::printf("generating corpus (seed %llu) and running the pipeline...\n",
-              static_cast<unsigned long long>(cfg.seed));
-  auto corpus = dataset::generate_corpus(cfg);
+              static_cast<unsigned long long>(cfg->seed));
+  auto corpus = dataset::generate_corpus(*cfg);
 
   if (inject_requested) {
     const auto report =
@@ -355,11 +392,12 @@ int cmd_run(arg_list args) {
   // analysis output to a clean run that never had S.
   const auto drop_spec = args.value_of("--drop-docs");
   if (!drop_spec.empty()) {
-    const auto drop = parse_index_list(drop_spec);
+    const auto drop = parse_index_list(drop_spec, "--drop-docs", "run");
+    if (!drop) return 2;
     std::vector<ocr::document> kept_docs;
     std::vector<ocr::document> kept_pristine;
     for (std::size_t i = 0; i < corpus.documents.size(); ++i) {
-      if (drop.contains(i)) continue;
+      if (drop->contains(i)) continue;
       kept_docs.push_back(std::move(corpus.documents[i]));
       if (i < corpus.pristine_documents.size()) {
         kept_pristine.push_back(std::move(corpus.pristine_documents[i]));
@@ -376,8 +414,16 @@ int cmd_run(arg_list args) {
   obs::trace trace;
   if (const auto parallel = args.value_if_present("--parallel")) {
     // Bare --parallel (or an explicit 0) means "use every hardware thread".
-    const unsigned n =
-        parallel->empty() ? 0u : static_cast<unsigned>(std::atoi(parallel->c_str()));
+    unsigned n = 0;
+    if (!parallel->empty()) {
+      const auto parsed = cli::parse_uint(*parallel);
+      if (!parsed) {
+        std::fprintf(stderr, "run: --parallel expects an unsigned integer, got '%s'\n",
+                     parallel->c_str());
+        return 2;
+      }
+      n = *parsed;
+    }
     pcfg.parallelism = n != 0 ? n : std::max(std::thread::hardware_concurrency(), 1u);
   }
   if (!trace_path.empty()) pcfg.trace = &trace;
@@ -459,18 +505,20 @@ int cmd_run(arg_list args) {
 }
 
 int cmd_inject(arg_list args) {
-  const auto cfg = make_generator_config(args);
+  const auto cfg = make_generator_config(args, "inject");
+  if (!cfg) return 2;
   bool inject_flags_ok = true;
-  auto [inject_cfg, inject_requested] = make_injection_config(args, &inject_flags_ok);
+  auto [inject_cfg, inject_requested] =
+      make_injection_config(args, "inject", &inject_flags_ok);
   if (!inject_flags_ok) return 2;
   (void)inject_requested;  // inject always injects; the flags just tune it
   const auto out_dir = args.value_of("--out");
   const auto manifest_path = args.value_of("--manifest");
 
   std::printf("generating corpus (seed %llu) and injecting faults (inject seed %llu, fraction %g)...\n",
-              static_cast<unsigned long long>(cfg.seed),
+              static_cast<unsigned long long>(cfg->seed),
               static_cast<unsigned long long>(inject_cfg.seed), inject_cfg.fraction);
-  auto corpus = dataset::generate_corpus(cfg);
+  auto corpus = dataset::generate_corpus(*cfg);
   const auto report =
       inject::inject_faults(corpus.documents, corpus.pristine_documents, inject_cfg);
 
@@ -500,12 +548,13 @@ int cmd_inject(arg_list args) {
 
 int cmd_simulate(arg_list args) {
   sim::fleet_config cfg;
-  const auto vehicles = args.value_of("--vehicles", "12");
-  const auto months = args.value_of("--months", "24");
-  cfg.vehicles = std::atoi(vehicles.c_str());
-  cfg.months = std::atoi(months.c_str());
-  const auto seed = args.value_of("--seed");
-  if (!seed.empty()) cfg.seed = std::strtoull(seed.c_str(), nullptr, 10);
+  cfg.vehicles = 12;
+  cfg.months = 24;
+  if (!flag_positive_int(args, "--vehicles", "simulate", &cfg.vehicles) ||
+      !flag_positive_int(args, "--months", "simulate", &cfg.months) ||
+      !flag_u64(args, "--seed", "simulate", &cfg.seed)) {
+    return 2;
+  }
   cfg.vehicle.driverless = args.has("--driverless");
   cfg.miles_per_vehicle_month = 1200;
   const auto trace_path = args.value_of("--trace-json");
@@ -529,11 +578,72 @@ int cmd_simulate(arg_list args) {
   return 0;
 }
 
+int cmd_soak(arg_list args) {
+  soak::workload_config wcfg;
+  wcfg.fleet.vehicles = 8;
+  wcfg.fleet.months = 12;
+  wcfg.fleet.miles_per_vehicle_month = 1200;
+  wcfg.chaos_fraction = 0.15;
+  soak::soak_options opts;
+  unsigned query_threads = opts.query_threads;
+  if (!flag_positive_int(args, "--vehicles", "soak", &wcfg.fleet.vehicles) ||
+      !flag_positive_int(args, "--months", "soak", &wcfg.fleet.months) ||
+      !flag_u64(args, "--seed", "soak", &wcfg.fleet.seed) ||
+      !flag_fraction(args, "--chaos-fraction", "soak", &wcfg.chaos_fraction) ||
+      !flag_u64(args, "--chaos-seed", "soak", &wcfg.chaos_seed) ||
+      !flag_uint(args, "--query-threads", "soak", &query_threads) ||
+      !flag_positive_int(args, "--queries", "soak", &opts.queries_per_thread) ||
+      !flag_fraction(args, "--duty-cycle", "soak", &opts.duty_cycle) ||
+      !flag_uint(args, "--threads", "soak", &opts.engine_threads) ||
+      !flag_positive_size(args, "--cache-capacity", "soak", &opts.cache_capacity)) {
+    return 2;
+  }
+  if (query_threads < 1 || !(opts.duty_cycle > 0.0)) {
+    std::fputs("soak: --query-threads must be >= 1 and --duty-cycle in (0, 1]\n", stderr);
+    return 2;
+  }
+  opts.query_threads = query_threads;
+  // The fleet span must stay inside the DMV reporting periods the report
+  // writers can render (2014-09 .. 2016-11); starting at 2015-01 that
+  // bounds the span at 23 months.
+  if (wcfg.fleet.months > 23) {
+    std::fputs("soak: --months must be <= 23 (fleet span must fit the 2014-09..2016-11 "
+               "reporting periods)\n",
+               stderr);
+    return 2;
+  }
+
+  std::printf("soak: simulating %d vehicles x %d months and rendering monthly filings...\n",
+              wcfg.fleet.vehicles, wcfg.fleet.months);
+  const auto workload = soak::build_workload(wcfg);
+  std::printf("soak: %zu documents (%zu corrupted), duty cycle %.2f, %u query threads...\n",
+              workload.documents.size(), workload.corrupted_documents, opts.duty_cycle,
+              opts.query_threads);
+  const auto report = soak::run_soak(workload, opts);
+  std::cout << soak::render_soak_summary(workload, report);
+
+  std::string json_path = args.value_of("--json");
+  if (json_path.empty()) {
+    if (const char* dir = std::getenv("AVTK_BENCH_JSON_DIR"); dir != nullptr && *dir != '\0') {
+      json_path = std::string(dir) + "/BENCH_soak.json";
+    }
+  }
+  if (!json_path.empty()) {
+    const auto record = soak::soak_record_json(workload, opts, report);
+    if (!obs::write_text_file(json_path, record.dump(2) + "\n")) {
+      std::fprintf(stderr, "soak: failed to write perf record to %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("perf record written to %s\n", json_path.c_str());
+  }
+  return report.ok() ? 0 : 1;
+}
+
 // Shared by serve and query: generate the corpus, run the pipeline, hand
 // the consolidated database to a query engine. Progress goes to stderr so
 // stdout stays a pure response stream.
-serve::query_engine make_engine(arg_list& args, serve::engine_config cfg) {
-  const auto gen_cfg = make_generator_config(args);
+serve::query_engine make_engine(const dataset::generator_config& gen_cfg,
+                                serve::engine_config cfg) {
   std::fprintf(stderr, "serve: generating corpus (seed %llu) and running the pipeline...\n",
                static_cast<unsigned long long>(gen_cfg.seed));
   const auto corpus = dataset::generate_corpus(gen_cfg);
@@ -546,11 +656,9 @@ serve::query_engine make_engine(arg_list& args, serve::engine_config cfg) {
 
 int cmd_serve(arg_list args) {
   serve::engine_config cfg;
-  const auto threads = args.value_of("--threads");
-  if (!threads.empty()) cfg.threads = static_cast<unsigned>(std::atoi(threads.c_str()));
-  const auto capacity = args.value_of("--cache-capacity");
-  if (!capacity.empty()) {
-    cfg.cache_capacity = static_cast<std::size_t>(std::strtoull(capacity.c_str(), nullptr, 10));
+  if (!flag_uint(args, "--threads", "serve", &cfg.threads) ||
+      !flag_positive_size(args, "--cache-capacity", "serve", &cfg.cache_capacity)) {
+    return 2;
   }
   const auto metrics_path = args.value_of("--metrics-json");
   const auto input_path = args.value_of("--input");
@@ -567,7 +675,9 @@ int cmd_serve(arg_list args) {
     options.on_ingest_error = *policy;
   }
 
-  auto engine = make_engine(args, cfg);
+  const auto gen_cfg = make_generator_config(args, "serve");
+  if (!gen_cfg) return 2;
+  auto engine = make_engine(*gen_cfg, cfg);
   std::fprintf(stderr, "serve: %u worker threads, cache capacity %zu; reading %s\n",
                engine.threads(), cfg.cache_capacity,
                input_path.empty() ? "stdin" : input_path.c_str());
@@ -610,7 +720,9 @@ int cmd_serve(arg_list args) {
 int cmd_query(arg_list args) {
   serve::engine_config cfg;
   cfg.threads = 1;  // one-shot: no pool needed
-  auto engine = make_engine(args, cfg);
+  const auto gen_cfg = make_generator_config(args, "query");
+  if (!gen_cfg) return 2;
+  auto engine = make_engine(*gen_cfg, cfg);
   const auto words = args.positional();
   if (words.empty()) {
     std::fputs("query: no request given, e.g. avtk query '{\"query\": \"metrics\"}'\n", stderr);
@@ -662,6 +774,7 @@ int main(int argc, char** argv) {
     if (command == "inject") return cmd_inject(arg_list(argc, argv, 2));
     if (command == "simulate") return cmd_simulate(arg_list(argc, argv, 2));
     if (command == "serve") return cmd_serve(arg_list(argc, argv, 2));
+    if (command == "soak") return cmd_soak(arg_list(argc, argv, 2));
     if (command == "query") return cmd_query(arg_list(argc, argv, 2));
     if (command == "classify") return cmd_classify(arg_list(argc, argv, 2));
     if (command == "help" || command == "--help" || command == "-h") {
