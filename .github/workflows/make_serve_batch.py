@@ -3,61 +3,80 @@
 
 Usage: make_serve_batch.py CORPUS_DIR INJECT_MANIFEST OUT_BATCH
 
-Emits the scripted query batch (16 distinct queries covering every query
-kind including the reliability pair mcf/nhpp, 5 cache-warming repeats,
-4 malformed requests — one a structurally valid nhpp with an out-of-range
-horizon) followed by the raw-document ingestion tail:
+Emits the scripted query batch — every query kind including the
+reliability pair mcf/nhpp, filtered slices along every index axis
+(maker, year, maker+year, tag, category, tag+category), cache-warming
+repeats, and malformed requests (one a structurally valid nhpp with an
+out-of-range horizon) — followed by the raw-document ingestion tail:
 
-  id 25  ingest a clean disengagement report from CORPUS_DIR — must be
-         accepted, bump the database version, and invalidate dependent
-         cache entries,
-  id 26  repeat "metrics" — recomputed at the new version,
-  id 27  repeat "nhpp" — recomputed too (reliability queries depend on
-         the disengagement domain the ingest bumped),
-  id 28  ingest the first corrupted document from the inject manifest —
-         must be rejected with the manifest's probe code, leaving the
-         version and the cache untouched,
-  id 29  repeat "metrics" — must be served from the still-warm cache,
-  id 30  repeat "nhpp" — likewise still warm after the reject.
+  * ingest a clean disengagement report from CORPUS_DIR — must be
+    accepted, bump the database version, and invalidate dependent
+    cache entries,
+  * repeat "metrics", "nhpp" and a tag-filtered "tags" — recomputed at
+    the new version (the filtered repeat runs against the new epoch's
+    freshly built query index),
+  * ingest the first corrupted document from the inject manifest —
+    must be rejected with the manifest's probe code, leaving the
+    version and the cache untouched,
+  * repeat the same three — must be served from the still-warm cache.
 
-CORPUS_DIR is the `avtk inject --out` layout (scanned/doc_NNN.txt with
-pristine/ twins); the manifest is the avtk.inject.v1 report naming the
-corrupted indices. check_serve.py verifies the responses against the
-same manifest.
+Request ids are assigned by position (the serve loop echoes them back in
+order). CORPUS_DIR is the `avtk inject --out` layout (scanned/doc_NNN.txt
+with pristine/ twins); the manifest is the avtk.inject.v1 report naming
+the corrupted indices. check_serve.py verifies the responses against the
+same manifest; check_query_index.py byte-compares two backends' answers
+to this batch.
 """
 import json
 import os
 import sys
 
 QUERIES = [
-    {"id": 0, "query": "metrics"},
-    {"id": 1, "query": "tags"},
-    {"id": 2, "query": "categories"},
-    {"id": 3, "query": "modality"},
-    {"id": 4, "query": "trend"},
-    {"id": 5, "query": "fit"},
-    {"id": 6, "query": "compare"},
-    {"id": 7, "query": "mcf"},
-    {"id": 8, "query": "nhpp"},
-    {"id": 9, "query": "metrics", "maker": "waymo"},
-    {"id": 10, "query": "tags", "maker": "waymo"},
-    {"id": 11, "query": "fit", "min_samples": 10},
-    {"id": 12, "query": "trend", "maker": "delphi"},
-    {"id": 13, "query": "categories", "maker": "delphi"},
-    {"id": 14, "query": "mcf", "maker": "waymo", "replicates": 150, "seed": 7},
-    {"id": 15, "query": "nhpp", "horizon_miles": 50000},
-    {"id": 16, "query": "metrics"},
-    {"id": 17, "query": "tags"},
-    {"id": 18, "query": "compare"},
-    {"id": 19, "query": "mcf"},
-    {"id": 20, "query": "nhpp"},
+    # Every kind, bare.
+    {"query": "metrics"},
+    {"query": "tags"},
+    {"query": "categories"},
+    {"query": "modality"},
+    {"query": "trend"},
+    {"query": "fit"},
+    {"query": "compare"},
+    {"query": "mcf"},
+    {"query": "nhpp"},
+    # Filtered slices along every query-index axis.
+    {"query": "metrics", "maker": "waymo"},
+    {"query": "tags", "maker": "waymo"},
+    {"query": "fit", "min_samples": 10},
+    {"query": "trend", "maker": "delphi"},
+    {"query": "categories", "maker": "delphi"},
+    {"query": "mcf", "maker": "waymo", "replicates": 150, "seed": 7},
+    {"query": "nhpp", "horizon_miles": 50000},
+    {"query": "metrics", "maker": "waymo", "year": 2016},
+    {"query": "tags", "year": 2016},
+    {"query": "tags", "tag": "planner"},
+    {"query": "categories", "category": "ml_design"},
+    {"query": "modality", "tag": "planner", "category": "ml_design"},
+    # Cache-warming repeats.
+    {"query": "metrics"},
+    {"query": "tags"},
+    {"query": "compare"},
+    {"query": "mcf"},
+    {"query": "nhpp"},
+    {"query": "tags", "tag": "planner"},
     # Deliberately malformed: rejected on the wire, never fatal. The last
     # one is structurally valid nhpp with an out-of-range horizon — it must
     # answer a structured parse-error envelope naming the field.
-    {"id": 21, "query": "warp_drive"},
-    {"id": 22, "query": "metrics", "maker": "martian_motors"},
-    {"id": 23, "query": "fit", "min_samples": 0},
-    {"id": 24, "query": "nhpp", "horizon_miles": -1},
+    {"query": "warp_drive"},
+    {"query": "metrics", "maker": "martian_motors"},
+    {"query": "fit", "min_samples": 0},
+    {"query": "nhpp", "horizon_miles": -1},
+]
+
+# Queries repeated around each ingest: an accepted ingest must force
+# recomputation at the new version, a rejected one must leave them warm.
+POST_INGEST_REPEATS = [
+    {"query": "metrics"},
+    {"query": "nhpp"},
+    {"query": "tags", "tag": "planner"},
 ]
 
 
@@ -89,26 +108,26 @@ def main(corpus_dir: str, manifest_path: str, out_path: str) -> int:
         print("FAIL: no clean disengagement report in the corpus")
         return 1
 
-    def ingest_request(rid: int, index: int, title: str) -> dict:
+    def ingest_request(index: int, title: str) -> dict:
         return {
-            "id": rid,
             "ingest": {
                 "text": read_doc(corpus_dir, "scanned", index),
                 "title": title,
                 "pristine": read_doc(corpus_dir, "pristine", index),
-            },
+            }
         }
 
     clean_title = read_doc(corpus_dir, "scanned", clean_index).splitlines()[0]
     corrupt = faults[0]
-    batch = QUERIES + [
-        ingest_request(25, clean_index, clean_title),
-        {"id": 26, "query": "metrics"},
-        {"id": 27, "query": "nhpp"},
-        ingest_request(28, corrupt["index"], corrupt["title"]),
-        {"id": 29, "query": "metrics"},
-        {"id": 30, "query": "nhpp"},
-    ]
+    batch = (
+        [dict(q) for q in QUERIES]
+        + [ingest_request(clean_index, clean_title)]
+        + [dict(q) for q in POST_INGEST_REPEATS]
+        + [ingest_request(corrupt["index"], corrupt["title"])]
+        + [dict(q) for q in POST_INGEST_REPEATS]
+    )
+    for rid, request in enumerate(batch):
+        request["id"] = rid
 
     with open(out_path, "w") as f:
         f.write("# CI serve smoke batch (queries + raw-document ingestion)\n")

@@ -36,6 +36,7 @@
 
 #include "ingest/processor.h"
 #include "obs/export.h"
+#include "obs/latency.h"
 #include "obs/json.h"
 #include "serve/engine.h"
 #include "serve/query.h"
@@ -92,13 +93,6 @@ struct mixed_pass {
   std::uint64_t epochs_advanced = 0;
   double total_seconds = 0;
 };
-
-std::int64_t percentile(std::vector<std::int64_t> v, double p) {
-  if (v.empty()) return 0;
-  std::sort(v.begin(), v.end());
-  const auto rank = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
-  return v[rank];
-}
 
 // The documents the paced stream feeds in: the smallest corpus documents
 // that survive the strict per-document chain. Small documents keep each
@@ -236,8 +230,8 @@ avtk::obs::json::value pass_json(const mixed_pass& pass) {
   const auto latencies = flatten(pass);
   return json::value(json::object{
       {"queries", json::value(latencies.size())},
-      {"p50_ns", json::value(percentile(latencies, 0.50))},
-      {"p99_ns", json::value(percentile(latencies, 0.99))},
+      {"p50_ns", json::value(avtk::obs::latency_percentile_ns(latencies, 0.50))},
+      {"p99_ns", json::value(avtk::obs::latency_percentile_ns(latencies, 0.99))},
       {"ingests", json::value(pass.ingests)},
       {"epochs_advanced", json::value(pass.epochs_advanced)},
       {"total_seconds", json::value(pass.total_seconds)},
@@ -291,16 +285,18 @@ int main(int argc, char** argv) {
 
   const auto off_lat = flatten(off);
   const auto on_lat = flatten(on);
-  const auto off_p99 = percentile(off_lat, 0.99);
-  const auto on_p99 = percentile(on_lat, 0.99);
+  const auto off_p99 = avtk::obs::latency_percentile_ns(off_lat, 0.99);
+  const auto on_p99 = avtk::obs::latency_percentile_ns(on_lat, 0.99);
   const double ratio = off_p99 > 0 ? static_cast<double>(on_p99) / static_cast<double>(off_p99)
                                    : 0.0;
   const auto inv_off = check_invariants(off);
   const auto inv_on = check_invariants(on);
 
-  std::cout << "ingest off: p50 " << percentile(off_lat, 0.50) << " ns, p99 " << off_p99
+  const auto off_p50 = avtk::obs::latency_percentile_ns(off_lat, 0.50);
+  const auto on_p50 = avtk::obs::latency_percentile_ns(on_lat, 0.50);
+  std::cout << "ingest off: p50 " << off_p50 << " ns, p99 " << off_p99
             << " ns over " << off_lat.size() << " queries\n"
-            << "ingest on:  p50 " << percentile(on_lat, 0.50) << " ns, p99 " << on_p99
+            << "ingest on:  p50 " << on_p50 << " ns, p99 " << on_p99
             << " ns over " << on_lat.size() << " queries (" << on.ingests
             << " documents ingested, " << on.epochs_advanced << " epochs)\n"
             << "p99 on/off ratio: " << ratio << "\n"

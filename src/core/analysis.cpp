@@ -10,7 +10,7 @@ namespace avtk::core {
 using dataset::manufacturer;
 namespace gt = dataset::ground_truth;
 
-q1_answer answer_q1(const dataset::failure_database& db,
+q1_answer answer_q1(const dataset::database_view& db,
                     const std::vector<manufacturer>& makers) {
   q1_answer out;
   out.dpm_distributions = build_fig4(db, makers);
@@ -31,7 +31,7 @@ q1_answer answer_q1(const dataset::failure_database& db,
   return out;
 }
 
-q2_answer answer_q2(const dataset::failure_database& db,
+q2_answer answer_q2(const dataset::database_view& db,
                     const std::vector<manufacturer>& makers) {
   q2_answer out;
   out.categories = build_table4(db, makers);
@@ -76,7 +76,7 @@ q2_answer answer_q2(const dataset::failure_database& db,
   return out;
 }
 
-q3_answer answer_q3(const dataset::failure_database& db,
+q3_answer answer_q3(const dataset::database_view& db,
                     const std::vector<manufacturer>& makers) {
   q3_answer out;
   out.yearly = build_fig7(db, makers);
@@ -85,7 +85,7 @@ q3_answer answer_q3(const dataset::failure_database& db,
   return out;
 }
 
-q4_answer answer_q4(const dataset::failure_database& db,
+q4_answer answer_q4(const dataset::database_view& db,
                     const std::vector<manufacturer>& makers) {
   q4_answer out;
   out.distributions = build_fig10(db, makers);
@@ -108,7 +108,7 @@ q4_answer answer_q4(const dataset::failure_database& db,
   return out;
 }
 
-q5_answer answer_q5(const dataset::failure_database& db,
+q5_answer answer_q5(const dataset::database_view& db,
                     const std::vector<manufacturer>& makers) {
   q5_answer out;
   out.accidents = build_table6(db);
@@ -133,7 +133,7 @@ bool headline_claim::within_tolerance() const {
          tolerance_fraction * std::fabs(paper_value);
 }
 
-std::vector<headline_claim> evaluate_headlines(const dataset::failure_database& db,
+std::vector<headline_claim> evaluate_headlines(const dataset::database_view& db,
                                                const std::vector<manufacturer>& makers) {
   std::vector<headline_claim> out;
   const auto agg = compute_aggregates(db);

@@ -18,7 +18,7 @@
 #include "core/figures.h"
 #include "core/metrics.h"
 #include "core/tables.h"
-#include "dataset/database.h"
+#include "dataset/view.h"
 
 namespace avtk::core {
 
@@ -30,7 +30,7 @@ struct q1_answer {
   double median_dpm_spread = 0;  ///< max/min of per-maker median DPM (the "~100x disparity")
   bool any_maker_at_asymptote = false;  ///< slope of Fig. 5 fit ~ 0 for some maker
 };
-q1_answer answer_q1(const dataset::failure_database& db,
+q1_answer answer_q1(const dataset::database_view& db,
                     const std::vector<dataset::manufacturer>& makers);
 
 /// Q2 — causes: category/tag breakdowns.
@@ -44,7 +44,7 @@ struct q2_answer {
   double system_fraction = 0;
   double mean_automatic_fraction = 0;       ///< "average of 48% initiated automatically"
 };
-q2_answer answer_q2(const dataset::failure_database& db,
+q2_answer answer_q2(const dataset::database_view& db,
                     const std::vector<dataset::manufacturer>& makers);
 
 /// Q3 — dynamics: temporal and with-miles DPM trends.
@@ -53,7 +53,7 @@ struct q3_answer {
   fig8_data pooled_correlation;             // Fig. 8
   std::vector<fig9_series> per_maker;       // Fig. 9
 };
-q3_answer answer_q3(const dataset::failure_database& db,
+q3_answer answer_q3(const dataset::database_view& db,
                     const std::vector<dataset::manufacturer>& makers);
 
 /// Q4 — driver alertness: reaction-time statistics.
@@ -64,7 +64,7 @@ struct q4_answer {
   double overall_mean_s = 0;
   std::size_t overall_n = 0;
 };
-q4_answer answer_q4(const dataset::failure_database& db,
+q4_answer answer_q4(const dataset::database_view& db,
                     const std::vector<dataset::manufacturer>& makers);
 
 /// Q5 — comparison to human drivers and other safety-critical systems.
@@ -76,7 +76,7 @@ struct q5_answer {
   double worst_vs_human = 0;                ///< the "15-4000x" upper end
   double best_vs_human = 0;
 };
-q5_answer answer_q5(const dataset::failure_database& db,
+q5_answer answer_q5(const dataset::database_view& db,
                     const std::vector<dataset::manufacturer>& makers);
 
 /// One checkable headline claim: a paper value vs. the measured value.
@@ -89,7 +89,7 @@ struct headline_claim {
 };
 
 /// All headline claims evaluated against `db`.
-std::vector<headline_claim> evaluate_headlines(const dataset::failure_database& db,
+std::vector<headline_claim> evaluate_headlines(const dataset::database_view& db,
                                                const std::vector<dataset::manufacturer>& makers);
 
 }  // namespace avtk::core

@@ -9,7 +9,7 @@ namespace avtk::core {
 using dataset::road_type;
 using dataset::weather;
 
-std::vector<road_mix_row> build_road_mix(const dataset::failure_database& db) {
+std::vector<road_mix_row> build_road_mix(const dataset::database_view& db) {
   std::map<road_type, long long> counts;
   long long known = 0;
   for (const auto& d : db.disengagements()) {
@@ -27,7 +27,7 @@ std::vector<road_mix_row> build_road_mix(const dataset::failure_database& db) {
   return out;
 }
 
-std::vector<weather_mix_row> build_weather_mix(const dataset::failure_database& db) {
+std::vector<weather_mix_row> build_weather_mix(const dataset::database_view& db) {
   std::map<weather, long long> counts;
   long long known = 0;
   for (const auto& d : db.disengagements()) {
@@ -47,7 +47,7 @@ std::vector<weather_mix_row> build_weather_mix(const dataset::failure_database& 
 }
 
 std::vector<weather_environment_row> build_weather_environment(
-    const dataset::failure_database& db) {
+    const dataset::database_view& db) {
   struct cell {
     long long events = 0;
     long long perception = 0;
@@ -77,7 +77,7 @@ std::vector<weather_environment_row> build_weather_environment(
   return out;
 }
 
-std::string render_context_breakdown(const dataset::failure_database& db) {
+std::string render_context_breakdown(const dataset::database_view& db) {
   std::string out;
   {
     text_table t({"Road type", "Events", "Share"});

@@ -10,7 +10,7 @@
 #include <string>
 #include <vector>
 
-#include "dataset/database.h"
+#include "dataset/view.h"
 
 namespace avtk::core {
 
@@ -20,7 +20,7 @@ struct road_mix_row {
   long long events = 0;
   double share = 0;  ///< of events with a known road type
 };
-std::vector<road_mix_row> build_road_mix(const dataset::failure_database& db);
+std::vector<road_mix_row> build_road_mix(const dataset::database_view& db);
 
 /// Share of disengagements per weather condition (over events reporting it).
 struct weather_mix_row {
@@ -28,7 +28,7 @@ struct weather_mix_row {
   long long events = 0;
   double share = 0;
 };
-std::vector<weather_mix_row> build_weather_mix(const dataset::failure_database& db);
+std::vector<weather_mix_row> build_weather_mix(const dataset::database_view& db);
 
 /// Environment-tagged share by weather: do adverse conditions produce more
 /// environment/perception disengagements? (the §VI "challenging
@@ -39,8 +39,8 @@ struct weather_environment_row {
   double perception_share = 0;  ///< perception/environment-tagged fraction
 };
 std::vector<weather_environment_row> build_weather_environment(
-    const dataset::failure_database& db);
+    const dataset::database_view& db);
 
-std::string render_context_breakdown(const dataset::failure_database& db);
+std::string render_context_breakdown(const dataset::database_view& db);
 
 }  // namespace avtk::core

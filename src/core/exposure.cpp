@@ -10,7 +10,7 @@ namespace avtk::core {
 using dataset::manufacturer;
 
 std::vector<stats::survival_observation> miles_to_disengagement_spells(
-    const dataset::failure_database& db, manufacturer maker) {
+    const dataset::database_view& db, manufacturer maker) {
   // Vehicle-months carry the attribution already (including the pro-rata
   // handling of Waymo-style monthly aggregates).
   struct cell {
@@ -49,7 +49,7 @@ std::vector<stats::survival_observation> miles_to_disengagement_spells(
   return spells;
 }
 
-reliability_metric compute_reliability_metric(const dataset::failure_database& db,
+reliability_metric compute_reliability_metric(const dataset::database_view& db,
                                               manufacturer maker,
                                               std::optional<double> horizon_miles) {
   reliability_metric out;
@@ -79,7 +79,7 @@ reliability_metric compute_reliability_metric(const dataset::failure_database& d
 }
 
 std::vector<reliability_metric> compute_all_reliability_metrics(
-    const dataset::failure_database& db, std::size_t min_events) {
+    const dataset::database_view& db, std::size_t min_events) {
   std::vector<reliability_metric> out;
   for (const auto maker : db.manufacturers_present()) {
     auto metric = compute_reliability_metric(db, maker);
@@ -92,7 +92,7 @@ std::vector<reliability_metric> compute_all_reliability_metrics(
   return out;
 }
 
-std::string render_reliability_metrics(const dataset::failure_database& db) {
+std::string render_reliability_metrics(const dataset::database_view& db) {
   text_table t({"Manufacturer", "spells", "events", "MTBF (miles)", "KM median",
                 "KM mean (restricted)"});
   t.set_title(

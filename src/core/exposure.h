@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "dataset/database.h"
+#include "dataset/view.h"
 #include "stats/survival.h"
 
 namespace avtk::core {
@@ -25,7 +25,7 @@ namespace avtk::core {
 /// survival analysis. Each completed spell ends in an event; every
 /// vehicle's final partial spell is censored.
 std::vector<stats::survival_observation> miles_to_disengagement_spells(
-    const dataset::failure_database& db, dataset::manufacturer maker);
+    const dataset::database_view& db, dataset::manufacturer maker);
 
 /// The §V-C2 metric for one manufacturer.
 struct reliability_metric {
@@ -40,16 +40,16 @@ struct reliability_metric {
 
 /// Computes the metric; `horizon_miles` defaults to the manufacturer's
 /// largest observed spell.
-reliability_metric compute_reliability_metric(const dataset::failure_database& db,
+reliability_metric compute_reliability_metric(const dataset::database_view& db,
                                               dataset::manufacturer maker,
                                               std::optional<double> horizon_miles = {});
 
 /// The metric for every manufacturer that passes `min_events`.
 std::vector<reliability_metric> compute_all_reliability_metrics(
-    const dataset::failure_database& db, std::size_t min_events = 5);
+    const dataset::database_view& db, std::size_t min_events = 5);
 
 /// Renders the §V-C2 table (MTBF ordering should match Table VII's DPM
 /// ordering — that consistency is itself a construct-validity check).
-std::string render_reliability_metrics(const dataset::failure_database& db);
+std::string render_reliability_metrics(const dataset::database_view& db);
 
 }  // namespace avtk::core

@@ -11,7 +11,7 @@ namespace avtk::core {
 
 using dataset::manufacturer;
 
-std::vector<monthly_point> build_monthly_trend(const dataset::failure_database& db,
+std::vector<monthly_point> build_monthly_trend(const dataset::database_view& db,
                                                manufacturer maker) {
   std::map<std::int64_t, monthly_point> cells;
   for (const auto& vm : db.vehicle_months()) {
@@ -27,7 +27,7 @@ std::vector<monthly_point> build_monthly_trend(const dataset::failure_database& 
   return out;
 }
 
-std::vector<fig4_series> build_fig4(const dataset::failure_database& db,
+std::vector<fig4_series> build_fig4(const dataset::database_view& db,
                                     const std::vector<manufacturer>& makers) {
   std::vector<fig4_series> out;
   for (const auto maker : makers) {
@@ -38,7 +38,7 @@ std::vector<fig4_series> build_fig4(const dataset::failure_database& db,
   return out;
 }
 
-std::vector<fig5_series> build_fig5(const dataset::failure_database& db,
+std::vector<fig5_series> build_fig5(const dataset::database_view& db,
                                     const std::vector<manufacturer>& makers) {
   std::vector<fig5_series> out;
   for (const auto maker : makers) {
@@ -67,7 +67,7 @@ std::vector<fig5_series> build_fig5(const dataset::failure_database& db,
   return out;
 }
 
-std::vector<fig7_series> build_fig7(const dataset::failure_database& db,
+std::vector<fig7_series> build_fig7(const dataset::database_view& db,
                                     const std::vector<manufacturer>& makers) {
   std::vector<fig7_series> out;
   for (const auto maker : makers) {
@@ -82,7 +82,7 @@ std::vector<fig7_series> build_fig7(const dataset::failure_database& db,
   return out;
 }
 
-fig8_data build_fig8(const dataset::failure_database& db,
+fig8_data build_fig8(const dataset::database_view& db,
                      const std::vector<manufacturer>& makers) {
   fig8_data out;
   for (const auto maker : makers) {
@@ -111,7 +111,7 @@ fig8_data build_fig8(const dataset::failure_database& db,
   return out;
 }
 
-std::vector<fig9_series> build_fig9(const dataset::failure_database& db,
+std::vector<fig9_series> build_fig9(const dataset::database_view& db,
                                     const std::vector<manufacturer>& makers) {
   std::vector<fig9_series> out;
   for (const auto maker : makers) {
@@ -133,7 +133,7 @@ std::vector<fig9_series> build_fig9(const dataset::failure_database& db,
   return out;
 }
 
-std::vector<fig10_series> build_fig10(const dataset::failure_database& db,
+std::vector<fig10_series> build_fig10(const dataset::database_view& db,
                                       const std::vector<manufacturer>& makers) {
   std::vector<fig10_series> out;
   for (const auto maker : makers) {
@@ -149,7 +149,7 @@ std::vector<fig10_series> build_fig10(const dataset::failure_database& db,
   return out;
 }
 
-std::vector<fig11_fit> build_fig11(const dataset::failure_database& db,
+std::vector<fig11_fit> build_fig11(const dataset::database_view& db,
                                    const std::vector<manufacturer>& makers,
                                    std::size_t min_samples, double outlier_cut_s) {
   std::vector<fig11_fit> out;
@@ -168,7 +168,7 @@ std::vector<fig11_fit> build_fig11(const dataset::failure_database& db,
   return out;
 }
 
-fig12_data build_fig12(const dataset::failure_database& db) {
+fig12_data build_fig12(const dataset::database_view& db) {
   fig12_data out;
   for (const auto& a : db.accidents()) {
     if (a.av_speed_mph) out.av_speeds.push_back(*a.av_speed_mph);
@@ -197,7 +197,7 @@ fig12_data build_fig12(const dataset::failure_database& db) {
 }
 
 std::vector<reaction_correlation> build_reaction_correlations(
-    const dataset::failure_database& db, const std::vector<manufacturer>& makers,
+    const dataset::database_view& db, const std::vector<manufacturer>& makers,
     std::size_t min_samples) {
   std::vector<reaction_correlation> out;
   for (const auto maker : makers) {

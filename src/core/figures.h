@@ -9,7 +9,7 @@
 #include <optional>
 #include <vector>
 
-#include "dataset/database.h"
+#include "dataset/view.h"
 #include "stats/correlation.h"
 #include "stats/descriptive.h"
 #include "stats/dist/exp_weibull.h"
@@ -32,7 +32,7 @@ struct monthly_point {
 };
 /// Month-ascending fleet aggregates for one manufacturer. Pure function of
 /// `db`; safe to call concurrently with any other const analysis.
-std::vector<monthly_point> build_monthly_trend(const dataset::failure_database& db,
+std::vector<monthly_point> build_monthly_trend(const dataset::database_view& db,
                                                dataset::manufacturer maker);
 
 // Fig. 4: per-car DPM box plots across manufacturers.
@@ -40,7 +40,7 @@ struct fig4_series {
   dataset::manufacturer maker;
   stats::box_summary box;
 };
-std::vector<fig4_series> build_fig4(const dataset::failure_database& db,
+std::vector<fig4_series> build_fig4(const dataset::database_view& db,
                                     const std::vector<dataset::manufacturer>& makers);
 
 // Fig. 5: cumulative disengagements vs cumulative miles (log-log) with a
@@ -51,7 +51,7 @@ struct fig5_series {
   std::vector<double> cumulative_disengagements;  ///< matched
   std::optional<stats::linear_fit> log_log_fit;   ///< when n >= 2 and positive
 };
-std::vector<fig5_series> build_fig5(const dataset::failure_database& db,
+std::vector<fig5_series> build_fig5(const dataset::database_view& db,
                                     const std::vector<dataset::manufacturer>& makers);
 
 // Fig. 7: DPM per car aggregated by calendar year.
@@ -59,7 +59,7 @@ struct fig7_series {
   dataset::manufacturer maker;
   std::map<int, stats::box_summary> by_year;  ///< year -> box
 };
-std::vector<fig7_series> build_fig7(const dataset::failure_database& db,
+std::vector<fig7_series> build_fig7(const dataset::database_view& db,
                                     const std::vector<dataset::manufacturer>& makers);
 
 // Fig. 8: pooled log(DPM) vs log(cumulative miles) per vehicle-month, with
@@ -69,7 +69,7 @@ struct fig8_data {
   std::vector<double> log_dpm;
   stats::correlation_result pearson;
 };
-fig8_data build_fig8(const dataset::failure_database& db,
+fig8_data build_fig8(const dataset::database_view& db,
                      const std::vector<dataset::manufacturer>& makers);
 
 // Fig. 9: per-manufacturer DPM vs cumulative miles with regression fits.
@@ -79,7 +79,7 @@ struct fig9_series {
   std::vector<double> dpm;               ///< that month's fleet DPM
   std::optional<stats::linear_fit> log_log_fit;
 };
-std::vector<fig9_series> build_fig9(const dataset::failure_database& db,
+std::vector<fig9_series> build_fig9(const dataset::database_view& db,
                                     const std::vector<dataset::manufacturer>& makers);
 
 // Fig. 10: reaction-time distribution per manufacturer.
@@ -89,7 +89,7 @@ struct fig10_series {
   double mean = 0;
   std::size_t n = 0;
 };
-std::vector<fig10_series> build_fig10(const dataset::failure_database& db,
+std::vector<fig10_series> build_fig10(const dataset::database_view& db,
                                       const std::vector<dataset::manufacturer>& makers);
 
 // Fig. 11: Weibull-family fits of reaction times for selected makers.
@@ -106,7 +106,7 @@ struct fig11_fit {
 /// Fits for manufacturers with at least `min_samples` reaction times,
 /// excluding implausible outliers above `outlier_cut_s` from the fit (the
 /// paper excludes Volkswagen's ~4 h record).
-std::vector<fig11_fit> build_fig11(const dataset::failure_database& db,
+std::vector<fig11_fit> build_fig11(const dataset::database_view& db,
                                    const std::vector<dataset::manufacturer>& makers,
                                    std::size_t min_samples = 30, double outlier_cut_s = 300.0);
 
@@ -120,7 +120,7 @@ struct fig12_data {
   std::optional<stats::exponential_dist> relative_fit;
   double fraction_relative_below_10mph = 0;
 };
-fig12_data build_fig12(const dataset::failure_database& db);
+fig12_data build_fig12(const dataset::database_view& db);
 
 // §V-A4: reaction time vs cumulative miles correlation per manufacturer.
 struct reaction_correlation {
@@ -128,7 +128,7 @@ struct reaction_correlation {
   stats::correlation_result result;
 };
 std::vector<reaction_correlation> build_reaction_correlations(
-    const dataset::failure_database& db, const std::vector<dataset::manufacturer>& makers,
+    const dataset::database_view& db, const std::vector<dataset::manufacturer>& makers,
     std::size_t min_samples = 30);
 
 }  // namespace avtk::core

@@ -9,7 +9,7 @@ namespace avtk::core {
 
 namespace gt = dataset::ground_truth;
 
-std::vector<double> per_car_dpm(const dataset::failure_database& db,
+std::vector<double> per_car_dpm(const dataset::database_view& db,
                                 dataset::manufacturer maker) {
   std::vector<double> out;
   for (const auto& vt : db.vehicle_totals()) {
@@ -19,7 +19,7 @@ std::vector<double> per_car_dpm(const dataset::failure_database& db,
   return out;
 }
 
-std::vector<double> per_car_dpm_in_year(const dataset::failure_database& db,
+std::vector<double> per_car_dpm_in_year(const dataset::database_view& db,
                                         dataset::manufacturer maker, int year) {
   struct totals {
     double miles = 0;
@@ -39,7 +39,7 @@ std::vector<double> per_car_dpm_in_year(const dataset::failure_database& db,
   return out;
 }
 
-manufacturer_metrics compute_metrics(const dataset::failure_database& db,
+manufacturer_metrics compute_metrics(const dataset::database_view& db,
                                      dataset::manufacturer maker) {
   manufacturer_metrics m;
   m.maker = maker;
@@ -66,7 +66,7 @@ manufacturer_metrics compute_metrics(const dataset::failure_database& db,
   return m;
 }
 
-std::vector<manufacturer_metrics> compute_all_metrics(const dataset::failure_database& db) {
+std::vector<manufacturer_metrics> compute_all_metrics(const dataset::database_view& db) {
   std::vector<manufacturer_metrics> out;
   for (const auto maker : db.manufacturers_present()) {
     out.push_back(compute_metrics(db, maker));
@@ -74,7 +74,7 @@ std::vector<manufacturer_metrics> compute_all_metrics(const dataset::failure_dat
   return out;
 }
 
-corpus_aggregates compute_aggregates(const dataset::failure_database& db) {
+corpus_aggregates compute_aggregates(const dataset::database_view& db) {
   corpus_aggregates a;
   a.total_miles = db.total_miles();
   a.total_disengagements = db.total_disengagements();

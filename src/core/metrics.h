@@ -9,7 +9,7 @@
 #include <optional>
 #include <vector>
 
-#include "dataset/database.h"
+#include "dataset/view.h"
 
 namespace avtk::core {
 
@@ -32,19 +32,19 @@ struct manufacturer_metrics {
 
 /// Computes metrics for one manufacturer. Median DPM considers only cars
 /// with positive mileage.
-manufacturer_metrics compute_metrics(const dataset::failure_database& db,
+manufacturer_metrics compute_metrics(const dataset::database_view& db,
                                      dataset::manufacturer maker);
 
 /// Metrics for every manufacturer present in `db`.
-std::vector<manufacturer_metrics> compute_all_metrics(const dataset::failure_database& db);
+std::vector<manufacturer_metrics> compute_all_metrics(const dataset::database_view& db);
 
 /// Per-car DPM samples for one manufacturer (Fig. 4's box material).
-std::vector<double> per_car_dpm(const dataset::failure_database& db,
+std::vector<double> per_car_dpm(const dataset::database_view& db,
                                 dataset::manufacturer maker);
 
 /// Per-car DPM samples restricted to months in calendar year `year`
 /// (Fig. 7's yearly boxes).
-std::vector<double> per_car_dpm_in_year(const dataset::failure_database& db,
+std::vector<double> per_car_dpm_in_year(const dataset::database_view& db,
                                         dataset::manufacturer maker, int year);
 
 /// Corpus-wide aggregates (§III-C).
@@ -55,6 +55,6 @@ struct corpus_aggregates {
   double miles_per_disengagement = 0;
   double disengagements_per_accident = 0;
 };
-corpus_aggregates compute_aggregates(const dataset::failure_database& db);
+corpus_aggregates compute_aggregates(const dataset::database_view& db);
 
 }  // namespace avtk::core

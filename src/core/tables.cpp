@@ -10,7 +10,7 @@ namespace avtk::core {
 using dataset::manufacturer;
 namespace gt = dataset::ground_truth;
 
-std::vector<table1_row> build_table1(const dataset::failure_database& db) {
+std::vector<table1_row> build_table1(const dataset::database_view& db) {
   struct cell {
     std::set<std::string> vehicles;
     double miles = 0;
@@ -55,7 +55,7 @@ std::vector<table1_row> build_table1(const dataset::failure_database& db) {
   return out;
 }
 
-std::vector<table4_row> build_table4(const dataset::failure_database& db,
+std::vector<table4_row> build_table4(const dataset::database_view& db,
                                      const std::vector<manufacturer>& makers) {
   std::vector<table4_row> out;
   for (const auto maker : makers) {
@@ -91,7 +91,7 @@ std::vector<table4_row> build_table4(const dataset::failure_database& db,
   return out;
 }
 
-std::vector<table5_row> build_table5(const dataset::failure_database& db,
+std::vector<table5_row> build_table5(const dataset::database_view& db,
                                      const std::vector<manufacturer>& makers) {
   std::vector<table5_row> out;
   for (const auto maker : makers) {
@@ -117,7 +117,7 @@ std::vector<table5_row> build_table5(const dataset::failure_database& db,
   return out;
 }
 
-std::vector<table6_row> build_table6(const dataset::failure_database& db) {
+std::vector<table6_row> build_table6(const dataset::database_view& db) {
   const auto total = db.total_accidents();
   std::vector<table6_row> out;
   for (const auto maker : dataset::k_all_manufacturers) {
@@ -137,7 +137,7 @@ std::vector<table6_row> build_table6(const dataset::failure_database& db) {
   return out;
 }
 
-std::vector<table7_row> build_table7(const dataset::failure_database& db,
+std::vector<table7_row> build_table7(const dataset::database_view& db,
                                      const std::vector<manufacturer>& makers) {
   std::vector<table7_row> out;
   for (const auto maker : makers) {
@@ -152,7 +152,7 @@ std::vector<table7_row> build_table7(const dataset::failure_database& db,
   return out;
 }
 
-std::vector<table8_row> build_table8(const dataset::failure_database& db) {
+std::vector<table8_row> build_table8(const dataset::database_view& db) {
   std::vector<table8_row> out;
   for (const auto maker : dataset::k_all_manufacturers) {
     const auto m = compute_metrics(db, maker);
@@ -162,7 +162,7 @@ std::vector<table8_row> build_table8(const dataset::failure_database& db) {
   return out;
 }
 
-std::vector<tag_fraction_row> build_tag_fractions(const dataset::failure_database& db,
+std::vector<tag_fraction_row> build_tag_fractions(const dataset::database_view& db,
                                                   const std::vector<manufacturer>& makers) {
   std::vector<tag_fraction_row> out;
   for (const auto maker : makers) {

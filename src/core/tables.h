@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "core/metrics.h"
-#include "dataset/database.h"
+#include "dataset/view.h"
 #include "nlp/ontology.h"
 
 namespace avtk::core {
@@ -25,7 +25,7 @@ struct table1_row {
   std::optional<long long> accidents;
 };
 /// Fleet summary per (manufacturer, release), from the parsed corpus.
-std::vector<table1_row> build_table1(const dataset::failure_database& db);
+std::vector<table1_row> build_table1(const dataset::database_view& db);
 
 // --------------------------------------------------------------- Table IV
 struct table4_row {
@@ -37,7 +37,7 @@ struct table4_row {
   long long total = 0;
 };
 /// Category mix per manufacturer (only manufacturers in `makers`).
-std::vector<table4_row> build_table4(const dataset::failure_database& db,
+std::vector<table4_row> build_table4(const dataset::database_view& db,
                                      const std::vector<dataset::manufacturer>& makers);
 
 // ---------------------------------------------------------------- Table V
@@ -48,7 +48,7 @@ struct table5_row {
   double planned = 0;
   long long total = 0;
 };
-std::vector<table5_row> build_table5(const dataset::failure_database& db,
+std::vector<table5_row> build_table5(const dataset::database_view& db,
                                      const std::vector<dataset::manufacturer>& makers);
 
 // --------------------------------------------------------------- Table VI
@@ -58,7 +58,7 @@ struct table6_row {
   double fraction_of_total = 0;
   std::optional<double> dpa;
 };
-std::vector<table6_row> build_table6(const dataset::failure_database& db);
+std::vector<table6_row> build_table6(const dataset::database_view& db);
 
 // -------------------------------------------------------------- Table VII
 struct table7_row {
@@ -67,7 +67,7 @@ struct table7_row {
   std::optional<double> median_apm;
   std::optional<double> vs_human;
 };
-std::vector<table7_row> build_table7(const dataset::failure_database& db,
+std::vector<table7_row> build_table7(const dataset::database_view& db,
                                      const std::vector<dataset::manufacturer>& makers);
 
 // ------------------------------------------------------------- Table VIII
@@ -78,7 +78,7 @@ struct table8_row {
   double vs_surgical_robot = 0;
 };
 /// Only manufacturers with computable APM appear.
-std::vector<table8_row> build_table8(const dataset::failure_database& db);
+std::vector<table8_row> build_table8(const dataset::database_view& db);
 
 // ------------------------------------------------- Fig. 6 (tag fractions)
 struct tag_fraction_row {
@@ -87,6 +87,6 @@ struct tag_fraction_row {
   long long total = 0;
 };
 std::vector<tag_fraction_row> build_tag_fractions(
-    const dataset::failure_database& db, const std::vector<dataset::manufacturer>& makers);
+    const dataset::database_view& db, const std::vector<dataset::manufacturer>& makers);
 
 }  // namespace avtk::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "dataset/view.h"
+
 namespace avtk::dataset {
 
 std::string database_version::to_string() const {
@@ -114,118 +116,29 @@ long long failure_database::total_accidents(manufacturer maker) const {
 }
 
 std::vector<vehicle_month> failure_database::vehicle_months() const {
-  // Key: (maker, vehicle, month index).
-  std::map<std::tuple<manufacturer, std::string, std::int64_t>, vehicle_month> cells;
-  for (const auto& m : *mileage_) {
-    auto& cell = cells[{m.maker, m.vehicle_id, m.month.index()}];
-    cell.maker = m.maker;
-    cell.vehicle_id = m.vehicle_id;
-    cell.month = m.month;
-    cell.miles += m.miles;
-  }
-
-  // Direct attribution where vehicle + month resolve to a mileage cell.
-  // Events without a vehicle (or with an unmatchable one) are attributed
-  // within their month when the month is known — in EQUAL shares across
-  // the vehicles active that month (Waymo-style monthly aggregates carry
-  // no per-vehicle signal, and an equal split is the natural uninformative
-  // prior; it also reproduces the paper's per-car DPM medians, which sit
-  // above the fleet-average DPM because low-mileage cars absorb the same
-  // event share as workhorses). Events with no month at all fall back to
-  // miles-proportional attribution across the whole history.
-  std::map<std::pair<manufacturer, std::int64_t>, long long> unattributed;  // month -1 = any
-  for (const auto& d : *disengagements_) {
-    const auto bucket = d.month_bucket();
-    bool attributed = false;
-    if (bucket && !d.vehicle_id.empty()) {
-      const auto it = cells.find({d.maker, d.vehicle_id, bucket->index()});
-      if (it != cells.end()) {
-        ++it->second.disengagements;
-        attributed = true;
-      }
-    }
-    if (!attributed) {
-      ++unattributed[{d.maker, bucket ? bucket->index() : -1}];
-    }
-  }
-
-  for (const auto& [key, count] : unattributed) {
-    const auto [maker, month_index] = key;
-    bool equal_share = month_index >= 0;
-    std::vector<vehicle_month*> mine;
-    double miles_total = 0;
-    for (auto& [cell_key, cell] : cells) {
-      if (cell.maker != maker) continue;
-      if (month_index >= 0 && cell.month.index() != month_index) continue;
-      if (!(cell.miles > 0)) continue;
-      mine.push_back(&cell);
-      miles_total += cell.miles;
-    }
-    if ((mine.empty() || miles_total <= 0) && month_index >= 0) {
-      // No mileage reported for that month: fall back to the whole history,
-      // miles-proportionally.
-      equal_share = false;
-      mine.clear();
-      miles_total = 0;
-      for (auto& [cell_key, cell] : cells) {
-        if (cell.maker != maker) continue;
-        if (!(cell.miles > 0)) continue;
-        mine.push_back(&cell);
-        miles_total += cell.miles;
-      }
-    }
-    if (mine.empty() || miles_total <= 0) continue;
-    std::vector<double> expected(mine.size());
-    std::vector<long long> assigned(mine.size());
-    long long assigned_total = 0;
-    for (std::size_t i = 0; i < mine.size(); ++i) {
-      expected[i] = equal_share
-                        ? static_cast<double>(count) / static_cast<double>(mine.size())
-                        : static_cast<double>(count) * mine[i]->miles / miles_total;
-      assigned[i] = static_cast<long long>(expected[i]);
-      assigned_total += assigned[i];
-    }
-    // Distribute the remainder to the cells with the largest fractional
-    // parts. Equal-share splits make every fractional part identical, so
-    // ties are broken by a content hash — otherwise the first vehicles in
-    // id order would absorb every event, month after month.
-    std::vector<std::size_t> order(mine.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    const auto tie_hash = [&](std::size_t i) {
-      return std::hash<std::string>{}(mine[i]->vehicle_id) ^
-             (static_cast<std::size_t>(mine[i]->month.index()) * 0x9E3779B97F4A7C15ULL);
-    };
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      const double fa = expected[a] - static_cast<double>(assigned[a]);
-      const double fb = expected[b] - static_cast<double>(assigned[b]);
-      if (fa != fb) return fa > fb;
-      return tie_hash(a) < tie_hash(b);
-    });
-    for (std::size_t i = 0; assigned_total < count && i < order.size(); ++i, ++assigned_total) {
-      ++assigned[order[i]];
-    }
-    for (std::size_t i = 0; i < mine.size(); ++i) mine[i]->disengagements += assigned[i];
-  }
-
-  std::vector<vehicle_month> out;
-  out.reserve(cells.size());
-  for (auto& [key, cell] : cells) out.push_back(std::move(cell));
-  return out;
+  // The attribution join lives in database_view (the filtered serve path
+  // runs it over selections); an unrestricted view reproduces the
+  // historical whole-database behavior exactly.
+  return database_view(*this).vehicle_months();
 }
 
 std::vector<failure_database::vehicle_total> failure_database::vehicle_totals() const {
-  std::map<std::pair<manufacturer, std::string>, vehicle_total> totals;
-  for (const auto& vm : vehicle_months()) {
-    auto& t = totals[{vm.maker, vm.vehicle_id}];
-    t.maker = vm.maker;
-    t.vehicle_id = vm.vehicle_id;
-    t.miles += vm.miles;
-    t.disengagements += vm.disengagements;
-  }
-  std::vector<vehicle_total> out;
-  out.reserve(totals.size());
-  for (auto& [key, t] : totals) out.push_back(std::move(t));
-  return out;
+  return database_view(*this).vehicle_totals();
+}
+
+void failure_database::share_disengagements_from(const failure_database& other) {
+  disengagements_ = other.disengagements_;
+  version_.disengagements = other.version_.disengagements;
+}
+
+void failure_database::share_mileage_from(const failure_database& other) {
+  mileage_ = other.mileage_;
+  version_.mileage = other.version_.mileage;
+}
+
+void failure_database::share_accidents_from(const failure_database& other) {
+  accidents_ = other.accidents_;
+  version_.accidents = other.version_.accidents;
 }
 
 std::vector<double> failure_database::reaction_times(std::optional<manufacturer> maker) const {

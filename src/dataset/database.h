@@ -119,6 +119,15 @@ class failure_database {
   /// Reaction-time samples (seconds) for one manufacturer / all.
   std::vector<double> reaction_times(std::optional<manufacturer> maker = std::nullopt) const;
 
+  /// Structurally adopt one domain from `other`: the array is shared (a
+  /// refcount bump, no element copies) and the domain's version component
+  /// is taken along, so cache keys derived from the shared domain match.
+  /// serve's naive filter path uses these for domains a query leaves
+  /// unrestricted, instead of re-adding records one by one.
+  void share_disengagements_from(const failure_database& other);
+  void share_mileage_from(const failure_database& other);
+  void share_accidents_from(const failure_database& other);
+
  private:
   /// Clones `arr` iff it is shared (copy-on-write), returning a mutable
   /// reference to the uniquely owned array.

@@ -1,0 +1,214 @@
+#include "dataset/view.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace avtk::dataset {
+
+std::vector<const disengagement_record*> database_view::query_disengagements(
+    const std::function<bool(const disengagement_record&)>& pred) const {
+  std::vector<const disengagement_record*> out;
+  for (const auto& d : disengagements()) {
+    if (pred(d)) out.push_back(&d);
+  }
+  return out;
+}
+
+std::vector<const disengagement_record*> database_view::disengagements_of(
+    manufacturer maker) const {
+  // Direct loop, not query_disengagements: this is the per-maker scan every
+  // serve payload builder sits on, and the std::function indirection costs
+  // more than the comparison it wraps.
+  std::vector<const disengagement_record*> out;
+  out.reserve(disengagements().size());
+  for (const auto& d : disengagements()) {
+    if (d.maker == maker) out.push_back(&d);
+  }
+  return out;
+}
+
+std::vector<const accident_record*> database_view::accidents_of(manufacturer maker) const {
+  std::vector<const accident_record*> out;
+  for (const auto& a : accidents()) {
+    if (a.maker == maker) out.push_back(&a);
+  }
+  return out;
+}
+
+std::vector<manufacturer> database_view::manufacturers_present() const {
+  // Flag array over the (small, dense) manufacturer enum; emitting in
+  // k_all_manufacturers order preserves the sorted-set enum order the
+  // serve tier's deterministic payloads rely on.
+  std::array<bool, k_all_manufacturers.size()> seen{};
+  for (const auto& d : disengagements()) seen[static_cast<std::size_t>(d.maker)] = true;
+  for (const auto& m : mileage()) seen[static_cast<std::size_t>(m.maker)] = true;
+  std::vector<manufacturer> out;
+  for (const auto maker : k_all_manufacturers) {
+    if (seen[static_cast<std::size_t>(maker)]) out.push_back(maker);
+  }
+  return out;
+}
+
+double database_view::total_miles() const {
+  double t = 0;
+  for (const auto& m : mileage()) t += m.miles;
+  return t;
+}
+
+double database_view::total_miles(manufacturer maker) const {
+  double t = 0;
+  for (const auto& m : mileage()) {
+    if (m.maker == maker) t += m.miles;
+  }
+  return t;
+}
+
+long long database_view::total_disengagements() const {
+  return static_cast<long long>(disengagements().size());
+}
+
+long long database_view::total_disengagements(manufacturer maker) const {
+  long long t = 0;
+  for (const auto& d : disengagements()) {
+    if (d.maker == maker) ++t;
+  }
+  return t;
+}
+
+long long database_view::total_accidents() const {
+  return static_cast<long long>(accidents().size());
+}
+
+long long database_view::total_accidents(manufacturer maker) const {
+  long long t = 0;
+  for (const auto& a : accidents()) {
+    if (a.maker == maker) ++t;
+  }
+  return t;
+}
+
+// Canonical home of the monthly attribution join. failure_database::
+// vehicle_months() delegates here through an unrestricted view, so the
+// algorithm stays single-sourced and the golden equivalence digests pin
+// both paths at once. See database.h for the attribution semantics
+// (equal-share within a known month, miles-proportional fallback,
+// fractional-remainder distribution with content-hash tie breaks).
+std::vector<vehicle_month> database_view::vehicle_months() const {
+  // Key: (maker, vehicle, month index).
+  std::map<std::tuple<manufacturer, std::string, std::int64_t>, vehicle_month> cells;
+  for (const auto& m : mileage()) {
+    auto& cell = cells[{m.maker, m.vehicle_id, m.month.index()}];
+    cell.maker = m.maker;
+    cell.vehicle_id = m.vehicle_id;
+    cell.month = m.month;
+    cell.miles += m.miles;
+  }
+
+  std::map<std::pair<manufacturer, std::int64_t>, long long> unattributed;  // month -1 = any
+  for (const auto& d : disengagements()) {
+    const auto bucket = d.month_bucket();
+    bool attributed = false;
+    if (bucket && !d.vehicle_id.empty()) {
+      const auto it = cells.find({d.maker, d.vehicle_id, bucket->index()});
+      if (it != cells.end()) {
+        ++it->second.disengagements;
+        attributed = true;
+      }
+    }
+    if (!attributed) {
+      ++unattributed[{d.maker, bucket ? bucket->index() : -1}];
+    }
+  }
+
+  for (const auto& [key, count] : unattributed) {
+    const auto [maker, month_index] = key;
+    bool equal_share = month_index >= 0;
+    std::vector<vehicle_month*> mine;
+    double miles_total = 0;
+    for (auto& [cell_key, cell] : cells) {
+      if (cell.maker != maker) continue;
+      if (month_index >= 0 && cell.month.index() != month_index) continue;
+      if (!(cell.miles > 0)) continue;
+      mine.push_back(&cell);
+      miles_total += cell.miles;
+    }
+    if ((mine.empty() || miles_total <= 0) && month_index >= 0) {
+      // No mileage reported for that month: fall back to the whole history,
+      // miles-proportionally.
+      equal_share = false;
+      mine.clear();
+      miles_total = 0;
+      for (auto& [cell_key, cell] : cells) {
+        if (cell.maker != maker) continue;
+        if (!(cell.miles > 0)) continue;
+        mine.push_back(&cell);
+        miles_total += cell.miles;
+      }
+    }
+    if (mine.empty() || miles_total <= 0) continue;
+    std::vector<double> expected(mine.size());
+    std::vector<long long> assigned(mine.size());
+    long long assigned_total = 0;
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      expected[i] = equal_share
+                        ? static_cast<double>(count) / static_cast<double>(mine.size())
+                        : static_cast<double>(count) * mine[i]->miles / miles_total;
+      assigned[i] = static_cast<long long>(expected[i]);
+      assigned_total += assigned[i];
+    }
+    // Distribute the remainder to the cells with the largest fractional
+    // parts. Equal-share splits make every fractional part identical, so
+    // ties are broken by a content hash — otherwise the first vehicles in
+    // id order would absorb every event, month after month.
+    std::vector<std::size_t> order(mine.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    const auto tie_hash = [&](std::size_t i) {
+      return std::hash<std::string>{}(mine[i]->vehicle_id) ^
+             (static_cast<std::size_t>(mine[i]->month.index()) * 0x9E3779B97F4A7C15ULL);
+    };
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double fa = expected[a] - static_cast<double>(assigned[a]);
+      const double fb = expected[b] - static_cast<double>(assigned[b]);
+      if (fa != fb) return fa > fb;
+      return tie_hash(a) < tie_hash(b);
+    });
+    for (std::size_t i = 0; assigned_total < count && i < order.size(); ++i, ++assigned_total) {
+      ++assigned[order[i]];
+    }
+    for (std::size_t i = 0; i < mine.size(); ++i) mine[i]->disengagements += assigned[i];
+  }
+
+  std::vector<vehicle_month> out;
+  out.reserve(cells.size());
+  for (auto& [key, cell] : cells) out.push_back(std::move(cell));
+  return out;
+}
+
+std::vector<failure_database::vehicle_total> database_view::vehicle_totals() const {
+  std::map<std::pair<manufacturer, std::string>, failure_database::vehicle_total> totals;
+  for (const auto& vm : vehicle_months()) {
+    auto& t = totals[{vm.maker, vm.vehicle_id}];
+    t.maker = vm.maker;
+    t.vehicle_id = vm.vehicle_id;
+    t.miles += vm.miles;
+    t.disengagements += vm.disengagements;
+  }
+  std::vector<failure_database::vehicle_total> out;
+  out.reserve(totals.size());
+  for (auto& [key, t] : totals) out.push_back(std::move(t));
+  return out;
+}
+
+std::vector<double> database_view::reaction_times(std::optional<manufacturer> maker) const {
+  std::vector<double> out;
+  for (const auto& d : disengagements()) {
+    if (maker && d.maker != *maker) continue;
+    if (d.reaction_time_s) out.push_back(*d.reaction_time_s);
+  }
+  return out;
+}
+
+}  // namespace avtk::dataset

@@ -1,0 +1,144 @@
+// avtk/dataset/view.h
+//
+// Non-owning, optionally filtered read view over a failure_database — the
+// currency every Stage-IV builder (core/{metrics,tables,figures,context,
+// analysis,exposure}, reliability/events) computes from.
+//
+// A view is a pointer to the database plus, per domain, an optional
+// *selection*: an ascending list of record indices. No selection means the
+// whole domain; a selection restricts iteration to exactly those records,
+// in corpus order. Because selections preserve corpus order, every
+// aggregate computed through a view is byte-identical to the same
+// aggregate computed over a materialized copy of the selected records —
+// the equivalence contract serve's `--query-exec naive|indexed` gate pins.
+//
+// Views are cheap to construct (a pointer and three spans — no record is
+// ever copied) and valid for as long as the underlying database and the
+// selection storage outlive them. serve executes queries against a pinned
+// immutable snapshot, so both lifetimes are the snapshot pin's.
+//
+// `database_view` is implicitly constructible from `failure_database`, so
+// every builder taking a view accepts a plain database at zero cost (an
+// unrestricted view of all three domains).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dataset/database.h"
+
+namespace avtk::dataset {
+
+/// An ascending list of record indices into one domain array.
+using selection = std::vector<std::uint32_t>;
+
+/// Iterable over one domain array, optionally through a selection. The
+/// range does not own the array or the selection; both must outlive it.
+template <typename T>
+class record_range {
+ public:
+  explicit record_range(const std::vector<T>& base)
+      : base_(&base), restricted_(false) {}
+  record_range(const std::vector<T>& base, std::span<const std::uint32_t> sel)
+      : base_(&base), sel_(sel), restricted_(true) {}
+
+  /// Self-contained: carries the array/selection handles by value, so an
+  /// iterator outlives the (often temporary) record_range it came from.
+  class iterator {
+   public:
+    iterator(const record_range& range, std::size_t pos)
+        : base_(range.base_), sel_(range.sel_), restricted_(range.restricted_), pos_(pos) {}
+    const T& operator*() const {
+      return restricted_ ? (*base_)[sel_[pos_]] : (*base_)[pos_];
+    }
+    const T* operator->() const { return &**this; }
+    iterator& operator++() {
+      ++pos_;
+      return *this;
+    }
+    bool operator==(const iterator& other) const { return pos_ == other.pos_; }
+    bool operator!=(const iterator& other) const { return pos_ != other.pos_; }
+
+   private:
+    const std::vector<T>* base_;
+    std::span<const std::uint32_t> sel_;
+    bool restricted_;
+    std::size_t pos_;
+  };
+
+  iterator begin() const { return iterator(*this, 0); }
+  iterator end() const { return iterator(*this, size()); }
+  std::size_t size() const { return restricted_ ? sel_.size() : base_->size(); }
+  bool empty() const { return size() == 0; }
+
+ private:
+  const std::vector<T>* base_;
+  std::span<const std::uint32_t> sel_;
+  bool restricted_;
+};
+
+class database_view {
+ public:
+  /// Unrestricted view of the whole database. Implicit on purpose: every
+  /// builder taking a `const database_view&` keeps accepting a
+  /// `failure_database` argument unchanged.
+  database_view(const failure_database& db)  // NOLINT(google-explicit-constructor)
+      : db_(&db) {}
+
+  /// Filtered view: a selection (ascending indices) per domain, nullopt
+  /// meaning the domain is unrestricted. The selection storage is
+  /// borrowed, not copied — the caller keeps it alive.
+  database_view(const failure_database& db,
+                std::optional<std::span<const std::uint32_t>> disengagements,
+                std::optional<std::span<const std::uint32_t>> mileage,
+                std::optional<std::span<const std::uint32_t>> accidents)
+      : db_(&db), dis_(disengagements), mil_(mileage), acc_(accidents) {}
+
+  const failure_database& base() const { return *db_; }
+  /// True when any domain carries a selection.
+  bool restricted() const { return dis_ || mil_ || acc_; }
+
+  record_range<disengagement_record> disengagements() const {
+    return dis_ ? record_range<disengagement_record>(db_->disengagements(), *dis_)
+                : record_range<disengagement_record>(db_->disengagements());
+  }
+  record_range<mileage_record> mileage() const {
+    return mil_ ? record_range<mileage_record>(db_->mileage(), *mil_)
+                : record_range<mileage_record>(db_->mileage());
+  }
+  record_range<accident_record> accidents() const {
+    return acc_ ? record_range<accident_record>(db_->accidents(), *acc_)
+                : record_range<accident_record>(db_->accidents());
+  }
+
+  // The read surface the Stage-IV builders consume — same names, same
+  // semantics, same iteration order as the failure_database originals
+  // (which delegate the aggregation-heavy ones here).
+  std::vector<const disengagement_record*> query_disengagements(
+      const std::function<bool(const disengagement_record&)>& pred) const;
+  std::vector<const disengagement_record*> disengagements_of(manufacturer maker) const;
+  std::vector<const accident_record*> accidents_of(manufacturer maker) const;
+  std::vector<manufacturer> manufacturers_present() const;
+
+  double total_miles() const;
+  double total_miles(manufacturer maker) const;
+  long long total_disengagements() const;
+  long long total_disengagements(manufacturer maker) const;
+  long long total_accidents() const;
+  long long total_accidents(manufacturer maker) const;
+
+  std::vector<vehicle_month> vehicle_months() const;
+  std::vector<failure_database::vehicle_total> vehicle_totals() const;
+  std::vector<double> reaction_times(std::optional<manufacturer> maker = std::nullopt) const;
+
+ private:
+  const failure_database* db_;
+  std::optional<std::span<const std::uint32_t>> dis_;
+  std::optional<std::span<const std::uint32_t>> mil_;
+  std::optional<std::span<const std::uint32_t>> acc_;
+};
+
+}  // namespace avtk::dataset

@@ -1,0 +1,18 @@
+#include "obs/latency.h"
+
+#include <algorithm>
+
+namespace avtk::obs {
+
+std::int64_t latency_percentile_ns(std::vector<std::int64_t> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(p * static_cast<double>(samples.size() - 1));
+  return samples[rank];
+}
+
+double queries_per_second(std::size_t count, double seconds) {
+  return seconds > 0 ? static_cast<double>(count) / seconds : 0.0;
+}
+
+}  // namespace avtk::obs

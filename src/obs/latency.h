@@ -1,0 +1,22 @@
+// avtk/obs/latency.h
+//
+// Shared latency-summary helpers for the serve/soak benches and the soak
+// harness. One definition of "p99" — nearest-rank over the sorted sample —
+// so every BENCH_*.json and CI gate ratio is computed the same way.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace avtk::obs {
+
+/// Nearest-rank percentile of a latency sample: element at rank
+/// floor(p * (n - 1)) of the sorted sample; 0 for an empty sample. Takes
+/// the samples by value — the sort is destructive.
+std::int64_t latency_percentile_ns(std::vector<std::int64_t> samples, double p);
+
+/// count / seconds; 0 when no time elapsed.
+double queries_per_second(std::size_t count, double seconds);
+
+}  // namespace avtk::obs

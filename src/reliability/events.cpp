@@ -85,7 +85,7 @@ std::size_t maker_processes::vehicle_events() const {
   return n;
 }
 
-std::vector<maker_processes> extract_processes(const dataset::failure_database& db) {
+std::vector<maker_processes> extract_processes(const dataset::database_view& db) {
   // vehicle_months() is keyed (maker, vehicle, month) and already carries
   // the attribution of vehicle-less / month-less events; its map order
   // makes the whole extraction deterministic.
@@ -101,7 +101,7 @@ std::vector<maker_processes> extract_processes(const dataset::failure_database& 
   return out;
 }
 
-std::optional<maker_processes> extract_processes(const dataset::failure_database& db,
+std::optional<maker_processes> extract_processes(const dataset::database_view& db,
                                                  dataset::manufacturer maker) {
   for (auto& p : extract_processes(db)) {
     if (p.maker == maker) return std::move(p);

@@ -22,7 +22,7 @@
 #include <string>
 #include <vector>
 
-#include "dataset/database.h"
+#include "dataset/view.h"
 #include "dataset/manufacturers.h"
 
 namespace avtk::reliability {
@@ -55,10 +55,10 @@ struct maker_processes {
 /// Extracts processes for every manufacturer present in the disengagement
 /// data (enum order, like `manufacturers_present()`); makers with no
 /// positive mileage are skipped — a process needs an exposure clock.
-std::vector<maker_processes> extract_processes(const dataset::failure_database& db);
+std::vector<maker_processes> extract_processes(const dataset::database_view& db);
 
 /// Single-maker extraction; nullopt when the maker has no positive mileage.
-std::optional<maker_processes> extract_processes(const dataset::failure_database& db,
+std::optional<maker_processes> extract_processes(const dataset::database_view& db,
                                                  dataset::manufacturer maker);
 
 }  // namespace avtk::reliability

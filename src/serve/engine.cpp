@@ -11,6 +11,7 @@
 #include "obs/json.h"
 #include "reliability/mcf.h"
 #include "reliability/nhpp.h"
+#include "serve/index.h"
 
 namespace avtk::serve {
 
@@ -25,16 +26,8 @@ json::value opt_num(const std::optional<double>& v) {
   return v ? num(*v) : json::value(nullptr);
 }
 
-// The `year` filter selects by event time where the record carries one,
-// falling back to the DMV release year for undated records.
-int disengagement_year(const dataset::disengagement_record& d) {
-  if (const auto bucket = d.month_bucket()) return bucket->year;
-  return d.report_year;
-}
-
-int accident_year(const dataset::accident_record& a) {
-  return a.event_date ? a.event_date->year : a.report_year;
-}
+// Year semantics (event time, report-year fallback) are shared with the
+// index build: serve/index.h's disengagement_year / accident_year.
 
 bool matches(const dataset::disengagement_record& d, const query& q) {
   if (q.maker && d.maker != *q.maker) return false;
@@ -48,13 +41,20 @@ bool needs_filter(const query& q) {
   return q.maker || q.year || q.tag || q.category;
 }
 
-// Materializes the filtered view the analysis builders run against.
-// Mileage is restricted by maker/year only: a tag or category filter
-// narrows the event set, not the exposure it is normalized by.
+// The naive oracle: materializes the filtered database the analysis
+// builders run against. Mileage and accidents are restricted by maker/year
+// only: a tag or category filter narrows the event set, not the exposure
+// it is normalized by — so under a tag/category-only filter those domains
+// are adopted structurally (a shared_ptr bump each, no element copies).
 dataset::failure_database filter_database(const dataset::failure_database& db, const query& q) {
   dataset::failure_database out;
   for (const auto& d : db.disengagements()) {
     if (matches(d, q)) out.add_disengagement(d);
+  }
+  if (!q.maker && !q.year) {
+    out.share_mileage_from(db);
+    out.share_accidents_from(db);
+    return out;
   }
   for (const auto& m : db.mileage()) {
     if (q.maker && m.maker != *q.maker) continue;
@@ -69,12 +69,12 @@ dataset::failure_database filter_database(const dataset::failure_database& db, c
   return out;
 }
 
-std::vector<manufacturer> makers_for(const dataset::failure_database& db, const query& q) {
+std::vector<manufacturer> makers_for(const dataset::database_view& db, const query& q) {
   if (q.maker) return {*q.maker};
   return db.manufacturers_present();  // enum order: deterministic
 }
 
-json::value metrics_payload(const dataset::failure_database& db,
+json::value metrics_payload(const dataset::database_view& db,
                             const std::vector<manufacturer>& makers) {
   json::array rows;
   for (const auto maker : makers) {
@@ -96,7 +96,7 @@ json::value metrics_payload(const dataset::failure_database& db,
   return json::object{{"makers", json::value(std::move(rows))}};
 }
 
-json::value tags_payload(const dataset::failure_database& db,
+json::value tags_payload(const dataset::database_view& db,
                          const std::vector<manufacturer>& makers) {
   json::array rows;
   for (const auto& row : core::build_tag_fractions(db, makers)) {
@@ -113,7 +113,7 @@ json::value tags_payload(const dataset::failure_database& db,
   return json::object{{"makers", json::value(std::move(rows))}};
 }
 
-json::value categories_payload(const dataset::failure_database& db,
+json::value categories_payload(const dataset::database_view& db,
                                const std::vector<manufacturer>& makers) {
   json::array rows;
   for (const auto& row : core::build_table4(db, makers)) {
@@ -129,7 +129,7 @@ json::value categories_payload(const dataset::failure_database& db,
   return json::object{{"makers", json::value(std::move(rows))}};
 }
 
-json::value modality_payload(const dataset::failure_database& db,
+json::value modality_payload(const dataset::database_view& db,
                              const std::vector<manufacturer>& makers) {
   json::array rows;
   for (const auto& row : core::build_table5(db, makers)) {
@@ -144,7 +144,7 @@ json::value modality_payload(const dataset::failure_database& db,
   return json::object{{"makers", json::value(std::move(rows))}};
 }
 
-json::value trend_payload(const dataset::failure_database& db,
+json::value trend_payload(const dataset::database_view& db,
                           const std::vector<manufacturer>& makers) {
   json::array rows;
   for (const auto maker : makers) {
@@ -167,7 +167,7 @@ json::value trend_payload(const dataset::failure_database& db,
   return json::object{{"makers", json::value(std::move(rows))}};
 }
 
-json::value fit_payload(const dataset::failure_database& db,
+json::value fit_payload(const dataset::database_view& db,
                         const std::vector<manufacturer>& makers, std::size_t min_samples) {
   constexpr double k_outlier_cut_s = 300.0;  // build_fig11's default
   json::array rows;
@@ -197,7 +197,7 @@ json::value fit_payload(const dataset::failure_database& db,
   return json::object{{"makers", json::value(std::move(rows))}};
 }
 
-json::value compare_payload(const dataset::failure_database& db,
+json::value compare_payload(const dataset::database_view& db,
                             const std::vector<manufacturer>& makers) {
   json::array rows;
   std::optional<double> best_dpm;
@@ -237,7 +237,7 @@ json::value compare_payload(const dataset::failure_database& db,
 // entry for no analytical gain.
 constexpr std::size_t k_mcf_payload_points = 200;
 
-json::value mcf_payload(const dataset::failure_database& db, const query& q) {
+json::value mcf_payload(const dataset::database_view& db, const query& q) {
   json::array rows;
   for (const auto& mp : reliability::extract_processes(db)) {
     // Per-VIN processes where the reports expose them; the fleet process is
@@ -290,7 +290,7 @@ json::value nhpp_fit_json(const reliability::nhpp_fit& f, bool power_law) {
   return out;
 }
 
-json::value nhpp_payload(const dataset::failure_database& db, const query& q) {
+json::value nhpp_payload(const dataset::database_view& db, const query& q) {
   json::array rows;
   for (const auto& mp : reliability::extract_processes(db)) {
     // Trend models run on the fleet-level superposed process, so the
@@ -340,29 +340,40 @@ ingest::processor_config make_ingest_config(const engine_config& config) {
   return pcfg;
 }
 
-json::value execute_payload(const dataset::failure_database& db, const query& q) {
-  const dataset::failure_database* view = &db;
-  dataset::failure_database filtered;
-  if (needs_filter(q)) {
-    filtered = filter_database(db, q);
-    view = &filtered;
-  }
-  const auto makers = makers_for(*view, q);
+// Dispatches over an already-restricted view: filters were resolved by the
+// caller (indexed selections or the materialized naive database), so every
+// builder below just runs over whatever `db` exposes.
+json::value execute_payload(const dataset::database_view& db, const query& q) {
+  const auto makers = makers_for(db, q);
   switch (q.kind) {
-    case query_kind::metrics: return metrics_payload(*view, makers);
-    case query_kind::tags: return tags_payload(*view, makers);
-    case query_kind::categories: return categories_payload(*view, makers);
-    case query_kind::modality: return modality_payload(*view, makers);
-    case query_kind::trend: return trend_payload(*view, makers);
-    case query_kind::fit: return fit_payload(*view, makers, q.min_samples);
-    case query_kind::compare: return compare_payload(*view, makers);
-    case query_kind::mcf: return mcf_payload(*view, q);
-    case query_kind::nhpp: return nhpp_payload(*view, q);
+    case query_kind::metrics: return metrics_payload(db, makers);
+    case query_kind::tags: return tags_payload(db, makers);
+    case query_kind::categories: return categories_payload(db, makers);
+    case query_kind::modality: return modality_payload(db, makers);
+    case query_kind::trend: return trend_payload(db, makers);
+    case query_kind::fit: return fit_payload(db, makers, q.min_samples);
+    case query_kind::compare: return compare_payload(db, makers);
+    case query_kind::mcf: return mcf_payload(db, q);
+    case query_kind::nhpp: return nhpp_payload(db, q);
   }
   return json::object{};
 }
 
 }  // namespace
+
+std::string_view query_exec_name(query_exec e) {
+  switch (e) {
+    case query_exec::naive: return "naive";
+    case query_exec::indexed: return "indexed";
+  }
+  return "indexed";
+}
+
+std::optional<query_exec> query_exec_from_string(std::string_view s) {
+  if (s == "naive") return query_exec::naive;
+  if (s == "indexed") return query_exec::indexed;
+  return std::nullopt;
+}
 
 query_engine::query_engine(dataset::failure_database db, engine_config config)
     : store_(std::move(db), config.trace),
@@ -370,6 +381,7 @@ query_engine::query_engine(dataset::failure_database db, engine_config config)
       pool_(config.threads != 0 ? config.threads
                                 : std::max(std::thread::hardware_concurrency(), 1u)),
       trace_(config.trace),
+      exec_(config.exec),
       processor_(make_ingest_config(config)),
       queries_(obs::metrics().get_counter("serve.queries")),
       hits_(obs::metrics().get_counter("serve.cache_hits")),
@@ -408,7 +420,22 @@ query_response query_engine::execute(const query& q) {
 
   misses_.add();
   obs::scoped_span span(trace_, "serve.query." + std::string(query_kind_name(q.kind)));
-  auto payload = std::make_shared<const std::string>(execute_payload(snap->db(), q).dump());
+  json::value result;
+  if (!needs_filter(q)) {
+    result = execute_payload(snap->db(), q);
+  } else if (exec_ == query_exec::indexed) {
+    // Zero-copy path: selections from the snapshot's lazy index feed a
+    // view over the pinned arrays; nothing is materialized. The selection
+    // object owns any intersected index lists, so it must outlive the
+    // view — both live to the end of this block, under the snapshot pin.
+    const auto sel = snap->index(trace_).select(q);
+    const auto view = sel.view(snap->db());
+    result = execute_payload(view, q);
+  } else {
+    const auto filtered = filter_database(snap->db(), q);
+    result = execute_payload(filtered, q);
+  }
+  auto payload = std::make_shared<const std::string>(result.dump());
   span.close();
 
   cache_.put(key, payload);

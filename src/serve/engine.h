@@ -50,6 +50,16 @@
 
 namespace avtk::serve {
 
+/// How filtered queries execute. `indexed` (the default) runs builders
+/// over zero-copy selection views from the snapshot's lazy query_index;
+/// `naive` materializes a filtered failure_database first. Payloads are
+/// byte-identical — the naive path is retained as the oracle the CI
+/// equivalence gate (check_query_index.py) compares against.
+enum class query_exec { naive, indexed };
+
+std::string_view query_exec_name(query_exec e);
+std::optional<query_exec> query_exec_from_string(std::string_view s);
+
 struct engine_config {
   /// Worker threads for submit(); 0 means hardware concurrency.
   unsigned threads = 0;
@@ -65,6 +75,9 @@ struct engine_config {
   /// are overridden at construction: a live append always scans strictly,
   /// and the processor shares the engine's trace.
   ingest::processor_config ingest;
+  /// Filtered-query execution backend (unfiltered queries are identical
+  /// under both).
+  query_exec exec = query_exec::indexed;
 };
 
 /// The outcome of one query. `payload` is the serialized JSON payload —
@@ -148,6 +161,7 @@ class query_engine {
   result_cache cache_;
   thread_pool pool_;
   obs::trace* trace_;
+  query_exec exec_;
   /// Shared document path for ingest_document(); immutable after
   /// construction, so processing runs outside the database lock.
   ingest::document_processor processor_;

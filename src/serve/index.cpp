@@ -1,0 +1,129 @@
+#include "serve/index.h"
+
+#include <algorithm>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace avtk::serve {
+
+namespace {
+
+const dataset::selection& empty_selection() {
+  static const dataset::selection empty;
+  return empty;
+}
+
+template <typename Key>
+const dataset::selection& posting(const std::map<Key, dataset::selection>& postings,
+                                  const Key& key) {
+  const auto it = postings.find(key);
+  return it != postings.end() ? it->second : empty_selection();
+}
+
+// Intersection of ascending posting lists, ascending result. Iterates the
+// smallest list and binary-searches the rest, so a narrow axis (one tag,
+// one maker-year) keeps the cost near its own match count.
+domain_selection intersect(std::vector<const dataset::selection*> lists) {
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  dataset::selection out;
+  out.reserve(lists.front()->size());
+  for (const std::uint32_t idx : *lists.front()) {
+    bool in_all = true;
+    for (std::size_t i = 1; i < lists.size(); ++i) {
+      if (!std::binary_search(lists[i]->begin(), lists[i]->end(), idx)) {
+        in_all = false;
+        break;
+      }
+    }
+    if (in_all) out.push_back(idx);
+  }
+  return domain_selection::own(std::move(out));
+}
+
+// No filter on the domain → whole domain; one applicable posting list →
+// borrow it zero-copy; several → intersect.
+domain_selection combine(std::vector<const dataset::selection*> lists) {
+  if (lists.empty()) return domain_selection();
+  if (lists.size() == 1) return domain_selection::borrow(*lists.front());
+  return intersect(std::move(lists));
+}
+
+template <typename Key>
+std::size_t postings_bytes(const std::map<Key, dataset::selection>& postings) {
+  std::size_t total = 0;
+  for (const auto& [key, sel] : postings) {
+    total += sizeof(key) + sizeof(sel) + sel.capacity() * sizeof(std::uint32_t);
+  }
+  return total;
+}
+
+}  // namespace
+
+query_selection query_index::select(const query& q) const {
+  query_selection out;
+
+  std::vector<const dataset::selection*> dis;
+  if (q.maker) dis.push_back(&posting(dis_by_maker_, *q.maker));
+  if (q.year) dis.push_back(&posting(dis_by_year_, *q.year));
+  if (q.tag) dis.push_back(&posting(dis_by_tag_, *q.tag));
+  if (q.category) dis.push_back(&posting(dis_by_category_, *q.category));
+  out.disengagements = combine(std::move(dis));
+
+  // Mileage and accidents: maker/year only — tag and category narrow the
+  // event set, never the exposure it is normalized by.
+  std::vector<const dataset::selection*> mil;
+  if (q.maker) mil.push_back(&posting(mil_by_maker_, *q.maker));
+  if (q.year) mil.push_back(&posting(mil_by_year_, *q.year));
+  out.mileage = combine(std::move(mil));
+
+  std::vector<const dataset::selection*> acc;
+  if (q.maker) acc.push_back(&posting(acc_by_maker_, *q.maker));
+  if (q.year) acc.push_back(&posting(acc_by_year_, *q.year));
+  out.accidents = combine(std::move(acc));
+
+  return out;
+}
+
+std::unique_ptr<const query_index> build_query_index(const dataset::failure_database& db,
+                                                     obs::trace* trace) {
+  const obs::stopwatch watch;
+  obs::scoped_span span(trace, "serve.index.build");
+
+  auto index = std::make_unique<query_index>();
+  const auto& disengagements = db.disengagements();
+  for (std::uint32_t i = 0; i < disengagements.size(); ++i) {
+    const auto& d = disengagements[i];
+    index->dis_by_maker_[d.maker].push_back(i);
+    index->dis_by_year_[disengagement_year(d)].push_back(i);
+    index->dis_by_tag_[d.tag].push_back(i);
+    index->dis_by_category_[d.category].push_back(i);
+  }
+  const auto& mileage = db.mileage();
+  for (std::uint32_t i = 0; i < mileage.size(); ++i) {
+    const auto& m = mileage[i];
+    index->mil_by_maker_[m.maker].push_back(i);
+    index->mil_by_year_[m.month.year].push_back(i);
+  }
+  const auto& accidents = db.accidents();
+  for (std::uint32_t i = 0; i < accidents.size(); ++i) {
+    const auto& a = accidents[i];
+    index->acc_by_maker_[a.maker].push_back(i);
+    index->acc_by_year_[accident_year(a)].push_back(i);
+  }
+
+  index->bytes_ = postings_bytes(index->dis_by_maker_) + postings_bytes(index->mil_by_maker_) +
+                  postings_bytes(index->acc_by_maker_) + postings_bytes(index->dis_by_year_) +
+                  postings_bytes(index->mil_by_year_) + postings_bytes(index->acc_by_year_) +
+                  postings_bytes(index->dis_by_tag_) + postings_bytes(index->dis_by_category_);
+
+  obs::metrics().get_counter("serve.index.builds").add();
+  obs::metrics().get_counter("serve.index.build_ns").add(
+      static_cast<std::uint64_t>(watch.elapsed_ns()));
+  obs::metrics().get_counter("serve.index.bytes").add(index->bytes_);
+  span.close();
+  return index;
+}
+
+}  // namespace avtk::serve

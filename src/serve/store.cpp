@@ -3,8 +3,26 @@
 #include <utility>
 
 #include "obs/clock.h"
+#include "serve/index.h"
 
 namespace avtk::serve {
+
+store_snapshot::store_snapshot(dataset::failure_database db, std::uint64_t epoch)
+    : db_(std::move(db)), epoch_(epoch) {}
+
+store_snapshot::~store_snapshot() = default;
+
+const query_index& store_snapshot::index(obs::trace* trace) const {
+  // Fast path: one acquire load once some caller has built and published.
+  if (const query_index* built = index_ptr_.load(std::memory_order_acquire)) {
+    return *built;
+  }
+  std::call_once(index_once_, [&] {
+    index_ = build_query_index(db_, trace);
+    index_ptr_.store(index_.get(), std::memory_order_release);
+  });
+  return *index_ptr_.load(std::memory_order_acquire);
+}
 
 snapshot_store::snapshot_store(dataset::failure_database db, obs::trace* trace)
     : published_(std::make_shared<const store_snapshot>(std::move(db), 0)),

@@ -41,22 +41,44 @@
 
 namespace avtk::serve {
 
+class query_index;
+
 /// One immutable published state of the store. Everything a query needs —
 /// the records, the per-domain version vector it must report, the commit
 /// epoch — is frozen together, so a reader holding the pointer observes
 /// exactly one consistent state.
 class store_snapshot {
  public:
-  store_snapshot(dataset::failure_database db, std::uint64_t epoch)
-      : db_(std::move(db)), epoch_(epoch) {}
+  // Both out of line: query_index is incomplete here, and the members'
+  // cleanup paths need its definition.
+  store_snapshot(dataset::failure_database db, std::uint64_t epoch);
+  ~store_snapshot();
+
+  store_snapshot(const store_snapshot&) = delete;
+  store_snapshot& operator=(const store_snapshot&) = delete;
 
   const dataset::failure_database& db() const { return db_; }
   const dataset::database_version& version() const { return db_.version(); }
   std::uint64_t epoch() const { return epoch_; }
 
+  /// The epoch's query index (serve/index.h), built lazily on first use
+  /// and cached on the snapshot: concurrent callers share one build (the
+  /// fast path after publication is a single acquire load), and the index
+  /// frees with the snapshot — same RCU-by-refcount lifetime as the
+  /// records it indexes. `trace` receives the build span if this call is
+  /// the one that builds.
+  const query_index& index(obs::trace* trace = nullptr) const;
+
  private:
   dataset::failure_database db_;
   std::uint64_t epoch_;
+
+  // Lazy index: call_once builds, the atomic publishes. Mutable because a
+  // snapshot is logically immutable — the index is a cache of a pure
+  // function of the frozen database.
+  mutable std::once_flag index_once_;
+  mutable std::unique_ptr<const query_index> index_;
+  mutable std::atomic<const query_index*> index_ptr_{nullptr};
 };
 
 using snapshot_ptr = std::shared_ptr<const store_snapshot>;

@@ -15,6 +15,7 @@
 
 #include "obs/clock.h"
 #include "obs/export.h"
+#include "obs/latency.h"
 #include "obs/metrics.h"
 #include "serve/engine.h"
 #include "util/rng.h"
@@ -77,13 +78,6 @@ class paced_request_buf : public std::streambuf {
   obs::stopwatch burst_;
 };
 
-std::int64_t percentile(std::vector<std::int64_t> v, double p) {
-  if (v.empty()) return 0;
-  std::sort(v.begin(), v.end());
-  const auto rank = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
-  return v[rank];
-}
-
 std::uint64_t fnv1a(std::string_view s) {
   std::uint64_t h = 1469598103934665603ull;
   for (const unsigned char c : s) {
@@ -121,6 +115,7 @@ soak_pass_stats run_pass(bool ingest_on, const soak_workload& workload,
   serve::engine_config cfg;
   cfg.threads = options.engine_threads;
   cfg.cache_capacity = options.cache_capacity;
+  cfg.exec = options.exec;
   serve::query_engine engine(workload.fleet.database, cfg);
 
   const auto metrics_before = obs::metrics().snapshot();
@@ -210,9 +205,9 @@ soak_pass_stats run_pass(bool ingest_on, const soak_workload& workload,
     }
   }
   pass.queries = latencies.size();
-  pass.qps = pass.seconds > 0 ? static_cast<double>(pass.queries) / pass.seconds : 0.0;
-  pass.p50_ns = percentile(latencies, 0.50);
-  pass.p99_ns = percentile(latencies, 0.99);
+  pass.qps = obs::queries_per_second(pass.queries, pass.seconds);
+  pass.p50_ns = obs::latency_percentile_ns(latencies, 0.50);
+  pass.p99_ns = obs::latency_percentile_ns(std::move(latencies), 0.99);
 
   const auto metrics_after = obs::metrics().snapshot();
   pass.cache_hits = metrics_after.counter_delta(metrics_before, "serve.cache_hits");

@@ -65,6 +65,8 @@ struct soak_options {
   std::uint64_t query_seed = 7;
   /// Pipelining window for the ingest session's serve loop (0 = default).
   std::size_t max_in_flight = 0;
+  /// Filtered-query backend for both passes' engines (serve/engine.h).
+  serve::query_exec exec = serve::query_exec::indexed;
 };
 
 /// One pass's measurements.

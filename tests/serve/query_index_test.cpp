@@ -1,0 +1,199 @@
+// The snapshot-pinned query index vs the naive filter-and-copy oracle:
+// byte-identical payloads for every filter edge case, exactly one lazy
+// index build per epoch under concurrent first queries, and a rebuild on
+// the post-ingest epoch.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/engine.h"
+#include "serve/index.h"
+#include "serve_test_util.h"
+
+namespace avtk::serve {
+namespace {
+
+using dataset::manufacturer;
+
+query_engine make(query_exec exec, unsigned threads = 1) {
+  engine_config cfg;
+  cfg.threads = threads;
+  cfg.exec = exec;
+  return query_engine(testing::make_test_database(), cfg);
+}
+
+// Execute `q` on fresh engines of both backends and require byte-identical
+// payloads (fresh engines: no cache crosstalk between backends or cases).
+void expect_backends_agree(const query& q) {
+  auto naive = make(query_exec::naive);
+  auto indexed = make(query_exec::indexed);
+  const auto n = naive.execute(q);
+  const auto i = indexed.execute(q);
+  ASSERT_NE(n.payload, nullptr) << q.canonical();
+  ASSERT_NE(i.payload, nullptr) << q.canonical();
+  EXPECT_EQ(*n.payload, *i.payload) << q.canonical();
+}
+
+const std::vector<query_kind> k_filterable_kinds = {
+    query_kind::metrics, query_kind::tags,  query_kind::categories, query_kind::modality,
+    query_kind::trend,   query_kind::fit,   query_kind::compare,
+};
+
+TEST(QueryIndex, BackendsAgreeOnMakerAndYearSlices) {
+  for (const auto kind : k_filterable_kinds) {
+    query q;
+    q.kind = kind;
+    q.min_samples = 5;
+    q.maker = manufacturer::waymo;
+    expect_backends_agree(q);
+    q.year = 2016;
+    expect_backends_agree(q);
+    q.maker = std::nullopt;
+    expect_backends_agree(q);
+  }
+}
+
+TEST(QueryIndex, BackendsAgreeOnYearFilterOverUndatedRecords) {
+  // A disengagement with no event month falls back to its report year; an
+  // accident with no event date does the same. Both backends must bucket
+  // such records identically.
+  auto db = testing::make_test_database();
+  auto undated = testing::make_disengagement(manufacturer::waymo, 2016, 1,
+                                             nlp::fault_tag::sensor);
+  undated.event_month = std::nullopt;
+  undated.report_year = 2016;
+  db.add_disengagement(undated);
+  auto undated_accident = testing::make_accident(manufacturer::delphi, 2016, 2, 4.0, 9.0);
+  undated_accident.event_date = std::nullopt;
+  undated_accident.report_year = 2016;
+  db.add_accident(undated_accident);
+
+  for (const auto exec_year : {2016, 2017}) {
+    query q;
+    q.kind = query_kind::metrics;
+    q.year = exec_year;
+    engine_config naive_cfg, indexed_cfg;
+    naive_cfg.exec = query_exec::naive;
+    indexed_cfg.exec = query_exec::indexed;
+    query_engine naive(db, naive_cfg);
+    query_engine indexed(db, indexed_cfg);
+    const auto n = naive.execute(q);
+    const auto i = indexed.execute(q);
+    EXPECT_EQ(*n.payload, *i.payload) << q.canonical();
+  }
+}
+
+TEST(QueryIndex, BackendsAgreeOnCombinedTagAndCategory) {
+  query q;
+  q.kind = query_kind::tags;
+  q.tag = nlp::fault_tag::planner;
+  q.category = nlp::category_of(nlp::fault_tag::planner);
+  expect_backends_agree(q);
+  // Contradictory combination: tag present, category that tag is not in.
+  q.category = nlp::failure_category::system;
+  expect_backends_agree(q);
+}
+
+TEST(QueryIndex, BackendsAgreeOnZeroMatchFilters) {
+  query q;
+  q.kind = query_kind::metrics;
+  q.year = 1999;  // no records anywhere near
+  expect_backends_agree(q);
+
+  query q2;
+  q2.kind = query_kind::tags;
+  q2.tag = nlp::fault_tag::network;  // tag absent from the test database
+  expect_backends_agree(q2);
+}
+
+TEST(QueryIndex, BackendsAgreeOnAbsentMaker) {
+  // bmw has zero records in the test database: the index has no posting
+  // list for it, the naive filter copies nothing.
+  for (const auto kind : k_filterable_kinds) {
+    query q;
+    q.kind = kind;
+    q.min_samples = 5;
+    q.maker = manufacturer::bmw;
+    expect_backends_agree(q);
+  }
+}
+
+TEST(QueryIndex, ConcurrentFirstQueriesShareOneBuild) {
+  auto& builds = obs::metrics().get_counter("serve.index.builds");
+  const auto before = builds.value();
+
+  auto engine = make(query_exec::indexed, 4);
+  constexpr int k_threads = 8;
+  std::vector<std::future<std::string>> results;
+  results.reserve(k_threads);
+  for (int t = 0; t < k_threads; ++t) {
+    results.push_back(std::async(std::launch::async, [&engine, t] {
+      query q;
+      q.kind = query_kind::tags;
+      q.maker = t % 2 == 0 ? manufacturer::waymo : manufacturer::delphi;
+      return *engine.execute(q).payload;
+    }));
+  }
+  for (auto& r : results) EXPECT_FALSE(r.get().empty());
+  // Every thread raced the same lazy once-per-epoch build; exactly one won.
+  EXPECT_EQ(builds.value(), before + 1);
+}
+
+TEST(QueryIndex, PostIngestEpochRebuildsIndex) {
+  auto& builds = obs::metrics().get_counter("serve.index.builds");
+  auto engine = make(query_exec::indexed);
+
+  query q;
+  q.kind = query_kind::tags;
+  q.maker = manufacturer::waymo;
+  const auto first = engine.execute(q);
+  const auto base = builds.value();
+
+  engine.append_disengagement(testing::make_disengagement(
+      manufacturer::waymo, 2016, 3, nlp::fault_tag::recognition_system));
+  const auto after = engine.execute(q);
+  EXPECT_FALSE(after.cache_hit);  // the append invalidated the cached slice
+  EXPECT_EQ(builds.value(), base + 1);  // fresh epoch, fresh index
+  EXPECT_NE(*first.payload, *after.payload);
+
+  // Repeating the query hits the cache: no further builds.
+  const auto warm = engine.execute(q);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(builds.value(), base + 1);
+}
+
+TEST(QueryIndex, SelectMatchesNaiveOracleRecordSets) {
+  // Structural check below the payload layer: the index's selections,
+  // applied as a view, see exactly the records the naive oracle copies.
+  const auto db = testing::make_test_database();
+  const auto idx = build_query_index(db, nullptr);
+
+  query q;
+  q.kind = query_kind::metrics;
+  q.maker = manufacturer::delphi;
+  q.year = 2016;
+  const auto sel = idx->select(q);
+  const auto view = sel.view(db);
+  EXPECT_TRUE(view.restricted());
+  for (const auto& d : view.disengagements()) {
+    EXPECT_EQ(d.maker, manufacturer::delphi);
+    EXPECT_EQ(disengagement_year(d), 2016);
+  }
+  for (const auto& m : view.mileage()) {
+    EXPECT_EQ(m.maker, manufacturer::delphi);
+    EXPECT_EQ(m.month.year, 2016);
+  }
+  for (const auto& a : view.accidents()) {
+    EXPECT_EQ(a.maker, manufacturer::delphi);
+    EXPECT_EQ(accident_year(a), 2016);
+  }
+  EXPECT_GT(view.total_disengagements(), 0);
+  EXPECT_GT(idx->bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace avtk::serve

@@ -112,8 +112,12 @@ int usage() {
       "  avtk serve [--seed N] [--quality Q] [--threads N] [--cache-capacity N]\n"
       "             [--input PATH] [--metrics-json PATH]\n"
       "             [--on-error fail_fast|skip|quarantine]\n"
+      "             [--query-exec naive|indexed]\n"
       "      Answer line-delimited JSON analytics queries (--input file or stdin)\n"
-      "      from a worker pool with a sharded, memoized result cache. A\n"
+      "      from a worker pool with a sharded, memoized result cache.\n"
+      "      --query-exec picks the filtered-query backend (default indexed:\n"
+      "      snapshot-pinned posting lists, zero-copy views; naive materializes\n"
+      "      a filtered database copy — both produce identical payloads). A\n"
       "      request whose top-level member is \"ingest\" (raw report text, or\n"
       "      {\"text\":..., \"title\":..., \"pristine\":...}) is scanned, labeled\n"
       "      and appended live; refused documents answer with a structured\n"
@@ -123,6 +127,7 @@ int usage() {
       "            [--chaos-fraction F] [--chaos-seed N]\n"
       "            [--query-threads N] [--queries N] [--duty-cycle F]\n"
       "            [--threads N] [--cache-capacity N] [--json PATH]\n"
+      "            [--query-exec naive|indexed]\n"
       "      End-to-end soak: simulate a fleet, render its filings month by\n"
       "      month, corrupt a seeded fraction (the chaos leg), and stream\n"
       "      them into a live serve loop at the given ingest duty cycle while\n"
@@ -132,7 +137,7 @@ int usage() {
       "      (epoch-per-accepted-doc, byte-stable warm payloads). Writes the\n"
       "      avtk.bench.v1 record to --json or $AVTK_BENCH_JSON_DIR. Exit 1\n"
       "      when any invariant is violated.\n"
-      "  avtk query JSON [--seed N] [--quality Q]\n"
+      "  avtk query JSON [--seed N] [--quality Q] [--query-exec naive|indexed]\n"
       "      One-shot analytics query, e.g. '{\"query\": \"metrics\"}', or a\n"
       "      one-shot ingest, e.g. '{\"ingest\": {\"text\": \"...\"}}'. Kinds:\n"
       "      metrics tags categories modality trend fit compare mcf nhpp;\n"
@@ -207,6 +212,19 @@ bool flag_fraction(arg_list& args, const char* flag, const char* cmd, double* ou
   const auto parsed = cli::parse_fraction(*value);
   if (!parsed) {
     std::fprintf(stderr, "%s: %s expects a number in [0, 1], got '%s'\n", cmd, flag,
+                 value->c_str());
+    return false;
+  }
+  *out = *parsed;
+  return true;
+}
+
+bool flag_query_exec(arg_list& args, const char* cmd, serve::query_exec* out) {
+  const auto value = args.maybe_value_of("--query-exec");
+  if (!value) return true;
+  const auto parsed = serve::query_exec_from_string(*value);
+  if (!parsed) {
+    std::fprintf(stderr, "%s: unknown --query-exec backend '%s' (naive, indexed)\n", cmd,
                  value->c_str());
     return false;
   }
@@ -595,7 +613,8 @@ int cmd_soak(arg_list args) {
       !flag_positive_int(args, "--queries", "soak", &opts.queries_per_thread) ||
       !flag_fraction(args, "--duty-cycle", "soak", &opts.duty_cycle) ||
       !flag_uint(args, "--threads", "soak", &opts.engine_threads) ||
-      !flag_positive_size(args, "--cache-capacity", "soak", &opts.cache_capacity)) {
+      !flag_positive_size(args, "--cache-capacity", "soak", &opts.cache_capacity) ||
+      !flag_query_exec(args, "soak", &opts.exec)) {
     return 2;
   }
   if (query_threads < 1 || !(opts.duty_cycle > 0.0)) {
@@ -657,7 +676,8 @@ serve::query_engine make_engine(const dataset::generator_config& gen_cfg,
 int cmd_serve(arg_list args) {
   serve::engine_config cfg;
   if (!flag_uint(args, "--threads", "serve", &cfg.threads) ||
-      !flag_positive_size(args, "--cache-capacity", "serve", &cfg.cache_capacity)) {
+      !flag_positive_size(args, "--cache-capacity", "serve", &cfg.cache_capacity) ||
+      !flag_query_exec(args, "serve", &cfg.exec)) {
     return 2;
   }
   const auto metrics_path = args.value_of("--metrics-json");
@@ -720,6 +740,7 @@ int cmd_serve(arg_list args) {
 int cmd_query(arg_list args) {
   serve::engine_config cfg;
   cfg.threads = 1;  // one-shot: no pool needed
+  if (!flag_query_exec(args, "query", &cfg.exec)) return 2;
   const auto gen_cfg = make_generator_config(args, "query");
   if (!gen_cfg) return 2;
   auto engine = make_engine(*gen_cfg, cfg);
