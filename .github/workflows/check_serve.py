@@ -246,6 +246,24 @@ def main(
     if not 1 <= cache_size <= len(by_query):
         print(f"FAIL: serve.cache_size={cache_size}, expected 1..{len(by_query)}")
         return 1
+    # Sharded layouts publish per-shard epoch gauges; their sum must equal
+    # the composite serve.snapshot.epoch gauge (single-shard runs publish
+    # serve.shard.0.epoch, so this always has at least one term).
+    gauges = metrics.get("gauges", {})
+    shard_epochs = {
+        name: value
+        for name, value in gauges.items()
+        if name.startswith("serve.shard.") and name.endswith(".epoch")
+    }
+    if shard_epochs:
+        total = sum(shard_epochs.values())
+        snapshot_epoch = gauges.get("serve.snapshot.epoch", 0)
+        if total != snapshot_epoch:
+            print(
+                f"FAIL: serve.shard.*.epoch gauges sum to {total}, but "
+                f"serve.snapshot.epoch={snapshot_epoch}"
+            )
+            return 1
 
     print(
         f"{len(lines)} responses OK ({len(by_query)} distinct queries, {hits} cache hits, "

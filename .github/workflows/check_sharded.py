@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""CI gate for the sharded snapshot-store layout.
+
+Usage: check_sharded.py SINGLE_RESPONSES SHARDED_RESPONSES BENCH_JSON \
+           MIN_COMMIT_SPEEDUP [MAX_P99_RATIO]
+
+Two serve processes answered the same scripted smoke batch (queries,
+cache-warming repeats, malformed requests, and the raw-document ingestion
+tail whose version bumps force post-ingest recomputation), one with
+`--shards 1` (the single-store oracle), one with `--shards 4`. The gate
+demands:
+
+  * the two response streams are byte-identical, line for line — the
+    sharded layout is a pure reorganization: same payloads, same version
+    vectors, same error envelopes, including after the ingests that land
+    on different shards,
+  * the streams are non-trivial: filtered (maker-routed) queries, ingest
+    envelopes and post-ingest repeats are all present,
+  * from BENCH_serve_mixed.json's `serve_mixed.sharded` record: per-maker
+    writers commit at least MIN_COMMIT_SPEEDUP x faster against the
+    sharded store than against the single writer mutex, a warm cache
+    entry for one maker survived another maker's ingest (and was
+    correctly evicted by the single-store layout), the sharded mixed
+    pass kept query p99 within MAX_P99_RATIO (default 1.5x) of its
+    ingest-off baseline, and every snapshot-isolation invariant held in
+    both sharded passes.
+"""
+import json
+import sys
+
+INVARIANTS = ["monotone_versions", "consistent_version_vectors", "monotone_epochs_per_thread"]
+
+
+def main(
+    single_path: str,
+    sharded_path: str,
+    bench_path: str,
+    min_commit_speedup: float,
+    max_ratio: float = 1.5,
+) -> int:
+    with open(single_path) as f:
+        single = [line for line in f.read().splitlines() if line.strip()]
+    with open(sharded_path) as f:
+        sharded = [line for line in f.read().splitlines() if line.strip()]
+
+    if len(single) != len(sharded):
+        print(f"FAIL: {len(single)} single-store responses vs {len(sharded)} sharded")
+        return 1
+    if not single:
+        print("FAIL: empty response streams")
+        return 1
+    for i, (a, b) in enumerate(zip(single, sharded)):
+        if a != b:
+            print(f"FAIL: line {i}: layouts disagree\n  single:  {a}\n  sharded: {b}")
+            return 1
+
+    maker_routed = ingests = post_ingest_queries = 0
+    for line in single:
+        response = json.loads(line)
+        if "ingest" in response or (response.get("ok") is False and "version" in response):
+            ingests += 1
+        elif response.get("ok") is True:
+            if ingests:
+                post_ingest_queries += 1
+            if "maker=" in response.get("query", ""):
+                maker_routed += 1
+    if maker_routed < 1:
+        print("FAIL: the batch exercised no maker-filtered query (routing unproven)")
+        return 1
+    if ingests < 1 or post_ingest_queries < 1:
+        print(
+            "FAIL: the batch exercised no post-ingest query "
+            "(cross-layout equivalence across epochs unproven)"
+        )
+        return 1
+
+    with open(bench_path) as f:
+        record = json.load(f)
+    sharded_bench = record.get("serve_mixed", {}).get("sharded")
+    if not isinstance(sharded_bench, dict):
+        print("FAIL: BENCH_serve_mixed.json carries no serve_mixed.sharded record")
+        return 1
+
+    speedup = sharded_bench.get("commit_speedup", 0)
+    print(
+        f"ingest commit throughput: "
+        f"{sharded_bench['commit_throughput_single']:.0f}/s single, "
+        f"{sharded_bench['commit_throughput_sharded']:.0f}/s sharded "
+        f"({speedup:.2f}x, {sharded_bench['writer_threads']} per-maker writers, "
+        f"{sharded_bench['shards']} shards)"
+    )
+    if speedup < min_commit_speedup:
+        print(f"FAIL: sharded commit speedup {speedup:.2f}x < required {min_commit_speedup}x")
+        return 1
+    if sharded_bench.get("cache_survived_sharded") is not True:
+        print("FAIL: a maker-B cache entry did not survive a maker-A ingest under sharding")
+        return 1
+    if sharded_bench.get("cache_survived_single") is not False:
+        print(
+            "FAIL: the single-store layout kept a cache entry across an ingest "
+            "(the survival probe is not probing invalidation)"
+        )
+        return 1
+
+    ratio = sharded_bench.get("p99_on_over_off")
+    if not isinstance(ratio, (int, float)) or ratio <= 0:
+        print(f"FAIL: bad sharded p99_on_over_off {ratio!r}")
+        return 1
+    if ratio > max_ratio:
+        print(
+            f"FAIL: sharded ingest-on query p99 degraded {ratio:.3f}x "
+            f"(limit {max_ratio}x)"
+        )
+        return 1
+    for name in ("invariants_off", "invariants_on"):
+        inv = sharded_bench.get(name)
+        if not isinstance(inv, dict):
+            print(f"FAIL: sharded record carries no {name}")
+            return 1
+        broken = [k for k in INVARIANTS if inv.get(k) is not True]
+        if broken:
+            print(f"FAIL: snapshot-isolation invariants violated in sharded {name}: {broken}")
+            return 1
+
+    print(
+        f"{len(single)} responses byte-identical across layouts "
+        f"({maker_routed} maker-routed queries, {ingests} ingest envelopes, "
+        f"{post_ingest_queries} post-ingest queries); "
+        f"sharded p99 ratio {ratio:.3f}x (limit {max_ratio}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(
+        main(
+            sys.argv[1],
+            sys.argv[2],
+            sys.argv[3],
+            float(sys.argv[4]),
+            float(sys.argv[5]) if len(sys.argv) > 5 else 1.5,
+        )
+    )

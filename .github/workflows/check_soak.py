@@ -52,6 +52,9 @@ INVARIANTS = [
     "payloads_stable",
     "ingest_stream_ordered",
     "loop_completed",
+    # Sharded layouts only (trivially true at shards == 1): every accepted
+    # document advanced exactly the home shard's epoch and no other.
+    "epochs_confined_to_shard",
 ]
 
 
@@ -68,6 +71,10 @@ def main(bench_path: str, max_ratio: float = 1.5) -> int:
     soak = record.get("soak")
     if not isinstance(soak, dict):
         print("FAIL: record carries no soak section")
+        return 1
+    shards = soak.get("shards")
+    if not isinstance(shards, int) or shards < 1:
+        print(f"FAIL: bad soak shards member {shards!r}")
         return 1
 
     passes = {}
@@ -171,7 +178,8 @@ def main(bench_path: str, max_ratio: float = 1.5) -> int:
         return 1
 
     print(
-        f"soak OK: {chaos['documents']} documents ({chaos['corrupted']} faults contained "
+        f"soak OK ({shards} shard{'s' if shards != 1 else ''}): "
+        f"{chaos['documents']} documents ({chaos['corrupted']} faults contained "
         f"with manifest codes), {on['ingest_accepted']} accepted as "
         f"{on['epochs_advanced']} epochs; qps {off['qps']:.0f} -> {on['qps']:.0f}, "
         f"p99 {off['p99_ns']} ns -> {on['p99_ns']} ns ({ratio:.3f}x, limit {max_ratio}x); "

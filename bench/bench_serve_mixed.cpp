@@ -14,6 +14,9 @@
 // Knobs (env): AVTK_MIXED_QUERIES   min queries per thread per pass (default 250)
 //              AVTK_MIXED_PACE_MS   pacing floor between documents (default 20)
 //              AVTK_MIXED_INGESTS   documents per ingest-on pass (default 3)
+//              AVTK_MIXED_SHARDS    shards for the sharded leg (default 4)
+//              AVTK_MIXED_COMMITS   appends per writer thread, commit-throughput
+//                                   measurement (default 200)
 // The pacing matters on small CI runners: the stream models a steady
 // trickle of filings, not a saturating load — so the gap after each
 // document is scaled to ~150x its measured processing time (floored at
@@ -30,6 +33,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <iterator>
 #include <map>
 #include <thread>
 #include <vector>
@@ -125,12 +129,13 @@ std::vector<std::size_t> pick_stream_documents(std::size_t want) {
 // would hide the store behavior being measured.
 mixed_pass run_mixed_pass(bool ingest_on, const std::vector<query>& workload,
                           const std::vector<std::size_t>& stream, int query_threads,
-                          int queries_per_thread, int pace_ms) {
+                          int queries_per_thread, int pace_ms, std::size_t shards) {
   const auto& s = avtk::bench::state();
   engine_config cfg;
   cfg.threads = 1;
   cfg.cache_capacity = 1;
   cfg.cache_shards = 1;
+  cfg.shards = shards;
   query_engine engine(s.db(), cfg);
   const auto epoch_before = engine.epoch();
 
@@ -149,9 +154,9 @@ mixed_pass run_mixed_pass(bool ingest_on, const std::vector<query>& workload,
         if (r.accepted()) accepted.fetch_add(1, std::memory_order_relaxed);
         // ~150x the burst keeps the stream's duty cycle under ~1% whatever
         // this machine's document-processing speed is (see header comment).
-        const auto gap_ms = std::clamp<std::int64_t>(
-            static_cast<std::int64_t>(burst.elapsed_seconds() * 1000.0 * 150.0),
-            pace_ms, 20000);
+        const auto gap_ms = avtk::bench::paced_gap_ms(
+            burst.elapsed_seconds() * 1000.0, avtk::bench::k_ingest_pace_multiplier, pace_ms,
+            avtk::bench::k_mixed_pace_cap_ms);
         std::this_thread::sleep_for(std::chrono::milliseconds(gap_ms));
       }
       stream_done.store(true, std::memory_order_relaxed);
@@ -217,6 +222,89 @@ invariant_check check_invariants(const mixed_pass& pass) {
   return out;
 }
 
+// --- sharded-store leg ---
+//
+// Three measurements against engine_config::shards = K vs the single-store
+// layout:
+//
+//   commit throughput   T writer threads, each appending records for a
+//                       maker living on its own shard. K = 1 serializes
+//                       every commit on one writer mutex and clones the
+//                       whole domain array per COW commit; K = T gives
+//                       each thread its own mutex and a ~1/K array, so the
+//                       gate expects a >= 2x speedup.
+//   cache survival      warm a maker-B entry, ingest a maker-A record:
+//                       sharded keys depend only on the maker's shard, so
+//                       the entry must survive under K > 1 (and is
+//                       correctly evicted under K = 1, whose key depends
+//                       on the global domain version).
+//   p99 under ingest    the same mixed passes as the single-store leg,
+//                       with the same snapshot-isolation invariants (one
+//                       paced writer -> composite pins can never tear).
+
+// Makers with distinct enum residues mod 4: each writer thread gets its
+// own shard under K = 4 (and they all share the one store under K = 1).
+constexpr avtk::dataset::manufacturer k_writer_makers[] = {
+    avtk::dataset::manufacturer::mercedes_benz,
+    avtk::dataset::manufacturer::bosch,
+    avtk::dataset::manufacturer::delphi,
+    avtk::dataset::manufacturer::gm_cruise,
+};
+
+double measure_commit_throughput(std::size_t shards, int writer_threads,
+                                 int appends_per_thread) {
+  const auto& s = avtk::bench::state();
+  engine_config cfg;
+  cfg.threads = 1;
+  cfg.cache_capacity = 1;
+  cfg.cache_shards = 1;
+  cfg.shards = shards;
+  query_engine engine(s.db(), cfg);
+
+  std::vector<std::thread> writers;
+  const avtk::obs::stopwatch watch;
+  for (int t = 0; t < writer_threads; ++t) {
+    writers.emplace_back([&, t] {
+      avtk::dataset::mileage_record rec;
+      rec.maker = k_writer_makers[static_cast<std::size_t>(t) % std::size(k_writer_makers)];
+      rec.report_year = 2017;
+      rec.vehicle_id = "bench-shard";
+      rec.month = avtk::year_month{2017, 1};
+      rec.miles = 1.0;
+      for (int i = 0; i < appends_per_thread; ++i) engine.append_mileage(rec);
+    });
+  }
+  for (auto& w : writers) w.join();
+  const double seconds = watch.elapsed_seconds();
+  return seconds > 0
+             ? static_cast<double>(writer_threads) * appends_per_thread / seconds
+             : 0.0;
+}
+
+// Warm a maker-B `tags` entry (depends on disengagements only), append a
+// maker-A disengagement, re-issue: returns whether the warm entry was
+// still served from cache.
+bool warm_cache_survives_other_shard_ingest(std::size_t shards) {
+  const auto& s = avtk::bench::state();
+  engine_config cfg;
+  cfg.threads = 1;
+  cfg.shards = shards;
+  query_engine engine(s.db(), cfg);
+
+  query warm;
+  warm.kind = query_kind::tags;
+  warm.maker = avtk::dataset::manufacturer::bosch;  // shard 1 under K = 4
+  engine.execute(warm);
+
+  avtk::dataset::disengagement_record rec;
+  rec.maker = avtk::dataset::manufacturer::mercedes_benz;  // shard 0 under K = 4
+  rec.report_year = 2017;
+  rec.description = "bench cross-shard invalidation probe";
+  engine.append_disengagement(rec);
+
+  return engine.execute(warm).cache_hit;
+}
+
 std::vector<std::int64_t> flatten(const mixed_pass& pass) {
   std::vector<std::int64_t> out;
   for (const auto& thread_samples : pass.samples) {
@@ -273,15 +361,17 @@ int main(int argc, char** argv) {
   const int queries_per_thread = env_int("AVTK_MIXED_QUERIES", 250);
   const int pace_ms = env_int("AVTK_MIXED_PACE_MS", 20);
   const auto ingest_count = static_cast<std::size_t>(env_int("AVTK_MIXED_INGESTS", 3));
+  const auto shard_count = static_cast<std::size_t>(env_int("AVTK_MIXED_SHARDS", 4));
+  const int commit_appends = env_int("AVTK_MIXED_COMMITS", 200);
   const auto workload = build_workload();
   const auto stream = pick_stream_documents(ingest_count);
 
   std::cout << "==== serve mixed workload (ingest stream on vs off) ====\n";
 
-  const auto off =
-      run_mixed_pass(false, workload, stream, query_threads, queries_per_thread, pace_ms);
-  const auto on =
-      run_mixed_pass(true, workload, stream, query_threads, queries_per_thread, pace_ms);
+  const auto off = run_mixed_pass(false, workload, stream, query_threads, queries_per_thread,
+                                  pace_ms, 1);
+  const auto on = run_mixed_pass(true, workload, stream, query_threads, queries_per_thread,
+                                 pace_ms, 1);
 
   const auto off_lat = flatten(off);
   const auto on_lat = flatten(on);
@@ -301,6 +391,39 @@ int main(int argc, char** argv) {
             << " documents ingested, " << on.epochs_advanced << " epochs)\n"
             << "p99 on/off ratio: " << ratio << "\n"
             << "invariants: " << (inv_off.all() && inv_on.all() ? "ok" : "VIOLATED") << "\n\n";
+
+  // --- sharded leg: parallel commit throughput, cache survival, tail ---
+  std::cout << "==== sharded store (" << shard_count << " shards vs single) ====\n";
+  const int writer_threads = 4;
+  const double commits_single = measure_commit_throughput(1, writer_threads, commit_appends);
+  const double commits_sharded =
+      measure_commit_throughput(shard_count, writer_threads, commit_appends);
+  const double commit_speedup = commits_single > 0 ? commits_sharded / commits_single : 0.0;
+  const bool survival_sharded = warm_cache_survives_other_shard_ingest(shard_count);
+  const bool survival_single = warm_cache_survives_other_shard_ingest(1);
+
+  const auto sharded_off = run_mixed_pass(false, workload, stream, query_threads,
+                                          queries_per_thread, pace_ms, shard_count);
+  const auto sharded_on = run_mixed_pass(true, workload, stream, query_threads,
+                                         queries_per_thread, pace_ms, shard_count);
+  const auto sharded_off_p99 = avtk::obs::latency_percentile_ns(flatten(sharded_off), 0.99);
+  const auto sharded_on_p99 = avtk::obs::latency_percentile_ns(flatten(sharded_on), 0.99);
+  const double sharded_ratio =
+      sharded_off_p99 > 0
+          ? static_cast<double>(sharded_on_p99) / static_cast<double>(sharded_off_p99)
+          : 0.0;
+  const auto inv_sharded_off = check_invariants(sharded_off);
+  const auto inv_sharded_on = check_invariants(sharded_on);
+
+  std::cout << "commit throughput: " << commits_single << "/s single, " << commits_sharded
+            << "/s sharded (speedup " << commit_speedup << "x, " << writer_threads
+            << " writers x " << commit_appends << " appends)\n"
+            << "warm cross-shard cache entry: "
+            << (survival_sharded ? "survived" : "EVICTED") << " sharded, "
+            << (survival_single ? "survived" : "evicted") << " single\n"
+            << "sharded p99 on/off ratio: " << sharded_ratio << "\n"
+            << "sharded invariants: "
+            << (inv_sharded_off.all() && inv_sharded_on.all() ? "ok" : "VIOLATED") << "\n\n";
 
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
@@ -327,6 +450,23 @@ int main(int argc, char** argv) {
              {"p99_on_over_off", json::value(ratio)},
              {"invariants_off", inv(inv_off)},
              {"invariants_on", inv(inv_on)},
+             {"sharded",
+              json::value(json::object{
+                  {"shards", json::value(static_cast<std::int64_t>(shard_count))},
+                  {"writer_threads", json::value(static_cast<std::int64_t>(writer_threads))},
+                  {"appends_per_thread",
+                   json::value(static_cast<std::int64_t>(commit_appends))},
+                  {"commit_throughput_single", json::value(commits_single)},
+                  {"commit_throughput_sharded", json::value(commits_sharded)},
+                  {"commit_speedup", json::value(commit_speedup)},
+                  {"cache_survived_sharded", json::value(survival_sharded)},
+                  {"cache_survived_single", json::value(survival_single)},
+                  {"ingest_off", pass_json(sharded_off)},
+                  {"ingest_on", pass_json(sharded_on)},
+                  {"p99_on_over_off", json::value(sharded_ratio)},
+                  {"invariants_off", inv(inv_sharded_off)},
+                  {"invariants_on", inv(inv_sharded_on)},
+              })},
          })},
         {"metrics", avtk::obs::snapshot_to_json_value(avtk::obs::metrics().snapshot())},
     });

@@ -18,6 +18,7 @@
 //              AVTK_SOAK_QUERIES     min queries per thread per pass (default 150)
 //              AVTK_SOAK_THREADS     query client threads (default 2)
 //              AVTK_SOAK_DUTY_PCT    ingest duty cycle, percent (default 5)
+//              AVTK_SOAK_SHARDS      snapshot-store shards (default 1)
 // The duty-cycle pacing mirrors bench_serve_mixed's reasoning: an unpaced
 // ingest stream on a small CI runner measures scheduler preemption, not
 // store behavior; a paced stream holds a fixed CPU share on any machine
@@ -77,7 +78,9 @@ int main(int argc, char** argv) {
   opts.query_threads = static_cast<unsigned>(env_int("AVTK_SOAK_THREADS", 2));
   opts.queries_per_thread = env_int("AVTK_SOAK_QUERIES", 150);
   opts.duty_cycle = env_int("AVTK_SOAK_DUTY_PCT", 5) / 100.0;
+  opts.pace_cap_ms = avtk::bench::k_soak_pace_cap_ms;
   opts.engine_threads = 2;
+  opts.shards = static_cast<std::size_t>(env_int("AVTK_SOAK_SHARDS", 1));
 
   const auto report = avtk::soak::run_soak(workload, opts);
   std::cout << avtk::soak::render_soak_summary(workload, report) << "\n";

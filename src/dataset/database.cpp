@@ -26,7 +26,12 @@ std::vector<T>& failure_database::owned(std::shared_ptr<std::vector<T>>& arr) {
 }
 
 void failure_database::add_disengagement(disengagement_record rec) {
+  add_disengagement(std::move(rec), disengagement_ids_->size());
+}
+
+void failure_database::add_disengagement(disengagement_record rec, std::uint64_t id) {
   owned(disengagements_).push_back(std::move(rec));
+  owned(disengagement_ids_).push_back(id);
   ++version_.disengagements;
 }
 
@@ -39,12 +44,22 @@ void failure_database::relabel_disengagement(std::size_t index, nlp::fault_tag t
 }
 
 void failure_database::add_mileage(mileage_record rec) {
+  add_mileage(std::move(rec), mileage_ids_->size());
+}
+
+void failure_database::add_mileage(mileage_record rec, std::uint64_t id) {
   owned(mileage_).push_back(std::move(rec));
+  owned(mileage_ids_).push_back(id);
   ++version_.mileage;
 }
 
 void failure_database::add_accident(accident_record rec) {
+  add_accident(std::move(rec), accident_ids_->size());
+}
+
+void failure_database::add_accident(accident_record rec, std::uint64_t id) {
   owned(accidents_).push_back(std::move(rec));
+  owned(accident_ids_).push_back(id);
   ++version_.accidents;
 }
 
@@ -128,16 +143,19 @@ std::vector<failure_database::vehicle_total> failure_database::vehicle_totals() 
 
 void failure_database::share_disengagements_from(const failure_database& other) {
   disengagements_ = other.disengagements_;
+  disengagement_ids_ = other.disengagement_ids_;
   version_.disengagements = other.version_.disengagements;
 }
 
 void failure_database::share_mileage_from(const failure_database& other) {
   mileage_ = other.mileage_;
+  mileage_ids_ = other.mileage_ids_;
   version_.mileage = other.version_.mileage;
 }
 
 void failure_database::share_accidents_from(const failure_database& other) {
   accidents_ = other.accidents_;
+  accident_ids_ = other.accident_ids_;
   version_.accidents = other.version_.accidents;
 }
 

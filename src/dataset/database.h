@@ -59,6 +59,22 @@ class failure_database {
   void add_mileage(mileage_record rec);
   void add_accident(accident_record rec);
 
+  /// Appends carrying an explicit *global record id*. Every record gets a
+  /// stable id at append time (the no-id overloads default it to the
+  /// record's position, so in a single database id == index); a sharded
+  /// store (serve/store.h) passes ids allocated from store-wide counters
+  /// instead, which is what lets per-shard selections be concatenated back
+  /// into original corpus order. Ids ride their own copy-on-write arrays,
+  /// parallel to the record arrays.
+  void add_disengagement(disengagement_record rec, std::uint64_t id);
+  void add_mileage(mileage_record rec, std::uint64_t id);
+  void add_accident(accident_record rec, std::uint64_t id);
+
+  /// Global record ids, parallel to the corresponding record array.
+  const std::vector<std::uint64_t>& disengagement_ids() const { return *disengagement_ids_; }
+  const std::vector<std::uint64_t>& mileage_ids() const { return *mileage_ids_; }
+  const std::vector<std::uint64_t>& accident_ids() const { return *accident_ids_; }
+
   /// Stage III writes its verdicts back in place: re-tags the
   /// disengagement at `index`. Bumps the disengagement version exactly
   /// like an add, so cached query results keyed on the version are
@@ -71,6 +87,14 @@ class failure_database {
   /// Current per-domain version counters. Each add_* bumps exactly one
   /// domain by one; a default-constructed database is at {0, 0, 0}.
   const database_version& version() const { return version_; }
+
+  /// Overwrites the version vector. A database partitioned by replaying
+  /// add_* calls loses the source's relabel bumps; the sharded store
+  /// (serve/store.h) uses this to conserve the seed's version components
+  /// across its shards, so the composite sum — and every cache key and
+  /// response version derived from it — stays byte-identical to the
+  /// single-store oracle.
+  void set_version(const database_version& v) { version_ = v; }
 
   /// Domain accessors return the shared array itself, so two databases
   /// that structurally share a domain return the *same* reference — tests
@@ -140,6 +164,14 @@ class failure_database {
       std::make_shared<std::vector<mileage_record>>();
   std::shared_ptr<std::vector<accident_record>> accidents_ =
       std::make_shared<std::vector<accident_record>>();
+  // Global record ids, one array per domain, same copy-on-write discipline
+  // as the record arrays they parallel (shared on copy, cloned on write).
+  std::shared_ptr<std::vector<std::uint64_t>> disengagement_ids_ =
+      std::make_shared<std::vector<std::uint64_t>>();
+  std::shared_ptr<std::vector<std::uint64_t>> mileage_ids_ =
+      std::make_shared<std::vector<std::uint64_t>>();
+  std::shared_ptr<std::vector<std::uint64_t>> accident_ids_ =
+      std::make_shared<std::vector<std::uint64_t>>();
   database_version version_;
 };
 

@@ -20,6 +20,13 @@
 // `database_view` is implicitly constructible from `failure_database`, so
 // every builder taking a view accepts a plain database at zero cost (an
 // unrestricted view of all three domains).
+//
+// A third, *composed* mode backs each domain with a list of record
+// pointers instead of one array: the sharded snapshot store concatenates
+// per-shard records back into original corpus order (by global record id)
+// and serves cross-shard queries through the same builder surface —
+// byte-identical to the single-store oracle because iteration order is
+// identical.
 #pragma once
 
 #include <cstdint>
@@ -35,8 +42,11 @@ namespace avtk::dataset {
 /// An ascending list of record indices into one domain array.
 using selection = std::vector<std::uint32_t>;
 
-/// Iterable over one domain array, optionally through a selection. The
-/// range does not own the array or the selection; both must outlive it.
+/// Iterable over one domain, in one of three modes: a whole array, an
+/// array through a selection, or a list of record pointers (the sharded
+/// store's cross-shard merge — serve/store.h — concatenates per-shard
+/// records back into global-id order as pointer lists). The range does not
+/// own the array, selection or pointer storage; all must outlive it.
 template <typename T>
 class record_range {
  public:
@@ -44,14 +54,20 @@ class record_range {
       : base_(&base), restricted_(false) {}
   record_range(const std::vector<T>& base, std::span<const std::uint32_t> sel)
       : base_(&base), sel_(sel), restricted_(true) {}
+  explicit record_range(std::span<const T* const> ptrs) : ptrs_(ptrs) {}
 
   /// Self-contained: carries the array/selection handles by value, so an
   /// iterator outlives the (often temporary) record_range it came from.
   class iterator {
    public:
     iterator(const record_range& range, std::size_t pos)
-        : base_(range.base_), sel_(range.sel_), restricted_(range.restricted_), pos_(pos) {}
+        : base_(range.base_),
+          sel_(range.sel_),
+          ptrs_(range.ptrs_),
+          restricted_(range.restricted_),
+          pos_(pos) {}
     const T& operator*() const {
+      if (base_ == nullptr) return *ptrs_[pos_];
       return restricted_ ? (*base_)[sel_[pos_]] : (*base_)[pos_];
     }
     const T* operator->() const { return &**this; }
@@ -65,19 +81,24 @@ class record_range {
    private:
     const std::vector<T>* base_;
     std::span<const std::uint32_t> sel_;
+    std::span<const T* const> ptrs_;
     bool restricted_;
     std::size_t pos_;
   };
 
   iterator begin() const { return iterator(*this, 0); }
   iterator end() const { return iterator(*this, size()); }
-  std::size_t size() const { return restricted_ ? sel_.size() : base_->size(); }
+  std::size_t size() const {
+    if (base_ == nullptr) return ptrs_.size();
+    return restricted_ ? sel_.size() : base_->size();
+  }
   bool empty() const { return size() == 0; }
 
  private:
-  const std::vector<T>* base_;
+  const std::vector<T>* base_ = nullptr;  ///< null in pointer mode
   std::span<const std::uint32_t> sel_;
-  bool restricted_;
+  std::span<const T* const> ptrs_;
+  bool restricted_ = false;
 };
 
 class database_view {
@@ -97,19 +118,37 @@ class database_view {
                 std::optional<std::span<const std::uint32_t>> accidents)
       : db_(&db), dis_(disengagements), mil_(mileage), acc_(accidents) {}
 
+  /// Composed view: one pointer list per domain, in whatever order the
+  /// caller merged them (the sharded store concatenates per-shard records
+  /// back into ascending global-id — i.e. original corpus — order). There
+  /// is no backing failure_database: the pointers may span several shard
+  /// databases, so base() must not be called on a composed view. Pointer
+  /// storage and the records it points into are borrowed; the caller keeps
+  /// both alive (serve holds the shard snapshot pins inside its merge
+  /// plan).
+  database_view(std::span<const disengagement_record* const> disengagements,
+                std::span<const mileage_record* const> mileage,
+                std::span<const accident_record* const> accidents)
+      : dis_ptrs_(disengagements), mil_ptrs_(mileage), acc_ptrs_(accidents), composed_(true) {}
+
   const failure_database& base() const { return *db_; }
   /// True when any domain carries a selection.
-  bool restricted() const { return dis_ || mil_ || acc_; }
+  bool restricted() const { return dis_.has_value() || mil_.has_value() || acc_.has_value(); }
+  /// True for a pointer-composed view (no single backing database).
+  bool composed() const { return composed_; }
 
   record_range<disengagement_record> disengagements() const {
+    if (composed_) return record_range<disengagement_record>(dis_ptrs_);
     return dis_ ? record_range<disengagement_record>(db_->disengagements(), *dis_)
                 : record_range<disengagement_record>(db_->disengagements());
   }
   record_range<mileage_record> mileage() const {
+    if (composed_) return record_range<mileage_record>(mil_ptrs_);
     return mil_ ? record_range<mileage_record>(db_->mileage(), *mil_)
                 : record_range<mileage_record>(db_->mileage());
   }
   record_range<accident_record> accidents() const {
+    if (composed_) return record_range<accident_record>(acc_ptrs_);
     return acc_ ? record_range<accident_record>(db_->accidents(), *acc_)
                 : record_range<accident_record>(db_->accidents());
   }
@@ -135,10 +174,14 @@ class database_view {
   std::vector<double> reaction_times(std::optional<manufacturer> maker = std::nullopt) const;
 
  private:
-  const failure_database* db_;
+  const failure_database* db_ = nullptr;  ///< null for composed views
   std::optional<std::span<const std::uint32_t>> dis_;
   std::optional<std::span<const std::uint32_t>> mil_;
   std::optional<std::span<const std::uint32_t>> acc_;
+  std::span<const disengagement_record* const> dis_ptrs_;
+  std::span<const mileage_record* const> mil_ptrs_;
+  std::span<const accident_record* const> acc_ptrs_;
+  bool composed_ = false;
 };
 
 }  // namespace avtk::dataset

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <span>
 #include <thread>
+#include <type_traits>
 #include <utility>
 
 #include "core/analysis.h"
@@ -330,6 +331,107 @@ json::value nhpp_payload(const dataset::database_view& db, const query& q) {
   };
 }
 
+// Sharded cache key: canonical form + '@' + one "s<i>:" segment per
+// *dependent* shard (the maker's shard for a maker-filtered query, every
+// shard otherwise), each carrying the dependent-domain version components
+// of that shard. A commit on shard i bumps only shard i's components, so
+// keys that don't carry an "s<i>:" segment — other makers' entries — stay
+// live across the ingest.
+std::string sharded_cache_key(const query& q, const composite_snapshot& comp,
+                              std::optional<std::size_t> maker_shard) {
+  const domain_mask deps = q.dependencies();
+  std::string key = q.canonical();
+  key += '@';
+  const auto add_shard = [&](std::size_t s) {
+    const auto& v = comp.shards[s]->version();
+    key += "s" + std::to_string(s) + ":";
+    if ((deps & domain_disengagements) != 0) key += "d" + std::to_string(v.disengagements);
+    if ((deps & domain_mileage) != 0) key += "m" + std::to_string(v.mileage);
+    if ((deps & domain_accidents) != 0) key += "a" + std::to_string(v.accidents);
+  };
+  if (maker_shard) {
+    add_shard(*maker_shard);
+  } else {
+    for (std::size_t s = 0; s < comp.shards.size(); ++s) add_shard(s);
+  }
+  return key;
+}
+
+/// Cross-shard indexed execution: per-shard index selections merged into
+/// per-domain pointer lists sorted by global id — the same record sequence
+/// the single store's selection view iterates. Keep the object alive while
+/// the view built from it is in use; the caller's composite pin keeps the
+/// pointed-at records alive.
+struct merged_selection {
+  std::vector<const dataset::disengagement_record*> disengagements;
+  std::vector<const dataset::mileage_record*> mileage;
+  std::vector<const dataset::accident_record*> accidents;
+
+  dataset::database_view view() const {
+    return dataset::database_view(disengagements, mileage, accidents);
+  }
+};
+
+merged_selection merge_indexed(const composite_snapshot& comp, const query& q,
+                               obs::trace* trace) {
+  merged_selection out;
+  std::vector<query_selection> sels;
+  sels.reserve(comp.shards.size());
+  for (const auto& snap : comp.shards) sels.push_back(snap->index(trace).select(q));
+
+  const auto gather = [&](auto member_records, auto member_ids, auto member_sel,
+                          auto& out_vec) {
+    using ptr_type = std::decay_t<decltype(out_vec[0])>;
+    std::vector<std::pair<std::uint64_t, ptr_type>> pairs;
+    for (std::size_t s = 0; s < comp.shards.size(); ++s) {
+      const auto& db = comp.shards[s]->db();
+      const auto& records = (db.*member_records)();
+      const auto& ids = (db.*member_ids)();
+      if (const auto span = (sels[s].*member_sel).span()) {
+        for (const std::uint32_t i : *span) pairs.emplace_back(ids[i], &records[i]);
+      } else {
+        for (std::size_t i = 0; i < records.size(); ++i) pairs.emplace_back(ids[i], &records[i]);
+      }
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    out_vec.reserve(pairs.size());
+    for (const auto& [id, ptr] : pairs) out_vec.push_back(ptr);
+  };
+  gather(&dataset::failure_database::disengagements,
+         &dataset::failure_database::disengagement_ids, &query_selection::disengagements,
+         out.disengagements);
+  gather(&dataset::failure_database::mileage, &dataset::failure_database::mileage_ids,
+         &query_selection::mileage, out.mileage);
+  gather(&dataset::failure_database::accidents, &dataset::failure_database::accident_ids,
+         &query_selection::accidents, out.accidents);
+  return out;
+}
+
+// The naive oracle over a composed (cross-shard merged) view. The merged
+// iteration order is global-id — original corpus — order, so the filtered
+// copy appends records in exactly the sequence the single-store
+// filter_database produces. There is no single backing database to adopt
+// unfiltered domains from structurally, so they are copied; the payload
+// bytes are unaffected.
+dataset::failure_database filter_view(const dataset::database_view& db, const query& q) {
+  dataset::failure_database out;
+  for (const auto& d : db.disengagements()) {
+    if (matches(d, q)) out.add_disengagement(d);
+  }
+  for (const auto& m : db.mileage()) {
+    if (q.maker && m.maker != *q.maker) continue;
+    if (q.year && m.month.year != *q.year) continue;
+    out.add_mileage(m);
+  }
+  for (const auto& a : db.accidents()) {
+    if (q.maker && a.maker != *q.maker) continue;
+    if (q.year && accident_year(a) != *q.year) continue;
+    out.add_accident(a);
+  }
+  return out;
+}
+
 // A live append always scans strictly (the batch quarantine policies'
 // validations must not be bypassable over the wire), and the processor
 // shares the engine's trace.
@@ -376,7 +478,7 @@ std::optional<query_exec> query_exec_from_string(std::string_view s) {
 }
 
 query_engine::query_engine(dataset::failure_database db, engine_config config)
-    : store_(std::move(db), config.trace),
+    : store_(std::move(db), config.shards, config.trace),
       cache_(config.cache_capacity, config.cache_shards),
       pool_(config.threads != 0 ? config.threads
                                 : std::max(std::thread::hardware_concurrency(), 1u)),
@@ -399,14 +501,25 @@ query_response query_engine::execute(const query& q) {
   query_response out;
   out.canonical = q.canonical();
 
-  // Pin the published snapshot: one atomic refcounted load, no lock.
-  // Everything below — the version the response reports, the cache key,
-  // the computation — is against this one frozen epoch; a commit landing
-  // meanwhile publishes a *new* snapshot and cannot touch this one.
-  const auto snap = store_.pin();
-  out.version = snap->version();
-  out.epoch = snap->epoch();
-  const std::string key = cache_key(q, out.version);
+  // Pin the published composite: one atomic refcounted load per shard, no
+  // lock. Everything below — the version the response reports, the cache
+  // key, the computation — is against these frozen per-shard epochs; a
+  // commit landing meanwhile publishes a *new* shard snapshot and cannot
+  // touch these.
+  const auto comp = store_.pin();
+  out.version = comp.version;
+  out.epoch = comp.epoch;
+  out.epochs = comp.epochs;
+
+  const bool single = store_.shards() == 1;
+  // A maker-filtered query reads exactly one shard — route it there; its
+  // cache key then depends on that shard alone.
+  const std::optional<std::size_t> maker_shard =
+      (!single && q.maker) ? std::optional<std::size_t>(store_.shard_for(*q.maker))
+                           : std::nullopt;
+
+  const std::string key =
+      single ? cache_key(q, out.version) : sharded_cache_key(q, comp, maker_shard);
   if (auto cached = cache_.get(key)) {
     hits_.add();
     const obs::scoped_span span(trace_,
@@ -421,18 +534,43 @@ query_response query_engine::execute(const query& q) {
   misses_.add();
   obs::scoped_span span(trace_, "serve.query." + std::string(query_kind_name(q.kind)));
   json::value result;
-  if (!needs_filter(q)) {
-    result = execute_payload(snap->db(), q);
+  if (single || maker_shard) {
+    // Single-shard execution: the historical paths, against the one shard
+    // that holds every record the query can read.
+    const auto& snap = single ? comp.shards[0] : comp.shards[*maker_shard];
+    if (!needs_filter(q)) {
+      result = execute_payload(snap->db(), q);
+    } else if (exec_ == query_exec::indexed) {
+      // Zero-copy path: selections from the snapshot's lazy index feed a
+      // view over the pinned arrays; nothing is materialized. The selection
+      // object owns any intersected index lists, so it must outlive the
+      // view — both live to the end of this block, under the snapshot pin.
+      const auto sel = snap->index(trace_).select(q);
+      const auto view = sel.view(snap->db());
+      result = execute_payload(view, q);
+    } else {
+      const auto filtered = filter_database(snap->db(), q);
+      result = execute_payload(filtered, q);
+    }
+  } else if (!needs_filter(q)) {
+    // Cross-shard scatter-gather, unfiltered: the cached merge plan
+    // (rebuilt only when a shard's epoch advances) composes every shard's
+    // records back into corpus order; no record is copied.
+    const auto plan = store_.plan_for(comp);
+    result = execute_payload(plan->view(), q);
   } else if (exec_ == query_exec::indexed) {
-    // Zero-copy path: selections from the snapshot's lazy index feed a
-    // view over the pinned arrays; nothing is materialized. The selection
-    // object owns any intersected index lists, so it must outlive the
-    // view — both live to the end of this block, under the snapshot pin.
-    const auto sel = snap->index(trace_).select(q);
-    const auto view = sel.view(snap->db());
-    result = execute_payload(view, q);
+    // Cross-shard, filtered, indexed: per-shard index selections merged by
+    // global id — same record sequence as the single store's selection
+    // view. The merged pointer lists must outlive the view; both live to
+    // the end of this block, under the composite pin.
+    const auto merged = merge_indexed(comp, q, trace_);
+    result = execute_payload(merged.view(), q);
   } else {
-    const auto filtered = filter_database(snap->db(), q);
+    // Cross-shard, filtered, naive: materialize the filtered database from
+    // the merged (corpus-order) view — the oracle the sharded indexed path
+    // is gated against.
+    const auto plan = store_.plan_for(comp);
+    const auto filtered = filter_view(plan->view(), q);
     result = execute_payload(filtered, q);
   }
   auto payload = std::make_shared<const std::string>(result.dump());
@@ -453,23 +591,48 @@ std::future<query_response> query_engine::submit(query q) {
   return pool_.submit([this, q = std::move(q)] { return execute(q); });
 }
 
+// Appends route to the one shard the record's maker lives in and commit
+// under that shard's writer mutex alone — appends for different shards
+// proceed in parallel. The global id is allocated *before* the commit (the
+// counter is the merge order); under the single-shard layout the no-id
+// overload keeps the historical id == position invariant exactly.
 void query_engine::append_disengagement(dataset::disengagement_record rec) {
-  store_.commit(
-      [&](dataset::failure_database& db) { db.add_disengagement(std::move(rec)); });
+  const std::size_t shard = store_.shard_for(rec.maker);
+  if (store_.shards() == 1) {
+    store_.commit(0, [&](dataset::failure_database& db) { db.add_disengagement(std::move(rec)); });
+  } else {
+    const std::uint64_t id = store_.next_disengagement_id();
+    store_.commit(shard,
+                  [&](dataset::failure_database& db) { db.add_disengagement(std::move(rec), id); });
+  }
   appends_.add();
-  invalidate_dependents('d');
+  invalidate_dependents('d', shard);
 }
 
 void query_engine::append_mileage(dataset::mileage_record rec) {
-  store_.commit([&](dataset::failure_database& db) { db.add_mileage(std::move(rec)); });
+  const std::size_t shard = store_.shard_for(rec.maker);
+  if (store_.shards() == 1) {
+    store_.commit(0, [&](dataset::failure_database& db) { db.add_mileage(std::move(rec)); });
+  } else {
+    const std::uint64_t id = store_.next_mileage_id();
+    store_.commit(shard,
+                  [&](dataset::failure_database& db) { db.add_mileage(std::move(rec), id); });
+  }
   appends_.add();
-  invalidate_dependents('m');
+  invalidate_dependents('m', shard);
 }
 
 void query_engine::append_accident(dataset::accident_record rec) {
-  store_.commit([&](dataset::failure_database& db) { db.add_accident(std::move(rec)); });
+  const std::size_t shard = store_.shard_for(rec.maker);
+  if (store_.shards() == 1) {
+    store_.commit(0, [&](dataset::failure_database& db) { db.add_accident(std::move(rec)); });
+  } else {
+    const std::uint64_t id = store_.next_accident_id();
+    store_.commit(shard,
+                  [&](dataset::failure_database& db) { db.add_accident(std::move(rec), id); });
+  }
   appends_.add();
-  invalidate_dependents('a');
+  invalidate_dependents('a', shard);
 }
 
 ingest_response query_engine::ingest_document(const ocr::document& delivered,
@@ -496,9 +659,10 @@ ingest_response query_engine::ingest_document(const ocr::document& delivered,
         .add();
     // Untouched: a reject publishes nothing — no commit, no epoch, no
     // version bump; the snapshot readers hold stays the published one.
-    const auto snap = store_.pin();
-    out.version = snap->version();
-    out.epoch = snap->epoch();
+    const auto comp = store_.pin();
+    out.version = comp.version;
+    out.epoch = comp.epoch;
+    out.epochs = comp.epochs;
     out.latency_ns = watch.elapsed_ns();
     ingest_ns_.add(static_cast<std::uint64_t>(out.latency_ns));
     span.close();
@@ -508,25 +672,78 @@ ingest_response query_engine::ingest_document(const ocr::document& delivered,
   out.disengagements_added = processed.disengagements.size();
   out.mileage_added = processed.mileage.size();
   out.accidents_added = processed.accidents.size();
-  // One commit per document: all surviving records land in a single new
-  // epoch, so a query observes either none or all of the document.
-  const auto snap = store_.commit([&](dataset::failure_database& db) {
-    for (auto& d : processed.disengagements) db.add_disengagement(std::move(d));
-    for (auto& m : processed.mileage) db.add_mileage(std::move(m));
-    for (auto& a : processed.accidents) db.add_accident(std::move(a));
-  });
-  out.version = snap->version();
-  out.epoch = snap->epoch();
+  const std::size_t shards = store_.shards();
+  // Shards a domain of this document touched, for targeted invalidation.
+  std::vector<bool> dis_touched(shards, false);
+  std::vector<bool> mil_touched(shards, false);
+  std::vector<bool> acc_touched(shards, false);
+  if (shards == 1) {
+    // One commit per document: all surviving records land in a single new
+    // epoch, so a query observes either none or all of the document.
+    const auto snap = store_.commit(0, [&](dataset::failure_database& db) {
+      for (auto& d : processed.disengagements) db.add_disengagement(std::move(d));
+      for (auto& m : processed.mileage) db.add_mileage(std::move(m));
+      for (auto& a : processed.accidents) db.add_accident(std::move(a));
+    });
+    out.version = snap->version();
+    out.epoch = snap->epoch();
+    out.epochs = {snap->epoch()};
+    dis_touched[0] = out.disengagements_added > 0;
+    mil_touched[0] = out.mileage_added > 0;
+    acc_touched[0] = out.accidents_added > 0;
+  } else {
+    // Group the document's records by shard, ids allocated in document
+    // order — the same per-domain order a single store appends in. Then one
+    // commit per *touched* shard: real workloads' documents are
+    // single-maker, so this is one commit, and the document stays atomic
+    // per shard (a query observes none or all of its records on a shard).
+    std::vector<std::vector<std::pair<dataset::disengagement_record, std::uint64_t>>> dis(shards);
+    std::vector<std::vector<std::pair<dataset::mileage_record, std::uint64_t>>> mil(shards);
+    std::vector<std::vector<std::pair<dataset::accident_record, std::uint64_t>>> acc(shards);
+    for (auto& d : processed.disengagements) {
+      const std::size_t s = store_.shard_for(d.maker);
+      dis[s].emplace_back(std::move(d), store_.next_disengagement_id());
+    }
+    for (auto& m : processed.mileage) {
+      const std::size_t s = store_.shard_for(m.maker);
+      mil[s].emplace_back(std::move(m), store_.next_mileage_id());
+    }
+    for (auto& a : processed.accidents) {
+      const std::size_t s = store_.shard_for(a.maker);
+      acc[s].emplace_back(std::move(a), store_.next_accident_id());
+    }
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (dis[s].empty() && mil[s].empty() && acc[s].empty()) continue;
+      store_.commit(s, [&](dataset::failure_database& db) {
+        for (auto& [d, id] : dis[s]) db.add_disengagement(std::move(d), id);
+        for (auto& [m, id] : mil[s]) db.add_mileage(std::move(m), id);
+        for (auto& [a, id] : acc[s]) db.add_accident(std::move(a), id);
+      });
+      dis_touched[s] = !dis[s].empty();
+      mil_touched[s] = !mil[s].empty();
+      acc_touched[s] = !acc[s].empty();
+    }
+    // Re-pin the composite for the response. Under a serialized request
+    // stream no other commit can land in between, so the version/epoch
+    // sums are exactly the post-ingest state — the same values the single
+    // store reports.
+    const auto comp = store_.pin();
+    out.version = comp.version;
+    out.epoch = comp.epoch;
+    out.epochs = comp.epochs;
+  }
   const std::size_t records =
       out.disengagements_added + out.mileage_added + out.accidents_added;
   appends_.add(records);
   ingest_records_.add(records);
 
-  // Only the domains the document touched got a version bump, so only
-  // their dependents go stale.
-  if (out.disengagements_added > 0) invalidate_dependents('d');
-  if (out.mileage_added > 0) invalidate_dependents('m');
-  if (out.accidents_added > 0) invalidate_dependents('a');
+  // Only the (domain, shard) pairs the document touched got a version
+  // bump, so only their dependents go stale.
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (dis_touched[s]) invalidate_dependents('d', s);
+    if (mil_touched[s]) invalidate_dependents('m', s);
+    if (acc_touched[s]) invalidate_dependents('a', s);
+  }
 
   out.latency_ns = watch.elapsed_ns();
   ingest_ns_.add(static_cast<std::uint64_t>(out.latency_ns));
@@ -543,6 +760,30 @@ void query_engine::invalidate_dependents(char domain_letter) {
   cache_.erase_if([domain_letter](const std::string& key) {
     const auto at = key.rfind('@');
     return at != std::string::npos && key.find(domain_letter, at + 1) != std::string::npos;
+  });
+  obs::metrics().set_gauge("serve.cache_size", static_cast<double>(cache_.size()));
+}
+
+// Sharded invalidation: a key goes stale only if its version suffix
+// carries the bumped domain's letter *inside the bumped shard's segment*
+// ("s<i>:..."). Segments are delimited by 's' (the canonical prefix ends at
+// the last '@'; after it only shard tags and domain components appear), so
+// entries over other shards — other makers — survive the ingest.
+void query_engine::invalidate_dependents(char domain_letter, std::size_t shard) {
+  if (store_.shards() == 1) {
+    invalidate_dependents(domain_letter);
+    return;
+  }
+  const std::string tag = "s" + std::to_string(shard) + ":";
+  cache_.erase_if([&](const std::string& key) {
+    const auto at = key.rfind('@');
+    if (at == std::string::npos) return false;
+    const auto seg = key.find(tag, at + 1);
+    if (seg == std::string::npos) return false;
+    const auto seg_start = seg + tag.size();
+    const auto seg_end = key.find('s', seg_start);  // next shard tag, or npos
+    const auto letter = key.find(domain_letter, seg_start);
+    return letter != std::string::npos && (seg_end == std::string::npos || letter < seg_end);
   });
   obs::metrics().set_gauge("serve.cache_size", static_cast<double>(cache_.size()));
 }

@@ -25,6 +25,14 @@
 // domains keep serving from cache. Superseded snapshots free when their
 // last pinned reader drops (RCU-by-refcount; no reader ever blocks).
 //
+// With engine_config::shards > 1 the store is partitioned by manufacturer
+// (serve/store.h): maker-filtered queries route to one shard, cross-shard
+// queries scatter-gather through a global-id merge, ingests commit on the
+// one shard a record's maker lives in (parallel across makers), and cache
+// keys carry per-shard version components so a maker-A ingest never evicts
+// maker-B entries. Payloads stay byte-identical to the single-store
+// layout.
+//
 // Every query records an obs span (when a trace is attached) and hit/miss,
 // latency and cache-occupancy metrics in the global obs registry under the
 // "serve." prefix; commits additionally record serve.snapshot.* metrics.
@@ -37,6 +45,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "dataset/database.h"
 #include "ingest/processor.h"
@@ -78,6 +87,12 @@ struct engine_config {
   /// Filtered-query execution backend (unfiltered queries are identical
   /// under both).
   query_exec exec = query_exec::indexed;
+  /// Snapshot-store shards (serve/store.h). 1 (the default) is the
+  /// historical single-store layout; K > 1 partitions records by
+  /// manufacturer so ingests for different makers commit in parallel.
+  /// Payloads are byte-identical across layouts — the single store is the
+  /// oracle the CI sharding gate (check_sharded.py) compares against.
+  std::size_t shards = 1;
 };
 
 /// The outcome of one query. `payload` is the serialized JSON payload —
@@ -86,8 +101,9 @@ struct engine_config {
 struct query_response {
   std::shared_ptr<const std::string> payload;
   std::string canonical;               ///< canonicalized query
-  dataset::database_version version;   ///< pinned snapshot's version vector
-  std::uint64_t epoch = 0;             ///< pinned snapshot's commit epoch
+  dataset::database_version version;   ///< pinned composite's version vector
+  std::uint64_t epoch = 0;             ///< commit epoch (sharded: per-shard sum)
+  std::vector<std::uint64_t> epochs;   ///< per-shard epochs ({epoch} when shards == 1)
   bool cache_hit = false;
   std::int64_t latency_ns = 0;
 };
@@ -105,7 +121,8 @@ struct ingest_response {
   bool ocr_retried = false;               ///< the degraded-OCR rung fired
   std::optional<ingest::quarantined_document> reject;
   dataset::database_version version;      ///< post-ingest (reject: untouched)
-  std::uint64_t epoch = 0;                ///< committed epoch (reject: unchanged)
+  std::uint64_t epoch = 0;                ///< committed epoch sum (reject: unchanged)
+  std::vector<std::uint64_t> epochs;      ///< per-shard epochs ({epoch} when shards == 1)
   std::int64_t latency_ns = 0;
 
   bool accepted() const { return !reject.has_value(); }
@@ -143,12 +160,20 @@ class query_engine {
   ingest_response ingest_document(const ocr::document& delivered,
                                   const ocr::document* pristine = nullptr);
 
-  /// The currently published snapshot (pinned: stays alive and immutable
-  /// for as long as the pointer is held, whatever ingests do meanwhile).
-  snapshot_ptr snapshot() const { return store_.pin(); }
+  /// The currently published snapshot of shard 0 (pinned: stays alive and
+  /// immutable for as long as the pointer is held, whatever ingests do
+  /// meanwhile). Under the default single-shard layout this is *the*
+  /// published snapshot; sharded engines expose the composite state
+  /// through version()/epoch()/epochs().
+  snapshot_ptr snapshot() const { return store_.pin_shard(0); }
 
-  dataset::database_version version() const { return store_.pin()->version(); }
+  /// Composite version vector / epoch sum — identical to the single-store
+  /// values for any serialized request stream.
+  dataset::database_version version() const { return store_.pin().version; }
   std::uint64_t epoch() const { return store_.epoch(); }
+  /// Per-shard epochs, index = shard id ({epoch()} when shards() == 1).
+  std::vector<std::uint64_t> epochs() const { return store_.epochs(); }
+  std::size_t shards() const { return store_.shards(); }
 
   std::size_t cache_size() const { return cache_.size(); }
   std::uint64_t cache_evictions() const { return cache_.evictions(); }
@@ -156,8 +181,9 @@ class query_engine {
 
  private:
   void invalidate_dependents(char domain_letter);
+  void invalidate_dependents(char domain_letter, std::size_t shard);
 
-  snapshot_store store_;
+  sharded_store store_;
   result_cache cache_;
   thread_pool pool_;
   obs::trace* trace_;

@@ -87,9 +87,12 @@ query_selection query_index::select(const query& q) const {
 }
 
 std::unique_ptr<const query_index> build_query_index(const dataset::failure_database& db,
-                                                     obs::trace* trace) {
+                                                     obs::trace* trace,
+                                                     std::string_view span_label) {
   const obs::stopwatch watch;
-  obs::scoped_span span(trace, "serve.index.build");
+  std::string span_name = "serve.index.build";
+  if (!span_label.empty()) span_name += "." + std::string(span_label);
+  obs::scoped_span span(trace, span_name);
 
   auto index = std::make_unique<query_index>();
   const auto& disengagements = db.disengagements();

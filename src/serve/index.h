@@ -31,6 +31,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "dataset/view.h"
@@ -123,7 +124,7 @@ class query_index {
 
  private:
   friend std::unique_ptr<const query_index> build_query_index(
-      const dataset::failure_database& db, obs::trace* trace);
+      const dataset::failure_database& db, obs::trace* trace, std::string_view span_label);
 
   std::map<dataset::manufacturer, dataset::selection> dis_by_maker_;
   std::map<dataset::manufacturer, dataset::selection> mil_by_maker_;
@@ -137,8 +138,12 @@ class query_index {
 };
 
 /// One pass per domain; records serve.index.* metrics and a
-/// "serve.index.build" span when `trace` is non-null.
+/// "serve.index.build" span when `trace` is non-null. A non-empty
+/// `span_label` suffixes the span name ("serve.index.build.<label>") —
+/// the sharded store labels each shard's builds "s<i>" so a slow build is
+/// attributable to its shard.
 std::unique_ptr<const query_index> build_query_index(const dataset::failure_database& db,
-                                                     obs::trace* trace);
+                                                     obs::trace* trace,
+                                                     std::string_view span_label = {});
 
 }  // namespace avtk::serve

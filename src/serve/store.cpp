@@ -1,5 +1,7 @@
 #include "serve/store.h"
 
+#include <algorithm>
+#include <type_traits>
 #include <utility>
 
 #include "obs/clock.h"
@@ -7,8 +9,9 @@
 
 namespace avtk::serve {
 
-store_snapshot::store_snapshot(dataset::failure_database db, std::uint64_t epoch)
-    : db_(std::move(db)), epoch_(epoch) {}
+store_snapshot::store_snapshot(dataset::failure_database db, std::uint64_t epoch,
+                               std::string index_span_label)
+    : db_(std::move(db)), epoch_(epoch), index_span_label_(std::move(index_span_label)) {}
 
 store_snapshot::~store_snapshot() = default;
 
@@ -18,15 +21,19 @@ const query_index& store_snapshot::index(obs::trace* trace) const {
     return *built;
   }
   std::call_once(index_once_, [&] {
-    index_ = build_query_index(db_, trace);
+    index_ = build_query_index(db_, trace, index_span_label_);
     index_ptr_.store(index_.get(), std::memory_order_release);
   });
   return *index_ptr_.load(std::memory_order_acquire);
 }
 
-snapshot_store::snapshot_store(dataset::failure_database db, obs::trace* trace)
-    : published_(std::make_shared<const store_snapshot>(std::move(db), 0)),
+snapshot_store::snapshot_store(dataset::failure_database db, obs::trace* trace,
+                               std::string span_label)
+    : published_(std::make_shared<const store_snapshot>(std::move(db), 0, span_label)),
       trace_(trace),
+      span_label_(span_label),
+      commit_span_name_(span_label.empty() ? "serve.snapshot.commit"
+                                           : "serve.snapshot.commit." + span_label),
       commits_(obs::metrics().get_counter("serve.snapshot.commits")),
       commit_ns_(obs::metrics().get_counter("serve.snapshot.commit_ns")),
       retired_(obs::metrics().get_counter("serve.snapshot.retired")) {
@@ -37,7 +44,7 @@ snapshot_ptr snapshot_store::commit(
     const std::function<void(dataset::failure_database&)>& mutate) {
   const obs::stopwatch watch;
   const std::lock_guard<std::mutex> lock(commit_mutex_);
-  obs::scoped_span span(trace_, "serve.snapshot.commit");
+  obs::scoped_span span(trace_, commit_span_name_);
 
   // Build the next epoch off to the side. The copy shares all three
   // domain arrays; the first add_* per domain inside `mutate` clones that
@@ -46,7 +53,8 @@ snapshot_ptr snapshot_store::commit(
   dataset::failure_database next = current->db();
   mutate(next);
 
-  auto snap = std::make_shared<const store_snapshot>(std::move(next), current->epoch() + 1);
+  auto snap = std::make_shared<const store_snapshot>(std::move(next), current->epoch() + 1,
+                                                     span_label_);
   published_.store(snap, std::memory_order_release);
 
   // `current` is now retired from service; it frees when its last pinned
@@ -57,6 +65,178 @@ snapshot_ptr snapshot_store::commit(
   obs::metrics().set_gauge("serve.snapshot.epoch", static_cast<double>(snap->epoch()));
   span.close();
   return snap;
+}
+
+namespace {
+
+std::string shard_metric(std::size_t shard, const char* suffix) {
+  return "serve.shard." + std::to_string(shard) + "." + suffix;
+}
+
+std::uint64_t version_sum(const dataset::database_version& v) {
+  return v.disengagements + v.mileage + v.accidents;
+}
+
+}  // namespace
+
+sharded_store::sharded_store(dataset::failure_database db, std::size_t shards,
+                             obs::trace* trace) {
+  if (shards == 0) shards = 1;
+
+  // Global-id counters start past the seed corpus so ingested records sort
+  // after every seeded one — the same order a single store appends in.
+  next_dis_id_.store(db.disengagements().size());
+  next_mil_id_.store(db.mileage().size());
+  next_acc_id_.store(db.accidents().size());
+
+  if (shards == 1) {
+    // Degenerate layout: adopt the database whole. No partition copy, no
+    // span labels — byte- and behavior-identical to a bare snapshot_store,
+    // including structural sharing with the caller's arrays.
+    shards_.push_back(std::make_unique<snapshot_store>(std::move(db), trace));
+  } else {
+    // Partition in corpus order. The no-id add_* overloads would re-number
+    // from each shard's local size, so records carry their global ids
+    // explicitly (for a seed corpus, id == original index).
+    std::vector<dataset::failure_database> parts(shards);
+    const auto& dis = db.disengagements();
+    const auto& dis_ids = db.disengagement_ids();
+    for (std::size_t i = 0; i < dis.size(); ++i) {
+      parts[shard_of(dis[i].maker, shards)].add_disengagement(dis[i], dis_ids[i]);
+    }
+    const auto& mil = db.mileage();
+    const auto& mil_ids = db.mileage_ids();
+    for (std::size_t i = 0; i < mil.size(); ++i) {
+      parts[shard_of(mil[i].maker, shards)].add_mileage(mil[i], mil_ids[i]);
+    }
+    const auto& acc = db.accidents();
+    const auto& acc_ids = db.accident_ids();
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      parts[shard_of(acc[i].maker, shards)].add_accident(acc[i], acc_ids[i]);
+    }
+    // Conserve the seed's version vector: the replayed adds leave each
+    // shard at its record counts, but the seed may sit above its counts
+    // (Stage-III relabels bump versions without adding records). Park the
+    // surplus on shard 0 so the composite sum — what responses report and
+    // cache keys encode — is byte-identical to the single-store oracle.
+    const auto& seed_v = db.version();
+    const auto& v0 = parts[0].version();
+    parts[0].set_version({v0.disengagements + (seed_v.disengagements - dis.size()),
+                          v0.mileage + (seed_v.mileage - mil.size()),
+                          v0.accidents + (seed_v.accidents - acc.size())});
+    shards_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      shards_.push_back(std::make_unique<snapshot_store>(std::move(parts[s]), trace,
+                                                         "s" + std::to_string(s)));
+    }
+  }
+
+  shard_commits_.reserve(shards_.size());
+  shard_commit_ns_.reserve(shards_.size());
+  shard_records_.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shard_commits_.push_back(&obs::metrics().get_counter(shard_metric(s, "commits")));
+    shard_commit_ns_.push_back(&obs::metrics().get_counter(shard_metric(s, "commit_ns")));
+    shard_records_.push_back(&obs::metrics().get_counter(shard_metric(s, "records")));
+    obs::metrics().set_gauge(shard_metric(s, "epoch"), 0.0);
+  }
+  // The shared gauge was last set by the last shard's constructor; with
+  // every shard at epoch 0 the sum is 0 regardless, but restate it so the
+  // sharded semantics (epoch sum) own the gauge from here on.
+  obs::metrics().set_gauge("serve.snapshot.epoch", 0.0);
+}
+
+composite_snapshot sharded_store::pin() const {
+  composite_snapshot comp;
+  comp.shards.reserve(shards_.size());
+  comp.epochs.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    snapshot_ptr snap = shard->pin();
+    comp.version.disengagements += snap->version().disengagements;
+    comp.version.mileage += snap->version().mileage;
+    comp.version.accidents += snap->version().accidents;
+    comp.epoch += snap->epoch();
+    comp.epochs.push_back(snap->epoch());
+    comp.shards.push_back(std::move(snap));
+  }
+  return comp;
+}
+
+std::uint64_t sharded_store::epoch() const {
+  std::uint64_t sum = 0;
+  for (const auto& shard : shards_) sum += shard->epoch();
+  return sum;
+}
+
+std::vector<std::uint64_t> sharded_store::epochs() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) out.push_back(shard->epoch());
+  return out;
+}
+
+snapshot_ptr sharded_store::commit(
+    std::size_t shard, const std::function<void(dataset::failure_database&)>& mutate) {
+  const obs::stopwatch watch;
+  std::uint64_t records_before = 0;
+  std::uint64_t records_after = 0;
+  snapshot_ptr snap = shards_[shard]->commit([&](dataset::failure_database& db) {
+    records_before = version_sum(db.version());
+    mutate(db);
+    records_after = version_sum(db.version());
+  });
+
+  shard_commits_[shard]->add();
+  shard_commit_ns_[shard]->add(static_cast<std::uint64_t>(watch.elapsed_ns()));
+  if (records_after > records_before) {
+    shard_records_[shard]->add(records_after - records_before);
+  }
+  obs::metrics().set_gauge(shard_metric(shard, "epoch"), static_cast<double>(snap->epoch()));
+  // The inner commit set serve.snapshot.epoch to this *shard's* epoch;
+  // overwrite with the store-wide sum, which is what the gauge means under
+  // sharding (and equals the shard epoch when K == 1).
+  const std::uint64_t sum = epoch_sum_.fetch_add(1) + 1;
+  obs::metrics().set_gauge("serve.snapshot.epoch", static_cast<double>(sum));
+  return snap;
+}
+
+std::shared_ptr<const merge_plan> sharded_store::plan_for(const composite_snapshot& comp) const {
+  const std::lock_guard<std::mutex> lock(plan_mutex_);
+  if (plan_ && plan_epochs_ == comp.epochs) return plan_;
+
+  auto plan = std::make_shared<merge_plan>();
+  plan->pins = comp.shards;
+
+  // Gather (global id, record ptr) pairs from every shard, then sort by
+  // id — reproducing original corpus order. A full sort (rather than a
+  // K-way merge of per-shard runs) tolerates per-shard id sequences that
+  // are not ascending, which concurrent multi-writer ingest can produce
+  // (ids are allocated before the shard commit lock is taken).
+  const auto gather = [](auto member_records, auto member_ids, const auto& pins, auto& out) {
+    using ptr_type = std::decay_t<decltype(out[0])>;
+    std::vector<std::pair<std::uint64_t, ptr_type>> pairs;
+    for (const auto& pin : pins) {
+      const auto& records = (pin->db().*member_records)();
+      const auto& ids = (pin->db().*member_ids)();
+      for (std::size_t i = 0; i < records.size(); ++i) {
+        pairs.emplace_back(ids[i], &records[i]);
+      }
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    out.reserve(pairs.size());
+    for (const auto& [id, ptr] : pairs) out.push_back(ptr);
+  };
+  gather(&dataset::failure_database::disengagements,
+         &dataset::failure_database::disengagement_ids, plan->pins, plan->disengagements);
+  gather(&dataset::failure_database::mileage, &dataset::failure_database::mileage_ids,
+         plan->pins, plan->mileage);
+  gather(&dataset::failure_database::accidents, &dataset::failure_database::accident_ids,
+         plan->pins, plan->accidents);
+
+  plan_epochs_ = comp.epochs;
+  plan_ = std::move(plan);
+  return plan_;
 }
 
 }  // namespace avtk::serve

@@ -27,6 +27,21 @@
 // `serve.snapshot.retired` counters (retired = snapshots superseded by a
 // commit; they free when their last reader unpins), and one
 // "serve.snapshot.commit" span per commit when a trace is attached.
+//
+// `sharded_store` composes K independent snapshot_stores, partitioning
+// records by manufacturer (shard_of: enum value mod K). Each shard has its
+// own epoch, writer mutex and lazy per-epoch query_index, so ingests for
+// different manufacturers commit in parallel and each commit clones only
+// ~1/K of a domain array. Every record carries a stable *global id*
+// allocated at append time from store-wide counters
+// (dataset::failure_database id arrays), which is what lets cross-shard
+// queries merge per-shard records back into original corpus order — the
+// merged sequence, and therefore every payload byte, is identical to the
+// single-store layout. A composite pin is K acquire loads; the composite
+// version vector is the component-wise sum of the shard versions, which
+// equals the single-store version exactly (every append bumps exactly one
+// shard-domain by one). K == 1 degenerates to the current layout: one
+// shard holding the database as passed in, structurally shared.
 #pragma once
 
 #include <atomic>
@@ -34,8 +49,11 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <vector>
 
 #include "dataset/database.h"
+#include "dataset/view.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -50,8 +68,12 @@ class query_index;
 class store_snapshot {
  public:
   // Both out of line: query_index is incomplete here, and the members'
-  // cleanup paths need its definition.
-  store_snapshot(dataset::failure_database db, std::uint64_t epoch);
+  // cleanup paths need its definition. A non-empty `index_span_label`
+  // suffixes this snapshot's index-build span name
+  // ("serve.index.build.<label>") — the sharded store labels shard i's
+  // snapshots "s<i>".
+  store_snapshot(dataset::failure_database db, std::uint64_t epoch,
+                 std::string index_span_label = {});
   ~store_snapshot();
 
   store_snapshot(const store_snapshot&) = delete;
@@ -72,6 +94,7 @@ class store_snapshot {
  private:
   dataset::failure_database db_;
   std::uint64_t epoch_;
+  std::string index_span_label_;
 
   // Lazy index: call_once builds, the atomic publishes. Mutable because a
   // snapshot is logically immutable — the index is a cache of a pure
@@ -86,8 +109,12 @@ using snapshot_ptr = std::shared_ptr<const store_snapshot>;
 class snapshot_store {
  public:
   /// Publishes `db` as epoch 0. `trace` (optional) receives a
-  /// "serve.snapshot.commit" span per commit.
-  explicit snapshot_store(dataset::failure_database db, obs::trace* trace = nullptr);
+  /// "serve.snapshot.commit" span per commit. A non-empty `span_label`
+  /// suffixes the commit span name ("serve.snapshot.commit.<label>") and
+  /// the snapshots' index-build spans — the sharded store labels shard i
+  /// "s<i>"; a standalone store keeps the historical unlabelled names.
+  explicit snapshot_store(dataset::failure_database db, obs::trace* trace = nullptr,
+                          std::string span_label = {});
 
   snapshot_store(const snapshot_store&) = delete;
   snapshot_store& operator=(const snapshot_store&) = delete;
@@ -113,10 +140,130 @@ class snapshot_store {
   std::atomic<snapshot_ptr> published_;
   std::mutex commit_mutex_;  ///< serializes writers; readers never take it
   obs::trace* trace_;
+  std::string span_label_;       ///< "" for a standalone store, "s<i>" per shard
+  std::string commit_span_name_; ///< precomputed "serve.snapshot.commit[.label]"
 
   obs::counter& commits_;
   obs::counter& commit_ns_;
   obs::counter& retired_;
+};
+
+/// The shard a manufacturer's records live in: stable enum value mod K.
+/// Pure function of (maker, shards), so both layouts of a corpus agree on
+/// placement and a router needs no lookup table.
+inline std::size_t shard_of(dataset::manufacturer maker, std::size_t shards) {
+  return static_cast<std::size_t>(maker) % shards;
+}
+
+/// One pinned state of every shard: K snapshot pins taken with K acquire
+/// loads (no lock, no cross-shard barrier — concurrent commits on other
+/// shards may land between loads, so this is a *composite*, not an atomic
+/// cut; per-shard states are each internally consistent and immutable).
+/// `version`/`epoch` are component-wise sums over the shards — for any
+/// composite observed by a serialized request stream they equal the
+/// single-store values exactly.
+struct composite_snapshot {
+  std::vector<snapshot_ptr> shards;
+  dataset::database_version version;  ///< component-wise sum over shards
+  std::uint64_t epoch = 0;            ///< sum of per-shard epochs
+  std::vector<std::uint64_t> epochs;  ///< per-shard epochs, index = shard id
+};
+
+/// A cross-shard merge: per-domain record pointers concatenated back into
+/// ascending global-id (original corpus) order, plus the shard pins that
+/// keep every pointed-at record alive. view() adapts it to the composed
+/// database_view the Stage-IV builders consume. Built once per distinct
+/// epochs-vector and cached on the sharded_store; shared by every
+/// unfiltered cross-shard query against those epochs.
+struct merge_plan {
+  std::vector<snapshot_ptr> pins;
+  std::vector<const dataset::disengagement_record*> disengagements;
+  std::vector<const dataset::mileage_record*> mileage;
+  std::vector<const dataset::accident_record*> accidents;
+
+  dataset::database_view view() const {
+    return dataset::database_view(disengagements, mileage, accidents);
+  }
+};
+
+/// K independent snapshot_stores partitioned by manufacturer. Each shard
+/// commits under its own writer mutex (parallel ingest for different
+/// makers) and clones only its own ~1/K slice of a domain on write. Global
+/// record ids are allocated from store-wide counters *before* any shard
+/// commit runs, in document order, so cross-shard merges reproduce the
+/// single-store record order — and therefore byte-identical payloads —
+/// regardless of how shard commits interleave.
+///
+/// Obs: shared serve.snapshot.* counters aggregate across shards; per-shard
+/// serve.shard.<i>.{commits,commit_ns,records} counters and a
+/// serve.shard.<i>.epoch gauge attribute work to its shard; the
+/// serve.snapshot.epoch gauge tracks the epoch *sum* (maintained here —
+/// last-writer-wins per-shard gauge updates would clobber each other).
+class sharded_store {
+ public:
+  /// Partitions `db` into `shards` stores. shards == 1 adopts `db` whole —
+  /// zero copies, structural sharing with the caller preserved — and is
+  /// byte-and-behavior identical to a bare snapshot_store. For K > 1 the
+  /// records are partitioned in corpus order, carrying their global ids.
+  sharded_store(dataset::failure_database db, std::size_t shards,
+                obs::trace* trace = nullptr);
+
+  sharded_store(const sharded_store&) = delete;
+  sharded_store& operator=(const sharded_store&) = delete;
+
+  std::size_t shards() const { return shards_.size(); }
+  std::size_t shard_for(dataset::manufacturer maker) const {
+    return shard_of(maker, shards_.size());
+  }
+
+  /// Pin one shard: a single acquire load, same cost as snapshot_store::pin.
+  snapshot_ptr pin_shard(std::size_t shard) const { return shards_[shard]->pin(); }
+
+  /// Pin every shard (K acquire loads) and sum versions/epochs.
+  composite_snapshot pin() const;
+
+  /// The published epoch sum / per-shard epochs.
+  std::uint64_t epoch() const;
+  std::vector<std::uint64_t> epochs() const;
+
+  /// RCU commit on one shard; other shards' writers and all readers
+  /// proceed concurrently. Returns the published per-shard snapshot.
+  /// Maintains the per-shard obs counters and both epoch gauges.
+  snapshot_ptr commit(std::size_t shard,
+                      const std::function<void(dataset::failure_database&)>& mutate);
+
+  /// Allocate the next global record id for a domain. Call in document
+  /// order *before* handing records to commit() — allocation order is
+  /// merge order.
+  std::uint64_t next_disengagement_id() { return next_dis_id_.fetch_add(1); }
+  std::uint64_t next_mileage_id() { return next_mil_id_.fetch_add(1); }
+  std::uint64_t next_accident_id() { return next_acc_id_.fetch_add(1); }
+
+  /// The cross-shard merge plan for `comp`'s epochs: per-domain (id, ptr)
+  /// pairs gathered from every shard and sorted by global id. Cached —
+  /// repeated pins of unchanged epochs share one plan; any shard advancing
+  /// rebuilds. The plan holds its own pins, so it stays valid after `comp`
+  /// is dropped.
+  std::shared_ptr<const merge_plan> plan_for(const composite_snapshot& comp) const;
+
+ private:
+  std::vector<std::unique_ptr<snapshot_store>> shards_;
+
+  std::atomic<std::uint64_t> next_dis_id_{0};
+  std::atomic<std::uint64_t> next_mil_id_{0};
+  std::atomic<std::uint64_t> next_acc_id_{0};
+  std::atomic<std::uint64_t> epoch_sum_{0};
+
+  // Per-shard counters (registry pointers are stable for the process
+  // lifetime). records = records appended through commit(), measured as the
+  // version-vector delta.
+  std::vector<obs::counter*> shard_commits_;
+  std::vector<obs::counter*> shard_commit_ns_;
+  std::vector<obs::counter*> shard_records_;
+
+  mutable std::mutex plan_mutex_;
+  mutable std::vector<std::uint64_t> plan_epochs_;
+  mutable std::shared_ptr<const merge_plan> plan_;
 };
 
 }  // namespace avtk::serve

@@ -37,10 +37,11 @@ namespace {
 class paced_request_buf : public std::streambuf {
  public:
   paced_request_buf(const std::vector<soak_document>& documents, double duty_cycle, int floor_ms,
-                    std::function<void(std::size_t)> between)
+                    int cap_ms, std::function<void(std::size_t)> between)
       : documents_(documents),
         pace_ratio_(duty_cycle < 1.0 ? (1.0 - duty_cycle) / duty_cycle : 0.0),
         floor_ms_(floor_ms),
+        cap_ms_(cap_ms),
         between_(std::move(between)) {}
 
  protected:
@@ -55,7 +56,7 @@ class paced_request_buf : public std::streambuf {
     if (next_ > 0) {
       const double burst_ms = burst_.elapsed_seconds() * 1000.0;
       const auto gap_ms = std::clamp<std::int64_t>(
-          static_cast<std::int64_t>(burst_ms * pace_ratio_), floor_ms_, 2000);
+          static_cast<std::int64_t>(burst_ms * pace_ratio_), floor_ms_, cap_ms_);
       std::this_thread::sleep_for(std::chrono::milliseconds(gap_ms));
     }
     if (between_) between_(next_);
@@ -71,6 +72,7 @@ class paced_request_buf : public std::streambuf {
   const std::vector<soak_document>& documents_;
   const double pace_ratio_;
   const int floor_ms_;
+  const int cap_ms_;
   std::function<void(std::size_t)> between_;
   std::size_t next_ = 0;
   bool eof_sampled_ = false;
@@ -116,6 +118,7 @@ soak_pass_stats run_pass(bool ingest_on, const soak_workload& workload,
   cfg.threads = options.engine_threads;
   cfg.cache_capacity = options.cache_capacity;
   cfg.exec = options.exec;
+  cfg.shards = options.shards;
   serve::query_engine engine(workload.fleet.database, cfg);
 
   const auto metrics_before = obs::metrics().snapshot();
@@ -126,8 +129,11 @@ soak_pass_stats run_pass(bool ingest_on, const soak_workload& workload,
 
   // Epoch samples bracketing every document of the ingest session:
   // samples[i] is the epoch after documents 0..i-1 (so samples.front() is
-  // the pre-stream epoch and samples.back() the post-stream one).
+  // the pre-stream epoch and samples.back() the post-stream one). Sharded
+  // engines additionally sample the full per-shard epoch vector at the same
+  // points, for the shard-confinement invariant.
   std::vector<std::uint64_t> epoch_samples;
+  std::vector<std::vector<std::uint64_t>> epoch_vector_samples;
   std::ostringstream responses;
   serve::serve_loop_stats loop_stats;
 
@@ -135,7 +141,12 @@ soak_pass_stats run_pass(bool ingest_on, const soak_workload& workload,
   if (ingest_on) {
     ingester = std::thread([&] {
       paced_request_buf buf(workload.documents, options.duty_cycle, options.pace_floor_ms,
-                            [&](std::size_t) { epoch_samples.push_back(engine.epoch()); });
+                            options.pace_cap_ms, [&](std::size_t) {
+                              epoch_samples.push_back(engine.epoch());
+                              if (engine.shards() > 1) {
+                                epoch_vector_samples.push_back(engine.epochs());
+                              }
+                            });
       std::istream in(&buf);
       serve::serve_loop_options loop_options;
       loop_options.max_in_flight = options.max_in_flight;
@@ -267,6 +278,25 @@ soak_pass_stats run_pass(bool ingest_on, const soak_workload& workload,
     } else {
       invariants->epoch_per_accepted_doc = false;
     }
+    // Shard confinement: the workload's documents all carry one maker, so
+    // every accepted document must advance exactly that maker's shard —
+    // and nothing else moves while the stream runs.
+    if (options.shards > 1) {
+      if (epoch_vector_samples.size() == workload.documents.size() + 1 &&
+          outcomes.size() == workload.documents.size()) {
+        const std::size_t home = serve::shard_of(workload.maker, options.shards);
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+          const auto& before = epoch_vector_samples[i];
+          const auto& after = epoch_vector_samples[i + 1];
+          for (std::size_t s = 0; s < before.size(); ++s) {
+            const std::uint64_t want = (s == home && outcomes[i].ok) ? 1u : 0u;
+            if (after[s] - before[s] != want) invariants->epochs_confined_to_shard = false;
+          }
+        }
+      } else {
+        invariants->epochs_confined_to_shard = false;
+      }
+    }
   }
 
   if (chaos != nullptr) {
@@ -354,6 +384,7 @@ obs::json::value soak_record_json(const soak_workload& workload, const soak_opti
            {"documents", json::value(workload.documents.size())},
            {"query_threads", json::value(static_cast<std::int64_t>(options.query_threads))},
            {"duty_cycle", json::value(options.duty_cycle)},
+           {"shards", json::value(static_cast<std::int64_t>(options.shards))},
            {"ingest_off", pass_json(report.ingest_off)},
            {"ingest_on", pass_json(report.ingest_on)},
            {"p99_on_over_off", json::value(report.p99_on_over_off)},
@@ -375,6 +406,7 @@ obs::json::value soak_record_json(const soak_workload& workload, const soak_opti
                 {"payloads_stable", json::value(inv.payloads_stable)},
                 {"ingest_stream_ordered", json::value(inv.ingest_stream_ordered)},
                 {"loop_completed", json::value(inv.loop_completed)},
+                {"epochs_confined_to_shard", json::value(inv.epochs_confined_to_shard)},
             })},
            {"ok", json::value(report.ok())},
        })},

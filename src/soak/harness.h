@@ -30,6 +30,9 @@
 //                       interleave exactly): epochs are monotone and
 //                       advance by exactly one per accepted document,
 //                       zero per reject.
+//   shard confinement   (sharded engines) every accepted document advances
+//                       exactly its maker's shard epoch by one; no other
+//                       shard's epoch moves during the stream.
 //   payload stability   within a pass, two responses carrying the same
 //                       (canonical query, version vector) are
 //                       byte-identical — the warm-cache contract holding
@@ -60,6 +63,10 @@ struct soak_options {
   double duty_cycle = 0.05;
   /// Floor on the inter-document gap (a zero-burst document still yields).
   int pace_floor_ms = 2;
+  /// Cap on the inter-document gap (a pathological burst cannot stall the
+  /// stream). Benches override this from bench/common.h's shared pacing
+  /// constants; the default matches the historical hard-coded cap.
+  int pace_cap_ms = 2000;
   unsigned engine_threads = 2;
   std::size_t cache_capacity = 1024;
   std::uint64_t query_seed = 7;
@@ -67,6 +74,9 @@ struct soak_options {
   std::size_t max_in_flight = 0;
   /// Filtered-query backend for both passes' engines (serve/engine.h).
   serve::query_exec exec = serve::query_exec::indexed;
+  /// Snapshot-store shards for both passes' engines (serve/store.h);
+  /// 1 = the single-store layout.
+  std::size_t shards = 1;
 };
 
 /// One pass's measurements.
@@ -109,10 +119,14 @@ struct soak_invariants {
   bool payloads_stable = true;
   bool ingest_stream_ordered = true;  ///< response ids echo request order
   bool loop_completed = true;         ///< un-aborted, one response per request
+  /// Sharded engines only (trivially true otherwise): every accepted
+  /// document advances exactly its maker's shard epoch by one — no other
+  /// shard's epoch moves during the stream.
+  bool epochs_confined_to_shard = true;
 
   bool all() const {
     return epochs_monotone && epoch_per_accepted_doc && payloads_stable &&
-           ingest_stream_ordered && loop_completed;
+           ingest_stream_ordered && loop_completed && epochs_confined_to_shard;
   }
 };
 

@@ -112,7 +112,7 @@ int usage() {
       "  avtk serve [--seed N] [--quality Q] [--threads N] [--cache-capacity N]\n"
       "             [--input PATH] [--metrics-json PATH]\n"
       "             [--on-error fail_fast|skip|quarantine]\n"
-      "             [--query-exec naive|indexed]\n"
+      "             [--query-exec naive|indexed] [--shards N]\n"
       "      Answer line-delimited JSON analytics queries (--input file or stdin)\n"
       "      from a worker pool with a sharded, memoized result cache.\n"
       "      --query-exec picks the filtered-query backend (default indexed:\n"
@@ -123,11 +123,14 @@ int usage() {
       "      and appended live; refused documents answer with a structured\n"
       "      reject envelope. --on-error picks what a reject does to the loop\n"
       "      (default quarantine: keep serving; fail_fast aborts, exit 1).\n"
+      "      --shards partitions the snapshot store by manufacturer into N\n"
+      "      independent shards with per-shard ingest commits (default 1, the\n"
+      "      single-store layout; payloads are byte-identical at any N).\n"
       "  avtk soak [--vehicles N] [--months M] [--seed N]\n"
       "            [--chaos-fraction F] [--chaos-seed N]\n"
       "            [--query-threads N] [--queries N] [--duty-cycle F]\n"
       "            [--threads N] [--cache-capacity N] [--json PATH]\n"
-      "            [--query-exec naive|indexed]\n"
+      "            [--query-exec naive|indexed] [--shards N]\n"
       "      End-to-end soak: simulate a fleet, render its filings month by\n"
       "      month, corrupt a seeded fraction (the chaos leg), and stream\n"
       "      them into a live serve loop at the given ingest duty cycle while\n"
@@ -138,6 +141,7 @@ int usage() {
       "      avtk.bench.v1 record to --json or $AVTK_BENCH_JSON_DIR. Exit 1\n"
       "      when any invariant is violated.\n"
       "  avtk query JSON [--seed N] [--quality Q] [--query-exec naive|indexed]\n"
+      "             [--shards N]\n"
       "      One-shot analytics query, e.g. '{\"query\": \"metrics\"}', or a\n"
       "      one-shot ingest, e.g. '{\"ingest\": {\"text\": \"...\"}}'. Kinds:\n"
       "      metrics tags categories modality trend fit compare mcf nhpp;\n"
@@ -217,6 +221,12 @@ bool flag_fraction(arg_list& args, const char* flag, const char* cmd, double* ou
   }
   *out = *parsed;
   return true;
+}
+
+// --shards N: snapshot-store shards (serve/store.h). 1 (the default) is
+// the single-store layout; payloads are byte-identical at any N.
+bool flag_shards(arg_list& args, const char* cmd, std::size_t* out) {
+  return flag_positive_size(args, "--shards", cmd, out);
 }
 
 bool flag_query_exec(arg_list& args, const char* cmd, serve::query_exec* out) {
@@ -614,7 +624,8 @@ int cmd_soak(arg_list args) {
       !flag_fraction(args, "--duty-cycle", "soak", &opts.duty_cycle) ||
       !flag_uint(args, "--threads", "soak", &opts.engine_threads) ||
       !flag_positive_size(args, "--cache-capacity", "soak", &opts.cache_capacity) ||
-      !flag_query_exec(args, "soak", &opts.exec)) {
+      !flag_query_exec(args, "soak", &opts.exec) ||
+      !flag_shards(args, "soak", &opts.shards)) {
     return 2;
   }
   if (query_threads < 1 || !(opts.duty_cycle > 0.0)) {
@@ -677,7 +688,8 @@ int cmd_serve(arg_list args) {
   serve::engine_config cfg;
   if (!flag_uint(args, "--threads", "serve", &cfg.threads) ||
       !flag_positive_size(args, "--cache-capacity", "serve", &cfg.cache_capacity) ||
-      !flag_query_exec(args, "serve", &cfg.exec)) {
+      !flag_query_exec(args, "serve", &cfg.exec) ||
+      !flag_shards(args, "serve", &cfg.shards)) {
     return 2;
   }
   const auto metrics_path = args.value_of("--metrics-json");
@@ -713,12 +725,25 @@ int cmd_serve(arg_list args) {
     }
     stats = serve::run_serve_loop(engine, in, std::cout, options);
   }
+  // The sharded layout reports the composite version vector: the epoch sum
+  // (comparable to the single-store epoch) plus the per-shard epochs.
+  std::string epoch_suffix;
+  if (engine.shards() > 1) {
+    epoch_suffix = " [";
+    const auto epochs = engine.epochs();
+    for (std::size_t i = 0; i < epochs.size(); ++i) {
+      if (i > 0) epoch_suffix += ' ';
+      epoch_suffix += std::to_string(epochs[i]);
+    }
+    epoch_suffix += ']';
+  }
   std::fprintf(stderr,
                "serve: %zu requests, %zu errors (%zu parse, %zu execution), %zu cache hits, "
-               "%zu ingests (%zu rejected, %zu records), cache size %zu, snapshot epoch %llu\n",
+               "%zu ingests (%zu rejected, %zu records), cache size %zu, snapshot epoch %llu%s\n",
                stats.requests, stats.errors, stats.parse_errors, stats.execution_errors,
                stats.cache_hits, stats.ingests, stats.ingest_rejected, stats.ingest_records,
-               engine.cache_size(), static_cast<unsigned long long>(engine.epoch()));
+               engine.cache_size(), static_cast<unsigned long long>(engine.epoch()),
+               epoch_suffix.c_str());
   if (stats.aborted) {
     std::fprintf(stderr, "serve: aborted on rejected ingest (--on-error fail_fast)\n");
   }
@@ -740,7 +765,10 @@ int cmd_serve(arg_list args) {
 int cmd_query(arg_list args) {
   serve::engine_config cfg;
   cfg.threads = 1;  // one-shot: no pool needed
-  if (!flag_query_exec(args, "query", &cfg.exec)) return 2;
+  if (!flag_query_exec(args, "query", &cfg.exec) ||
+      !flag_shards(args, "query", &cfg.shards)) {
+    return 2;
+  }
   const auto gen_cfg = make_generator_config(args, "query");
   if (!gen_cfg) return 2;
   auto engine = make_engine(*gen_cfg, cfg);
